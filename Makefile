@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Run all example programs (each terminates on its own).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/safespeed
+	$(GO) run ./examples/safelane
+	$(GO) run ./examples/gateway
+	$(GO) run ./examples/specfile
+	$(GO) run ./examples/calibrate
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,139 @@
+// Substrate benchmarks for the communication domains of the validator.
+package swwd_test
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/can"
+	"swwd/internal/ethernet"
+	"swwd/internal/flexray"
+	"swwd/internal/gateway"
+	"swwd/internal/sim"
+)
+
+// BenchmarkCANBusThroughput measures simulated frame delivery including
+// arbitration and bit-time accounting.
+func BenchmarkCANBusThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	bus, err := can.NewBus(k, 500000)
+	if err != nil {
+		b.Fatalf("NewBus: %v", err)
+	}
+	tx := bus.AttachNode("tx")
+	rx := bus.AttachNode("rx")
+	received := 0
+	rx.Subscribe(nil, func(can.Frame) { received++ })
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Send(can.Frame{ID: can.FrameID(i % 0x700), Data: payload}); err != nil {
+			b.Fatalf("Send: %v", err)
+		}
+		if i%256 == 255 {
+			if err := k.RunUntilIdle(); err != nil {
+				b.Fatalf("RunUntilIdle: %v", err)
+			}
+		}
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		b.Fatalf("RunUntilIdle: %v", err)
+	}
+	if received == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkFlexRayCycle measures one full communication cycle with a
+// loaded static slot.
+func BenchmarkFlexRayCycle(b *testing.B) {
+	k := sim.NewKernel()
+	cfg := flexray.Config{StaticSlots: 8, SlotDuration: 250 * time.Microsecond}
+	bus, err := flexray.NewBus(k, cfg)
+	if err != nil {
+		b.Fatalf("NewBus: %v", err)
+	}
+	tx := bus.AttachNode("tx")
+	bus.AttachNode("rx")
+	if err := bus.AssignSlot(1, tx); err != nil {
+		b.Fatalf("AssignSlot: %v", err)
+	}
+	if err := bus.Start(); err != nil {
+		b.Fatalf("Start: %v", err)
+	}
+	payload := []byte{1, 2, 3, 4}
+	horizon := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.WriteSlot(1, payload); err != nil {
+			b.Fatalf("WriteSlot: %v", err)
+		}
+		horizon += sim.Time(cfg.CycleDuration())
+		if err := k.Run(horizon); err != nil {
+			b.Fatalf("Run: %v", err)
+		}
+	}
+}
+
+// BenchmarkGatewayForwarding measures one cross-domain hop: CAN frame in,
+// Ethernet datagram out.
+func BenchmarkGatewayForwarding(b *testing.B) {
+	k := sim.NewKernel()
+	bus, err := can.NewBus(k, 500000)
+	if err != nil {
+		b.Fatalf("NewBus: %v", err)
+	}
+	app := bus.AttachNode("app")
+	gwCAN := bus.AttachNode("gw")
+	net, err := ethernet.NewNetwork(k, ethernet.Config{Latency: time.Millisecond})
+	if err != nil {
+		b.Fatalf("NewNetwork: %v", err)
+	}
+	sinkNode, err := net.AttachNode("sink")
+	if err != nil {
+		b.Fatalf("AttachNode: %v", err)
+	}
+	gwEth, err := net.AttachNode("gw")
+	if err != nil {
+		b.Fatalf("AttachNode: %v", err)
+	}
+	received := 0
+	sinkNode.Subscribe(func(ethernet.Message) { received++ })
+	gw, err := gateway.New(gateway.Config{Kernel: k, ProcessingDelay: 100 * time.Microsecond})
+	if err != nil {
+		b.Fatalf("gateway.New: %v", err)
+	}
+	cp, err := gateway.NewCANPort("can", gwCAN)
+	if err != nil {
+		b.Fatalf("NewCANPort: %v", err)
+	}
+	ep, err := gateway.NewEthernetPort("eth", gwEth)
+	if err != nil {
+		b.Fatalf("NewEthernetPort: %v", err)
+	}
+	if err := gw.AttachPort(cp); err != nil {
+		b.Fatalf("AttachPort: %v", err)
+	}
+	if err := gw.AttachPort(ep); err != nil {
+		b.Fatalf("AttachPort: %v", err)
+	}
+	if err := gw.AddRoute(gateway.Route{From: "can", FromID: 0x100, To: "eth", ToID: 0x100}); err != nil {
+		b.Fatalf("AddRoute: %v", err)
+	}
+	payload := []byte{1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := app.Send(can.Frame{ID: 0x100, Data: payload}); err != nil {
+			b.Fatalf("Send: %v", err)
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			b.Fatalf("RunUntilIdle: %v", err)
+		}
+	}
+	if received != b.N {
+		b.Fatalf("received %d of %d", received, b.N)
+	}
+}

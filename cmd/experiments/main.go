@@ -1,0 +1,295 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 and EXPERIMENTS.md): counter traces as CSV
+// and ASCII plots for the figure experiments, and formatted tables for the
+// overhead, coverage and treatment experiments.
+//
+// Usage:
+//
+//	experiments [-run all|fig5|fig6|arrival|pfc|overhead|coverage|treatment] [-outdir DIR] [-plots]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"swwd/internal/experiments"
+	"swwd/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	which := flag.String("run", "all", "experiment to run: all|fig5|fig6|arrival|pfc|overhead|coverage|treatment|granularity|reconfig|hwwd|distributed|sharedtask")
+	outdir := flag.String("outdir", "", "directory for CSV traces (omit to skip CSV output)")
+	plots := flag.Bool("plots", true, "render ASCII plots for trace experiments")
+	flag.Parse()
+
+	runAll := *which == "all"
+	ran := false
+	type traceExp struct {
+		name   string
+		header string
+		series []string
+		fn     func() (*experiments.TraceResult, error)
+	}
+	traceExps := []traceExp{
+		{"fig5", "E1 / Fig. 5 — test with injected aliveness error",
+			[]string{"GetSensorValue.AC", "GetSensorValue.CCA", "AM Result"}, experiments.Fig5},
+		{"fig6", "E2 / Fig. 6 — collaboration of fault detection units",
+			[]string{"PFC Result", "AM Result", "TaskState"}, experiments.Fig6},
+		{"arrival", "E3 — test with injected arrival rate error",
+			[]string{"Speed_process.ARC", "AR Result"}, experiments.ArrivalRate},
+		{"pfc", "E4 — standalone control flow error test (correlation ablated)",
+			[]string{"PFC Result", "AM Result"}, experiments.PFC},
+	}
+	for _, e := range traceExps {
+		if !runAll && *which != e.name {
+			continue
+		}
+		ran = true
+		r, err := e.fn()
+		if err != nil {
+			return err
+		}
+		printTrace(e.header, e.series, r, *plots)
+		if *outdir != "" {
+			if err := writeCSV(*outdir, e.name+".csv", r.Recorder); err != nil {
+				return err
+			}
+		}
+	}
+
+	if runAll || *which == "overhead" {
+		ran = true
+		rows, err := experiments.Overhead(nil)
+		if err != nil {
+			return err
+		}
+		printOverhead(rows)
+	}
+	if runAll || *which == "coverage" {
+		ran = true
+		rows, err := experiments.Coverage()
+		if err != nil {
+			return err
+		}
+		printCoverage(rows)
+	}
+	if runAll || *which == "treatment" {
+		ran = true
+		rows, err := experiments.Treatment()
+		if err != nil {
+			return err
+		}
+		printTreatment(rows)
+	}
+	if runAll || *which == "granularity" {
+		ran = true
+		r, err := experiments.Granularity()
+		if err != nil {
+			return err
+		}
+		printGranularity(r)
+	}
+	if runAll || *which == "reconfig" {
+		ran = true
+		r, err := experiments.Reconfig()
+		if err != nil {
+			return err
+		}
+		printReconfig(r)
+	}
+	if runAll || *which == "distributed" {
+		ran = true
+		r, err := experiments.Distributed()
+		if err != nil {
+			return err
+		}
+		printDistributed(r)
+	}
+	if runAll || *which == "sharedtask" {
+		ran = true
+		r, err := experiments.SharedTask()
+		if err != nil {
+			return err
+		}
+		printSharedTask(r)
+	}
+	if runAll || *which == "hwwd" {
+		ran = true
+		r, err := experiments.HardwareWatchdog()
+		if err != nil {
+			return err
+		}
+		printHWWD(r)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}
+
+func printTrace(header string, series []string, r *experiments.TraceResult, plots bool) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("injected at:        %v\n", r.InjectedAt)
+	if r.FirstDetection > 0 {
+		fmt.Printf("first detection:    %v (latency %v)\n", r.FirstDetection, r.FirstDetection.Sub(r.InjectedAt))
+	} else {
+		fmt.Println("first detection:    none")
+	}
+	if r.TaskFaultyAt > 0 {
+		fmt.Printf("task faulty at:     %v\n", r.TaskFaultyAt)
+	}
+	fmt.Printf("final results:      AM=%d AR=%d PFC=%d\n",
+		r.Results.Aliveness, r.Results.ArrivalRate, r.Results.ProgramFlow)
+	if plots {
+		for _, name := range series {
+			if s := r.Recorder.Series(name); s != nil {
+				fmt.Println()
+				fmt.Print(trace.Plot(s, 64, 8))
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func writeCSV(dir, name string, rec *trace.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("outdir: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := rec.WriteCSV(f, experiments.Tick); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func printOverhead(rows []experiments.OverheadRow) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("T1 — look-up-table PFC vs embedded-signature CFC (CFCSS)")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("%8s %14s %14s %12s %12s %12s\n",
+		"blocks", "table ns/chk", "cfcss ns/chk", "table sites", "cfcss sites", "table bytes")
+	for _, r := range rows {
+		fmt.Printf("%8d %14.1f %14.1f %12d %12d %12d\n",
+			r.Blocks, r.TableNsPerCheck, r.CFCSSNsPerCheck, r.TablePoints, r.CFCSSPoints, r.TableBytes)
+	}
+	fmt.Println("\n(table 'sites' are the glue calls heartbeat monitoring already needs;")
+	fmt.Println(" CFCSS additionally embeds signature updates and D-assignments in the code)")
+	fmt.Println()
+}
+
+func printCoverage(rows []experiments.CoverageRow) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("T2 — fault detection coverage & latency campaign")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("%-20s %-10s %9s %8s %14s %14s\n",
+		"fault class", "intensity", "detected", "expect", "mean latency", "max latency")
+	for _, r := range rows {
+		expect := "miss-ok"
+		if r.ExpectDetect {
+			expect = "detect"
+		}
+		fmt.Printf("%-20s %-10s %6d/%-2d %8s %14v %14v\n",
+			r.FaultClass, r.Intensity, r.Detected, r.Runs, expect, r.MeanLatency, r.MaxLatency)
+	}
+	fmt.Println()
+}
+
+func printGranularity(r *experiments.GranularityResult) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("E5 — task-level vs runnable-level monitoring granularity (§2 claim)")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("fault: invalid branch silently skips SAFE_CC_process from t=2s")
+	fmt.Printf("%-44s %10s\n", "mechanism", "detections")
+	fmt.Printf("%-44s %10d\n", "deadline monitoring (OSEKtime-style, task)", r.DeadlineMisses)
+	fmt.Printf("%-44s %10d\n", "execution budget (AUTOSAR-OS-style, task)", r.BudgetOverruns)
+	fmt.Printf("%-44s %10d\n", "SW watchdog heartbeat (runnable)", r.AlivenessErrors)
+	fmt.Printf("%-44s %10d\n", "SW watchdog program flow (runnable)", r.ProgramFlowErrors)
+	fmt.Printf("control law starved while task met its deadline: %v\n\n", r.ControlStarved)
+}
+
+func printReconfig(r *experiments.ReconfigResult) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("X1 — dynamic reconfiguration: limp-home fallback (§5 outlook)")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("SafeSpeed terminated at:   %v\n", r.TerminatedAt)
+	fmt.Printf("fallback engaged at:       %v\n", r.EngagedAt)
+	fmt.Printf("speed before fault:        %.1f km/h (80 km/h command)\n", r.SpeedBeforeKph)
+	fmt.Printf("speed under limp-home:     %.1f km/h (60 km/h cap)\n", r.SpeedAfterKph)
+	fmt.Printf("limp-home control runs:    %d\n", r.FallbackExecutions)
+	fmt.Printf("degraded mode supervised:  %v\n\n", r.FallbackSupervised)
+}
+
+func printDistributed(r *experiments.DistributedResult) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("X3 — distributed monitoring: remote ECU reports over CAN (§5)")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("remote detections (local):   %d\n", r.RemoteDetections)
+	fmt.Printf("fault frames sent on CAN:    %d\n", r.ReportsSent)
+	fmt.Printf("reports received centrally:  %d\n", r.ReportsReceived)
+	fmt.Printf("first report latency:        %v\n", r.FirstReportLatency)
+	fmt.Printf("central ECU unaffected:      %v\n\n", r.CentralClean)
+}
+
+func printSharedTask(r *experiments.SharedTaskResult) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("E7 — runnables of two applications mapped onto one task (§1)")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("fault: CruiseControl's A_write silently skipped in the shared task")
+	fmt.Printf("flow errors (broken transition %s -> %s): %d\n",
+		r.FirstPredecessor, r.FirstRunnable, r.FlowErrors)
+	fmt.Printf("aliveness errors attributed to CruiseControl: %d\n", r.AlivenessOnA)
+	fmt.Printf("CruiseControl ever faulty: %v, LaneKeeper ever faulty: %v\n", r.AEverFaulty, r.BEverFaulty)
+	fmt.Printf("treatment collateral on LaneKeeper's private task: %v\n\n", r.PrivateBRestarted)
+}
+
+func printHWWD(r *experiments.HWWDResult) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("X2 — hardware vs software watchdog: the §2 division of labour")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("%-36s %14s %14s\n", "fault", "HW expiries", "SW detections")
+	fmt.Printf("%-36s %14d %14d (flow)\n", "invalid branch (runnable level)", r.BranchHWExpiries, r.BranchSWFlow)
+	fmt.Printf("%-36s %14d %14s\n", "CPU monopolisation (whole ECU)", r.HogHWExpiries, "n/a (wedged)")
+	fmt.Printf("ECU resets by hardware watchdog: %d, recovered: %v\n\n", r.HogResets, r.HogRecovered)
+}
+
+func printTreatment(rows []experiments.TreatmentRow) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println("T3 — §3.5 fault treatment decision rules")
+	fmt.Println(strings.Repeat("=", 72))
+	for _, r := range rows {
+		counts := map[string]int{}
+		var order []string
+		for _, a := range r.Actions {
+			name := a.String()
+			if counts[name] == 0 {
+				order = append(order, name)
+			}
+			counts[name]++
+		}
+		parts := make([]string, 0, len(order))
+		for _, name := range order {
+			parts = append(parts, fmt.Sprintf("%s×%d", name, counts[name]))
+		}
+		fmt.Printf("%-32s actions=%-56s recovered=%-5v resets=%d\n",
+			r.Scenario, strings.Join(parts, " "), r.Recovered, r.Resets)
+	}
+	fmt.Println()
+}

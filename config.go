@@ -1,0 +1,268 @@
+package swwd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Spec is the JSON-loadable configuration of a monitored system: the
+// application/task/runnable mapping plus the watchdog settings. It lets
+// deployments describe the fault hypotheses and flow tables declaratively
+// (the equivalent of the paper's design-time configuration of the
+// service).
+type Spec struct {
+	Apps     []AppSpec    `json:"apps"`
+	Watchdog WatchdogSpec `json:"watchdog"`
+}
+
+// AppSpec describes one application software component.
+type AppSpec struct {
+	Name string `json:"name"`
+	// Criticality is "QM", "safety-relevant" or "safety-critical".
+	Criticality string     `json:"criticality"`
+	Tasks       []TaskSpec `json:"tasks"`
+}
+
+// TaskSpec describes one task.
+type TaskSpec struct {
+	Name      string         `json:"name"`
+	Priority  int            `json:"priority"`
+	Runnables []RunnableSpec `json:"runnables"`
+	// Flow, when true, installs the straight-line runnable order (with
+	// wrap-around) into the program-flow look-up table.
+	Flow bool `json:"flow,omitempty"`
+}
+
+// RunnableSpec describes one runnable and its fault hypothesis.
+type RunnableSpec struct {
+	Name string `json:"name"`
+	// ExecTime is a Go duration string ("200us").
+	ExecTime string `json:"exec_time"`
+	// Criticality defaults to the application's.
+	Criticality string `json:"criticality,omitempty"`
+	// Hypothesis enables heartbeat monitoring when present.
+	Hypothesis *HypothesisSpec `json:"hypothesis,omitempty"`
+}
+
+// HypothesisSpec is the JSON form of a fault hypothesis.
+type HypothesisSpec struct {
+	AlivenessCycles int `json:"aliveness_cycles"`
+	MinHeartbeats   int `json:"min_heartbeats"`
+	ArrivalCycles   int `json:"arrival_cycles"`
+	MaxArrivals     int `json:"max_arrivals"`
+}
+
+// WatchdogSpec is the JSON form of the watchdog settings.
+type WatchdogSpec struct {
+	// CyclePeriod is a Go duration string; empty means 10ms.
+	CyclePeriod string `json:"cycle_period,omitempty"`
+	// Thresholds default to 3/3/3 when zero.
+	AlivenessThreshold   int  `json:"aliveness_threshold,omitempty"`
+	ArrivalRateThreshold int  `json:"arrival_rate_threshold,omitempty"`
+	ProgramFlowThreshold int  `json:"program_flow_threshold,omitempty"`
+	EagerArrivalCheck    bool `json:"eager_arrival_check,omitempty"`
+	DisableCorrelation   bool `json:"disable_correlation,omitempty"`
+	ECUFaultyAppCount    int  `json:"ecu_faulty_app_count,omitempty"`
+}
+
+// LoadSpec parses a Spec from JSON.
+func LoadSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("swwd: parse spec: %w", err)
+	}
+	if len(s.Apps) == 0 {
+		return nil, errors.New("swwd: spec has no applications")
+	}
+	return &s, nil
+}
+
+func parseCriticality(s, fallback string) (Criticality, error) {
+	if s == "" {
+		s = fallback
+	}
+	switch s {
+	case "QM", "qm", "":
+		return QM, nil
+	case "safety-relevant":
+		return SafetyRelevant, nil
+	case "safety-critical":
+		return SafetyCritical, nil
+	default:
+		return 0, fmt.Errorf("swwd: unknown criticality %q", s)
+	}
+}
+
+// System is the result of building a Spec: the frozen model, the
+// configured watchdog, and name-based lookups for heartbeat call sites.
+type System struct {
+	Model    *Model
+	Watchdog *Watchdog
+
+	runnables map[string]RunnableID
+	tasks     map[string]TaskID
+	apps      map[string]AppID
+}
+
+// Runnable resolves a runnable name from the spec.
+func (s *System) Runnable(name string) (RunnableID, bool) {
+	id, ok := s.runnables[name]
+	return id, ok
+}
+
+// Task resolves a task name from the spec.
+func (s *System) Task(name string) (TaskID, bool) {
+	id, ok := s.tasks[name]
+	return id, ok
+}
+
+// App resolves an application name from the spec.
+func (s *System) App(name string) (AppID, bool) {
+	id, ok := s.apps[name]
+	return id, ok
+}
+
+// Heartbeat reports a heartbeat by runnable name; unknown names are
+// ignored (matching Watchdog.Heartbeat's tolerance of unknown IDs).
+func (s *System) Heartbeat(name string) {
+	if id, ok := s.runnables[name]; ok {
+		s.Watchdog.Heartbeat(id)
+	}
+}
+
+// Build constructs the model and watchdog described by the spec. The
+// clock may be nil for a wall clock; sink may be nil to discard output.
+func (s *Spec) Build(clock Clock, sink Sink) (*System, error) {
+	sys := &System{
+		runnables: make(map[string]RunnableID),
+		tasks:     make(map[string]TaskID),
+		apps:      make(map[string]AppID),
+	}
+	model := NewModel()
+	type pendingHyp struct {
+		rid RunnableID
+		hyp Hypothesis
+	}
+	var hyps []pendingHyp
+	var flows [][]RunnableID
+	for _, as := range s.Apps {
+		appCrit, err := parseCriticality(as.Criticality, "")
+		if err != nil {
+			return nil, fmt.Errorf("swwd: app %q: %w", as.Name, err)
+		}
+		app, err := model.AddApp(as.Name, appCrit)
+		if err != nil {
+			return nil, fmt.Errorf("swwd: app %q: %w", as.Name, err)
+		}
+		if _, dup := sys.apps[as.Name]; dup {
+			return nil, fmt.Errorf("swwd: duplicate app %q", as.Name)
+		}
+		sys.apps[as.Name] = app
+		for _, ts := range as.Tasks {
+			task, err := model.AddTask(app, ts.Name, ts.Priority)
+			if err != nil {
+				return nil, fmt.Errorf("swwd: task %q: %w", ts.Name, err)
+			}
+			if _, dup := sys.tasks[ts.Name]; dup {
+				return nil, fmt.Errorf("swwd: duplicate task %q", ts.Name)
+			}
+			sys.tasks[ts.Name] = task
+			var seq []RunnableID
+			for _, rs := range ts.Runnables {
+				exec, err := time.ParseDuration(rs.ExecTime)
+				if err != nil {
+					return nil, fmt.Errorf("swwd: runnable %q exec_time: %w", rs.Name, err)
+				}
+				crit, err := parseCriticality(rs.Criticality, as.Criticality)
+				if err != nil {
+					return nil, fmt.Errorf("swwd: runnable %q: %w", rs.Name, err)
+				}
+				rid, err := model.AddRunnable(task, rs.Name, exec, crit)
+				if err != nil {
+					return nil, fmt.Errorf("swwd: runnable %q: %w", rs.Name, err)
+				}
+				sys.runnables[rs.Name] = rid
+				seq = append(seq, rid)
+				if rs.Hypothesis != nil {
+					hyps = append(hyps, pendingHyp{rid, Hypothesis{
+						AlivenessCycles: rs.Hypothesis.AlivenessCycles,
+						MinHeartbeats:   rs.Hypothesis.MinHeartbeats,
+						ArrivalCycles:   rs.Hypothesis.ArrivalCycles,
+						MaxArrivals:     rs.Hypothesis.MaxArrivals,
+					}})
+				}
+			}
+			if ts.Flow {
+				if len(seq) < 2 {
+					return nil, fmt.Errorf("swwd: task %q: flow needs at least two runnables", ts.Name)
+				}
+				flows = append(flows, seq)
+			}
+		}
+	}
+	if err := model.Freeze(); err != nil {
+		return nil, fmt.Errorf("swwd: %w", err)
+	}
+
+	cyclePeriod := time.Duration(0)
+	if s.Watchdog.CyclePeriod != "" {
+		var err error
+		cyclePeriod, err = time.ParseDuration(s.Watchdog.CyclePeriod)
+		if err != nil {
+			return nil, fmt.Errorf("swwd: cycle_period: %w", err)
+		}
+	}
+	thresholds := Thresholds{
+		Aliveness:   s.Watchdog.AlivenessThreshold,
+		ArrivalRate: s.Watchdog.ArrivalRateThreshold,
+		ProgramFlow: s.Watchdog.ProgramFlowThreshold,
+	}
+	if thresholds == (Thresholds{}) {
+		thresholds = DefaultThresholds()
+	} else {
+		// Fill unset members with the default 3 so partial specs work.
+		if thresholds.Aliveness == 0 {
+			thresholds.Aliveness = 3
+		}
+		if thresholds.ArrivalRate == 0 {
+			thresholds.ArrivalRate = 3
+		}
+		if thresholds.ProgramFlow == 0 {
+			thresholds.ProgramFlow = 3
+		}
+	}
+	w, err := New(Config{
+		Model:              model,
+		Clock:              clock,
+		Sink:               sink,
+		CyclePeriod:        cyclePeriod,
+		Thresholds:         thresholds,
+		EagerArrivalCheck:  s.Watchdog.EagerArrivalCheck,
+		DisableCorrelation: s.Watchdog.DisableCorrelation,
+		ECUFaultyAppCount:  s.Watchdog.ECUFaultyAppCount,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ph := range hyps {
+		if err := w.SetHypothesis(ph.rid, ph.hyp); err != nil {
+			return nil, err
+		}
+		if err := w.Activate(ph.rid); err != nil {
+			return nil, err
+		}
+	}
+	for _, seq := range flows {
+		if err := w.AddFlowSequence(seq...); err != nil {
+			return nil, err
+		}
+	}
+	sys.Model = model
+	sys.Watchdog = w
+	return sys, nil
+}

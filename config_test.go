@@ -1,0 +1,172 @@
+package swwd
+
+import (
+	"strings"
+	"testing"
+)
+
+const validSpec = `{
+  "apps": [
+    {
+      "name": "SafeSpeed",
+      "criticality": "safety-critical",
+      "tasks": [
+        {
+          "name": "SafeSpeedTask",
+          "priority": 10,
+          "flow": true,
+          "runnables": [
+            {"name": "GetSensorValue", "exec_time": "150us",
+             "hypothesis": {"aliveness_cycles": 5, "min_heartbeats": 3,
+                            "arrival_cycles": 5, "max_arrivals": 7}},
+            {"name": "SAFE_CC_process", "exec_time": "400us",
+             "hypothesis": {"aliveness_cycles": 5, "min_heartbeats": 3,
+                            "arrival_cycles": 5, "max_arrivals": 7}},
+            {"name": "Speed_process", "exec_time": "150us",
+             "hypothesis": {"aliveness_cycles": 5, "min_heartbeats": 3,
+                            "arrival_cycles": 5, "max_arrivals": 7}}
+          ]
+        }
+      ]
+    },
+    {
+      "name": "Diag",
+      "criticality": "QM",
+      "tasks": [
+        {
+          "name": "DiagTask",
+          "priority": 1,
+          "runnables": [
+            {"name": "DiagPoll", "exec_time": "1ms"}
+          ]
+        }
+      ]
+    }
+  ],
+  "watchdog": {
+    "cycle_period": "10ms",
+    "program_flow_threshold": 3
+  }
+}`
+
+func TestLoadSpecAndBuild(t *testing.T) {
+	spec, err := LoadSpec(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	sys, err := spec.Build(nil, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sys.Model.NumApps() != 2 || sys.Model.NumTasks() != 2 || sys.Model.NumRunnables() != 4 {
+		t.Fatalf("model counts %d/%d/%d", sys.Model.NumApps(), sys.Model.NumTasks(), sys.Model.NumRunnables())
+	}
+	if _, ok := sys.App("SafeSpeed"); !ok {
+		t.Fatal("App lookup failed")
+	}
+	if _, ok := sys.Task("SafeSpeedTask"); !ok {
+		t.Fatal("Task lookup failed")
+	}
+	rid, ok := sys.Runnable("SAFE_CC_process")
+	if !ok {
+		t.Fatal("Runnable lookup failed")
+	}
+	hyp, err := sys.Watchdog.Hypothesis(rid)
+	if err != nil || hyp.MinHeartbeats != 3 {
+		t.Fatalf("hypothesis = %+v, %v", hyp, err)
+	}
+	c, err := sys.Watchdog.CounterSnapshot(rid)
+	if err != nil || !c.Active {
+		t.Fatalf("runnable with hypothesis not activated: %+v %v", c, err)
+	}
+	// Flow table installed: A→C is illegal.
+	sys.Heartbeat("GetSensorValue")
+	sys.Heartbeat("Speed_process")
+	if got := sys.Watchdog.Results().ProgramFlow; got != 1 {
+		t.Fatalf("ProgramFlow = %d, want 1", got)
+	}
+	// Unknown heartbeat names are tolerated.
+	sys.Heartbeat("NoSuchRunnable")
+	// Partial thresholds filled with the default 3.
+	if sys.Watchdog.CyclePeriod().String() != "10ms" {
+		t.Fatalf("cycle period = %v", sys.Watchdog.CyclePeriod())
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty apps":    `{"apps": []}`,
+		"unknown field": `{"apps": [{"name":"a"}], "bogus": 1}`,
+		"not json":      `{`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadSpec(strings.NewReader(body)); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	build := func(t *testing.T, body string) error {
+		t.Helper()
+		spec, err := LoadSpec(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("LoadSpec: %v", err)
+		}
+		_, err = spec.Build(nil, nil)
+		return err
+	}
+	cases := map[string]string{
+		"bad criticality": `{"apps":[{"name":"a","criticality":"extreme","tasks":[
+			{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"1ms"}]}]}]}`,
+		"bad exec time": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"fast"}]}]}]}`,
+		"duplicate runnable": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"runnables":[
+				{"name":"r","exec_time":"1ms"},{"name":"r","exec_time":"1ms"}]}]}]}`,
+		"duplicate task": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"runnables":[{"name":"r1","exec_time":"1ms"}]},
+			{"name":"t","priority":1,"runnables":[{"name":"r2","exec_time":"1ms"}]}]}]}`,
+		"duplicate app": `{"apps":[
+			{"name":"a","tasks":[{"name":"t1","priority":1,"runnables":[{"name":"r1","exec_time":"1ms"}]}]},
+			{"name":"a","tasks":[{"name":"t2","priority":1,"runnables":[{"name":"r2","exec_time":"1ms"}]}]}]}`,
+		"flow with one runnable": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"flow":true,"runnables":[{"name":"r","exec_time":"1ms"}]}]}]}`,
+		"empty task": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"runnables":[]}]}]}`,
+		"bad cycle period": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"1ms"}]}]}],
+			"watchdog":{"cycle_period":"soon"}}`,
+		"bad hypothesis": `{"apps":[{"name":"a","tasks":[
+			{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"1ms",
+			 "hypothesis":{"aliveness_cycles":5}}]}]}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := build(t, body); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestBuildMinimalDefaults(t *testing.T) {
+	body := `{"apps":[{"name":"a","tasks":[
+		{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"1ms"}]}]}]}`
+	spec, err := LoadSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	sys, err := spec.Build(nil, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sys.Watchdog.CyclePeriod() != CyclePeriodDefault {
+		t.Fatalf("cycle period = %v", sys.Watchdog.CyclePeriod())
+	}
+	if _, ok := sys.Runnable("r"); !ok {
+		t.Fatal("runnable lookup failed")
+	}
+}

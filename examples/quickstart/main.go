@@ -1,0 +1,153 @@
+// Quickstart: deploy the Software Watchdog as a live dependability
+// service for an ordinary Go program.
+//
+// A small pipeline of goroutines plays the role of the paper's runnables:
+// a producer, a worker and a publisher, each reporting heartbeats. The
+// watchdog checks their aliveness and arrival rate against per-runnable
+// fault hypotheses and validates the producer→worker→publisher flow. Mid
+// run the worker stalls, and the watchdog reports the aliveness error and
+// flips the task state.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"swwd"
+)
+
+// sink prints watchdog output as it arrives.
+type sink struct{}
+
+func (sink) Fault(r swwd.Report) {
+	fmt.Printf("  [watchdog] %s error on runnable %d (observed %d, expected %d)\n",
+		r.Kind, r.Runnable, r.Observed, r.Expected)
+}
+
+func (sink) StateChanged(e swwd.StateEvent) {
+	fmt.Printf("  [watchdog] %s state -> %s (cause: %s)\n", e.Scope, e.State, e.Cause)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("quickstart: %v", err)
+	}
+}
+
+func run() error {
+	// 1. Describe the application structure: one app, one task, three
+	// runnables in a fixed flow.
+	model := swwd.NewModel()
+	app, err := model.AddApp("pipeline", swwd.SafetyCritical)
+	if err != nil {
+		return err
+	}
+	task, err := model.AddTask(app, "pipelineTask", 1)
+	if err != nil {
+		return err
+	}
+	var stages [3]swwd.RunnableID
+	for i, name := range []string{"producer", "worker", "publisher"} {
+		if stages[i], err = model.AddRunnable(task, name, time.Millisecond, swwd.SafetyCritical); err != nil {
+			return err
+		}
+	}
+	if err := model.Freeze(); err != nil {
+		return err
+	}
+
+	// 2. Build the watchdog: 5ms monitoring cycle, each stage must beat
+	// at least twice per 10-cycle (50ms) window and at most 30 times.
+	w, err := swwd.New(swwd.Config{
+		Model:       model,
+		Sink:        sink{},
+		CyclePeriod: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	for _, rid := range stages {
+		if err := w.SetHypothesis(rid, swwd.Hypothesis{
+			AlivenessCycles: 10, MinHeartbeats: 2,
+			ArrivalCycles: 10, MaxArrivals: 30,
+		}); err != nil {
+			return err
+		}
+		if err := w.Activate(rid); err != nil {
+			return err
+		}
+	}
+	if err := w.AddFlowSequence(stages[0], stages[1], stages[2]); err != nil {
+		return err
+	}
+
+	// 3. Start the monitoring service.
+	svc, err := swwd.NewService(w, 0)
+	if err != nil {
+		return err
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	defer svc.Stop()
+
+	// 4. The pipeline: each stage beats on every iteration. The stall
+	// flag freezes the worker (and everything downstream of it).
+	stall := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		stalled := false
+		for range ticker.C {
+			if !stalled {
+				select {
+				case <-stall:
+					fmt.Println("-- worker stalls (simulated deadlock) --")
+					stalled = true
+				default:
+				}
+			}
+			if stalled {
+				// The stage is wedged: no heartbeats. Exit once the
+				// watchdog has seen enough to act on.
+				if w.Results().Aliveness >= 3 {
+					return
+				}
+				continue
+			}
+			w.Heartbeat(stages[0]) // producer
+			w.Heartbeat(stages[1]) // worker
+			w.Heartbeat(stages[2]) // publisher
+		}
+	}()
+
+	fmt.Println("pipeline healthy; watchdog monitoring...")
+	time.Sleep(300 * time.Millisecond)
+	fmt.Printf("after healthy phase: %+v\n", w.Results())
+
+	close(stall)
+	<-done
+
+	res := w.Results()
+	fmt.Printf("after stall: %+v\n", res)
+	st, err := w.TaskState(task)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task state: %s\n", st)
+	if res.Aliveness == 0 {
+		fmt.Println("ERROR: stall was not detected")
+		os.Exit(1)
+	}
+	fmt.Println("stall detected — quickstart complete")
+	return nil
+}

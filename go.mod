@@ -1,0 +1,3 @@
+module swwd
+
+go 1.22

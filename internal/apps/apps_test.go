@@ -1,0 +1,474 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+	"swwd/internal/vehicle"
+)
+
+// harness wires one app (or several) onto an OS with a stepped plant.
+type harness struct {
+	t     *testing.T
+	k     *sim.Kernel
+	m     *runnable.Model
+	os    *osek.OS
+	long  *vehicle.Longitudinal
+	lat   *vehicle.Lateral
+	now   func() time.Duration
+	beats map[runnable.ID]int
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	k := sim.NewKernel()
+	long, err := vehicle.NewLongitudinal(vehicle.DefaultLongitudinalParams())
+	if err != nil {
+		t.Fatalf("NewLongitudinal: %v", err)
+	}
+	lat, err := vehicle.NewLateral(vehicle.DefaultLateralParams())
+	if err != nil {
+		t.Fatalf("NewLateral: %v", err)
+	}
+	return &harness{
+		t:     t,
+		k:     k,
+		m:     runnable.NewModel(),
+		long:  long,
+		lat:   lat,
+		now:   func() time.Duration { return k.Now().Duration() },
+		beats: make(map[runnable.ID]int),
+	}
+}
+
+func (h *harness) buildOS() {
+	h.t.Helper()
+	if err := h.m.Freeze(); err != nil {
+		h.t.Fatalf("Freeze: %v", err)
+	}
+	o, err := osek.New(osek.Config{Model: h.m, Kernel: h.k})
+	if err != nil {
+		h.t.Fatalf("osek.New: %v", err)
+	}
+	o.AddObserver(osek.ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
+		h.beats[rid]++
+	}})
+	h.os = o
+}
+
+func (h *harness) start() {
+	h.t.Helper()
+	if err := h.os.Start(); err != nil {
+		h.t.Fatalf("Start: %v", err)
+	}
+}
+
+func (h *harness) run(d time.Duration) {
+	h.t.Helper()
+	if err := h.k.Run(h.k.Now().Add(d)); err != nil {
+		h.t.Fatalf("Run: %v", err)
+	}
+}
+
+func defaultDriver(t *testing.T, targetKph float64) *vehicle.Driver {
+	t.Helper()
+	desired, err := vehicle.NewProfile(vehicle.KphToMs(targetKph))
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	d, err := vehicle.NewDriver(desired, nil, 0.5)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	return d
+}
+
+// stepPlant runs the driving-dynamics node: integrate the longitudinal
+// plant from the SafeSpeed actuator demand every 10ms.
+func (h *harness) stepPlant(ss *SafeSpeed) {
+	h.k.Every(0, 10*time.Millisecond, func() bool {
+		throttle, brake := ss.Controls()
+		h.long.Step(10*time.Millisecond, throttle, brake)
+		return true
+	})
+}
+
+func TestSafeSpeedValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := NewSafeSpeed(nil, SafeSpeedConfig{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewSafeSpeed(h.m, SafeSpeedConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestSafeSpeedLimitsSpeed(t *testing.T) {
+	h := newHarness(t)
+	maxSpeed := vehicle.KphToMs(80)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 150), // driver wants 150 km/h
+		MaxSpeed: func() float64 { return maxSpeed },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	h.buildOS()
+	if _, err := ss.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.stepPlant(ss)
+	h.run(120 * time.Second)
+	got := vehicle.MsToKph(h.long.Speed())
+	if got > 85 {
+		t.Fatalf("speed = %.1f km/h, SafeSpeed failed to limit to 80", got)
+	}
+	if got < 70 {
+		t.Fatalf("speed = %.1f km/h, car should cruise near the 80 limit", got)
+	}
+	if ss.ControlExecutions() == 0 {
+		t.Fatal("control law never ran")
+	}
+	if ss.SensorSpeed() == 0 {
+		t.Fatal("sensor never read")
+	}
+}
+
+func TestSafeSpeedWithoutLimitFollowsDriver(t *testing.T) {
+	h := newHarness(t)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 100),
+		MaxSpeed: func() float64 { return vehicle.KphToMs(250) },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	h.buildOS()
+	if _, err := ss.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.stepPlant(ss)
+	h.run(120 * time.Second)
+	got := vehicle.MsToKph(h.long.Speed())
+	if got < 90 || got > 110 {
+		t.Fatalf("speed = %.1f km/h, want ~100 (driver target)", got)
+	}
+	if ss.Limiting() {
+		t.Fatal("limiting below commanded max")
+	}
+}
+
+func TestSafeSpeedHeartbeatsNominal(t *testing.T) {
+	h := newHarness(t)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 100),
+		MaxSpeed: func() float64 { return vehicle.KphToMs(80) },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	h.buildOS()
+	if _, err := ss.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.run(1000 * time.Millisecond)
+	// 10ms period → ~100 executions each, in sequence.
+	for _, rid := range ss.FlowSequence() {
+		if h.beats[rid] < 95 || h.beats[rid] > 101 {
+			t.Fatalf("runnable %d beat %d times, want ~100", rid, h.beats[rid])
+		}
+	}
+}
+
+func TestSafeSpeedSkipBranchSuppressesProcess(t *testing.T) {
+	h := newHarness(t)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 100),
+		MaxSpeed: func() float64 { return vehicle.KphToMs(80) },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	h.buildOS()
+	if _, err := ss.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.run(500 * time.Millisecond)
+	base := h.beats[ss.SAFECCProcess]
+	ss.FaultBranch = BranchSkipProcess
+	h.run(500 * time.Millisecond)
+	if h.beats[ss.SAFECCProcess] != base {
+		t.Fatalf("SAFE_CC_process still executing under skip branch: %d → %d",
+			base, h.beats[ss.SAFECCProcess])
+	}
+	// The other two keep beating.
+	if h.beats[ss.GetSensorValue] < 95 {
+		t.Fatalf("GetSensorValue beats = %d", h.beats[ss.GetSensorValue])
+	}
+	ss.FaultBranch = BranchDoubleProcess
+	h.run(500 * time.Millisecond)
+	extra := h.beats[ss.SAFECCProcess] - base
+	if extra < 90 || extra > 110 {
+		t.Fatalf("double branch executed %d times in 0.5s, want ~100 (2 per period)", extra)
+	}
+}
+
+func TestSafeSpeedSensorScaleFault(t *testing.T) {
+	h := newHarness(t)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 100),
+		MaxSpeed: func() float64 { return vehicle.KphToMs(80) },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	h.buildOS()
+	if _, err := ss.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.stepPlant(ss)
+	ss.SensorScale = 0.5 // sensor under-reads: car overshoots the limit
+	h.run(120 * time.Second)
+	got := vehicle.MsToKph(h.long.Speed())
+	if got < 90 {
+		t.Fatalf("speed = %.1f km/h; under-reading sensor should cause overshoot beyond 80", got)
+	}
+	// Hypothesis helper sanity.
+	hyp := ss.Hypothesis(10 * time.Millisecond)
+	if len(hyp) != 3 {
+		t.Fatalf("Hypothesis entries = %d", len(hyp))
+	}
+	for rid, hh := range hyp {
+		if err := hh.Validate(); err != nil {
+			t.Fatalf("hypothesis for %d invalid: %v", rid, err)
+		}
+	}
+}
+
+func TestSafeLaneWarnsOnDeparture(t *testing.T) {
+	h := newHarness(t)
+	sl, err := NewSafeLane(h.m, SafeLaneConfig{Plant: h.lat})
+	if err != nil {
+		t.Fatalf("NewSafeLane: %v", err)
+	}
+	h.buildOS()
+	if _, err := sl.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	// Drift the car laterally: constant steering at 100 km/h.
+	v := vehicle.KphToMs(100)
+	h.k.Every(0, 10*time.Millisecond, func() bool {
+		h.lat.Step(10*time.Millisecond, v, 0.002, 0)
+		return true
+	})
+	h.run(30 * time.Second)
+	if !sl.Warning() {
+		t.Fatalf("no warning despite drift to offset %.2f m", h.lat.Offset())
+	}
+	if sl.Warnings() == 0 {
+		t.Fatal("warning actuations not counted")
+	}
+	if len(sl.FlowSequence()) != 3 || len(sl.Hypothesis(10*time.Millisecond)) != 3 {
+		t.Fatal("flow/hypothesis helpers wrong")
+	}
+}
+
+func TestSafeLaneCenteredNoWarning(t *testing.T) {
+	h := newHarness(t)
+	sl, err := NewSafeLane(h.m, SafeLaneConfig{Plant: h.lat})
+	if err != nil {
+		t.Fatalf("NewSafeLane: %v", err)
+	}
+	h.buildOS()
+	if _, err := sl.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.run(5 * time.Second)
+	if sl.Warning() || sl.Warnings() != 0 {
+		t.Fatal("warning while centred in lane")
+	}
+}
+
+func TestSafeLaneValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := NewSafeLane(nil, SafeLaneConfig{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewSafeLane(h.m, SafeLaneConfig{}); err == nil {
+		t.Error("missing plant accepted")
+	}
+}
+
+func TestSteerByWireVotesOutFaultyChannel(t *testing.T) {
+	h := newHarness(t)
+	steer, err := vehicle.NewProfile(0.01) // constant 10 mrad demand
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	drv, err := vehicle.NewDriver(nil, steer, 1)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	sbw, err := NewSteerByWire(h.m, SteerByWireConfig{Driver: drv, Now: h.now})
+	if err != nil {
+		t.Fatalf("NewSteerByWire: %v", err)
+	}
+	h.buildOS()
+	if _, err := sbw.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.run(100 * time.Millisecond)
+	if sbw.SteerCommand() != 0.01 {
+		t.Fatalf("healthy vote = %v, want 0.01", sbw.SteerCommand())
+	}
+	if sbw.Mismatches() != 0 {
+		t.Fatalf("mismatches = %d with healthy channels", sbw.Mismatches())
+	}
+	// Corrupt channel 1: the median must still be the healthy value.
+	sbw.SensorFault = &SensorFault{Channel: 1, Offset: 0.5}
+	h.run(100 * time.Millisecond)
+	if sbw.SteerCommand() != 0.01 {
+		t.Fatalf("vote with one faulty channel = %v, want 0.01", sbw.SteerCommand())
+	}
+	if sbw.Mismatches() == 0 {
+		t.Fatal("channel disagreement not counted")
+	}
+}
+
+func TestSteerByWireValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := NewSteerByWire(nil, SteerByWireConfig{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewSteerByWire(h.m, SteerByWireConfig{}); err == nil {
+		t.Error("missing driver accepted")
+	}
+}
+
+func TestAllThreeAppsCoexist(t *testing.T) {
+	h := newHarness(t)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 120),
+		MaxSpeed: func() float64 { return vehicle.KphToMs(100) },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	sl, err := NewSafeLane(h.m, SafeLaneConfig{Plant: h.lat})
+	if err != nil {
+		t.Fatalf("NewSafeLane: %v", err)
+	}
+	steerProfile, _ := vehicle.NewProfile(0)
+	drv, _ := vehicle.NewDriver(nil, steerProfile, 1)
+	sbw, err := NewSteerByWire(h.m, SteerByWireConfig{Driver: drv, Now: h.now})
+	if err != nil {
+		t.Fatalf("NewSteerByWire: %v", err)
+	}
+	h.buildOS()
+	for _, reg := range []func(*osek.OS) (osek.AlarmID, error){ss.Register, sl.Register, sbw.Register} {
+		if _, err := reg(h.os); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	h.start()
+	h.run(time.Second)
+	// All nine runnables executed; the 5ms steer task ran the most.
+	for _, rid := range append(append(ss.FlowSequence(), sl.FlowSequence()...), sbw.FlowSequence()...) {
+		if h.beats[rid] == 0 {
+			t.Fatalf("runnable %d never executed", rid)
+		}
+	}
+	if h.beats[sbw.ReadSensors] <= h.beats[ss.GetSensorValue] {
+		t.Fatalf("5ms steer task (%d) should out-execute 10ms speed task (%d)",
+			h.beats[sbw.ReadSensors], h.beats[ss.GetSensorValue])
+	}
+	if h.beats[ss.GetSensorValue] <= h.beats[sl.GetLanePosition] {
+		t.Fatalf("10ms speed task (%d) should out-execute 20ms lane task (%d)",
+			h.beats[ss.GetSensorValue], h.beats[sl.GetLanePosition])
+	}
+}
+
+func TestSafeLaneLoopCounterManipulation(t *testing.T) {
+	h := newHarness(t)
+	sl, err := NewSafeLane(h.m, SafeLaneConfig{Plant: h.lat})
+	if err != nil {
+		t.Fatalf("NewSafeLane: %v", err)
+	}
+	h.buildOS()
+	if _, err := sl.Register(h.os); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	h.start()
+	h.run(500 * time.Millisecond) // 25 activations at 20ms, 1 detect each
+	base := h.beats[sl.LaneDetect]
+	if base < 23 || base > 26 {
+		t.Fatalf("nominal LaneDetect beats = %d, want ~25", base)
+	}
+	// Loop counter forced to 0: LaneDetect never runs (aliveness + flow
+	// symptoms for the watchdog).
+	sl.FilterIterations = 0
+	h.run(500 * time.Millisecond)
+	if h.beats[sl.LaneDetect] != base {
+		t.Fatalf("LaneDetect still executing with loop counter 0: %d → %d", base, h.beats[sl.LaneDetect])
+	}
+	// Loop counter forced to 5: five executions per activation (arrival
+	// rate symptoms).
+	sl.FilterIterations = 5
+	h.run(500 * time.Millisecond)
+	extra := h.beats[sl.LaneDetect] - base
+	if extra < 115 || extra > 130 {
+		t.Fatalf("LaneDetect executed %d extra times, want ~125 (5 per activation)", extra)
+	}
+}
+
+func TestAppAccessors(t *testing.T) {
+	h := newHarness(t)
+	ss, err := NewSafeSpeed(h.m, SafeSpeedConfig{
+		Plant:    h.long,
+		Driver:   defaultDriver(t, 100),
+		MaxSpeed: func() float64 { return vehicle.KphToMs(80) },
+		Now:      h.now,
+	})
+	if err != nil {
+		t.Fatalf("NewSafeSpeed: %v", err)
+	}
+	sl, err := NewSafeLane(h.m, SafeLaneConfig{Plant: h.lat})
+	if err != nil {
+		t.Fatalf("NewSafeLane: %v", err)
+	}
+	steer, _ := vehicle.NewProfile(0)
+	drv, _ := vehicle.NewDriver(nil, steer, 1)
+	sbw, err := NewSteerByWire(h.m, SteerByWireConfig{Driver: drv, Now: h.now})
+	if err != nil {
+		t.Fatalf("NewSteerByWire: %v", err)
+	}
+	if ss.Period() != 10*time.Millisecond || sl.Period() != 20*time.Millisecond || sbw.Period() != 5*time.Millisecond {
+		t.Fatalf("periods = %v/%v/%v", ss.Period(), sl.Period(), sbw.Period())
+	}
+	if len(sbw.Hypothesis(10*time.Millisecond)) != 3 {
+		t.Fatal("SteerByWire hypothesis entries")
+	}
+}

@@ -1,0 +1,172 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/vehicle"
+)
+
+// SafeLaneConfig parametrises the lane-departure-warning application.
+type SafeLaneConfig struct {
+	// Plant is the lateral vehicle model observed by the camera sensor.
+	Plant *vehicle.Lateral
+	// WarnMargin is how close (m) to the lane marking the warning fires;
+	// zero means 0.3 m.
+	WarnMargin float64
+	// Period is the task dispatch period; zero means 20ms (camera rate).
+	Period time.Duration
+	// Priority is the OSEK task priority; zero means 8.
+	Priority int
+}
+
+// SafeLane is the lane departure warning application: read the lane
+// position, detect impending departure, drive the warning actuator.
+type SafeLane struct {
+	cfg SafeLaneConfig
+
+	App             runnable.AppID
+	Task            runnable.TaskID
+	GetLanePosition runnable.ID
+	LaneDetect      runnable.ID
+	WarnActuate     runnable.ID
+
+	// FaultBranch is the injection seam (Branch* constants).
+	FaultBranch int
+	// FilterIterations is how many times the LaneDetect filter pass runs
+	// per activation (nominally 1). It is the paper's loop-counter
+	// injection seam (§4.5 "manipulation of loop counters"): 0 starves
+	// the runnable's heartbeats, large values dispatch it excessively.
+	FilterIterations int
+
+	offset   float64
+	warning  bool
+	warnings uint64
+}
+
+// NewSafeLane validates the configuration and registers the application.
+func NewSafeLane(m *runnable.Model, cfg SafeLaneConfig) (*SafeLane, error) {
+	if m == nil {
+		return nil, errors.New("apps: model is required")
+	}
+	if cfg.Plant == nil {
+		return nil, errors.New("apps: SafeLane requires Plant")
+	}
+	if cfg.WarnMargin <= 0 {
+		cfg.WarnMargin = 0.3
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 20 * time.Millisecond
+	}
+	if cfg.Priority == 0 {
+		cfg.Priority = 8
+	}
+	s := &SafeLane{cfg: cfg, FilterIterations: 1}
+	var err error
+	if s.App, err = m.AddApp("SafeLane", runnable.SafetyRelevant); err != nil {
+		return nil, fmt.Errorf("apps: SafeLane: %w", err)
+	}
+	if s.Task, err = m.AddTask(s.App, "SafeLaneTask", cfg.Priority); err != nil {
+		return nil, fmt.Errorf("apps: SafeLane: %w", err)
+	}
+	type reg struct {
+		name string
+		exec time.Duration
+		dst  *runnable.ID
+	}
+	for _, r := range []reg{
+		{"GetLanePosition", 300 * time.Microsecond, &s.GetLanePosition},
+		{"LaneDetect", 500 * time.Microsecond, &s.LaneDetect},
+		{"WarnActuate", 100 * time.Microsecond, &s.WarnActuate},
+	} {
+		if *r.dst, err = m.AddRunnable(s.Task, r.name, r.exec, runnable.SafetyRelevant); err != nil {
+			return nil, fmt.Errorf("apps: SafeLane: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Period reports the task dispatch period.
+func (s *SafeLane) Period() time.Duration { return s.cfg.Period }
+
+// FlowSequence reports the legal runnable order.
+func (s *SafeLane) FlowSequence() []runnable.ID {
+	return []runnable.ID{s.GetLanePosition, s.LaneDetect, s.WarnActuate}
+}
+
+// Hypothesis mirrors SafeSpeed's construction at this task's period.
+func (s *SafeLane) Hypothesis(cyclePeriod time.Duration) map[runnable.ID]core.Hypothesis {
+	cyclesPerTask := int(s.cfg.Period / cyclePeriod)
+	if cyclesPerTask < 1 {
+		cyclesPerTask = 1
+	}
+	window := 5 * cyclesPerTask
+	h := core.Hypothesis{
+		AlivenessCycles: window,
+		MinHeartbeats:   3,
+		ArrivalCycles:   window,
+		MaxArrivals:     7,
+	}
+	out := make(map[runnable.ID]core.Hypothesis, 3)
+	for _, rid := range s.FlowSequence() {
+		out[rid] = h
+	}
+	return out
+}
+
+// Program builds the OSEK task body. The LaneDetect filter pass is a
+// Loop whose count is read at run time — the loop-counter injection seam.
+func (s *SafeLane) Program() osek.Program {
+	detect := osek.Program{osek.Loop{
+		Count: func() int { return s.FilterIterations },
+		Body:  osek.Program{osek.Exec{Runnable: s.LaneDetect, OnDone: s.detect}},
+	}}
+	return osek.Program{
+		osek.Exec{Runnable: s.GetLanePosition, OnDone: s.readPosition},
+		osek.Select{
+			Choose: func() int { return s.FaultBranch },
+			Arms: []osek.Program{
+				detect,
+				{},
+				append(append(osek.Program{}, detect...), detect...),
+			},
+		},
+		osek.Exec{Runnable: s.WarnActuate, OnDone: s.actuate},
+	}
+}
+
+// Register defines the task and its dispatch alarm.
+func (s *SafeLane) Register(o *osek.OS) (osek.AlarmID, error) {
+	if err := o.DefineTask(s.Task, osek.TaskAttrs{MaxActivations: 3}, s.Program()); err != nil {
+		return -1, fmt.Errorf("apps: SafeLane: %w", err)
+	}
+	alarm, err := o.CreateAlarm("SafeLaneAlarm", osek.ActivateAlarm(s.Task), true, s.cfg.Period, s.cfg.Period)
+	if err != nil {
+		return -1, fmt.Errorf("apps: SafeLane: %w", err)
+	}
+	return alarm, nil
+}
+
+func (s *SafeLane) readPosition() { s.offset = s.cfg.Plant.Offset() }
+
+func (s *SafeLane) detect() {
+	limit := vehicle.DefaultLateralParams().LaneHalfWidth - s.cfg.WarnMargin
+	s.warning = math.Abs(s.offset) >= limit
+}
+
+func (s *SafeLane) actuate() {
+	if s.warning {
+		s.warnings++
+	}
+}
+
+// Warning reports whether the departure warning is active.
+func (s *SafeLane) Warning() bool { return s.warning }
+
+// Warnings reports the cumulative number of warning actuations.
+func (s *SafeLane) Warnings() uint64 { return s.warnings }

@@ -1,0 +1,249 @@
+// Package apps implements the ISS applications hosted by the EASIS
+// validator (§4.1): SafeSpeed ("a system to automatically limit the
+// vehicle speed to an externally commanded maximum value"), SafeLane ("a
+// lane departure warning application") and the Steer-by-Wire pipeline with
+// redundant sensor voting. Each application registers its runnables in the
+// mapping model, provides its OSEK task program — with the Select/Loop
+// seams the error injector manipulates — and exposes the flow sequence and
+// fault hypotheses the Software Watchdog is configured with.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/vehicle"
+)
+
+// Branch values for the fault-injection seam shared by the applications:
+// the task program's Select step reads the app's FaultBranch field.
+const (
+	// BranchNormal executes the nominal sequence.
+	BranchNormal = 0
+	// BranchSkipProcess skips the middle processing runnable — the
+	// "invalid execution branch" of §4.5, producing program-flow errors.
+	BranchSkipProcess = 1
+	// BranchDoubleProcess executes the processing runnable twice.
+	BranchDoubleProcess = 2
+)
+
+// SafeSpeedConfig parametrises the SafeSpeed application.
+type SafeSpeedConfig struct {
+	// Plant is the longitudinal vehicle model the application controls.
+	Plant *vehicle.Longitudinal
+	// Driver supplies the underlying throttle demand.
+	Driver *vehicle.Driver
+	// MaxSpeed reports the externally commanded maximum speed in m/s
+	// (from the environment/telematics side).
+	MaxSpeed func() float64
+	// Now reports scenario time for the driver profiles.
+	Now func() time.Duration
+	// Period is the task dispatch period; zero means 10ms.
+	Period time.Duration
+	// Priority is the OSEK task priority; zero means 10.
+	Priority int
+	// BrakeGain converts overspeed (m/s) to brake demand; zero means 0.2.
+	BrakeGain float64
+}
+
+// SafeSpeed is the speed-limiting application of the paper's evaluation,
+// divided into the three runnables of Fig. 4: sensor value reading in
+// GetSensorValue, the control algorithm in SAFE_CC_process, and setting of
+// the actuator in Speed_process.
+type SafeSpeed struct {
+	cfg SafeSpeedConfig
+
+	// App, Task and the three runnable IDs after model registration.
+	App            runnable.AppID
+	Task           runnable.TaskID
+	GetSensorValue runnable.ID
+	SAFECCProcess  runnable.ID
+	SpeedProcess   runnable.ID
+
+	// FaultBranch is the injection seam (Branch* constants).
+	FaultBranch int
+	// SensorScale corrupts the sensor reading (1 = healthy), a
+	// value-fault seam.
+	SensorScale float64
+	// SensorResource, when set before Register, guards GetSensorValue
+	// with the OSEK resource (priority-ceiling protocol): the sensor bus
+	// is shared with other tasks, so a peer holding it too long produces
+	// the paper's category-1 timing fault ("an object hangs as a result
+	// of a requested resource being blocked").
+	SensorResource *osek.ResourceID
+
+	// control state
+	sensorSpeed float64
+	throttle    float64
+	brake       float64
+	limiting    bool
+	execCount   uint64
+}
+
+// NewSafeSpeed validates the configuration and registers the application
+// in the mapping model.
+func NewSafeSpeed(m *runnable.Model, cfg SafeSpeedConfig) (*SafeSpeed, error) {
+	if m == nil {
+		return nil, errors.New("apps: model is required")
+	}
+	if cfg.Plant == nil || cfg.Driver == nil || cfg.MaxSpeed == nil || cfg.Now == nil {
+		return nil, errors.New("apps: SafeSpeed requires Plant, Driver, MaxSpeed and Now")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.Priority == 0 {
+		cfg.Priority = 10
+	}
+	if cfg.BrakeGain <= 0 {
+		cfg.BrakeGain = 0.2
+	}
+	s := &SafeSpeed{cfg: cfg, SensorScale: 1}
+	var err error
+	if s.App, err = m.AddApp("SafeSpeed", runnable.SafetyCritical); err != nil {
+		return nil, fmt.Errorf("apps: SafeSpeed: %w", err)
+	}
+	if s.Task, err = m.AddTask(s.App, "SafeSpeedTask", cfg.Priority); err != nil {
+		return nil, fmt.Errorf("apps: SafeSpeed: %w", err)
+	}
+	type reg struct {
+		name string
+		exec time.Duration
+		dst  *runnable.ID
+	}
+	for _, r := range []reg{
+		{"GetSensorValue", 150 * time.Microsecond, &s.GetSensorValue},
+		{"SAFE_CC_process", 400 * time.Microsecond, &s.SAFECCProcess},
+		{"Speed_process", 150 * time.Microsecond, &s.SpeedProcess},
+	} {
+		if *r.dst, err = m.AddRunnable(s.Task, r.name, r.exec, runnable.SafetyCritical); err != nil {
+			return nil, fmt.Errorf("apps: SafeSpeed: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Period reports the task dispatch period.
+func (s *SafeSpeed) Period() time.Duration { return s.cfg.Period }
+
+// FlowSequence reports the legal runnable order for the PFC look-up table.
+func (s *SafeSpeed) FlowSequence() []runnable.ID {
+	return []runnable.ID{s.GetSensorValue, s.SAFECCProcess, s.SpeedProcess}
+}
+
+// Hypothesis returns the fault hypothesis for each runnable given the
+// watchdog cycle period: every runnable must beat at least 3 times per
+// checking window of 5 task periods (nominal: 5), and at most 7 (doubling
+// yields 10).
+func (s *SafeSpeed) Hypothesis(cyclePeriod time.Duration) map[runnable.ID]core.Hypothesis {
+	cyclesPerTask := int(s.cfg.Period / cyclePeriod)
+	if cyclesPerTask < 1 {
+		cyclesPerTask = 1
+	}
+	window := 5 * cyclesPerTask
+	h := core.Hypothesis{
+		AlivenessCycles: window,
+		MinHeartbeats:   3,
+		ArrivalCycles:   window,
+		MaxArrivals:     7,
+	}
+	out := make(map[runnable.ID]core.Hypothesis, 3)
+	for _, rid := range s.FlowSequence() {
+		out[rid] = h
+	}
+	return out
+}
+
+// Program builds the OSEK task body with the injection seams.
+func (s *SafeSpeed) Program() osek.Program {
+	process := osek.Exec{Runnable: s.SAFECCProcess, OnDone: s.runControl}
+	read := osek.Program{osek.Exec{Runnable: s.GetSensorValue, OnDone: s.readSensor}}
+	if s.SensorResource != nil {
+		read = osek.Program{
+			osek.Lock{Resource: *s.SensorResource},
+			read[0],
+			osek.Unlock{Resource: *s.SensorResource},
+		}
+	}
+	prog := append(osek.Program{}, read...)
+	return append(prog,
+		osek.Select{
+			Choose: func() int { return s.FaultBranch },
+			Arms: []osek.Program{
+				{process},          // BranchNormal
+				{},                 // BranchSkipProcess: invalid branch
+				{process, process}, // BranchDoubleProcess
+			},
+		},
+		osek.Exec{Runnable: s.SpeedProcess, OnDone: s.actuate},
+	)
+}
+
+// Register defines the task and its dispatch alarm on the OS.
+func (s *SafeSpeed) Register(o *osek.OS) (osek.AlarmID, error) {
+	if err := o.DefineTask(s.Task, osek.TaskAttrs{MaxActivations: 3}, s.Program()); err != nil {
+		return -1, fmt.Errorf("apps: SafeSpeed: %w", err)
+	}
+	alarm, err := o.CreateAlarm("SafeSpeedAlarm", osek.ActivateAlarm(s.Task), true, s.cfg.Period, s.cfg.Period)
+	if err != nil {
+		return -1, fmt.Errorf("apps: SafeSpeed: %w", err)
+	}
+	return alarm, nil
+}
+
+func (s *SafeSpeed) readSensor() {
+	scale := s.SensorScale
+	if scale == 0 {
+		scale = 1
+	}
+	s.sensorSpeed = s.cfg.Plant.Speed() * scale
+}
+
+func (s *SafeSpeed) runControl() {
+	s.execCount++
+	now := s.cfg.Now()
+	max := s.cfg.MaxSpeed()
+	if s.sensorSpeed > max {
+		// Limit: cut throttle and brake proportionally to the overspeed.
+		s.throttle = 0
+		s.brake = (s.sensorSpeed - max) * s.cfg.BrakeGain
+		if s.brake > 1 {
+			s.brake = 1
+		}
+		s.limiting = true
+		return
+	}
+	s.limiting = false
+	s.brake = 0
+	driverDemand := s.cfg.Driver.Throttle(now, s.sensorSpeed)
+	// Never accelerate beyond the commanded maximum: taper demand near it.
+	headroom := (max - s.sensorSpeed) / vehicle.KphToMs(10)
+	if headroom < 1 {
+		if headroom < 0 {
+			headroom = 0
+		}
+		driverDemand *= headroom
+	}
+	s.throttle = driverDemand
+}
+
+func (s *SafeSpeed) actuate() {
+	// Speed_process publishes the actuator demand; the driving-dynamics
+	// node applies it on its next integration step.
+}
+
+// Controls reports the current actuator demand (throttle, brake).
+func (s *SafeSpeed) Controls() (throttle, brake float64) { return s.throttle, s.brake }
+
+// Limiting reports whether the application is actively limiting speed.
+func (s *SafeSpeed) Limiting() bool { return s.limiting }
+
+// SensorSpeed reports the last sensed speed in m/s.
+func (s *SafeSpeed) SensorSpeed() float64 { return s.sensorSpeed }
+
+// ControlExecutions reports how often the control law ran.
+func (s *SafeSpeed) ControlExecutions() uint64 { return s.execCount }

@@ -1,0 +1,183 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/vehicle"
+)
+
+// SteerByWireConfig parametrises the steer-by-wire application.
+type SteerByWireConfig struct {
+	// Driver supplies the steering demand.
+	Driver *vehicle.Driver
+	// Now reports scenario time for the driver profiles.
+	Now func() time.Duration
+	// Period is the task dispatch period; zero means 5ms (fast loop).
+	Period time.Duration
+	// Priority is the OSEK task priority; zero means 12 (highest).
+	Priority int
+}
+
+// SteerByWire models the fault-tolerant steer-by-wire pipeline of the
+// validator's actuator/sensor nodes: three redundant hand-wheel sensors, a
+// two-out-of-three vote, and the steering actuator.
+type SteerByWire struct {
+	cfg SteerByWireConfig
+
+	App         runnable.AppID
+	Task        runnable.TaskID
+	ReadSensors runnable.ID
+	Vote        runnable.ID
+	ActuateSbW  runnable.ID
+
+	// FaultBranch is the injection seam (Branch* constants, applied to
+	// the Vote runnable).
+	FaultBranch int
+	// SensorFault corrupts one redundant channel (index 0..2) by the
+	// given offset; nil means all healthy.
+	SensorFault *SensorFault
+
+	readings   [3]float64
+	voted      float64
+	actuated   float64
+	mismatches uint64
+}
+
+// SensorFault describes a corrupted redundant channel.
+type SensorFault struct {
+	Channel int
+	Offset  float64
+}
+
+// NewSteerByWire validates the configuration and registers the
+// application.
+func NewSteerByWire(m *runnable.Model, cfg SteerByWireConfig) (*SteerByWire, error) {
+	if m == nil {
+		return nil, errors.New("apps: model is required")
+	}
+	if cfg.Driver == nil || cfg.Now == nil {
+		return nil, errors.New("apps: SteerByWire requires Driver and Now")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 5 * time.Millisecond
+	}
+	if cfg.Priority == 0 {
+		cfg.Priority = 12
+	}
+	s := &SteerByWire{cfg: cfg}
+	var err error
+	if s.App, err = m.AddApp("SteerByWire", runnable.SafetyCritical); err != nil {
+		return nil, fmt.Errorf("apps: SteerByWire: %w", err)
+	}
+	if s.Task, err = m.AddTask(s.App, "SteerByWireTask", cfg.Priority); err != nil {
+		return nil, fmt.Errorf("apps: SteerByWire: %w", err)
+	}
+	type reg struct {
+		name string
+		exec time.Duration
+		dst  *runnable.ID
+	}
+	for _, r := range []reg{
+		{"ReadSteerSensors", 100 * time.Microsecond, &s.ReadSensors},
+		{"VoteSteer", 200 * time.Microsecond, &s.Vote},
+		{"ActuateSteer", 100 * time.Microsecond, &s.ActuateSbW},
+	} {
+		if *r.dst, err = m.AddRunnable(s.Task, r.name, r.exec, runnable.SafetyCritical); err != nil {
+			return nil, fmt.Errorf("apps: SteerByWire: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Period reports the task dispatch period.
+func (s *SteerByWire) Period() time.Duration { return s.cfg.Period }
+
+// FlowSequence reports the legal runnable order.
+func (s *SteerByWire) FlowSequence() []runnable.ID {
+	return []runnable.ID{s.ReadSensors, s.Vote, s.ActuateSbW}
+}
+
+// Hypothesis mirrors the other applications' construction.
+func (s *SteerByWire) Hypothesis(cyclePeriod time.Duration) map[runnable.ID]core.Hypothesis {
+	cyclesPerTask := int(s.cfg.Period / cyclePeriod)
+	if cyclesPerTask < 1 {
+		cyclesPerTask = 1
+	}
+	window := 5 * cyclesPerTask
+	h := core.Hypothesis{
+		AlivenessCycles: window,
+		MinHeartbeats:   3,
+		ArrivalCycles:   window,
+		MaxArrivals:     2*5 + 2,
+	}
+	out := make(map[runnable.ID]core.Hypothesis, 3)
+	for _, rid := range s.FlowSequence() {
+		out[rid] = h
+	}
+	return out
+}
+
+// Program builds the OSEK task body.
+func (s *SteerByWire) Program() osek.Program {
+	vote := osek.Exec{Runnable: s.Vote, OnDone: s.vote}
+	return osek.Program{
+		osek.Exec{Runnable: s.ReadSensors, OnDone: s.read},
+		osek.Select{
+			Choose: func() int { return s.FaultBranch },
+			Arms: []osek.Program{
+				{vote},
+				{},
+				{vote, vote},
+			},
+		},
+		osek.Exec{Runnable: s.ActuateSbW, OnDone: s.actuate},
+	}
+}
+
+// Register defines the task and its dispatch alarm.
+func (s *SteerByWire) Register(o *osek.OS) (osek.AlarmID, error) {
+	if err := o.DefineTask(s.Task, osek.TaskAttrs{MaxActivations: 3}, s.Program()); err != nil {
+		return -1, fmt.Errorf("apps: SteerByWire: %w", err)
+	}
+	alarm, err := o.CreateAlarm("SteerByWireAlarm", osek.ActivateAlarm(s.Task), true, s.cfg.Period, s.cfg.Period)
+	if err != nil {
+		return -1, fmt.Errorf("apps: SteerByWire: %w", err)
+	}
+	return alarm, nil
+}
+
+func (s *SteerByWire) read() {
+	demand := s.cfg.Driver.Steering(s.cfg.Now())
+	for i := range s.readings {
+		s.readings[i] = demand
+	}
+	if s.SensorFault != nil && s.SensorFault.Channel >= 0 && s.SensorFault.Channel < 3 {
+		s.readings[s.SensorFault.Channel] += s.SensorFault.Offset
+	}
+}
+
+// vote selects the median of the three channels (2oo3 agreement) and
+// counts disagreements.
+func (s *SteerByWire) vote() {
+	vals := []float64{s.readings[0], s.readings[1], s.readings[2]}
+	sort.Float64s(vals)
+	s.voted = vals[1]
+	const tolerance = 1e-6
+	if vals[2]-vals[0] > tolerance {
+		s.mismatches++
+	}
+}
+
+func (s *SteerByWire) actuate() { s.actuated = s.voted }
+
+// SteerCommand reports the actuated steering angle for the plant.
+func (s *SteerByWire) SteerCommand() float64 { return s.actuated }
+
+// Mismatches reports how often the redundant channels disagreed.
+func (s *SteerByWire) Mismatches() uint64 { return s.mismatches }

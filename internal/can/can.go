@@ -1,0 +1,285 @@
+// Package can simulates a Controller Area Network bus at the frame level:
+// 11-bit identifiers, lowest-identifier-wins arbitration, and a bit-time
+// transmission model including worst-case stuffing. It is one of the
+// vehicle domains joined by the EASIS validator's gateway node (§4.1).
+package can
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+// FrameID is an 11-bit CAN identifier; lower values win arbitration.
+type FrameID uint16
+
+// MaxID is the largest standard (11-bit) identifier.
+const MaxID FrameID = 0x7FF
+
+// MaxData is the classic CAN payload limit.
+const MaxData = 8
+
+// Frame is one CAN data frame.
+type Frame struct {
+	ID   FrameID
+	Data []byte
+}
+
+// Validate checks identifier range and payload length.
+func (f Frame) Validate() error {
+	if f.ID > MaxID {
+		return fmt.Errorf("can: id 0x%X exceeds 11 bits", f.ID)
+	}
+	if len(f.Data) > MaxData {
+		return fmt.Errorf("can: payload %d bytes exceeds %d", len(f.Data), MaxData)
+	}
+	return nil
+}
+
+// FrameBits is the worst-case on-wire size of a standard data frame: 47
+// framing bits + payload, plus worst-case bit stuffing of the 34+8n
+// stuff-relevant bits.
+func FrameBits(dataLen int) int {
+	return 47 + 8*dataLen + (34+8*dataLen)/5
+}
+
+// BusStats aggregates bus-level counters.
+type BusStats struct {
+	FramesDelivered   uint64
+	ArbitrationLosses uint64
+	BusyTime          time.Duration
+	ErrorFrames       uint64
+	Retransmissions   uint64
+}
+
+// errorFrameBits approximates an error frame plus the suspended
+// transmission overhead on the wire.
+const errorFrameBits = 20
+
+// Bus is one CAN segment. All nodes share the medium; one frame is on the
+// wire at a time.
+type Bus struct {
+	kernel  *sim.Kernel
+	bitrate int // bits per second
+	nodes   []*Node
+	busy    bool
+	stats   BusStats
+
+	// fault injection (see errors.go)
+	errRate     float64
+	errRng      *rand.Rand
+	corruptNext bool
+}
+
+// NewBus creates a bus on the simulation kernel. Typical automotive
+// bitrates are 125k (body) and 500k (chassis/powertrain).
+func NewBus(k *sim.Kernel, bitrate int) (*Bus, error) {
+	if k == nil {
+		return nil, errors.New("can: kernel is required")
+	}
+	if bitrate <= 0 {
+		return nil, fmt.Errorf("can: bitrate %d must be positive", bitrate)
+	}
+	return &Bus{kernel: k, bitrate: bitrate}, nil
+}
+
+// Stats reports the bus counters.
+func (b *Bus) Stats() BusStats { return b.stats }
+
+// Utilization reports the fraction of elapsed time the bus was busy.
+func (b *Bus) Utilization() float64 {
+	now := b.kernel.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(now.Duration())
+}
+
+// AttachNode adds a node to the bus.
+func (b *Bus) AttachNode(name string) *Node {
+	n := &Node{name: name, bus: b}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// txTime is the wire time of a frame at the bus bitrate.
+func (b *Bus) txTime(f Frame) time.Duration {
+	bits := FrameBits(len(f.Data))
+	return time.Duration(int64(bits) * int64(time.Second) / int64(b.bitrate))
+}
+
+// arbitrate starts transmission of the highest-priority pending frame if
+// the bus is idle.
+func (b *Bus) arbitrate() {
+	if b.busy {
+		return
+	}
+	var winner *Node
+	contenders := 0
+	for _, n := range b.nodes {
+		if len(n.txQueue) == 0 {
+			continue
+		}
+		contenders++
+		if winner == nil || n.txQueue[0].ID < winner.txQueue[0].ID {
+			winner = n
+		}
+	}
+	if winner == nil {
+		return
+	}
+	if contenders > 1 {
+		b.stats.ArbitrationLosses += uint64(contenders - 1)
+	}
+	frame := winner.txQueue[0]
+	winner.txQueue = winner.txQueue[1:]
+	b.busy = true
+	dur := b.txTime(frame)
+	b.stats.BusyTime += dur
+	b.kernel.After(dur, func() {
+		corrupted := b.corruptNext || (b.errRate > 0 && b.errRng.Float64() < b.errRate)
+		b.corruptNext = false
+		if corrupted {
+			b.signalError(winner, frame)
+			return
+		}
+		b.busy = false
+		b.stats.FramesDelivered++
+		winner.stats.Sent++
+		if winner.tec > 0 {
+			winner.tec--
+		}
+		for _, n := range b.nodes {
+			if n == winner {
+				continue
+			}
+			if n.rec > 0 {
+				n.rec--
+			}
+			n.deliver(frame)
+		}
+		b.arbitrate()
+	})
+}
+
+// signalError models the CAN error-signalling and retransmission path: an
+// error frame occupies the bus, the transmitter's TEC rises by 8 and the
+// receivers' REC by 1, then the frame is retransmitted — unless the
+// transmitter has bus-offed, in which case it drops out with its queue.
+func (b *Bus) signalError(winner *Node, frame Frame) {
+	b.stats.ErrorFrames++
+	winner.tec += tecTransmitError
+	for _, n := range b.nodes {
+		if n != winner {
+			n.rec++
+		}
+	}
+	if winner.errorState() == BusOff {
+		winner.stats.Dropped += uint64(len(winner.txQueue)) + 1
+		winner.txQueue = nil
+	} else {
+		b.stats.Retransmissions++
+		// Re-queue at the head: the frame had won arbitration, so its ID
+		// is <= everything still queued on this node.
+		winner.txQueue = append([]Frame{frame}, winner.txQueue...)
+	}
+	errDur := time.Duration(int64(errorFrameBits) * int64(time.Second) / int64(b.bitrate))
+	b.stats.BusyTime += errDur
+	b.kernel.After(errDur, func() {
+		b.busy = false
+		b.arbitrate()
+	})
+}
+
+// NodeStats aggregates per-node counters.
+type NodeStats struct {
+	Sent     uint64
+	Received uint64
+	Dropped  uint64
+}
+
+// Node is one CAN controller on the bus.
+type Node struct {
+	name     string
+	bus      *Bus
+	txQueue  []Frame
+	handlers []func(Frame)
+	filters  []func(FrameID) bool
+	stats    NodeStats
+	maxQueue int
+
+	// fault-confinement counters (see errors.go)
+	tec int
+	rec int
+}
+
+// Name reports the node name.
+func (n *Node) Name() string { return n.name }
+
+// Stats reports the node counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// SetQueueLimit bounds the transmit queue; zero means unbounded. Frames
+// beyond the bound are dropped and counted.
+func (n *Node) SetQueueLimit(limit int) { n.maxQueue = limit }
+
+// Send enqueues a frame for transmission; the queue is kept sorted by
+// identifier (controller mailbox priority) with FIFO order among equal
+// identifiers.
+func (n *Node) Send(f Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if n.errorState() == BusOff {
+		n.stats.Dropped++
+		return fmt.Errorf("can: node %s: %w", n.name, ErrBusOff)
+	}
+	if n.maxQueue > 0 && len(n.txQueue) >= n.maxQueue {
+		n.stats.Dropped++
+		return fmt.Errorf("can: node %s: tx queue full", n.name)
+	}
+	data := make([]byte, len(f.Data))
+	copy(data, f.Data)
+	f.Data = data
+	pos := len(n.txQueue)
+	for i, q := range n.txQueue {
+		if f.ID < q.ID {
+			pos = i
+			break
+		}
+	}
+	n.txQueue = append(n.txQueue, Frame{})
+	copy(n.txQueue[pos+1:], n.txQueue[pos:])
+	n.txQueue[pos] = f
+	n.bus.arbitrate()
+	return nil
+}
+
+// Subscribe registers a receive handler; filter may be nil to accept all
+// identifiers.
+func (n *Node) Subscribe(filter func(FrameID) bool, handler func(Frame)) {
+	if handler == nil {
+		return
+	}
+	n.filters = append(n.filters, filter)
+	n.handlers = append(n.handlers, handler)
+}
+
+func (n *Node) deliver(f Frame) {
+	accepted := false
+	for i, h := range n.handlers {
+		if n.filters[i] != nil && !n.filters[i](f.ID) {
+			continue
+		}
+		accepted = true
+		data := make([]byte, len(f.Data))
+		copy(data, f.Data)
+		h(Frame{ID: f.ID, Data: data})
+	}
+	if accepted {
+		n.stats.Received++
+	}
+}

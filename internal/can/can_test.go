@@ -1,0 +1,242 @@
+package can
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+func newBus(t *testing.T, bitrate int) (*sim.Kernel, *Bus) {
+	t.Helper()
+	k := sim.NewKernel()
+	b, err := NewBus(k, bitrate)
+	if err != nil {
+		t.Fatalf("NewBus: %v", err)
+	}
+	return k, b
+}
+
+func TestNewBusValidation(t *testing.T) {
+	if _, err := NewBus(nil, 500000); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	k := sim.NewKernel()
+	if _, err := NewBus(k, 0); err == nil {
+		t.Error("zero bitrate accepted")
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	if err := (Frame{ID: 0x7FF, Data: make([]byte, 8)}).Validate(); err != nil {
+		t.Errorf("max frame rejected: %v", err)
+	}
+	if err := (Frame{ID: 0x800}).Validate(); err == nil {
+		t.Error("12-bit id accepted")
+	}
+	if err := (Frame{ID: 1, Data: make([]byte, 9)}).Validate(); err == nil {
+		t.Error("9-byte payload accepted")
+	}
+}
+
+func TestFrameBitsMonotonic(t *testing.T) {
+	prev := 0
+	for n := 0; n <= 8; n++ {
+		bits := FrameBits(n)
+		if bits <= prev {
+			t.Fatalf("FrameBits(%d) = %d not increasing", n, bits)
+		}
+		prev = bits
+	}
+	if FrameBits(0) < 47 {
+		t.Errorf("FrameBits(0) = %d below framing minimum", FrameBits(0))
+	}
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	var got []Frame
+	var at sim.Time
+	rx.Subscribe(nil, func(f Frame) { got = append(got, f); at = k.Now() })
+	if err := tx.Send(Frame{ID: 0x100, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 0x100 || len(got[0].Data) != 3 || got[0].Data[2] != 3 {
+		t.Fatalf("got = %+v", got)
+	}
+	wantBits := FrameBits(3)
+	wantTime := sim.Time(int64(wantBits) * int64(time.Second) / 500000)
+	if at != wantTime {
+		t.Fatalf("delivered at %v, want %v (%d bits at 500kbit/s)", at, wantTime, wantBits)
+	}
+	if b.Stats().FramesDelivered != 1 {
+		t.Fatalf("bus stats = %+v", b.Stats())
+	}
+	if tx.Stats().Sent != 1 || rx.Stats().Received != 1 {
+		t.Fatalf("node stats tx=%+v rx=%+v", tx.Stats(), rx.Stats())
+	}
+}
+
+func TestSenderDoesNotReceiveOwnFrame(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	echoed := false
+	tx.Subscribe(nil, func(Frame) { echoed = true })
+	if err := tx.Send(Frame{ID: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if echoed {
+		t.Fatal("sender received its own frame")
+	}
+}
+
+func TestArbitrationLowestIDWins(t *testing.T) {
+	k, b := newBus(t, 500000)
+	n1 := b.AttachNode("n1")
+	n2 := b.AttachNode("n2")
+	rx := b.AttachNode("rx")
+	var order []FrameID
+	rx.Subscribe(nil, func(f Frame) { order = append(order, f.ID) })
+	// Both enqueue while the bus is busy with a first frame.
+	if err := n1.Send(Frame{ID: 0x50}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := n1.Send(Frame{ID: 0x300}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := n2.Send(Frame{ID: 0x100}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	want := []FrameID{0x50, 0x100, 0x300}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if b.Stats().ArbitrationLosses == 0 {
+		t.Fatal("no arbitration losses counted despite contention")
+	}
+}
+
+func TestNodeQueuePriorityOrdering(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	var order []FrameID
+	rx.Subscribe(nil, func(f Frame) { order = append(order, f.ID) })
+	// Enqueued in descending priority order; mailbox must reorder.
+	for _, id := range []FrameID{0x400, 0x200, 0x100, 0x300} {
+		if err := tx.Send(Frame{ID: id}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	// The first frame (0x400) is already on the wire when the others
+	// arrive; the rest go out by priority.
+	want := []FrameID{0x400, 0x100, 0x200, 0x300}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSubscribeFilter(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	var got []FrameID
+	rx.Subscribe(func(id FrameID) bool { return id == 0x10 }, func(f Frame) { got = append(got, f.ID) })
+	for _, id := range []FrameID{0x10, 0x20, 0x10} {
+		if err := tx.Send(Frame{ID: id}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("filtered frames = %v", got)
+	}
+	if rx.Stats().Received != 2 {
+		t.Fatalf("Received = %d, want 2 (filtered frames not counted)", rx.Stats().Received)
+	}
+}
+
+func TestQueueLimitDropsFrames(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	b.AttachNode("rx")
+	tx.SetQueueLimit(2)
+	// First Send goes straight to the wire; two fill the queue; 4th drops.
+	var errs int
+	for i := 0; i < 4; i++ {
+		if err := tx.Send(Frame{ID: FrameID(i + 1)}); err != nil {
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("drops = %d, want 1", errs)
+	}
+	if tx.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d", tx.Stats().Dropped)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	var got Frame
+	rx.Subscribe(nil, func(f Frame) { got = f })
+	payload := []byte{1, 2, 3}
+	if err := tx.Send(Frame{ID: 1, Data: payload}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	payload[0] = 99 // sender mutates after Send
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if got.Data[0] != 1 {
+		t.Fatal("payload not copied at Send boundary")
+	}
+	got.Data[1] = 42 // receiver mutates its copy
+	// No shared state to assert directly, but a second receiver must see
+	// the original; covered by copy-per-handler in deliver.
+}
+
+func TestUtilizationGrowsUnderLoad(t *testing.T) {
+	k, b := newBus(t, 125000)
+	tx := b.AttachNode("tx")
+	b.AttachNode("rx")
+	for i := 0; i < 50; i++ {
+		if err := tx.Send(Frame{ID: 0x123, Data: make([]byte, 8)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if u := b.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("back-to-back utilization = %v, want ~1.0", u)
+	}
+}

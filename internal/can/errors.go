@@ -1,0 +1,92 @@
+package can
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ErrorState is the CAN fault-confinement state of a node.
+type ErrorState int
+
+// Fault-confinement states per the CAN specification.
+const (
+	ErrorActive ErrorState = iota + 1
+	ErrorPassive
+	BusOff
+)
+
+// String names the state.
+func (s ErrorState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return fmt.Sprintf("ErrorState(%d)", int(s))
+	}
+}
+
+// Fault-confinement thresholds per the CAN specification.
+const (
+	errorPassiveLimit = 128
+	busOffLimit       = 256
+	// tecTransmitError is added to the transmit error counter per failed
+	// transmission.
+	tecTransmitError = 8
+)
+
+// ErrBusOff is wrapped by Send when the node has bus-offed.
+var ErrBusOff = fmt.Errorf("can: node is bus-off")
+
+// SetBitErrorRate corrupts the given fraction of frames on the wire with
+// a deterministic seeded source — the network-level fault injection.
+// Corrupted frames are signalled by an error frame and retransmitted by
+// the sender, consuming bandwidth and raising error counters.
+func (b *Bus) SetBitErrorRate(rate float64, seed int64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("can: bit error rate %v must be in [0,1)", rate)
+	}
+	b.errRate = rate
+	b.errRng = rand.New(rand.NewSource(seed))
+	return nil
+}
+
+// CorruptNext forces the next transmitted frame to be corrupted — a
+// single-shot injection for targeted tests.
+func (b *Bus) CorruptNext() { b.corruptNext = true }
+
+// ErrorFrames reports how many error frames have been signalled.
+func (b *Bus) ErrorFrames() uint64 { return b.stats.ErrorFrames }
+
+// nodeErrorState recomputes a node's fault-confinement state from its
+// transmit error counter.
+func (n *Node) errorState() ErrorState {
+	switch {
+	case n.tec >= busOffLimit:
+		return BusOff
+	case n.tec >= errorPassiveLimit || n.rec >= errorPassiveLimit:
+		return ErrorPassive
+	default:
+		return ErrorActive
+	}
+}
+
+// ErrorState reports the node's current fault-confinement state.
+func (n *Node) ErrorState() ErrorState { return n.errorState() }
+
+// TEC reports the transmit error counter.
+func (n *Node) TEC() int { return n.tec }
+
+// REC reports the receive error counter.
+func (n *Node) REC() int { return n.rec }
+
+// Recover resets a bus-off node (the simplified equivalent of the 128 x
+// 11-recessive-bit rule): error counters clear and the node may transmit
+// again.
+func (n *Node) Recover() {
+	n.tec = 0
+	n.rec = 0
+}

@@ -1,0 +1,165 @@
+package can
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCorruptNextRetransmits(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	delivered := 0
+	rx.Subscribe(nil, func(Frame) { delivered++ })
+	b.CorruptNext()
+	if err := tx.Send(Frame{ID: 0x100, Data: []byte{1}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (after retransmission)", delivered)
+	}
+	st := b.Stats()
+	if st.ErrorFrames != 1 || st.Retransmissions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if tx.TEC() != 7 { // +8 on error, -1 on successful retransmission
+		t.Fatalf("TEC = %d, want 7", tx.TEC())
+	}
+	if rx.REC() != 0 { // +1 on error, -1 on successful reception
+		t.Fatalf("REC = %d, want 0", rx.REC())
+	}
+	if tx.ErrorState() != ErrorActive {
+		t.Fatalf("state = %v", tx.ErrorState())
+	}
+}
+
+func TestErrorPassiveThreshold(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	b.AttachNode("rx")
+	// Certain corruption: every attempt fails, TEC climbs by 8. The node
+	// passes through error-passive (TEC >= 128) on its way to bus-off.
+	if err := b.SetBitErrorRate(0.999999, 1); err != nil {
+		t.Fatalf("SetBitErrorRate: %v", err)
+	}
+	if err := tx.Send(Frame{ID: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	sawPassive := false
+	for steps := 0; steps < 10000 && k.Step(); steps++ {
+		if tx.ErrorState() == ErrorPassive {
+			sawPassive = true
+		}
+	}
+	if !sawPassive {
+		t.Fatalf("node never became error-passive (TEC=%d state=%v)", tx.TEC(), tx.ErrorState())
+	}
+	if tx.ErrorState() != BusOff {
+		t.Fatalf("final state = %v (TEC=%d), want bus-off", tx.ErrorState(), tx.TEC())
+	}
+}
+
+func TestBusOffDropsNode(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	delivered := 0
+	rx.Subscribe(nil, func(Frame) { delivered++ })
+	if err := b.SetBitErrorRate(0.999999, 42); err != nil {
+		t.Fatalf("SetBitErrorRate: %v", err)
+	}
+	if err := tx.Send(Frame{ID: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if tx.ErrorState() != BusOff {
+		t.Fatalf("state = %v (TEC=%d), want bus-off", tx.ErrorState(), tx.TEC())
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered = %d under certain corruption", delivered)
+	}
+	// A bus-off node rejects further sends...
+	if err := tx.Send(Frame{ID: 2}); !errors.Is(err, ErrBusOff) {
+		t.Fatalf("Send = %v, want ErrBusOff", err)
+	}
+	// ...until recovered.
+	if err := b.SetBitErrorRate(0, 42); err != nil {
+		t.Fatalf("SetBitErrorRate: %v", err)
+	}
+	tx.Recover()
+	if tx.ErrorState() != ErrorActive {
+		t.Fatalf("state after Recover = %v", tx.ErrorState())
+	}
+	if err := tx.Send(Frame{ID: 2}); err != nil {
+		t.Fatalf("Send after Recover: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after recovery", delivered)
+	}
+}
+
+func TestBitErrorRateValidation(t *testing.T) {
+	_, b := newBus(t, 500000)
+	if err := b.SetBitErrorRate(-0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := b.SetBitErrorRate(1, 1); err == nil {
+		t.Error("rate 1 accepted")
+	}
+}
+
+func TestLossyBusStillDeliversWithRetries(t *testing.T) {
+	k, b := newBus(t, 500000)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	delivered := 0
+	rx.Subscribe(nil, func(Frame) { delivered++ })
+	if err := b.SetBitErrorRate(0.3, 7); err != nil {
+		t.Fatalf("SetBitErrorRate: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tx.Send(Frame{ID: 0x100, Data: []byte{byte(i)}}); err != nil {
+			t.Fatalf("Send #%d: %v", i, err)
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			t.Fatalf("RunUntilIdle: %v", err)
+		}
+	}
+	if delivered != 50 {
+		t.Fatalf("delivered = %d, want all 50 via retransmission", delivered)
+	}
+	st := b.Stats()
+	if st.ErrorFrames == 0 || st.Retransmissions == 0 {
+		t.Fatalf("no errors on a 30%% lossy bus: %+v", st)
+	}
+	// Error signalling costs bandwidth: busy time exceeds the clean-wire
+	// time of 50 frames.
+	clean := 50 * b.txTime(Frame{ID: 0x100, Data: []byte{0}})
+	if st.BusyTime <= clean {
+		t.Fatalf("busy %v not above clean %v", st.BusyTime, clean)
+	}
+	if tx.ErrorState() == BusOff {
+		t.Fatal("interleaved successes should keep TEC below bus-off")
+	}
+}
+
+func TestErrorStateString(t *testing.T) {
+	for s, want := range map[ErrorState]string{
+		ErrorActive:   "error-active",
+		ErrorPassive:  "error-passive",
+		BusOff:        "bus-off",
+		ErrorState(9): "ErrorState(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

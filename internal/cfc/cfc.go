@@ -1,0 +1,295 @@
+// Package cfc implements the control-flow-checking baselines the paper
+// compares its look-up-table approach against (§2, §3.4):
+//
+//   - CFCSS, "Control-Flow Checking by Software Signatures" (Oh, Shirvani,
+//     McCluskey, IEEE Trans. Reliability 2002, the paper's [10]): every
+//     basic block carries an embedded signature; a run-time signature
+//     register is updated with pre-computed XOR differences at each block
+//     entry and compared against the block's signature.
+//   - A table-based checker equivalent to the Software Watchdog's PFC
+//     look-up table, implemented lock-free here so the two mechanisms'
+//     per-check costs can be compared head-to-head (experiment T1).
+//
+// The package also quantifies instrumentation overhead: CFCSS needs
+// signature update/check code in every block plus adjusting-signature
+// assignments in branch-fan-in predecessors, while the look-up table only
+// needs the aliveness-indication glue call the watchdog already requires.
+package cfc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// BlockID identifies a basic block (for the watchdog: a runnable) within
+// one control-flow graph. IDs are dense from 0.
+type BlockID int
+
+// Graph is a control-flow graph over basic blocks.
+type Graph struct {
+	succs [][]BlockID
+}
+
+// NewGraph creates a graph with n blocks and no edges.
+func NewGraph(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, errors.New("cfc: graph needs at least one block")
+	}
+	return &Graph{succs: make([][]BlockID, n)}, nil
+}
+
+// NumBlocks reports the number of blocks.
+func (g *Graph) NumBlocks() int { return len(g.succs) }
+
+// AddEdge allows execution to flow from a to b.
+func (g *Graph) AddEdge(a, b BlockID) error {
+	if !g.valid(a) || !g.valid(b) {
+		return fmt.Errorf("cfc: AddEdge(%d,%d): block out of range", a, b)
+	}
+	for _, s := range g.succs[a] {
+		if s == b {
+			return nil
+		}
+	}
+	g.succs[a] = append(g.succs[a], b)
+	return nil
+}
+
+// Successors returns the successors of a block; the slice must not be
+// mutated.
+func (g *Graph) Successors(b BlockID) []BlockID {
+	if !g.valid(b) {
+		return nil
+	}
+	return g.succs[b]
+}
+
+// HasEdge reports whether b may follow a.
+func (g *Graph) HasEdge(a, b BlockID) bool {
+	if !g.valid(a) {
+		return false
+	}
+	for _, s := range g.succs[a] {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+// predecessors computes the predecessor lists.
+func (g *Graph) predecessors() [][]BlockID {
+	preds := make([][]BlockID, len(g.succs))
+	for a, ss := range g.succs {
+		for _, b := range ss {
+			preds[b] = append(preds[b], BlockID(a))
+		}
+	}
+	return preds
+}
+
+func (g *Graph) valid(b BlockID) bool { return b >= 0 && int(b) < len(g.succs) }
+
+// Checker is the common behaviour of both mechanisms: feed it the executed
+// block sequence; it reports detected control-flow violations.
+type Checker interface {
+	// Reset prepares for a fresh execution starting at entry.
+	Reset(entry BlockID)
+	// Enter records execution of block b and reports whether the
+	// transition was legal per the mechanism.
+	Enter(b BlockID) bool
+	// Detected reports the cumulative number of violations.
+	Detected() uint64
+}
+
+// TablePFC is the look-up-table mechanism of the Software Watchdog,
+// re-implemented without locking for mechanism-level benchmarking: allowed
+// predecessor/successor pairs in a bitset, one load+mask per check.
+type TablePFC struct {
+	allowed  [][]uint64
+	prev     BlockID
+	started  bool
+	detected uint64
+}
+
+var _ Checker = (*TablePFC)(nil)
+
+// NewTablePFC builds the look-up table from the graph.
+func NewTablePFC(g *Graph) *TablePFC {
+	n := g.NumBlocks()
+	words := (n + 63) / 64
+	allowed := make([][]uint64, n)
+	for i := range allowed {
+		allowed[i] = make([]uint64, words)
+	}
+	for a, ss := range g.succs {
+		for _, b := range ss {
+			allowed[a][b/64] |= 1 << (uint(b) % 64)
+		}
+	}
+	return &TablePFC{allowed: allowed, prev: -1}
+}
+
+// Reset implements Checker.
+func (t *TablePFC) Reset(entry BlockID) {
+	t.prev = entry
+	t.started = true
+}
+
+// Enter implements Checker.
+func (t *TablePFC) Enter(b BlockID) bool {
+	if !t.started {
+		t.prev = b
+		t.started = true
+		return true
+	}
+	ok := t.allowed[t.prev][b/64]&(1<<(uint(b)%64)) != 0
+	t.prev = b
+	if !ok {
+		t.detected++
+	}
+	return ok
+}
+
+// Detected implements Checker.
+func (t *TablePFC) Detected() uint64 { return t.detected }
+
+// InstrumentationPoints reports how many code sites the mechanism must
+// touch in the application: one glue call per block (the same call the
+// watchdog's heartbeat monitoring already inserts, so the *additional*
+// cost over heartbeat monitoring is zero).
+func (t *TablePFC) InstrumentationPoints() int { return len(t.allowed) }
+
+// CFCSS is the embedded-signature mechanism of the paper's reference [10].
+type CFCSS struct {
+	sig  []uint32 // compile-time signature s_i per block
+	diff []uint32 // d_i = s_i XOR s_base-predecessor(i)
+	// adjust marks branch-fan-in blocks that XOR the run-time adjusting
+	// signature D into G.
+	adjust []bool
+	// dOut[i] is the adjusting signature block i assigns to D for its
+	// fan-in successors (0 when none).
+	dOut []uint32
+	// aliased records blocks whose predecessors impose conflicting D
+	// requirements — the known aliasing limitation of CFCSS, surfaced
+	// instead of hidden.
+	aliased []BlockID
+
+	g        uint32 // run-time signature register G
+	d        uint32 // run-time adjusting signature register D
+	detected uint64
+	// resync controls whether G is resynchronised after a detection so
+	// subsequent legal transitions check cleanly again.
+	resync bool
+}
+
+var _ Checker = (*CFCSS)(nil)
+
+// NewCFCSS instruments the graph per the CFCSS construction. Signatures
+// are drawn from a deterministic seeded source so runs are reproducible.
+func NewCFCSS(g *Graph, seed int64) (*CFCSS, error) {
+	n := g.NumBlocks()
+	rng := rand.New(rand.NewSource(seed))
+	sig := make([]uint32, n)
+	used := make(map[uint32]bool, n)
+	for i := range sig {
+		for {
+			s := rng.Uint32()
+			if !used[s] {
+				used[s] = true
+				sig[i] = s
+				break
+			}
+		}
+	}
+	preds := g.predecessors()
+	c := &CFCSS{
+		sig:    sig,
+		diff:   make([]uint32, n),
+		adjust: make([]bool, n),
+		dOut:   make([]uint32, n),
+		resync: true,
+	}
+	// For every block choose a base predecessor; d_i = s_i ^ s_base. Blocks
+	// with multiple predecessors are branch-fan-in: every predecessor p
+	// must set D = s_base ^ s_p before transferring control.
+	needD := make(map[BlockID]uint32, n) // predecessor → required D value
+	for v := 0; v < n; v++ {
+		ps := preds[v]
+		if len(ps) == 0 {
+			c.diff[v] = 0 // entry block: G is seeded with its signature
+			continue
+		}
+		base := ps[0]
+		c.diff[v] = sig[v] ^ sig[base]
+		if len(ps) > 1 {
+			c.adjust[v] = true
+			for _, p := range ps {
+				want := sig[base] ^ sig[p]
+				if prev, ok := needD[p]; ok && prev != want {
+					// p already assigns a different D for another fan-in
+					// successor: signature aliasing.
+					c.aliased = append(c.aliased, BlockID(v))
+					continue
+				}
+				needD[p] = want
+			}
+		}
+	}
+	for p, dv := range needD {
+		c.dOut[p] = dv
+	}
+	return c, nil
+}
+
+// Reset implements Checker.
+func (c *CFCSS) Reset(entry BlockID) {
+	c.g = c.sig[entry]
+	c.d = c.dOut[entry]
+}
+
+// Enter implements Checker: G = G ⊕ d_b (⊕ D for fan-in blocks), then
+// compare with s_b; finally publish this block's D assignment.
+func (c *CFCSS) Enter(b BlockID) bool {
+	g := c.g ^ c.diff[b]
+	if c.adjust[b] {
+		g ^= c.d
+	}
+	ok := g == c.sig[b]
+	if !ok {
+		c.detected++
+		if c.resync {
+			g = c.sig[b]
+		}
+	}
+	c.g = g
+	c.d = c.dOut[b]
+	return ok
+}
+
+// Detected implements Checker.
+func (c *CFCSS) Detected() uint64 { return c.detected }
+
+// Aliased reports the fan-in blocks whose predecessors required
+// conflicting adjusting signatures; illegal jumps between aliased paths
+// are undetectable — a structural limitation the look-up table does not
+// share.
+func (c *CFCSS) Aliased() []BlockID {
+	out := make([]BlockID, len(c.aliased))
+	copy(out, c.aliased)
+	return out
+}
+
+// InstrumentationPoints reports how many code sites CFCSS must modify: a
+// signature update+check in every block plus a D assignment in every
+// predecessor of a fan-in block.
+func (c *CFCSS) InstrumentationPoints() int {
+	points := len(c.sig)
+	for _, d := range c.dOut {
+		if d != 0 {
+			points++
+		}
+	}
+	return points
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"swwd/internal/runnable"
+)
+
+// Calibrator derives fault hypotheses from observation: run it alongside
+// the glue code during a known-healthy phase (system integration, the
+// paper's validation campaign) and it records the minimum and maximum
+// heartbeat counts per monitoring window for every runnable. Suggest then
+// produces a Hypothesis with a configurable safety margin — the
+// design-time step of filling the fault hypothesis tables without
+// hand-estimating arrival rates.
+type Calibrator struct {
+	mu     sync.Mutex
+	model  *runnable.Model
+	window int
+
+	cycleInWindow int
+	windows       int
+	counts        []int
+	minArr        []int
+	maxArr        []int
+}
+
+// NewCalibrator creates a calibrator observing windows of the given
+// length in watchdog cycles.
+func NewCalibrator(model *runnable.Model, windowCycles int) (*Calibrator, error) {
+	if model == nil {
+		return nil, errors.New("core: calibrator requires a model")
+	}
+	if !model.Frozen() {
+		return nil, errors.New("core: calibrator requires a frozen model")
+	}
+	if windowCycles <= 0 {
+		return nil, errors.New("core: window must be positive")
+	}
+	n := model.NumRunnables()
+	c := &Calibrator{
+		model:  model,
+		window: windowCycles,
+		counts: make([]int, n),
+		minArr: make([]int, n),
+		maxArr: make([]int, n),
+	}
+	for i := range c.minArr {
+		c.minArr[i] = math.MaxInt
+	}
+	return c, nil
+}
+
+// Heartbeat records one execution of the runnable.
+func (c *Calibrator) Heartbeat(rid runnable.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(rid) < 0 || int(rid) >= len(c.counts) {
+		return
+	}
+	c.counts[rid]++
+}
+
+// Cycle advances the observation clock; at each window boundary the
+// per-runnable extremes are updated and the counts reset.
+func (c *Calibrator) Cycle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cycleInWindow++
+	if c.cycleInWindow < c.window {
+		return
+	}
+	c.cycleInWindow = 0
+	c.windows++
+	for i, n := range c.counts {
+		if n < c.minArr[i] {
+			c.minArr[i] = n
+		}
+		if n > c.maxArr[i] {
+			c.maxArr[i] = n
+		}
+		c.counts[i] = 0
+	}
+}
+
+// Windows reports how many complete observation windows have elapsed.
+func (c *Calibrator) Windows() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.windows
+}
+
+// Observed reports the recorded per-window extremes for a runnable.
+func (c *Calibrator) Observed(rid runnable.ID) (min, max int, err error) {
+	if _, err := c.model.Runnable(rid); err != nil {
+		return 0, 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.windows == 0 {
+		return 0, 0, errors.New("core: no complete observation window yet")
+	}
+	return c.minArr[rid], c.maxArr[rid], nil
+}
+
+// Suggest derives a Hypothesis for the runnable: the aliveness floor is
+// the observed minimum reduced by margin (but at least 1), the arrival
+// ceiling the observed maximum increased by margin. At least three
+// windows of observation are required. A margin of 0.3 tolerates 30%
+// jitter around the healthy behaviour.
+func (c *Calibrator) Suggest(rid runnable.ID, margin float64) (Hypothesis, error) {
+	if margin < 0 || margin >= 1 {
+		return Hypothesis{}, fmt.Errorf("core: margin %v must be in [0,1)", margin)
+	}
+	min, max, err := c.Observed(rid)
+	if err != nil {
+		return Hypothesis{}, err
+	}
+	c.mu.Lock()
+	windows := c.windows
+	c.mu.Unlock()
+	if windows < 3 {
+		return Hypothesis{}, fmt.Errorf("core: only %d observation windows, need >= 3", windows)
+	}
+	if min == 0 {
+		return Hypothesis{}, fmt.Errorf("core: runnable %d had silent windows in the healthy run; aliveness monitoring would false-positive", rid)
+	}
+	floor := int(math.Floor(float64(min) * (1 - margin)))
+	if floor < 1 {
+		floor = 1
+	}
+	ceiling := int(math.Ceil(float64(max) * (1 + margin)))
+	if ceiling < floor {
+		ceiling = floor
+	}
+	return Hypothesis{
+		AlivenessCycles: c.window,
+		MinHeartbeats:   floor,
+		ArrivalCycles:   c.window,
+		MaxArrivals:     ceiling,
+	}, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"swwd/internal/runnable"
+)
+
+func newCalibrator(t *testing.T, f *fixture, window int) *Calibrator {
+	t.Helper()
+	c, err := NewCalibrator(f.m, window)
+	if err != nil {
+		t.Fatalf("NewCalibrator: %v", err)
+	}
+	return c
+}
+
+func TestCalibratorValidation(t *testing.T) {
+	if _, err := NewCalibrator(nil, 5); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := runnable.NewModel()
+	if _, err := NewCalibrator(m, 5); err == nil {
+		t.Error("unfrozen model accepted")
+	}
+	f := newFixture(t, nil)
+	if _, err := NewCalibrator(f.m, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestCalibratorObservesExtremes(t *testing.T) {
+	f := newFixture(t, nil)
+	c := newCalibrator(t, f, 5)
+	// Window 1: 5 beats; window 2: 3 beats; window 3: 7 beats.
+	for _, n := range []int{5, 3, 7} {
+		for b := 0; b < n; b++ {
+			c.Heartbeat(f.a)
+		}
+		for i := 0; i < 5; i++ {
+			c.Cycle()
+		}
+	}
+	min, max, err := c.Observed(f.a)
+	if err != nil {
+		t.Fatalf("Observed: %v", err)
+	}
+	if min != 3 || max != 7 {
+		t.Fatalf("observed = %d..%d, want 3..7", min, max)
+	}
+	if c.Windows() != 3 {
+		t.Fatalf("Windows = %d", c.Windows())
+	}
+}
+
+func TestCalibratorSuggest(t *testing.T) {
+	f := newFixture(t, nil)
+	c := newCalibrator(t, f, 5)
+	for w := 0; w < 4; w++ {
+		for b := 0; b < 5; b++ {
+			c.Heartbeat(f.a)
+		}
+		for i := 0; i < 5; i++ {
+			c.Cycle()
+		}
+	}
+	h, err := c.Suggest(f.a, 0.3)
+	if err != nil {
+		t.Fatalf("Suggest: %v", err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("suggested hypothesis invalid: %v", err)
+	}
+	// min=max=5, margin 0.3: floor(5*0.7)=3, ceil(5*1.3)=7.
+	if h.MinHeartbeats != 3 || h.MaxArrivals != 7 {
+		t.Fatalf("suggested = %+v, want min 3 max 7", h)
+	}
+	if h.AlivenessCycles != 5 || h.ArrivalCycles != 5 {
+		t.Fatalf("suggested windows = %+v", h)
+	}
+	// The suggestion is consistent with the observed behaviour: feeding
+	// the same pattern to a watchdog configured with it yields nothing.
+	if err := f.w.SetHypothesis(f.a, h); err != nil {
+		t.Fatalf("SetHypothesis: %v", err)
+	}
+	if err := f.w.Activate(f.a); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	f.spin(25, func(int) { f.w.Heartbeat(f.a) })
+	if got := f.w.Results(); got.Aliveness != 0 || got.ArrivalRate != 0 {
+		t.Fatalf("calibrated hypothesis false-positives: %+v", got)
+	}
+	// But silence is detected.
+	f.spin(5, nil)
+	if got := f.w.Results(); got.Aliveness == 0 {
+		t.Fatal("calibrated hypothesis missed silence")
+	}
+}
+
+func TestCalibratorSuggestErrors(t *testing.T) {
+	f := newFixture(t, nil)
+	c := newCalibrator(t, f, 5)
+	if _, err := c.Suggest(f.a, -0.1); err == nil {
+		t.Error("negative margin accepted")
+	}
+	if _, err := c.Suggest(f.a, 1); err == nil {
+		t.Error("margin 1 accepted")
+	}
+	if _, err := c.Suggest(f.a, 0.3); err == nil {
+		t.Error("suggestion without observations accepted")
+	}
+	if _, _, err := c.Observed(runnable.ID(99)); err == nil {
+		t.Error("unknown runnable accepted")
+	}
+	// Two windows only: still refused.
+	for w := 0; w < 2; w++ {
+		c.Heartbeat(f.a)
+		for i := 0; i < 5; i++ {
+			c.Cycle()
+		}
+	}
+	if _, err := c.Suggest(f.a, 0.3); err == nil {
+		t.Error("two windows accepted, need three")
+	}
+	// A runnable with silent windows is refused (monitoring would flap).
+	c2 := newCalibrator(t, f, 5)
+	for w := 0; w < 4; w++ {
+		if w%2 == 0 {
+			c2.Heartbeat(f.b)
+		}
+		for i := 0; i < 5; i++ {
+			c2.Cycle()
+		}
+	}
+	if _, err := c2.Suggest(f.b, 0.3); err == nil {
+		t.Error("silent-window runnable accepted")
+	}
+}
+
+func TestCalibratorIgnoresUnknownHeartbeats(t *testing.T) {
+	f := newFixture(t, nil)
+	c := newCalibrator(t, f, 2)
+	c.Heartbeat(runnable.ID(-1))
+	c.Heartbeat(runnable.ID(99))
+	c.Cycle()
+	c.Cycle()
+	min, max, err := c.Observed(f.a)
+	if err != nil || min != 0 || max != 0 {
+		t.Fatalf("Observed = %d..%d, %v", min, max, err)
+	}
+
+}

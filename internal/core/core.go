@@ -1,0 +1,694 @@
+// Package core implements the paper's primary contribution: the Software
+// Watchdog, a dependability software service that monitors the timing
+// behaviour and program flow of individual application runnables at run
+// time (§3).
+//
+// The service has the paper's three basic units:
+//
+//   - the heartbeat monitoring unit, tracking per-runnable aliveness and
+//     arrival rate with the Aliveness Counter (AC), Arrival Rate Counter
+//     (ARC), Cycle Counter for Aliveness (CCA), Cycle Counter for Arrival
+//     Rate (CCAR) and an Activation Status (AS) per runnable (§3.3);
+//   - the program flow checking (PFC) unit, validating executed successors
+//     against a predefined look-up table of allowed predecessor/successor
+//     pairs (§3.4);
+//   - the task state indication (TSI) unit, accumulating per-runnable error
+//     indications in error indication vectors and deriving task,
+//     application and global ECU state (§3.5).
+//
+// The watchdog is clock-agnostic: driven by an OSEK alarm on virtual time
+// in the HIL reproduction, or by a time.Ticker when deployed as a live Go
+// service (see the root swwd package).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// Hypothesis is the per-runnable fault hypothesis: how many heartbeats the
+// runnable must (aliveness) and may (arrival rate) produce within its
+// monitoring periods, both expressed in watchdog cycles.
+type Hypothesis struct {
+	// AlivenessCycles is the aliveness monitoring period in watchdog
+	// cycles (the CCA limit); zero disables aliveness monitoring.
+	AlivenessCycles int
+	// MinHeartbeats is the minimum number of heartbeats required per
+	// aliveness period.
+	MinHeartbeats int
+	// ArrivalCycles is the arrival-rate monitoring period in watchdog
+	// cycles (the CCAR limit); zero disables arrival-rate monitoring.
+	ArrivalCycles int
+	// MaxArrivals is the maximum number of heartbeats tolerated per
+	// arrival-rate period.
+	MaxArrivals int
+}
+
+// Validate checks internal consistency.
+func (h Hypothesis) Validate() error {
+	if h.AlivenessCycles < 0 || h.ArrivalCycles < 0 {
+		return errors.New("core: negative monitoring period")
+	}
+	if h.AlivenessCycles > 0 && h.MinHeartbeats <= 0 {
+		return errors.New("core: aliveness monitoring requires MinHeartbeats >= 1")
+	}
+	if h.ArrivalCycles > 0 && h.MaxArrivals <= 0 {
+		return errors.New("core: arrival-rate monitoring requires MaxArrivals >= 1")
+	}
+	return nil
+}
+
+// Thresholds are the error-indication-vector limits of the TSI unit: how
+// many errors of each kind one runnable may accumulate before its task is
+// declared faulty (Fig. 6 uses a program-flow threshold of 3).
+type Thresholds struct {
+	Aliveness   int
+	ArrivalRate int
+	ProgramFlow int
+}
+
+// DefaultThresholds mirror the evaluation setup of the paper.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Aliveness: 3, ArrivalRate: 3, ProgramFlow: 3}
+}
+
+func (t Thresholds) of(kind ErrorKind) int {
+	switch kind {
+	case AlivenessError:
+		return t.Aliveness
+	case ArrivalRateError:
+		return t.ArrivalRate
+	case ProgramFlowError:
+		return t.ProgramFlow
+	default:
+		return 0
+	}
+}
+
+// Config assembles a Watchdog.
+type Config struct {
+	Model *runnable.Model
+	Clock sim.Clock
+	// Sink receives fault reports and state events; nil attaches a
+	// discarding sink (reports remain queryable via counters).
+	Sink Sink
+	// CyclePeriod documents the intended spacing of Cycle calls; the
+	// driver (OSEK alarm or ticker) owns the actual cadence. Used only
+	// for reporting. Defaults to 10ms, the tick of the paper's plots.
+	CyclePeriod time.Duration
+	// Thresholds for the TSI unit; zero value means DefaultThresholds.
+	Thresholds Thresholds
+	// EagerArrivalCheck trips an arrival-rate error the moment ARC
+	// exceeds MaxArrivals instead of at period end (ablation; the paper
+	// checks "shortly before the next period begins").
+	EagerArrivalCheck bool
+	// DisableCorrelation turns off the Fig. 6 collaboration between the
+	// PFC and heartbeat units (ablation).
+	DisableCorrelation bool
+	// CorrelationWindowCycles is how many cycles after a program-flow
+	// error an aliveness error on the same task is attributed to the flow
+	// root cause. Zero means 2.
+	CorrelationWindowCycles int
+	// ECUFaultyAppCount is how many simultaneously faulty applications
+	// mark the global ECU state faulty. Zero means 2; set to 1 to make
+	// any faulty application an ECU-level fault.
+	ECUFaultyAppCount int
+}
+
+// rstate is the heartbeat-monitoring state of one runnable.
+type rstate struct {
+	active bool
+	hyp    Hypothesis
+
+	ac   int // Aliveness Counter
+	arc  int // Arrival Rate Counter
+	cca  int // Cycle Counter for Aliveness
+	ccar int // Cycle Counter for Arrival Rate
+
+	errs [3]uint64 // error-indication vector element, indexed by kind-1
+}
+
+// tstate is the TSI state of one task.
+type tstate struct {
+	state HealthState
+	// lastFlowCycle is the cycle of the most recent program-flow error on
+	// this task, for the correlation window.
+	lastFlowCycle uint64
+	flowSeen      bool
+	// correlatedAlivenessReported implements the paper's "only one
+	// accumulated aliveness error is reported" during a flow-error burst.
+	correlatedAlivenessReported bool
+	// lastExec is the previously executed monitored runnable of this
+	// task, the PFC predecessor register.
+	lastExec runnable.ID
+	// suspendedAS remembers which runnables had their Activation Status
+	// on when SuspendTaskMonitoring switched the task off.
+	suspendedAS []runnable.ID
+}
+
+// astate is the TSI state of one application.
+type astate struct {
+	state HealthState
+}
+
+// Counters is a snapshot of one runnable's heartbeat-monitoring counters.
+type Counters struct {
+	Active bool
+	AC     int
+	ARC    int
+	CCA    int
+	CCAR   int
+}
+
+// Results are cumulative detection counts — the "AM Result", "AR Result"
+// and "PFC Result" series of the paper's plots.
+type Results struct {
+	Aliveness   uint64
+	ArrivalRate uint64
+	ProgramFlow uint64
+}
+
+// Watchdog is the Software Watchdog service instance for one ECU.
+type Watchdog struct {
+	mu  sync.Mutex
+	cfg Config
+
+	model *runnable.Model
+	clock sim.Clock
+	sink  Sink
+
+	cycle uint64
+
+	rs []rstate
+	ts []tstate
+	as []astate
+
+	// successors[p] is a bitset over runnable IDs allowed to follow p.
+	successors [][]uint64
+	monitored  []bool // PFC-monitored runnables
+
+	ecuState HealthState
+	results  Results
+}
+
+// New validates the configuration and builds a watchdog with all
+// activation statuses off; configure runnables with SetHypothesis and the
+// flow table with AddFlowPair/AddFlowSequence, then Activate them.
+func New(cfg Config) (*Watchdog, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("core: Config.Model is required")
+	}
+	if !cfg.Model.Frozen() {
+		return nil, errors.New("core: model must be frozen")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("core: Config.Clock is required")
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = nopSink{}
+	}
+	if cfg.CyclePeriod <= 0 {
+		cfg.CyclePeriod = 10 * time.Millisecond
+	}
+	if (cfg.Thresholds == Thresholds{}) {
+		cfg.Thresholds = DefaultThresholds()
+	}
+	if cfg.Thresholds.Aliveness <= 0 || cfg.Thresholds.ArrivalRate <= 0 || cfg.Thresholds.ProgramFlow <= 0 {
+		return nil, errors.New("core: thresholds must be positive")
+	}
+	if cfg.CorrelationWindowCycles <= 0 {
+		cfg.CorrelationWindowCycles = 2
+	}
+	if cfg.ECUFaultyAppCount <= 0 {
+		cfg.ECUFaultyAppCount = 2
+	}
+	n := cfg.Model.NumRunnables()
+	words := (n + 63) / 64
+	w := &Watchdog{
+		cfg:        cfg,
+		model:      cfg.Model,
+		clock:      cfg.Clock,
+		sink:       cfg.Sink,
+		rs:         make([]rstate, n),
+		ts:         make([]tstate, cfg.Model.NumTasks()),
+		as:         make([]astate, cfg.Model.NumApps()),
+		successors: make([][]uint64, n),
+		monitored:  make([]bool, n),
+		ecuState:   StateOK,
+	}
+	for i := range w.successors {
+		w.successors[i] = make([]uint64, words)
+	}
+	for i := range w.ts {
+		w.ts[i].state = StateOK
+		w.ts[i].lastExec = runnable.NoID
+	}
+	for i := range w.as {
+		w.as[i].state = StateOK
+	}
+	return w, nil
+}
+
+// CyclePeriod reports the configured watchdog cycle period.
+func (w *Watchdog) CyclePeriod() time.Duration { return w.cfg.CyclePeriod }
+
+// SetHypothesis installs the fault hypothesis for a runnable. The runnable
+// is not activated; call Activate.
+func (w *Watchdog) SetHypothesis(rid runnable.ID, h Hypothesis) error {
+	if err := h.Validate(); err != nil {
+		return fmt.Errorf("core: SetHypothesis(%d): %w", rid, err)
+	}
+	if _, err := w.model.Runnable(rid); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rs[rid].hyp = h
+	return nil
+}
+
+// Hypothesis reports the installed fault hypothesis of a runnable.
+func (w *Watchdog) Hypothesis(rid runnable.ID) (Hypothesis, error) {
+	if _, err := w.model.Runnable(rid); err != nil {
+		return Hypothesis{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rs[rid].hyp, nil
+}
+
+// Activate sets a runnable's Activation Status: its heartbeats are
+// recorded and its hypothesis checked.
+func (w *Watchdog) Activate(rid runnable.ID) error {
+	return w.setActive(rid, true)
+}
+
+// Deactivate clears a runnable's Activation Status and resets its
+// counters.
+func (w *Watchdog) Deactivate(rid runnable.ID) error {
+	return w.setActive(rid, false)
+}
+
+func (w *Watchdog) setActive(rid runnable.ID, active bool) error {
+	if _, err := w.model.Runnable(rid); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rs := &w.rs[rid]
+	rs.active = active
+	rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+	return nil
+}
+
+// MonitorFlow enrols a runnable in program-flow checking. Only enrolled
+// (typically safety-critical, §3.4) runnables update and are checked
+// against the flow look-up table.
+func (w *Watchdog) MonitorFlow(rid runnable.ID) error {
+	if _, err := w.model.Runnable(rid); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.monitored[rid] = true
+	return nil
+}
+
+// AddFlowPair allows succ to execute immediately after pred within their
+// common task. Both runnables are implicitly enrolled in flow monitoring.
+func (w *Watchdog) AddFlowPair(pred, succ runnable.ID) error {
+	if _, err := w.model.Runnable(pred); err != nil {
+		return err
+	}
+	if _, err := w.model.Runnable(succ); err != nil {
+		return err
+	}
+	if w.model.TaskOf(pred) != w.model.TaskOf(succ) {
+		return fmt.Errorf("core: AddFlowPair(%d,%d): runnables belong to different tasks", pred, succ)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.successors[pred][succ/64] |= 1 << (uint(succ) % 64)
+	w.monitored[pred] = true
+	w.monitored[succ] = true
+	return nil
+}
+
+// AddFlowSequence allows the straight-line order r0→r1→…→rn and the
+// wrap-around rn→r0 (the task re-executes its sequence every activation).
+func (w *Watchdog) AddFlowSequence(rids ...runnable.ID) error {
+	if len(rids) < 2 {
+		return errors.New("core: AddFlowSequence needs at least two runnables")
+	}
+	for i := 0; i < len(rids)-1; i++ {
+		if err := w.AddFlowPair(rids[i], rids[i+1]); err != nil {
+			return err
+		}
+	}
+	return w.AddFlowPair(rids[len(rids)-1], rids[0])
+}
+
+// allowed reports whether succ may follow pred per the look-up table.
+func (w *Watchdog) allowed(pred, succ runnable.ID) bool {
+	return w.successors[pred][succ/64]&(1<<(uint(succ)%64)) != 0
+}
+
+// Heartbeat is the aliveness indication routine runnables call (directly,
+// or via the OSEK observer glue). It records the heartbeat in AC and ARC
+// and runs the event-triggered program-flow check.
+func (w *Watchdog) Heartbeat(rid runnable.ID) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if int(rid) < 0 || int(rid) >= len(w.rs) {
+		return
+	}
+	rs := &w.rs[rid]
+	if rs.active {
+		rs.ac++
+		rs.arc++
+		if w.cfg.EagerArrivalCheck && rs.hyp.ArrivalCycles > 0 && rs.arc > rs.hyp.MaxArrivals {
+			w.detectLocked(ArrivalRateError, rid, rs.arc, rs.hyp.MaxArrivals, runnable.NoID)
+			rs.arc, rs.ccar = 0, 0
+		}
+	}
+	w.checkFlowLocked(rid)
+}
+
+// checkFlowLocked implements the PFC unit: compare the actually executed
+// successor with the predefined successors of the predecessor. Flow is
+// tracked per task, so legal preemption interleavings between tasks are
+// not flagged.
+func (w *Watchdog) checkFlowLocked(rid runnable.ID) {
+	if !w.monitored[rid] {
+		return
+	}
+	tid := w.model.TaskOf(rid)
+	ts := &w.ts[tid]
+	pred := ts.lastExec
+	ts.lastExec = rid
+	if pred == runnable.NoID {
+		return // first monitored execution of this task: no predecessor yet
+	}
+	if w.allowed(pred, rid) {
+		return
+	}
+	ts.lastFlowCycle = w.cycle
+	if !ts.flowSeen {
+		ts.flowSeen = true
+		ts.correlatedAlivenessReported = false
+	}
+	w.detectLocked(ProgramFlowError, rid, 0, 0, pred)
+}
+
+// Cycle advances the time-triggered part of the watchdog by one monitoring
+// cycle: cycle counters are incremented and hypotheses whose period
+// expires are checked, then reset (§3.3: counters are "checked shortly
+// before the next period begins" and "reset to zero, if the periods ...
+// expire or an error is detected").
+func (w *Watchdog) Cycle() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cycle++
+	for rid := range w.rs {
+		rs := &w.rs[rid]
+		if !rs.active {
+			continue
+		}
+		if rs.hyp.AlivenessCycles > 0 {
+			rs.cca++
+			if rs.cca >= rs.hyp.AlivenessCycles {
+				if rs.ac < rs.hyp.MinHeartbeats {
+					w.detectLocked(AlivenessError, runnable.ID(rid), rs.ac, rs.hyp.MinHeartbeats, runnable.NoID)
+				}
+				rs.ac, rs.cca = 0, 0
+			}
+		}
+		if rs.hyp.ArrivalCycles > 0 {
+			rs.ccar++
+			if rs.ccar >= rs.hyp.ArrivalCycles {
+				if rs.arc > rs.hyp.MaxArrivals {
+					w.detectLocked(ArrivalRateError, runnable.ID(rid), rs.arc, rs.hyp.MaxArrivals, runnable.NoID)
+				}
+				rs.arc, rs.ccar = 0, 0
+			}
+		}
+	}
+}
+
+// detectLocked routes one detected error through the collaboration logic
+// and the TSI unit, and reports it to the sink. Callers hold w.mu.
+func (w *Watchdog) detectLocked(kind ErrorKind, rid runnable.ID, observed, expected int, pred runnable.ID) {
+	tid := w.model.TaskOf(rid)
+	app := w.model.AppOfRunnable(rid)
+	ts := &w.ts[tid]
+
+	correlated := false
+	if kind == AlivenessError && !w.cfg.DisableCorrelation && ts.flowSeen &&
+		w.cycle-ts.lastFlowCycle <= uint64(w.cfg.CorrelationWindowCycles) {
+		// Collaboration of the units (Fig. 6): this aliveness error is a
+		// symptom of the program-flow fault. Accumulate it at most once.
+		correlated = true
+		if ts.correlatedAlivenessReported {
+			return
+		}
+		ts.correlatedAlivenessReported = true
+	}
+
+	switch kind {
+	case AlivenessError:
+		w.results.Aliveness++
+	case ArrivalRateError:
+		w.results.ArrivalRate++
+	case ProgramFlowError:
+		w.results.ProgramFlow++
+	}
+	rs := &w.rs[rid]
+	rs.errs[kind-1]++
+
+	w.sink.Fault(Report{
+		Time:        w.clock.Now(),
+		Cycle:       w.cycle,
+		Kind:        kind,
+		Runnable:    rid,
+		Task:        tid,
+		App:         app,
+		Observed:    observed,
+		Expected:    expected,
+		Predecessor: pred,
+		Correlated:  correlated,
+	})
+
+	// TSI: element of the error indication vector reached its threshold →
+	// the whole task is considered faulty (§3.5).
+	if ts.state == StateOK && rs.errs[kind-1] >= uint64(w.cfg.Thresholds.of(kind)) {
+		w.setTaskStateLocked(tid, StateFaulty, kind)
+	}
+}
+
+// setTaskStateLocked performs the TSI derivation chain: task → application
+// → global ECU state.
+func (w *Watchdog) setTaskStateLocked(tid runnable.TaskID, state HealthState, cause ErrorKind) {
+	ts := &w.ts[tid]
+	if ts.state == state {
+		return
+	}
+	ts.state = state
+	w.sink.StateChanged(StateEvent{
+		Time: w.clock.Now(), Cycle: w.cycle,
+		Scope: TaskScope, Task: tid, App: w.model.AppOf(tid),
+		State: state, Cause: cause,
+	})
+
+	// A shared task hosts runnables of several applications; its state
+	// feeds into every one of them (§1: runnables from different software
+	// components can be mapped to the same task).
+	for _, app := range w.model.AppsOfTask(tid) {
+		appState := StateOK
+		appModel, err := w.model.App(app)
+		if err == nil {
+			for _, t := range appModel.Tasks {
+				if w.ts[t].state == StateFaulty {
+					appState = StateFaulty
+					break
+				}
+			}
+		}
+		if w.as[app].state != appState {
+			w.as[app].state = appState
+			w.sink.StateChanged(StateEvent{
+				Time: w.clock.Now(), Cycle: w.cycle,
+				Scope: AppScope, Task: runnable.NoID, App: app,
+				State: appState, Cause: cause,
+			})
+		}
+	}
+
+	faultyApps := 0
+	for i := range w.as {
+		if w.as[i].state == StateFaulty {
+			faultyApps++
+		}
+	}
+	ecu := StateOK
+	if faultyApps >= w.cfg.ECUFaultyAppCount {
+		ecu = StateFaulty
+	}
+	if w.ecuState != ecu {
+		w.ecuState = ecu
+		w.sink.StateChanged(StateEvent{
+			Time: w.clock.Now(), Cycle: w.cycle,
+			Scope: ECUScope, Task: runnable.NoID, App: runnable.NoID,
+			State: ecu, Cause: cause,
+		})
+	}
+}
+
+// ClearTask resets the TSI state and heartbeat counters of one task after
+// fault treatment (task or application restart), returning it to OK.
+func (w *Watchdog) ClearTask(tid runnable.TaskID) error {
+	t, err := w.model.Task(tid)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ts := &w.ts[tid]
+	ts.flowSeen = false
+	ts.correlatedAlivenessReported = false
+	ts.lastExec = runnable.NoID
+	for _, rid := range t.Runnables {
+		rs := &w.rs[rid]
+		rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+		rs.errs = [3]uint64{}
+	}
+	if ts.state != StateOK {
+		w.setTaskStateLocked(tid, StateOK, 0)
+	}
+	return nil
+}
+
+// SuspendTaskMonitoring clears the Activation Status of every runnable of
+// a task and remembers the previous set, used when the task's application
+// is terminated: a deliberately stopped application must not accumulate
+// aliveness errors (§3.3 AS semantics).
+func (w *Watchdog) SuspendTaskMonitoring(tid runnable.TaskID) error {
+	t, err := w.model.Task(tid)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ts := &w.ts[tid]
+	ts.suspendedAS = ts.suspendedAS[:0]
+	for _, rid := range t.Runnables {
+		rs := &w.rs[rid]
+		if rs.active {
+			ts.suspendedAS = append(ts.suspendedAS, rid)
+			rs.active = false
+			rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+		}
+	}
+	return nil
+}
+
+// ResumeTaskMonitoring restores the Activation Statuses recorded by
+// SuspendTaskMonitoring.
+func (w *Watchdog) ResumeTaskMonitoring(tid runnable.TaskID) error {
+	if _, err := w.model.Task(tid); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ts := &w.ts[tid]
+	for _, rid := range ts.suspendedAS {
+		rs := &w.rs[rid]
+		rs.active = true
+		rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+	}
+	ts.suspendedAS = ts.suspendedAS[:0]
+	return nil
+}
+
+// ClearAll resets every task and resumes suspended monitoring, e.g. after
+// an ECU software reset (the boot configuration is re-applied).
+func (w *Watchdog) ClearAll() {
+	for tid := range w.ts {
+		// tid is always valid here.
+		_ = w.ResumeTaskMonitoring(runnable.TaskID(tid))
+		_ = w.ClearTask(runnable.TaskID(tid))
+	}
+	w.mu.Lock()
+	w.cycle = 0
+	w.mu.Unlock()
+}
+
+// CycleCount reports how many monitoring cycles have elapsed.
+func (w *Watchdog) CycleCount() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cycle
+}
+
+// CounterSnapshot reports the live heartbeat-monitoring counters of a
+// runnable — the series plotted in Fig. 5.
+func (w *Watchdog) CounterSnapshot(rid runnable.ID) (Counters, error) {
+	if _, err := w.model.Runnable(rid); err != nil {
+		return Counters{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rs := &w.rs[rid]
+	return Counters{Active: rs.active, AC: rs.ac, ARC: rs.arc, CCA: rs.cca, CCAR: rs.ccar}, nil
+}
+
+// Results reports the cumulative detection counts (the AM/AR/PFC Result
+// series).
+func (w *Watchdog) Results() Results {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.results
+}
+
+// RunnableErrors reports the error-indication-vector element of one
+// runnable: accumulated error counts by kind.
+func (w *Watchdog) RunnableErrors(rid runnable.ID) (aliveness, arrival, flow uint64, err error) {
+	if _, err := w.model.Runnable(rid); err != nil {
+		return 0, 0, 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e := w.rs[rid].errs
+	return e[0], e[1], e[2], nil
+}
+
+// TaskState reports the TSI-derived state of a task.
+func (w *Watchdog) TaskState(tid runnable.TaskID) (HealthState, error) {
+	if _, err := w.model.Task(tid); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ts[tid].state, nil
+}
+
+// AppState reports the TSI-derived state of an application.
+func (w *Watchdog) AppState(app runnable.AppID) (HealthState, error) {
+	if _, err := w.model.App(app); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.as[app].state, nil
+}
+
+// ECUState reports the derived global ECU state.
+func (w *Watchdog) ECUState() HealthState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ecuState
+}

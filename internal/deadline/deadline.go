@@ -1,0 +1,165 @@
+// Package deadline implements the task-granularity timing monitors the
+// paper positions the Software Watchdog against (§2): deadline monitoring
+// in the style of the OSEKtime operating system [8] and execution-time
+// budget monitoring in the style of the AUTOSAR OS [9]. Both observe
+// whole tasks.
+//
+// They exist as comparison baselines for the paper's motivating claim
+// that "the granularity of fault detection on the layer of tasks is not
+// fine enough for runnables": a fault that silently skips one runnable
+// makes its task *faster*, so neither a deadline nor a budget monitor can
+// see it, while the watchdog's per-runnable heartbeat and flow checks do
+// (experiment E5 in DESIGN.md).
+package deadline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// Violations are the cumulative detections of the monitor for one task.
+type Violations struct {
+	// DeadlineMisses counts activations that terminated later than the
+	// relative deadline.
+	DeadlineMisses uint64
+	// BudgetOverruns counts activations whose accumulated execution time
+	// exceeded the budget.
+	BudgetOverruns uint64
+	// Activations counts observed activations (completed ones).
+	Activations uint64
+}
+
+// taskState tracks one task's current activation.
+type taskState struct {
+	deadline time.Duration // 0 = not monitored
+	budget   time.Duration // 0 = not monitored
+
+	activatedAt sim.Time
+	runningAt   sim.Time
+	execAccum   time.Duration
+	active      bool
+	running     bool
+
+	violations Violations
+}
+
+// Monitor is a task-level deadline and execution-budget monitor attached
+// to the OSEK scheduler as an observer.
+type Monitor struct {
+	model *runnable.Model
+	clock sim.Clock
+	tasks []taskState
+	// OnViolation, if set, is called on each detection.
+	OnViolation func(tid runnable.TaskID, deadlineMiss bool)
+}
+
+var _ osek.Observer = (*Monitor)(nil)
+
+// New creates a monitor over the model; attach it with os.AddObserver.
+func New(model *runnable.Model, clock sim.Clock) (*Monitor, error) {
+	if model == nil {
+		return nil, errors.New("deadline: model is required")
+	}
+	if !model.Frozen() {
+		return nil, errors.New("deadline: model must be frozen")
+	}
+	if clock == nil {
+		return nil, errors.New("deadline: clock is required")
+	}
+	return &Monitor{
+		model: model,
+		clock: clock,
+		tasks: make([]taskState, model.NumTasks()),
+	}, nil
+}
+
+// SetDeadline installs a relative deadline (from activation to
+// termination) for a task; zero disables deadline monitoring.
+func (m *Monitor) SetDeadline(tid runnable.TaskID, d time.Duration) error {
+	if int(tid) < 0 || int(tid) >= len(m.tasks) {
+		return fmt.Errorf("deadline: unknown task %d", tid)
+	}
+	if d < 0 {
+		return fmt.Errorf("deadline: negative deadline %v", d)
+	}
+	m.tasks[tid].deadline = d
+	return nil
+}
+
+// SetBudget installs an execution-time budget per activation; zero
+// disables budget monitoring.
+func (m *Monitor) SetBudget(tid runnable.TaskID, d time.Duration) error {
+	if int(tid) < 0 || int(tid) >= len(m.tasks) {
+		return fmt.Errorf("deadline: unknown task %d", tid)
+	}
+	if d < 0 {
+		return fmt.Errorf("deadline: negative budget %v", d)
+	}
+	m.tasks[tid].budget = d
+	return nil
+}
+
+// Violations reports the detections for one task.
+func (m *Monitor) Violations(tid runnable.TaskID) (Violations, error) {
+	if int(tid) < 0 || int(tid) >= len(m.tasks) {
+		return Violations{}, fmt.Errorf("deadline: unknown task %d", tid)
+	}
+	return m.tasks[tid].violations, nil
+}
+
+// RunnableStart implements osek.Observer (task-granularity monitors see
+// nothing at runnable level — that is the point).
+func (m *Monitor) RunnableStart(runnable.ID, runnable.TaskID) {}
+
+// RunnableEnd implements osek.Observer.
+func (m *Monitor) RunnableEnd(runnable.ID, runnable.TaskID) {}
+
+// TaskTransition implements osek.Observer: activation, execution
+// accounting and completion checks.
+func (m *Monitor) TaskTransition(tid runnable.TaskID, from, to osek.TaskState) {
+	if int(tid) < 0 || int(tid) >= len(m.tasks) {
+		return
+	}
+	ts := &m.tasks[tid]
+	now := m.clock.Now()
+	switch {
+	case from == osek.Suspended && to == osek.Ready:
+		ts.active = true
+		ts.running = false
+		ts.activatedAt = now
+		ts.execAccum = 0
+	case to == osek.Running:
+		ts.running = true
+		ts.runningAt = now
+	case from == osek.Running:
+		if ts.running {
+			ts.execAccum += now.Sub(ts.runningAt)
+			ts.running = false
+		}
+		if to == osek.Suspended && ts.active {
+			m.complete(tid, ts, now)
+		}
+	}
+}
+
+func (m *Monitor) complete(tid runnable.TaskID, ts *taskState, now sim.Time) {
+	ts.active = false
+	ts.violations.Activations++
+	if ts.deadline > 0 && now.Sub(ts.activatedAt) > ts.deadline {
+		ts.violations.DeadlineMisses++
+		if m.OnViolation != nil {
+			m.OnViolation(tid, true)
+		}
+	}
+	if ts.budget > 0 && ts.execAccum > ts.budget {
+		ts.violations.BudgetOverruns++
+		if m.OnViolation != nil {
+			m.OnViolation(tid, false)
+		}
+	}
+}

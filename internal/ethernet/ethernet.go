@@ -1,0 +1,158 @@
+// Package ethernet simulates the TCP/IP telematics domain of the EASIS
+// validator (§4.1) as a switched message network: unicast and broadcast
+// datagrams with a configurable store-and-forward latency and
+// deterministic, seeded jitter.
+package ethernet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+// Message is one delivered datagram.
+type Message struct {
+	From    string
+	To      string // empty for broadcast
+	Topic   uint32 // application-level message identifier
+	Payload []byte
+}
+
+// Config parametrises the network.
+type Config struct {
+	// Latency is the base one-way delivery latency.
+	Latency time.Duration
+	// Jitter adds a deterministic pseudo-random delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed drives the jitter source; runs with equal seeds are identical.
+	Seed int64
+	// LossRate drops a fraction of datagrams in [0,1) — telematics links
+	// are not guaranteed.
+	LossRate float64
+}
+
+// Stats aggregates network counters.
+type Stats struct {
+	Delivered uint64
+	Dropped   uint64
+}
+
+// Network is one switched segment.
+type Network struct {
+	kernel *sim.Kernel
+	cfg    Config
+	rng    *rand.Rand
+	nodes  map[string]*Node
+	// order preserves attachment order so broadcast delivery is
+	// deterministic (map iteration is not).
+	order []*Node
+	stats Stats
+}
+
+// NewNetwork creates a network on the kernel.
+func NewNetwork(k *sim.Kernel, cfg Config) (*Network, error) {
+	if k == nil {
+		return nil, errors.New("ethernet: kernel is required")
+	}
+	if cfg.Latency < 0 || cfg.Jitter < 0 {
+		return nil, errors.New("ethernet: negative latency/jitter")
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, errors.New("ethernet: loss rate must be in [0,1)")
+	}
+	return &Network{
+		kernel: k,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nodes:  make(map[string]*Node),
+	}, nil
+}
+
+// Stats reports the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AttachNode adds a named endpoint; names must be unique.
+func (n *Network) AttachNode(name string) (*Node, error) {
+	if name == "" {
+		return nil, errors.New("ethernet: empty node name")
+	}
+	if _, dup := n.nodes[name]; dup {
+		return nil, fmt.Errorf("ethernet: duplicate node %q", name)
+	}
+	node := &Node{name: name, net: n}
+	n.nodes[name] = node
+	n.order = append(n.order, node)
+	return node, nil
+}
+
+func (n *Network) transmit(msg Message) error {
+	if msg.To != "" {
+		if _, ok := n.nodes[msg.To]; !ok {
+			return fmt.Errorf("ethernet: unknown destination %q", msg.To)
+		}
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.Dropped++
+		return nil
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	payload := make([]byte, len(msg.Payload))
+	copy(payload, msg.Payload)
+	msg.Payload = payload
+	n.kernel.After(delay, func() {
+		if msg.To != "" {
+			n.stats.Delivered++
+			n.nodes[msg.To].deliver(msg)
+			return
+		}
+		for _, node := range n.order {
+			if node.name == msg.From {
+				continue
+			}
+			n.stats.Delivered++
+			node.deliver(msg)
+		}
+	})
+	return nil
+}
+
+// Node is one network endpoint.
+type Node struct {
+	name     string
+	net      *Network
+	handlers []func(Message)
+}
+
+// Name reports the node name.
+func (nd *Node) Name() string { return nd.name }
+
+// Send transmits a unicast datagram.
+func (nd *Node) Send(to string, topic uint32, payload []byte) error {
+	return nd.net.transmit(Message{From: nd.name, To: to, Topic: topic, Payload: payload})
+}
+
+// Broadcast transmits to every other node.
+func (nd *Node) Broadcast(topic uint32, payload []byte) error {
+	return nd.net.transmit(Message{From: nd.name, Topic: topic, Payload: payload})
+}
+
+// Subscribe registers a receive handler.
+func (nd *Node) Subscribe(handler func(Message)) {
+	if handler != nil {
+		nd.handlers = append(nd.handlers, handler)
+	}
+}
+
+func (nd *Node) deliver(msg Message) {
+	for _, h := range nd.handlers {
+		payload := make([]byte, len(msg.Payload))
+		copy(payload, msg.Payload)
+		h(Message{From: msg.From, To: msg.To, Topic: msg.Topic, Payload: payload})
+	}
+}

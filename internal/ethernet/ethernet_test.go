@@ -1,0 +1,169 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+func newNet(t *testing.T, cfg Config) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	n, err := NewNetwork(k, cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return k, n
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, Config{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	k := sim.NewKernel()
+	if _, err := NewNetwork(k, Config{Latency: -time.Second}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewNetwork(k, Config{LossRate: 1}); err == nil {
+		t.Error("loss rate 1 accepted")
+	}
+	n, err := NewNetwork(k, Config{})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := n.AttachNode(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := n.AttachNode("a"); err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	if _, err := n.AttachNode("a"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestUnicastWithLatency(t *testing.T) {
+	k, n := newNet(t, Config{Latency: 5 * time.Millisecond})
+	a, _ := n.AttachNode("a")
+	b, _ := n.AttachNode("b")
+	var got []Message
+	var at sim.Time
+	b.Subscribe(func(m Message) { got = append(got, m); at = k.Now() })
+	if err := a.Send("b", 7, []byte{1, 2}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if len(got) != 1 || got[0].From != "a" || got[0].Topic != 7 || len(got[0].Payload) != 2 {
+		t.Fatalf("got = %+v", got)
+	}
+	if at != 5*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+}
+
+func TestUnknownDestinationRejected(t *testing.T) {
+	_, n := newNet(t, Config{})
+	a, _ := n.AttachNode("a")
+	if err := a.Send("ghost", 1, nil); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	k, n := newNet(t, Config{})
+	a, _ := n.AttachNode("a")
+	b, _ := n.AttachNode("b")
+	c, _ := n.AttachNode("c")
+	var gotB, gotC, gotA int
+	a.Subscribe(func(Message) { gotA++ })
+	b.Subscribe(func(Message) { gotB++ })
+	c.Subscribe(func(Message) { gotC++ })
+	if err := a.Broadcast(1, []byte{1}); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if gotA != 0 || gotB != 1 || gotC != 1 {
+		t.Fatalf("deliveries a=%d b=%d c=%d", gotA, gotB, gotC)
+	}
+	if n.Stats().Delivered != 2 {
+		t.Fatalf("Delivered = %d", n.Stats().Delivered)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []sim.Time {
+		k, n := newNet(t, Config{Latency: time.Millisecond, Jitter: time.Millisecond, Seed: seed})
+		a, _ := n.AttachNode("a")
+		b, _ := n.AttachNode("b")
+		var times []sim.Time
+		b.Subscribe(func(Message) { times = append(times, k.Now()) })
+		for i := 0; i < 10; i++ {
+			if err := a.Send("b", 1, nil); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			t.Fatalf("RunUntilIdle: %v", err)
+		}
+		return times
+	}
+	x, y := run(42), run(42)
+	if len(x) != 10 || len(y) != 10 {
+		t.Fatalf("lengths %d/%d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("same seed produced different delivery times")
+		}
+		if x[i] < sim.Millisecond || x[i] >= 2*sim.Millisecond {
+			t.Fatalf("delivery %v outside latency+jitter window", x[i])
+		}
+	}
+}
+
+func TestLossRateDropsSome(t *testing.T) {
+	k, n := newNet(t, Config{LossRate: 0.5, Seed: 7})
+	a, _ := n.AttachNode("a")
+	b, _ := n.AttachNode("b")
+	received := 0
+	b.Subscribe(func(Message) { received++ })
+	for i := 0; i < 100; i++ {
+		if err := a.Send("b", 1, nil); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	st := n.Stats()
+	if st.Dropped == 0 || received == 0 {
+		t.Fatalf("dropped=%d received=%d, want both nonzero", st.Dropped, received)
+	}
+	if st.Dropped+st.Delivered != 100 {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	k, n := newNet(t, Config{})
+	a, _ := n.AttachNode("a")
+	b, _ := n.AttachNode("b")
+	var got []byte
+	b.Subscribe(func(m Message) { got = m.Payload })
+	buf := []byte{1, 2, 3}
+	if err := a.Send("b", 1, buf); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	buf[0] = 99
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if got[0] != 1 {
+		t.Fatal("payload not copied at send boundary")
+	}
+}

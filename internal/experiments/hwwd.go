@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/hil"
+	"swwd/internal/inject"
+	"swwd/internal/sim"
+)
+
+// HWWDResult compares the two watchdog layers on two fault classes (X2,
+// the §2 division of labour): a runnable-level invalid branch and a
+// whole-CPU monopolisation.
+type HWWDResult struct {
+	// Runnable-level fault (invalid branch).
+	BranchHWExpiries uint64
+	BranchSWFlow     uint64
+	// CPU monopolisation.
+	HogHWExpiries uint64
+	HogResets     int
+	HogRecovered  bool
+}
+
+// HardwareWatchdog runs X2: each fault class on a fresh validator with
+// the hardware watchdog layer enabled.
+func HardwareWatchdog() (*HWWDResult, error) {
+	res := &HWWDResult{}
+
+	// Case 1: invalid branch — only the Software Watchdog sees it.
+	v, err := hil.New(hil.Options{WithHardwareWatchdog: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hwwd: %w", err)
+	}
+	branch := &inject.FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+	}
+	v.Injector.ApplyAt(2*sim.Second, branch)
+	if err := v.Run(8 * time.Second); err != nil {
+		return nil, fmt.Errorf("experiments: hwwd: %w", err)
+	}
+	res.BranchHWExpiries = v.HWWatchdog.Expiries()
+	res.BranchSWFlow = v.Watchdog.Results().ProgramFlow
+
+	// Case 2: CPU monopolisation — the hardware watchdog fires and resets.
+	v2, err := hil.New(hil.Options{WithHardwareWatchdog: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hwwd: %w", err)
+	}
+	hog := &inject.ExecStretch{OS: v2.OS, Runnable: v2.SteerByWire.Vote, Scale: 10000}
+	if err := v2.Injector.Window(2*sim.Second, 4*sim.Second, hog); err != nil {
+		return nil, fmt.Errorf("experiments: hwwd: %w", err)
+	}
+	if err := v2.Run(10 * time.Second); err != nil {
+		return nil, fmt.Errorf("experiments: hwwd: %w", err)
+	}
+	res.HogHWExpiries = v2.HWWatchdog.Expiries()
+	res.HogResets = v2.OS.ResetCount()
+	// Recovered: control executing again after the window.
+	before := v2.SafeSpeed.ControlExecutions()
+	if err := v2.Run(time.Second); err != nil {
+		return nil, fmt.Errorf("experiments: hwwd: %w", err)
+	}
+	res.HogRecovered = v2.SafeSpeed.ControlExecutions() > before
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"swwd/internal/cfc"
+)
+
+// OverheadRow is one row of the T1 comparison: the run-time per-check cost
+// and the static instrumentation burden of each mechanism for a
+// control-flow graph of N blocks.
+type OverheadRow struct {
+	Blocks int
+	// TableNsPerCheck and CFCSSNsPerCheck are the measured per-transition
+	// costs in nanoseconds.
+	TableNsPerCheck float64
+	CFCSSNsPerCheck float64
+	// TablePoints and CFCSSPoints are the code sites each mechanism must
+	// instrument.
+	TablePoints int
+	CFCSSPoints int
+	// TableBytes is the look-up table's memory footprint.
+	TableBytes int
+}
+
+// ringGraph builds an N-block graph shaped like the watchdog's workload:
+// a main sequence with wrap-around plus a few branch edges (fan-in).
+func ringGraph(n int) (*cfc.Graph, error) {
+	g, err := cfc.NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(cfc.BlockID(i), cfc.BlockID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	// A skip edge every 4 blocks models conditional branches.
+	for i := 0; i+2 < n; i += 4 {
+		if err := g.AddEdge(cfc.BlockID(i), cfc.BlockID(i+2)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// legalWalk precomputes a legal block sequence of the given length.
+func legalWalk(g *cfc.Graph, length int, seed int64) []cfc.BlockID {
+	rng := rand.New(rand.NewSource(seed))
+	walk := make([]cfc.BlockID, length)
+	cur := cfc.BlockID(0)
+	for i := range walk {
+		ss := g.Successors(cur)
+		cur = ss[rng.Intn(len(ss))]
+		walk[i] = cur
+	}
+	return walk
+}
+
+// measure runs the checker over the walk `rounds` times and reports the
+// mean ns per Enter.
+func measure(c cfc.Checker, walk []cfc.BlockID, rounds int) float64 {
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		// Each round is a fresh activation from the entry block; the walk
+		// starts at a successor of block 0.
+		c.Reset(0)
+		for _, b := range walk {
+			c.Enter(b)
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(rounds*len(walk))
+}
+
+// Overhead reproduces T1: per-check cost and instrumentation burden of the
+// look-up-table PFC vs embedded-signature CFCSS, over graph sizes covering
+// a task's runnables (3) up to a whole ECU's monitored set (100).
+func Overhead(sizes []int) ([]OverheadRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{3, 10, 30, 100}
+	}
+	const walkLen = 4096
+	const rounds = 200
+	rows := make([]OverheadRow, 0, len(sizes))
+	for _, n := range sizes {
+		g, err := ringGraph(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overhead: %w", err)
+		}
+		walk := legalWalk(g, walkLen, int64(n))
+		table := cfc.NewTablePFC(g)
+		sigs, err := cfc.NewCFCSS(g, int64(n))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overhead: %w", err)
+		}
+		row := OverheadRow{
+			Blocks:          n,
+			TableNsPerCheck: measure(table, walk, rounds),
+			CFCSSNsPerCheck: measure(sigs, walk, rounds),
+			TablePoints:     table.InstrumentationPoints(),
+			CFCSSPoints:     sigs.InstrumentationPoints(),
+			TableBytes:      n * ((n + 63) / 64) * 8,
+		}
+		if table.Detected() != 0 {
+			return nil, fmt.Errorf("experiments: overhead: table flagged a legal walk (n=%d)", n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

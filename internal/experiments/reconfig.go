@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/fmf"
+	"swwd/internal/hil"
+	"swwd/internal/inject"
+	"swwd/internal/sim"
+	"swwd/internal/vehicle"
+)
+
+// ReconfigResult summarises the dynamic-reconfiguration scenario (X1, the
+// paper's outlook: "dynamic reconfiguration of applications"): a
+// persistent fault terminates SafeSpeed, the limp-home fallback engages
+// and keeps the vehicle governed at the degraded cap.
+type ReconfigResult struct {
+	// TerminatedAt is when the FMF terminated the faulty application.
+	TerminatedAt sim.Time
+	// EngagedAt is when the fallback configuration was activated.
+	EngagedAt sim.Time
+	// SpeedBeforeKph is the cruise speed under the healthy application.
+	SpeedBeforeKph float64
+	// SpeedAfterKph is the speed under the limp-home governor at scenario
+	// end.
+	SpeedAfterKph float64
+	// FallbackExecutions counts limp-home control runs.
+	FallbackExecutions uint64
+	// FallbackSupervised reports whether the degraded mode's runnable was
+	// enrolled in heartbeat monitoring after engagement.
+	FallbackSupervised bool
+}
+
+// Reconfig runs X1: invalid-branch fault at 5s under the terminate
+// policy with the fallback enabled; 60s total so the vehicle visibly
+// settles at the limp-home cap.
+func Reconfig() (*ReconfigResult, error) {
+	v, err := hil.New(hil.Options{
+		EnableTreatment: true,
+		EnableFallback:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reconfig: %w", err)
+	}
+	if err := v.FMF.SetPolicy(v.SafeSpeed.App, fmf.TerminateApp); err != nil {
+		return nil, fmt.Errorf("experiments: reconfig: %w", err)
+	}
+	branch := &inject.FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+	}
+	v.Injector.ApplyAt(15*sim.Second, branch)
+
+	// Healthy cruise settles near the 80 km/h command first.
+	if err := v.Run(15 * time.Second); err != nil {
+		return nil, fmt.Errorf("experiments: reconfig: %w", err)
+	}
+	res := &ReconfigResult{SpeedBeforeKph: vehicle.MsToKph(v.Long.Speed())}
+	if err := v.Run(45 * time.Second); err != nil {
+		return nil, fmt.Errorf("experiments: reconfig: %w", err)
+	}
+	for _, tr := range v.FMF.Treatments() {
+		if tr.Action == fmf.TerminateAppAction {
+			res.TerminatedAt = tr.Time
+			break
+		}
+	}
+	for _, ev := range v.Reconfig.Log() {
+		if ev.Engaged {
+			res.EngagedAt = ev.Time
+			break
+		}
+	}
+	res.SpeedAfterKph = vehicle.MsToKph(v.Long.Speed())
+	res.FallbackExecutions = v.FallbackExecutions()
+	if c, err := v.Watchdog.CounterSnapshot(v.FallbackRunnable); err == nil {
+		res.FallbackSupervised = c.Active
+	}
+	return res, nil
+}

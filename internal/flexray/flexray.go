@@ -1,0 +1,313 @@
+// Package flexray simulates the time-triggered FlexRay protocol at the
+// communication-cycle level: a static TDMA segment with per-node slot
+// ownership, an optional minislot-based dynamic segment, and the 0..63
+// cycle counter. FlexRay carries the safety-critical x-by-wire traffic in
+// the EASIS validator (§4.1, [16]).
+package flexray
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+// MaxPayload is the FlexRay payload limit (254 bytes / 127 two-byte
+// words).
+const MaxPayload = 254
+
+// cycleCounterPeriod is the number of communication cycles counted before
+// wrap-around (0..63).
+const cycleCounterPeriod = 64
+
+// Config sizes the communication cycle.
+type Config struct {
+	// StaticSlots is the number of static TDMA slots per cycle.
+	StaticSlots int
+	// SlotDuration is the wire time of one static slot.
+	SlotDuration time.Duration
+	// Minislots is the number of dynamic-segment minislots per cycle
+	// (zero disables the dynamic segment).
+	Minislots int
+	// MinislotDuration is the wire time of one minislot.
+	MinislotDuration time.Duration
+}
+
+// CycleDuration reports the total communication-cycle length.
+func (c Config) CycleDuration() time.Duration {
+	return time.Duration(c.StaticSlots)*c.SlotDuration +
+		time.Duration(c.Minislots)*c.MinislotDuration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StaticSlots <= 0 {
+		return errors.New("flexray: at least one static slot required")
+	}
+	if c.SlotDuration <= 0 {
+		return errors.New("flexray: slot duration must be positive")
+	}
+	if c.Minislots < 0 || (c.Minislots > 0 && c.MinislotDuration <= 0) {
+		return errors.New("flexray: invalid dynamic segment")
+	}
+	return nil
+}
+
+// Frame is one FlexRay frame as seen by receivers.
+type Frame struct {
+	Slot    int // static slot number (1-based) or dynamic frame ID
+	Cycle   int // cycle counter 0..63 at transmission
+	Dynamic bool
+	Data    []byte
+}
+
+// Stats aggregates bus counters.
+type Stats struct {
+	Cycles         uint64
+	StaticFrames   uint64
+	DynamicFrames  uint64
+	EmptySlots     uint64
+	DynamicDropped uint64 // dynamic requests that did not fit the segment
+}
+
+// Bus is one FlexRay channel.
+type Bus struct {
+	kernel *sim.Kernel
+	cfg    Config
+	nodes  []*Node
+	// static slot ownership: slot (1-based) → node
+	owners map[int]*Node
+	cycle  int
+	stats  Stats
+	// dynamic send requests for the coming dynamic segment, keyed by
+	// frame ID (lower = earlier minislot = higher priority).
+	dynPending map[int][]byte
+	started    bool
+}
+
+// NewBus creates a FlexRay bus; Start begins the cycle schedule.
+func NewBus(k *sim.Kernel, cfg Config) (*Bus, error) {
+	if k == nil {
+		return nil, errors.New("flexray: kernel is required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bus{
+		kernel:     k,
+		cfg:        cfg,
+		owners:     make(map[int]*Node),
+		dynPending: make(map[int][]byte),
+	}, nil
+}
+
+// Config reports the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Stats reports the bus counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// CycleCounter reports the current communication cycle counter (0..63).
+func (b *Bus) CycleCounter() int { return b.cycle % cycleCounterPeriod }
+
+// AttachNode adds a node.
+func (b *Bus) AttachNode(name string) *Node {
+	n := &Node{name: name, bus: b, txBuf: make(map[int][]byte)}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// AssignSlot gives a node exclusive ownership of a static slot (1-based).
+func (b *Bus) AssignSlot(slot int, n *Node) error {
+	if slot < 1 || slot > b.cfg.StaticSlots {
+		return fmt.Errorf("flexray: slot %d out of range 1..%d", slot, b.cfg.StaticSlots)
+	}
+	if owner, taken := b.owners[slot]; taken {
+		return fmt.Errorf("flexray: slot %d already owned by %s", slot, owner.name)
+	}
+	if n == nil || n.bus != b {
+		return errors.New("flexray: node does not belong to this bus")
+	}
+	b.owners[slot] = n
+	return nil
+}
+
+// Start launches the communication schedule.
+func (b *Bus) Start() error {
+	if b.started {
+		return errors.New("flexray: already started")
+	}
+	b.started = true
+	b.scheduleCycle()
+	return nil
+}
+
+func (b *Bus) scheduleCycle() {
+	// Static segment: each slot fires at its offset within the cycle.
+	for slot := 1; slot <= b.cfg.StaticSlots; slot++ {
+		slot := slot
+		offset := time.Duration(slot-1) * b.cfg.SlotDuration
+		b.kernel.After(offset+b.cfg.SlotDuration, func() { b.fireStaticSlot(slot) })
+	}
+	if b.cfg.Minislots > 0 {
+		staticEnd := time.Duration(b.cfg.StaticSlots) * b.cfg.SlotDuration
+		b.kernel.After(staticEnd, func() { b.fireDynamicSegment() })
+	}
+	b.kernel.After(b.cfg.CycleDuration(), func() {
+		b.cycle++
+		b.stats.Cycles++
+		b.scheduleCycle()
+	})
+}
+
+func (b *Bus) fireStaticSlot(slot int) {
+	owner := b.owners[slot]
+	if owner == nil {
+		b.stats.EmptySlots++
+		return
+	}
+	data, ok := owner.takeFrame(slot)
+	if !ok {
+		b.stats.EmptySlots++
+		return
+	}
+	b.stats.StaticFrames++
+	owner.stats.Sent++
+	f := Frame{Slot: slot, Cycle: b.CycleCounter(), Data: data}
+	for _, n := range b.nodes {
+		if n == owner {
+			continue
+		}
+		n.deliver(f)
+	}
+}
+
+// fireDynamicSegment transmits pending dynamic frames in frame-ID order
+// until the minislots are exhausted: each frame consumes minislots
+// proportional to its size, unsent requests are dropped (counted), as the
+// real protocol defers them past the cycle.
+func (b *Bus) fireDynamicSegment() {
+	if len(b.dynPending) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(b.dynPending))
+	for id := range b.dynPending {
+		ids = append(ids, id)
+	}
+	// Insertion sort: small n, no need for package sort.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	budget := b.cfg.Minislots
+	offset := time.Duration(0)
+	for _, id := range ids {
+		data := b.dynPending[id]
+		// One minislot per started 16-byte chunk, minimum 1.
+		needed := (len(data) + 15) / 16
+		if needed == 0 {
+			needed = 1
+		}
+		if needed > budget {
+			b.stats.DynamicDropped++
+			continue
+		}
+		budget -= needed
+		f := Frame{Slot: id, Cycle: b.CycleCounter(), Dynamic: true, Data: data}
+		dur := time.Duration(needed) * b.cfg.MinislotDuration
+		deliverAt := offset + dur
+		b.kernel.After(deliverAt, func() {
+			b.stats.DynamicFrames++
+			for _, n := range b.nodes {
+				n.deliver(f)
+			}
+		})
+		offset += dur
+	}
+	b.dynPending = make(map[int][]byte)
+}
+
+// NodeStats aggregates per-node counters.
+type NodeStats struct {
+	Sent     uint64
+	Received uint64
+}
+
+// Node is one FlexRay communication controller.
+type Node struct {
+	name     string
+	bus      *Bus
+	txBuf    map[int][]byte // slot → pending payload
+	handlers []func(Frame)
+	stats    NodeStats
+}
+
+// Name reports the node name.
+func (n *Node) Name() string { return n.name }
+
+// Stats reports the node counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// WriteSlot stages a payload for the node's next occurrence of its static
+// slot; it overwrites any previously staged payload (latest-value
+// semantics, as in a time-triggered buffer).
+func (n *Node) WriteSlot(slot int, data []byte) error {
+	if n.bus.owners[slot] != n {
+		return fmt.Errorf("flexray: node %s does not own slot %d", n.name, slot)
+	}
+	if len(data) > MaxPayload {
+		return fmt.Errorf("flexray: payload %d exceeds %d bytes", len(data), MaxPayload)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	n.txBuf[slot] = buf
+	return nil
+}
+
+// SendDynamic requests transmission of a frame in the next dynamic
+// segment; lower frame IDs win earlier minislots. A second request with
+// the same ID before the segment runs overwrites the first.
+func (n *Node) SendDynamic(frameID int, data []byte) error {
+	if n.bus.cfg.Minislots == 0 {
+		return errors.New("flexray: bus has no dynamic segment")
+	}
+	if frameID < 1 {
+		return fmt.Errorf("flexray: dynamic frame id %d must be >= 1", frameID)
+	}
+	if len(data) > MaxPayload {
+		return fmt.Errorf("flexray: payload %d exceeds %d bytes", len(data), MaxPayload)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	n.bus.dynPending[frameID] = buf
+	return nil
+}
+
+// Subscribe registers a receive handler for all frames on the channel.
+func (n *Node) Subscribe(handler func(Frame)) {
+	if handler != nil {
+		n.handlers = append(n.handlers, handler)
+	}
+}
+
+func (n *Node) takeFrame(slot int) ([]byte, bool) {
+	data, ok := n.txBuf[slot]
+	if ok {
+		delete(n.txBuf, slot)
+	}
+	return data, ok
+}
+
+func (n *Node) deliver(f Frame) {
+	if len(n.handlers) == 0 {
+		return
+	}
+	n.stats.Received++
+	for _, h := range n.handlers {
+		data := make([]byte, len(f.Data))
+		copy(data, f.Data)
+		h(Frame{Slot: f.Slot, Cycle: f.Cycle, Dynamic: f.Dynamic, Data: data})
+	}
+}

@@ -1,0 +1,297 @@
+package flexray
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+func defaultConfig() Config {
+	return Config{
+		StaticSlots:      4,
+		SlotDuration:     250 * time.Microsecond,
+		Minislots:        10,
+		MinislotDuration: 50 * time.Microsecond,
+	}
+}
+
+func newBus(t *testing.T, cfg Config) (*sim.Kernel, *Bus) {
+	t.Helper()
+	k := sim.NewKernel()
+	b, err := NewBus(k, cfg)
+	if err != nil {
+		t.Fatalf("NewBus: %v", err)
+	}
+	return k, b
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"good", defaultConfig(), true},
+		{"no slots", Config{SlotDuration: time.Millisecond}, false},
+		{"no duration", Config{StaticSlots: 2}, false},
+		{"negative minislots", Config{StaticSlots: 2, SlotDuration: time.Millisecond, Minislots: -1}, false},
+		{"minislots without duration", Config{StaticSlots: 2, SlotDuration: time.Millisecond, Minislots: 4}, false},
+		{"static only", Config{StaticSlots: 2, SlotDuration: time.Millisecond}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+	if _, err := NewBus(nil, defaultConfig()); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestCycleDuration(t *testing.T) {
+	cfg := defaultConfig()
+	want := 4*250*time.Microsecond + 10*50*time.Microsecond
+	if got := cfg.CycleDuration(); got != want {
+		t.Fatalf("CycleDuration = %v, want %v", got, want)
+	}
+}
+
+func TestStaticSlotDelivery(t *testing.T) {
+	k, b := newBus(t, defaultConfig())
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	if err := b.AssignSlot(2, tx); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	var got []Frame
+	var at []sim.Time
+	rx.Subscribe(func(f Frame) { got = append(got, f); at = append(at, k.Now()) })
+	if err := tx.WriteSlot(2, []byte{0xAB}); err != nil {
+		t.Fatalf("WriteSlot: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.Run(sim.Time(defaultConfig().CycleDuration())); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0].Slot != 2 || got[0].Data[0] != 0xAB || got[0].Dynamic {
+		t.Fatalf("got = %+v", got)
+	}
+	// Slot 2 completes at 2 × 250µs.
+	if at[0] != sim.Time(500*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 500µs", at[0])
+	}
+}
+
+func TestSlotOwnershipEnforced(t *testing.T) {
+	_, b := newBus(t, defaultConfig())
+	a := b.AttachNode("a")
+	c := b.AttachNode("c")
+	if err := b.AssignSlot(1, a); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	if err := b.AssignSlot(1, c); err == nil {
+		t.Error("double slot assignment accepted")
+	}
+	if err := b.AssignSlot(0, a); err == nil {
+		t.Error("slot 0 accepted")
+	}
+	if err := b.AssignSlot(9, a); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := c.WriteSlot(1, []byte{1}); err == nil {
+		t.Error("WriteSlot on foreign slot accepted")
+	}
+	other, _ := NewBus(sim.NewKernel(), defaultConfig())
+	foreign := other.AttachNode("foreign")
+	if err := b.AssignSlot(2, foreign); err == nil {
+		t.Error("node from another bus accepted")
+	}
+}
+
+func TestLatestValueSemantics(t *testing.T) {
+	k, b := newBus(t, defaultConfig())
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	if err := b.AssignSlot(1, tx); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	var got []byte
+	rx.Subscribe(func(f Frame) { got = f.Data })
+	if err := tx.WriteSlot(1, []byte{1}); err != nil {
+		t.Fatalf("WriteSlot: %v", err)
+	}
+	if err := tx.WriteSlot(1, []byte{2}); err != nil { // overwrites
+		t.Fatalf("WriteSlot: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.Run(sim.Time(defaultConfig().CycleDuration())); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got = %v, want latest value [2]", got)
+	}
+}
+
+func TestEmptySlotsCounted(t *testing.T) {
+	k, b := newBus(t, defaultConfig())
+	b.AttachNode("idle")
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.Run(sim.Time(defaultConfig().CycleDuration()) * 2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := b.Stats()
+	if st.EmptySlots < 8 {
+		t.Fatalf("EmptySlots = %d, want >= 8 (4 slots x 2 cycles)", st.EmptySlots)
+	}
+	if st.StaticFrames != 0 {
+		t.Fatalf("StaticFrames = %d", st.StaticFrames)
+	}
+}
+
+func TestCycleCounterWraps(t *testing.T) {
+	cfg := Config{StaticSlots: 1, SlotDuration: 100 * time.Microsecond}
+	k, b := newBus(t, cfg)
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Run 70 cycles: counter must wrap at 64.
+	if err := k.Run(sim.Time(70 * cfg.CycleDuration())); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := b.CycleCounter(); got != 70%64 {
+		t.Fatalf("CycleCounter = %d, want %d", got, 70%64)
+	}
+	if b.Stats().Cycles != 70 {
+		t.Fatalf("Cycles = %d", b.Stats().Cycles)
+	}
+}
+
+func TestDynamicSegmentPriorityOrder(t *testing.T) {
+	k, b := newBus(t, defaultConfig())
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	var order []int
+	rx.Subscribe(func(f Frame) {
+		if f.Dynamic {
+			order = append(order, f.Slot)
+		}
+	})
+	if err := tx.SendDynamic(7, []byte{7}); err != nil {
+		t.Fatalf("SendDynamic: %v", err)
+	}
+	if err := tx.SendDynamic(3, []byte{3}); err != nil {
+		t.Fatalf("SendDynamic: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.Run(sim.Time(defaultConfig().CycleDuration())); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != 3 || order[1] != 7 {
+		t.Fatalf("dynamic order = %v, want [3 7]", order)
+	}
+}
+
+func TestDynamicSegmentBudgetEnforced(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Minislots = 2
+	k, b := newBus(t, cfg)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	received := 0
+	rx.Subscribe(func(f Frame) {
+		if f.Dynamic {
+			received++
+		}
+	})
+	// Frame 1 needs 2 minislots (17 bytes), frame 2 won't fit afterwards.
+	if err := tx.SendDynamic(1, make([]byte, 17)); err != nil {
+		t.Fatalf("SendDynamic: %v", err)
+	}
+	if err := tx.SendDynamic(2, []byte{1}); err != nil {
+		t.Fatalf("SendDynamic: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := k.Run(sim.Time(cfg.CycleDuration())); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if received != 1 {
+		t.Fatalf("received = %d, want 1", received)
+	}
+	if b.Stats().DynamicDropped != 1 {
+		t.Fatalf("DynamicDropped = %d, want 1", b.Stats().DynamicDropped)
+	}
+}
+
+func TestSendDynamicValidation(t *testing.T) {
+	_, b := newBus(t, Config{StaticSlots: 1, SlotDuration: time.Millisecond})
+	n := b.AttachNode("n")
+	if err := n.SendDynamic(1, []byte{1}); err == nil {
+		t.Error("dynamic send on static-only bus accepted")
+	}
+	_, b2 := newBus(t, defaultConfig())
+	n2 := b2.AttachNode("n")
+	if err := n2.SendDynamic(0, []byte{1}); err == nil {
+		t.Error("frame id 0 accepted")
+	}
+	if err := n2.SendDynamic(1, make([]byte, MaxPayload+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if err := b2.AssignSlot(1, n2); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	if err := n2.WriteSlot(1, make([]byte, MaxPayload+1)); err == nil {
+		t.Error("oversized static payload accepted")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	_, b := newBus(t, defaultConfig())
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := b.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestPeriodicTransmissionOverManyCycles(t *testing.T) {
+	cfg := defaultConfig()
+	k, b := newBus(t, cfg)
+	tx := b.AttachNode("tx")
+	rx := b.AttachNode("rx")
+	if err := b.AssignSlot(1, tx); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	count := 0
+	rx.Subscribe(func(f Frame) { count++ })
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Refill the slot buffer every cycle, like a periodic task would.
+	k.Every(0, cfg.CycleDuration(), func() bool {
+		if err := tx.WriteSlot(1, []byte{byte(count)}); err != nil {
+			t.Errorf("WriteSlot: %v", err)
+		}
+		return true
+	})
+	if err := k.Run(sim.Time(10 * cfg.CycleDuration())); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("received %d frames over 10 cycles, want 10", count)
+	}
+}

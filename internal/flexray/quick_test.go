@@ -1,0 +1,66 @@
+package flexray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+// Property: static-segment delivery is perfectly time-triggered — every
+// frame from slot s in cycle c arrives exactly at
+// c*cycleDuration + s*slotDuration, regardless of payload or load.
+func TestQuickStaticSlotTiming(t *testing.T) {
+	f := func(seed int64, slots8, cycles8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slots := int(slots8%6) + 2
+		cycles := int(cycles8%8) + 1
+		cfg := Config{
+			StaticSlots:  slots,
+			SlotDuration: time.Duration(rng.Intn(400)+100) * time.Microsecond,
+		}
+		k := sim.NewKernel()
+		b, err := NewBus(k, cfg)
+		if err != nil {
+			return false
+		}
+		tx := b.AttachNode("tx")
+		rx := b.AttachNode("rx")
+		slot := rng.Intn(slots) + 1
+		if err := b.AssignSlot(slot, tx); err != nil {
+			return false
+		}
+		type arrival struct {
+			at    sim.Time
+			cycle int
+		}
+		var got []arrival
+		rx.Subscribe(func(f Frame) {
+			got = append(got, arrival{k.Now(), f.Cycle})
+		})
+		k.Every(0, cfg.CycleDuration(), func() bool {
+			return tx.WriteSlot(slot, []byte{1}) == nil
+		})
+		if err := b.Start(); err != nil {
+			return false
+		}
+		if err := k.Run(sim.Time(cycles) * sim.Time(cfg.CycleDuration())); err != nil {
+			return false
+		}
+		if len(got) != cycles {
+			return false
+		}
+		for c, a := range got {
+			want := sim.Time(c)*sim.Time(cfg.CycleDuration()) + sim.Time(slot)*sim.Time(cfg.SlotDuration)
+			if a.at != want || a.cycle != c%64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,470 @@
+// Package fmf implements the Fault Management Framework of the EASIS
+// platform: the "general fault handling service" the Software Watchdog
+// reports to (§3.2, [12]). It gathers detected faults, classifies their
+// severity, informs subscribed applications, and carries out the
+// coordinated fault treatments of §3.5 with the operating system:
+//
+//   - global ECU state faulty → software reset of the ECU (when the
+//     applications' constraints allow it);
+//   - ECU state OK but an application faulty → restart or terminate the
+//     faulty application's tasks per the application's policy.
+package fmf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// Severity classifies a detected fault for treatment and logging.
+type Severity int
+
+// Severities in increasing order of concern.
+const (
+	Info Severity = iota + 1
+	Warning
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Action is a fault treatment the framework can take.
+type Action int
+
+// Treatment actions.
+const (
+	NoAction Action = iota + 1
+	RestartAppAction
+	TerminateAppAction
+	ResetECUAction
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case NoAction:
+		return "none"
+	case RestartAppAction:
+		return "restart-application"
+	case TerminateAppAction:
+		return "terminate-application"
+	case ResetECUAction:
+		return "reset-ECU"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// AppPolicy selects the treatment for a faulty application while the ECU
+// is globally OK.
+type AppPolicy int
+
+// Application fault policies.
+const (
+	RestartApp AppPolicy = iota + 1
+	TerminateApp
+)
+
+// Executor is the operating-system surface the framework uses to carry out
+// treatments; the OSEK adapter in package hil implements it.
+type Executor interface {
+	RestartTask(runnable.TaskID) error
+	TerminateTask(runnable.TaskID) error
+	ResetECU() error
+}
+
+// Monitor is the watchdog surface the framework needs to acknowledge
+// treatments: resetting the TSI state of treated tasks, and suspending or
+// resuming monitoring when applications are terminated or restarted (a
+// deliberately stopped application must not accumulate aliveness errors).
+type Monitor interface {
+	ClearTask(runnable.TaskID) error
+	ClearAll()
+	SuspendTaskMonitoring(runnable.TaskID) error
+	ResumeTaskMonitoring(runnable.TaskID) error
+}
+
+// Treatment records one executed fault treatment.
+type Treatment struct {
+	Time   sim.Time
+	Action Action
+	App    runnable.AppID // runnable.NoID for ECU-level treatments
+	Cause  core.ErrorKind
+	Err    error // non-nil if the executor failed
+	// Escalated marks a termination that overrode the restart policy
+	// because the application kept relapsing within the escalation
+	// window.
+	Escalated bool
+}
+
+// Notification is delivered to subscribed applications: either a detected
+// fault (Report non-nil) or an executed treatment (Treatment non-nil) —
+// the framework "informs the applications about the fault detection"
+// (§4.4).
+type Notification struct {
+	Severity  Severity
+	Report    *core.Report
+	State     *core.StateEvent
+	Treatment *Treatment
+}
+
+// Config assembles a Framework.
+type Config struct {
+	Model *runnable.Model
+	Clock sim.Clock
+	// Exec carries out treatments; nil disables treatment execution
+	// (detection-only deployments).
+	Exec Executor
+	// Monitor is told to clear watchdog state after treatments; usually
+	// the *core.Watchdog. May be nil.
+	Monitor Monitor
+	// Defer schedules a function to run after the current watchdog
+	// callback returns. The watchdog delivers reports under its internal
+	// lock, so treatments must be deferred: in simulation pass
+	// func(f func()) { kernel.After(0, f) }, in live deployments
+	// func(f func()) { go f() }. Required when Exec is set.
+	Defer func(func())
+	// AllowECUReset gates the §3.5 software reset ("the ECU might be
+	// subjected to a software reset depending on the requirements and
+	// constraints of applications").
+	AllowECUReset bool
+	// DefaultPolicy applies to applications without an explicit policy.
+	// Zero value means RestartApp.
+	DefaultPolicy AppPolicy
+	// LogCapacity bounds the in-memory fault log. Zero means 1024.
+	LogCapacity int
+	// EscalationThreshold escalates a repeatedly restarted application to
+	// termination: after this many restart treatments of the same app
+	// within EscalationWindow, the restart policy is overridden by
+	// TerminateApp (fault containment for permanent faults). Zero
+	// disables escalation.
+	EscalationThreshold int
+	// EscalationWindow is the sliding window for EscalationThreshold.
+	// Zero with a non-zero threshold means 1 second.
+	EscalationWindow time.Duration
+}
+
+// Framework is the Fault Management Framework instance of one ECU.
+type Framework struct {
+	mu  sync.Mutex
+	cfg Config
+
+	policies    map[runnable.AppID]AppPolicy
+	subscribers []func(Notification)
+
+	faultLog   []core.Report
+	treatments []Treatment
+
+	countsByKind     map[core.ErrorKind]uint64
+	countsBySeverity map[Severity]uint64
+
+	// restartHistory holds recent restart-treatment instants per app for
+	// the escalation window.
+	restartHistory map[runnable.AppID][]sim.Time
+	escalated      map[runnable.AppID]bool
+}
+
+var _ core.Sink = (*Framework)(nil)
+
+// New validates the configuration and builds a framework.
+func New(cfg Config) (*Framework, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("fmf: Config.Model is required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("fmf: Config.Clock is required")
+	}
+	if cfg.Exec != nil && cfg.Defer == nil {
+		return nil, errors.New("fmf: Config.Defer is required when Exec is set")
+	}
+	if cfg.DefaultPolicy == 0 {
+		cfg.DefaultPolicy = RestartApp
+	}
+	if cfg.LogCapacity <= 0 {
+		cfg.LogCapacity = 1024
+	}
+	if cfg.EscalationThreshold < 0 {
+		return nil, errors.New("fmf: negative escalation threshold")
+	}
+	if cfg.EscalationThreshold > 0 && cfg.EscalationWindow <= 0 {
+		cfg.EscalationWindow = time.Second
+	}
+	return &Framework{
+		cfg:              cfg,
+		policies:         make(map[runnable.AppID]AppPolicy),
+		countsByKind:     make(map[core.ErrorKind]uint64),
+		countsBySeverity: make(map[Severity]uint64),
+		restartHistory:   make(map[runnable.AppID][]sim.Time),
+		escalated:        make(map[runnable.AppID]bool),
+	}, nil
+}
+
+// SetMonitor attaches the watchdog surface after construction. The
+// framework is the watchdog's sink and the watchdog is the framework's
+// monitor; this two-step wiring breaks the construction cycle.
+func (f *Framework) SetMonitor(m Monitor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.Monitor = m
+}
+
+func (f *Framework) monitor() Monitor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg.Monitor
+}
+
+// SetPolicy selects the treatment policy for one application.
+func (f *Framework) SetPolicy(app runnable.AppID, p AppPolicy) error {
+	if _, err := f.cfg.Model.App(app); err != nil {
+		return err
+	}
+	if p != RestartApp && p != TerminateApp {
+		return fmt.Errorf("fmf: invalid policy %d", p)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policies[app] = p
+	return nil
+}
+
+// Subscribe registers a notification callback. Callbacks run synchronously
+// on the reporting path and must be fast and must not call back into the
+// watchdog.
+func (f *Framework) Subscribe(fn func(Notification)) {
+	if fn == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.subscribers = append(f.subscribers, fn)
+}
+
+// Severity derives a fault's severity from the owning application's
+// criticality and the error kind: timing errors in safety-critical
+// applications are critical; flow errors are always at least warnings.
+func (f *Framework) Severity(r core.Report) Severity {
+	app, err := f.cfg.Model.App(r.App)
+	if err != nil {
+		return Warning
+	}
+	switch {
+	case app.Criticality == runnable.SafetyCritical:
+		return Critical
+	case r.Kind == core.ProgramFlowError || app.Criticality == runnable.SafetyRelevant:
+		return Warning
+	default:
+		return Info
+	}
+}
+
+// Fault implements core.Sink: record, classify and notify.
+func (f *Framework) Fault(r core.Report) {
+	f.mu.Lock()
+	sev := f.Severity(r)
+	if len(f.faultLog) < f.cfg.LogCapacity {
+		f.faultLog = append(f.faultLog, r)
+	} else {
+		copy(f.faultLog, f.faultLog[1:])
+		f.faultLog[len(f.faultLog)-1] = r
+	}
+	f.countsByKind[r.Kind]++
+	f.countsBySeverity[sev]++
+	subs := make([]func(Notification), len(f.subscribers))
+	copy(subs, f.subscribers)
+	f.mu.Unlock()
+	for _, fn := range subs {
+		fn(Notification{Severity: sev, Report: &r})
+	}
+}
+
+// StateChanged implements core.Sink: on faulty transitions the §3.5
+// treatment decision runs (deferred past the watchdog lock).
+func (f *Framework) StateChanged(e core.StateEvent) {
+	f.mu.Lock()
+	subs := make([]func(Notification), len(f.subscribers))
+	copy(subs, f.subscribers)
+	f.mu.Unlock()
+	for _, fn := range subs {
+		fn(Notification{Severity: Warning, State: &e})
+	}
+	if f.cfg.Exec == nil || e.State != core.StateFaulty {
+		return
+	}
+	switch e.Scope {
+	case core.ECUScope:
+		if f.cfg.AllowECUReset {
+			f.cfg.Defer(func() { f.resetECU(e.Cause) })
+		}
+	case core.AppScope:
+		app := e.App
+		cause := e.Cause
+		f.cfg.Defer(func() { f.treatApp(app, cause) })
+	case core.TaskScope:
+		// Task-level indications are treated at application level once the
+		// TSI unit lifts them; nothing to execute here.
+	}
+}
+
+// treatApp restarts or terminates a faulty application's tasks.
+func (f *Framework) treatApp(app runnable.AppID, cause core.ErrorKind) {
+	appModel, err := f.cfg.Model.App(app)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	policy, ok := f.policies[app]
+	if !ok {
+		policy = f.cfg.DefaultPolicy
+	}
+	now := f.cfg.Clock.Now()
+	escalatedNow := false
+	if policy == RestartApp && f.cfg.EscalationThreshold > 0 {
+		if f.escalated[app] {
+			policy = TerminateApp
+		} else {
+			// Keep only restarts within the sliding window.
+			hist := f.restartHistory[app]
+			cutoff := now - sim.Time(f.cfg.EscalationWindow)
+			kept := hist[:0]
+			for _, t := range hist {
+				if t >= cutoff {
+					kept = append(kept, t)
+				}
+			}
+			if len(kept) >= f.cfg.EscalationThreshold {
+				// The application keeps relapsing: contain it.
+				policy = TerminateApp
+				escalatedNow = true
+				f.escalated[app] = true
+			} else {
+				kept = append(kept, now)
+			}
+			f.restartHistory[app] = kept
+		}
+	}
+	f.mu.Unlock()
+	tr := Treatment{Time: now, App: app, Cause: cause, Escalated: escalatedNow}
+	mon := f.monitor()
+	switch policy {
+	case TerminateApp:
+		tr.Action = TerminateAppAction
+		for _, tid := range appModel.Tasks {
+			if err := f.cfg.Exec.TerminateTask(tid); err != nil && tr.Err == nil {
+				tr.Err = err
+			}
+			if mon != nil {
+				// A deliberately terminated application is no longer
+				// monitored; otherwise its silence reads as aliveness
+				// faults forever.
+				_ = mon.SuspendTaskMonitoring(tid)
+			}
+		}
+	default:
+		tr.Action = RestartAppAction
+		for _, tid := range appModel.Tasks {
+			if err := f.cfg.Exec.RestartTask(tid); err != nil && tr.Err == nil {
+				tr.Err = err
+			}
+			if mon != nil {
+				_ = mon.ResumeTaskMonitoring(tid)
+			}
+		}
+	}
+	if mon != nil {
+		for _, tid := range appModel.Tasks {
+			// Clearing returns the TSI state to OK so monitoring restarts
+			// from a clean slate.
+			_ = mon.ClearTask(tid)
+		}
+	}
+	f.recordTreatment(tr)
+}
+
+// resetECU performs the global software reset.
+func (f *Framework) resetECU(cause core.ErrorKind) {
+	tr := Treatment{Time: f.cfg.Clock.Now(), Action: ResetECUAction, App: runnable.NoID, Cause: cause}
+	tr.Err = f.cfg.Exec.ResetECU()
+	if mon := f.monitor(); mon != nil {
+		mon.ClearAll()
+	}
+	f.recordTreatment(tr)
+}
+
+func (f *Framework) recordTreatment(tr Treatment) {
+	f.mu.Lock()
+	f.treatments = append(f.treatments, tr)
+	subs := make([]func(Notification), len(f.subscribers))
+	copy(subs, f.subscribers)
+	f.mu.Unlock()
+	for _, fn := range subs {
+		fn(Notification{Severity: Critical, Treatment: &tr})
+	}
+}
+
+// FaultLog returns a copy of the retained fault reports, oldest first.
+func (f *Framework) FaultLog() []core.Report {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]core.Report, len(f.faultLog))
+	copy(out, f.faultLog)
+	return out
+}
+
+// Treatments returns a copy of the executed treatments, oldest first.
+func (f *Framework) Treatments() []Treatment {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Treatment, len(f.treatments))
+	copy(out, f.treatments)
+	return out
+}
+
+// CountByKind reports how many faults of the kind have been recorded.
+func (f *Framework) CountByKind(k core.ErrorKind) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.countsByKind[k]
+}
+
+// Escalated reports whether the application's restart policy has been
+// escalated to termination.
+func (f *Framework) Escalated(app runnable.AppID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.escalated[app]
+}
+
+// ClearEscalation re-arms the restart policy for an application, e.g.
+// after maintenance or a software update.
+func (f *Framework) ClearEscalation(app runnable.AppID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.escalated, app)
+	delete(f.restartHistory, app)
+}
+
+// CountBySeverity reports how many faults of the severity have been
+// recorded.
+func (f *Framework) CountBySeverity(s Severity) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.countsBySeverity[s]
+}

@@ -1,0 +1,415 @@
+package fmf
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// fakeExec records executor calls and can inject failures.
+type fakeExec struct {
+	restarted  []runnable.TaskID
+	terminated []runnable.TaskID
+	resets     int
+	fail       error
+}
+
+func (e *fakeExec) RestartTask(tid runnable.TaskID) error {
+	e.restarted = append(e.restarted, tid)
+	return e.fail
+}
+
+func (e *fakeExec) TerminateTask(tid runnable.TaskID) error {
+	e.terminated = append(e.terminated, tid)
+	return e.fail
+}
+
+func (e *fakeExec) ResetECU() error {
+	e.resets++
+	return e.fail
+}
+
+// fakeMonitor records watchdog clear/suspend/resume calls.
+type fakeMonitor struct {
+	cleared   []runnable.TaskID
+	suspended []runnable.TaskID
+	resumed   []runnable.TaskID
+	allCalls  int
+}
+
+func (m *fakeMonitor) ClearTask(tid runnable.TaskID) error {
+	m.cleared = append(m.cleared, tid)
+	return nil
+}
+
+func (m *fakeMonitor) ClearAll() { m.allCalls++ }
+
+func (m *fakeMonitor) SuspendTaskMonitoring(tid runnable.TaskID) error {
+	m.suspended = append(m.suspended, tid)
+	return nil
+}
+
+func (m *fakeMonitor) ResumeTaskMonitoring(tid runnable.TaskID) error {
+	m.resumed = append(m.resumed, tid)
+	return nil
+}
+
+func testModel(t *testing.T) (*runnable.Model, runnable.AppID, []runnable.TaskID) {
+	t.Helper()
+	m := runnable.NewModel()
+	app, _ := m.AddApp("SafeSpeed", runnable.SafetyCritical)
+	t1, _ := m.AddTask(app, "T1", 5)
+	t2, _ := m.AddTask(app, "T2", 3)
+	if _, err := m.AddRunnable(t1, "R1", time.Millisecond, runnable.SafetyCritical); err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if _, err := m.AddRunnable(t2, "R2", time.Millisecond, runnable.SafetyCritical); err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return m, app, []runnable.TaskID{t1, t2}
+}
+
+// syncDefer runs deferred treatments immediately — fine in tests because
+// no watchdog lock is held.
+func syncDefer(fn func()) { fn() }
+
+func newFramework(t *testing.T, mutate func(*Config)) (*Framework, *fakeExec, *fakeMonitor, runnable.AppID, []runnable.TaskID) {
+	t.Helper()
+	m, app, tasks := testModel(t)
+	exec := &fakeExec{}
+	mon := &fakeMonitor{}
+	cfg := Config{
+		Model:   m,
+		Clock:   sim.NewManualClock(),
+		Exec:    exec,
+		Monitor: mon,
+		Defer:   syncDefer,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f, exec, mon, app, tasks
+}
+
+func TestNewValidation(t *testing.T) {
+	m, _, _ := testModel(t)
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Model: m}); err == nil {
+		t.Error("missing clock accepted")
+	}
+	if _, err := New(Config{Model: m, Clock: sim.NewManualClock(), Exec: &fakeExec{}}); err == nil {
+		t.Error("Exec without Defer accepted")
+	}
+	if _, err := New(Config{Model: m, Clock: sim.NewManualClock()}); err != nil {
+		t.Errorf("detection-only config rejected: %v", err)
+	}
+}
+
+func TestFaultRecordingAndCounts(t *testing.T) {
+	f, _, _, app, tasks := newFramework(t, nil)
+	var notified []Notification
+	f.Subscribe(func(n Notification) { notified = append(notified, n) })
+	r := core.Report{Kind: core.AlivenessError, Runnable: 0, Task: tasks[0], App: app}
+	f.Fault(r)
+	f.Fault(core.Report{Kind: core.ProgramFlowError, Runnable: 1, Task: tasks[1], App: app})
+	if got := f.CountByKind(core.AlivenessError); got != 1 {
+		t.Errorf("CountByKind(aliveness) = %d", got)
+	}
+	if got := f.CountByKind(core.ProgramFlowError); got != 1 {
+		t.Errorf("CountByKind(flow) = %d", got)
+	}
+	if got := f.CountBySeverity(Critical); got != 2 {
+		t.Errorf("CountBySeverity(critical) = %d (safety-critical app)", got)
+	}
+	log := f.FaultLog()
+	if len(log) != 2 || log[0].Kind != core.AlivenessError {
+		t.Errorf("FaultLog = %+v", log)
+	}
+	if len(notified) != 2 || notified[0].Report == nil || notified[0].Severity != Critical {
+		t.Errorf("notifications = %+v", notified)
+	}
+}
+
+func TestFaultLogBounded(t *testing.T) {
+	f, _, _, app, tasks := newFramework(t, func(c *Config) { c.LogCapacity = 3 })
+	for i := 0; i < 10; i++ {
+		f.Fault(core.Report{Kind: core.AlivenessError, Cycle: uint64(i), Task: tasks[0], App: app})
+	}
+	log := f.FaultLog()
+	if len(log) != 3 {
+		t.Fatalf("log length = %d, want 3", len(log))
+	}
+	if log[0].Cycle != 7 || log[2].Cycle != 9 {
+		t.Fatalf("log did not retain newest entries: %+v", log)
+	}
+}
+
+func TestSeverityDerivation(t *testing.T) {
+	m := runnable.NewModel()
+	critApp, _ := m.AddApp("crit", runnable.SafetyCritical)
+	relApp, _ := m.AddApp("rel", runnable.SafetyRelevant)
+	qmApp, _ := m.AddApp("qm", runnable.QM)
+	for _, app := range []runnable.AppID{critApp, relApp, qmApp} {
+		tid, _ := m.AddTask(app, "T"+string(rune('0'+app)), 1)
+		if _, err := m.AddRunnable(tid, "R"+string(rune('0'+app)), time.Millisecond, runnable.QM); err != nil {
+			t.Fatalf("AddRunnable: %v", err)
+		}
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	f, err := New(Config{Model: m, Clock: sim.NewManualClock()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cases := []struct {
+		app  runnable.AppID
+		kind core.ErrorKind
+		want Severity
+	}{
+		{critApp, core.AlivenessError, Critical},
+		{relApp, core.AlivenessError, Warning},
+		{qmApp, core.ProgramFlowError, Warning},
+		{qmApp, core.AlivenessError, Info},
+		{runnable.AppID(99), core.AlivenessError, Warning},
+	}
+	for _, tc := range cases {
+		got := f.Severity(core.Report{App: tc.app, Kind: tc.kind})
+		if got != tc.want {
+			t.Errorf("Severity(app=%d kind=%v) = %v, want %v", tc.app, tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestAppFaultyTriggersRestart(t *testing.T) {
+	f, exec, mon, app, tasks := newFramework(t, nil)
+	f.StateChanged(core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty, Cause: core.AlivenessError})
+	if len(exec.restarted) != 2 {
+		t.Fatalf("restarted = %v, want both tasks", exec.restarted)
+	}
+	if len(mon.cleared) != 2 {
+		t.Fatalf("cleared = %v, want both tasks", mon.cleared)
+	}
+	trs := f.Treatments()
+	if len(trs) != 1 || trs[0].Action != RestartAppAction || trs[0].App != app || trs[0].Cause != core.AlivenessError {
+		t.Fatalf("treatments = %+v", trs)
+	}
+	_ = tasks
+}
+
+func TestTerminatePolicy(t *testing.T) {
+	f, exec, _, app, _ := newFramework(t, nil)
+	if err := f.SetPolicy(app, TerminateApp); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	f.StateChanged(core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty, Cause: core.ProgramFlowError})
+	if len(exec.terminated) != 2 || len(exec.restarted) != 0 {
+		t.Fatalf("terminated = %v restarted = %v", exec.terminated, exec.restarted)
+	}
+	trs := f.Treatments()
+	if len(trs) != 1 || trs[0].Action != TerminateAppAction {
+		t.Fatalf("treatments = %+v", trs)
+	}
+}
+
+func TestSetPolicyValidation(t *testing.T) {
+	f, _, _, app, _ := newFramework(t, nil)
+	if err := f.SetPolicy(runnable.AppID(99), RestartApp); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := f.SetPolicy(app, AppPolicy(9)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestECUResetWhenAllowed(t *testing.T) {
+	f, exec, mon, _, _ := newFramework(t, func(c *Config) { c.AllowECUReset = true })
+	f.StateChanged(core.StateEvent{Scope: core.ECUScope, State: core.StateFaulty, Cause: core.AlivenessError})
+	if exec.resets != 1 {
+		t.Fatalf("resets = %d, want 1", exec.resets)
+	}
+	if mon.allCalls != 1 {
+		t.Fatalf("ClearAll calls = %d, want 1", mon.allCalls)
+	}
+	trs := f.Treatments()
+	if len(trs) != 1 || trs[0].Action != ResetECUAction || trs[0].App != runnable.NoID {
+		t.Fatalf("treatments = %+v", trs)
+	}
+}
+
+func TestECUResetSuppressedByDefault(t *testing.T) {
+	f, exec, _, _, _ := newFramework(t, nil)
+	f.StateChanged(core.StateEvent{Scope: core.ECUScope, State: core.StateFaulty})
+	if exec.resets != 0 {
+		t.Fatalf("resets = %d, want 0 (AllowECUReset unset)", exec.resets)
+	}
+}
+
+func TestRecoveryEventsDoNotTreat(t *testing.T) {
+	f, exec, _, app, _ := newFramework(t, nil)
+	f.StateChanged(core.StateEvent{Scope: core.AppScope, App: app, State: core.StateOK})
+	if len(exec.restarted) != 0 && exec.resets != 0 {
+		t.Fatal("recovery event triggered treatment")
+	}
+}
+
+func TestTaskScopeEventsRecordOnly(t *testing.T) {
+	f, exec, _, _, tasks := newFramework(t, nil)
+	f.StateChanged(core.StateEvent{Scope: core.TaskScope, Task: tasks[0], State: core.StateFaulty})
+	if len(exec.restarted) != 0 {
+		t.Fatal("task-scope event triggered app treatment")
+	}
+}
+
+func TestExecutorFailureRecorded(t *testing.T) {
+	f, exec, _, app, _ := newFramework(t, nil)
+	exec.fail = errors.New("boom")
+	f.StateChanged(core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty})
+	trs := f.Treatments()
+	if len(trs) != 1 || trs[0].Err == nil {
+		t.Fatalf("executor failure not recorded: %+v", trs)
+	}
+}
+
+func TestTreatmentNotificationDelivered(t *testing.T) {
+	f, _, _, app, _ := newFramework(t, nil)
+	var got []Notification
+	f.Subscribe(func(n Notification) { got = append(got, n) })
+	f.StateChanged(core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty})
+	var sawState, sawTreatment bool
+	for _, n := range got {
+		if n.State != nil {
+			sawState = true
+		}
+		if n.Treatment != nil {
+			sawTreatment = true
+			if n.Treatment.Action != RestartAppAction {
+				t.Errorf("treatment notification = %+v", n.Treatment)
+			}
+		}
+	}
+	if !sawState || !sawTreatment {
+		t.Fatalf("notifications missing: state=%v treatment=%v", sawState, sawTreatment)
+	}
+}
+
+func TestDetectionOnlyModeIgnoresStateChanges(t *testing.T) {
+	m, app, _ := testModel(t)
+	f, err := New(Config{Model: m, Clock: sim.NewManualClock()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Must not panic without Exec/Defer.
+	f.StateChanged(core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty})
+	if len(f.Treatments()) != 0 {
+		t.Fatal("treatment executed without executor")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Critical.String() != "critical" ||
+		Severity(9).String() == "" {
+		t.Error("Severity.String")
+	}
+	for a, want := range map[Action]string{
+		NoAction:           "none",
+		RestartAppAction:   "restart-application",
+		TerminateAppAction: "terminate-application",
+		ResetECUAction:     "reset-ECU",
+		Action(9):          "Action(9)",
+	} {
+		if a.String() != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestEscalationAfterRepeatedRestarts(t *testing.T) {
+	f, exec, _, app, _ := newFramework(t, func(c *Config) {
+		c.EscalationThreshold = 3
+		c.EscalationWindow = time.Second
+	})
+	ev := core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty, Cause: core.ProgramFlowError}
+	// Three restarts within the window...
+	for i := 0; i < 3; i++ {
+		f.StateChanged(ev)
+	}
+	if f.Escalated(app) {
+		t.Fatal("escalated before threshold")
+	}
+	if len(exec.restarted) != 6 { // 2 tasks x 3 restarts
+		t.Fatalf("restarted = %d", len(exec.restarted))
+	}
+	// ...the fourth relapse escalates to termination.
+	f.StateChanged(ev)
+	if !f.Escalated(app) {
+		t.Fatal("not escalated at threshold")
+	}
+	if len(exec.terminated) != 2 {
+		t.Fatalf("terminated = %d, want both tasks", len(exec.terminated))
+	}
+	trs := f.Treatments()
+	last := trs[len(trs)-1]
+	if last.Action != TerminateAppAction || !last.Escalated {
+		t.Fatalf("last treatment = %+v", last)
+	}
+	// Once escalated, further relapses keep terminating.
+	f.StateChanged(ev)
+	if len(exec.terminated) != 4 {
+		t.Fatalf("terminated = %d after relapse", len(exec.terminated))
+	}
+	// ClearEscalation re-arms restarts.
+	f.ClearEscalation(app)
+	if f.Escalated(app) {
+		t.Fatal("still escalated after ClearEscalation")
+	}
+	f.StateChanged(ev)
+	if len(exec.restarted) != 8 {
+		t.Fatalf("restarted = %d after re-arm", len(exec.restarted))
+	}
+}
+
+func TestEscalationWindowSlides(t *testing.T) {
+	clk := sim.NewManualClock()
+	m, app, _ := testModel(t)
+	exec := &fakeExec{}
+	f, err := New(Config{
+		Model: m, Clock: clk, Exec: exec, Defer: syncDefer,
+		EscalationThreshold: 2, EscalationWindow: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ev := core.StateEvent{Scope: core.AppScope, App: app, State: core.StateFaulty}
+	f.StateChanged(ev)
+	clk.Advance(200 * time.Millisecond) // first restart ages out
+	f.StateChanged(ev)
+	clk.Advance(200 * time.Millisecond)
+	f.StateChanged(ev)
+	if f.Escalated(app) {
+		t.Fatal("sparse restarts escalated despite sliding window")
+	}
+	if len(exec.terminated) != 0 {
+		t.Fatalf("terminated = %d", len(exec.terminated))
+	}
+}
+
+func TestEscalationValidation(t *testing.T) {
+	m, _, _ := testModel(t)
+	if _, err := New(Config{Model: m, Clock: sim.NewManualClock(), EscalationThreshold: -1}); err == nil {
+		t.Fatal("negative escalation threshold accepted")
+	}
+}

@@ -1,0 +1,258 @@
+// Package gateway implements the validator's gateway node, "which
+// connects different vehicle domains of TCP/IP, CAN and FlexRay" (§4.1).
+// Messages are routed between heterogeneous buses through a routing table
+// keyed by (source port, message identifier), with optional payload
+// transformation and a configurable store-and-forward processing delay.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/can"
+	"swwd/internal/ethernet"
+	"swwd/internal/flexray"
+	"swwd/internal/sim"
+)
+
+// Port abstracts one bus attachment of the gateway. Adapters for CAN,
+// FlexRay and Ethernet are provided; implementing Port attaches any other
+// medium.
+type Port interface {
+	// Name identifies the port in routes and statistics.
+	Name() string
+	// Send transmits a message with the given identifier on this port's
+	// medium.
+	Send(id uint32, data []byte) error
+	// Subscribe registers the gateway's receive path.
+	Subscribe(fn func(id uint32, data []byte))
+}
+
+// Route forwards messages arriving on From with identifier FromID to port
+// To with identifier ToID.
+type Route struct {
+	From   string
+	FromID uint32
+	To     string
+	ToID   uint32
+	// Transform optionally rewrites the payload (signal repacking between
+	// domains); nil forwards verbatim.
+	Transform func([]byte) []byte
+}
+
+// RouteStats counts per-route activity.
+type RouteStats struct {
+	Forwarded uint64
+	Errors    uint64
+}
+
+// Config parametrises the gateway node.
+type Config struct {
+	Kernel *sim.Kernel
+	// ProcessingDelay is the store-and-forward latency added per hop.
+	ProcessingDelay time.Duration
+}
+
+// Gateway is the inter-domain gateway node.
+type Gateway struct {
+	cfg    Config
+	ports  map[string]Port
+	order  []string
+	routes map[string]map[uint32][]int // port → id → route indices
+	table  []Route
+	stats  []RouteStats
+	// unrouted counts messages with no matching route.
+	unrouted uint64
+}
+
+// New creates a gateway.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Kernel == nil {
+		return nil, errors.New("gateway: kernel is required")
+	}
+	if cfg.ProcessingDelay < 0 {
+		return nil, errors.New("gateway: negative processing delay")
+	}
+	return &Gateway{
+		cfg:    cfg,
+		ports:  make(map[string]Port),
+		routes: make(map[string]map[uint32][]int),
+	}, nil
+}
+
+// AttachPort registers a port; names must be unique.
+func (g *Gateway) AttachPort(p Port) error {
+	if p == nil {
+		return errors.New("gateway: nil port")
+	}
+	name := p.Name()
+	if name == "" {
+		return errors.New("gateway: empty port name")
+	}
+	if _, dup := g.ports[name]; dup {
+		return fmt.Errorf("gateway: duplicate port %q", name)
+	}
+	g.ports[name] = p
+	g.order = append(g.order, name)
+	p.Subscribe(func(id uint32, data []byte) { g.receive(name, id, data) })
+	return nil
+}
+
+// AddRoute installs a forwarding rule; both ports must be attached.
+func (g *Gateway) AddRoute(r Route) error {
+	if _, ok := g.ports[r.From]; !ok {
+		return fmt.Errorf("gateway: unknown source port %q", r.From)
+	}
+	if _, ok := g.ports[r.To]; !ok {
+		return fmt.Errorf("gateway: unknown destination port %q", r.To)
+	}
+	if r.From == r.To && r.FromID == r.ToID {
+		return errors.New("gateway: route would loop onto itself")
+	}
+	idx := len(g.table)
+	g.table = append(g.table, r)
+	g.stats = append(g.stats, RouteStats{})
+	byID, ok := g.routes[r.From]
+	if !ok {
+		byID = make(map[uint32][]int)
+		g.routes[r.From] = byID
+	}
+	byID[r.FromID] = append(byID[r.FromID], idx)
+	return nil
+}
+
+// Routes returns a copy of the routing table.
+func (g *Gateway) Routes() []Route {
+	out := make([]Route, len(g.table))
+	copy(out, g.table)
+	return out
+}
+
+// Stats reports per-route counters, index-aligned with Routes.
+func (g *Gateway) Stats() []RouteStats {
+	out := make([]RouteStats, len(g.stats))
+	copy(out, g.stats)
+	return out
+}
+
+// Unrouted reports messages that matched no route.
+func (g *Gateway) Unrouted() uint64 { return g.unrouted }
+
+func (g *Gateway) receive(port string, id uint32, data []byte) {
+	idxs := g.routes[port][id]
+	if len(idxs) == 0 {
+		g.unrouted++
+		return
+	}
+	for _, idx := range idxs {
+		idx := idx
+		r := g.table[idx]
+		payload := make([]byte, len(data))
+		copy(payload, data)
+		if r.Transform != nil {
+			payload = r.Transform(payload)
+		}
+		g.cfg.Kernel.After(g.cfg.ProcessingDelay, func() {
+			if err := g.ports[r.To].Send(r.ToID, payload); err != nil {
+				g.stats[idx].Errors++
+				return
+			}
+			g.stats[idx].Forwarded++
+		})
+	}
+}
+
+// ---- port adapters ----
+
+// CANPort adapts a CAN node. Message identifiers are the 11-bit frame IDs.
+type CANPort struct {
+	name string
+	node *can.Node
+}
+
+var _ Port = (*CANPort)(nil)
+
+// NewCANPort wraps a CAN node as a gateway port.
+func NewCANPort(name string, node *can.Node) (*CANPort, error) {
+	if node == nil {
+		return nil, errors.New("gateway: nil CAN node")
+	}
+	return &CANPort{name: name, node: node}, nil
+}
+
+// Name implements Port.
+func (p *CANPort) Name() string { return p.name }
+
+// Send implements Port.
+func (p *CANPort) Send(id uint32, data []byte) error {
+	if id > uint32(can.MaxID) {
+		return fmt.Errorf("gateway: CAN id 0x%X out of range", id)
+	}
+	return p.node.Send(can.Frame{ID: can.FrameID(id), Data: data})
+}
+
+// Subscribe implements Port.
+func (p *CANPort) Subscribe(fn func(id uint32, data []byte)) {
+	p.node.Subscribe(nil, func(f can.Frame) { fn(uint32(f.ID), f.Data) })
+}
+
+// FlexRayPort adapts a FlexRay node. Outbound identifiers are static slot
+// numbers the node owns; inbound identifiers are the frame's slot number.
+type FlexRayPort struct {
+	name string
+	node *flexray.Node
+}
+
+var _ Port = (*FlexRayPort)(nil)
+
+// NewFlexRayPort wraps a FlexRay node as a gateway port.
+func NewFlexRayPort(name string, node *flexray.Node) (*FlexRayPort, error) {
+	if node == nil {
+		return nil, errors.New("gateway: nil FlexRay node")
+	}
+	return &FlexRayPort{name: name, node: node}, nil
+}
+
+// Name implements Port.
+func (p *FlexRayPort) Name() string { return p.name }
+
+// Send implements Port.
+func (p *FlexRayPort) Send(id uint32, data []byte) error {
+	return p.node.WriteSlot(int(id), data)
+}
+
+// Subscribe implements Port.
+func (p *FlexRayPort) Subscribe(fn func(id uint32, data []byte)) {
+	p.node.Subscribe(func(f flexray.Frame) { fn(uint32(f.Slot), f.Data) })
+}
+
+// EthernetPort adapts an Ethernet node; identifiers are topics and sends
+// are broadcast (telematics fan-out).
+type EthernetPort struct {
+	name string
+	node *ethernet.Node
+}
+
+var _ Port = (*EthernetPort)(nil)
+
+// NewEthernetPort wraps an Ethernet node as a gateway port.
+func NewEthernetPort(name string, node *ethernet.Node) (*EthernetPort, error) {
+	if node == nil {
+		return nil, errors.New("gateway: nil Ethernet node")
+	}
+	return &EthernetPort{name: name, node: node}, nil
+}
+
+// Name implements Port.
+func (p *EthernetPort) Name() string { return p.name }
+
+// Send implements Port.
+func (p *EthernetPort) Send(id uint32, data []byte) error {
+	return p.node.Broadcast(id, data)
+}
+
+// Subscribe implements Port.
+func (p *EthernetPort) Subscribe(fn func(id uint32, data []byte)) {
+	p.node.Subscribe(func(m ethernet.Message) { fn(m.Topic, m.Payload) })
+}

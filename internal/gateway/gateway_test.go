@@ -1,0 +1,261 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/can"
+	"swwd/internal/ethernet"
+	"swwd/internal/flexray"
+	"swwd/internal/sim"
+)
+
+// rig wires a CAN bus, a FlexRay bus and an Ethernet segment to one
+// gateway, like the validator's topology.
+type rig struct {
+	k       *sim.Kernel
+	gw      *Gateway
+	canBus  *can.Bus
+	canApp  *can.Node // application node on CAN
+	frBus   *flexray.Bus
+	frApp   *flexray.Node // application node on FlexRay
+	ethNet  *ethernet.Network
+	ethApp  *ethernet.Node
+	gwSlots []int
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	r := &rig{k: k}
+
+	var err error
+	r.canBus, err = can.NewBus(k, 500000)
+	if err != nil {
+		t.Fatalf("can.NewBus: %v", err)
+	}
+	r.canApp = r.canBus.AttachNode("can-app")
+	canGW := r.canBus.AttachNode("gw-can")
+
+	r.frBus, err = flexray.NewBus(k, flexray.Config{
+		StaticSlots: 4, SlotDuration: 250 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("flexray.NewBus: %v", err)
+	}
+	r.frApp = r.frBus.AttachNode("fr-app")
+	frGW := r.frBus.AttachNode("gw-fr")
+	if err := r.frBus.AssignSlot(1, r.frApp); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	if err := r.frBus.AssignSlot(2, frGW); err != nil {
+		t.Fatalf("AssignSlot: %v", err)
+	}
+	if err := r.frBus.Start(); err != nil {
+		t.Fatalf("flexray Start: %v", err)
+	}
+
+	r.ethNet, err = ethernet.NewNetwork(k, ethernet.Config{Latency: time.Millisecond})
+	if err != nil {
+		t.Fatalf("ethernet.NewNetwork: %v", err)
+	}
+	r.ethApp, err = r.ethNet.AttachNode("telematics")
+	if err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	ethGW, err := r.ethNet.AttachNode("gw-eth")
+	if err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+
+	r.gw, err = New(Config{Kernel: k, ProcessingDelay: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	cp, err := NewCANPort("can", canGW)
+	if err != nil {
+		t.Fatalf("NewCANPort: %v", err)
+	}
+	fp, err := NewFlexRayPort("flexray", frGW)
+	if err != nil {
+		t.Fatalf("NewFlexRayPort: %v", err)
+	}
+	ep, err := NewEthernetPort("eth", ethGW)
+	if err != nil {
+		t.Fatalf("NewEthernetPort: %v", err)
+	}
+	for _, p := range []Port{cp, fp, ep} {
+		if err := r.gw.AttachPort(p); err != nil {
+			t.Fatalf("AttachPort: %v", err)
+		}
+	}
+	return r
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	k := sim.NewKernel()
+	if _, err := New(Config{Kernel: k, ProcessingDelay: -time.Second}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	g, err := New(Config{Kernel: k})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := g.AttachPort(nil); err == nil {
+		t.Error("nil port accepted")
+	}
+	if err := g.AddRoute(Route{From: "x", To: "y"}); err == nil {
+		t.Error("route with unknown ports accepted")
+	}
+	if _, err := NewCANPort("c", nil); err == nil {
+		t.Error("nil CAN node accepted")
+	}
+	if _, err := NewFlexRayPort("f", nil); err == nil {
+		t.Error("nil FlexRay node accepted")
+	}
+	if _, err := NewEthernetPort("e", nil); err == nil {
+		t.Error("nil Ethernet node accepted")
+	}
+}
+
+func TestDuplicatePortRejected(t *testing.T) {
+	r := newRig(t)
+	other := r.canBus.AttachNode("gw-can2")
+	p, _ := NewCANPort("can", other)
+	if err := r.gw.AttachPort(p); err == nil {
+		t.Fatal("duplicate port name accepted")
+	}
+}
+
+func TestSelfLoopRouteRejected(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{From: "can", FromID: 1, To: "can", ToID: 1}); err == nil {
+		t.Fatal("self-loop route accepted")
+	}
+}
+
+func TestCANToFlexRayRouting(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{From: "can", FromID: 0x100, To: "flexray", ToID: 2}); err != nil {
+		t.Fatalf("AddRoute: %v", err)
+	}
+	var got []flexray.Frame
+	r.frApp.Subscribe(func(f flexray.Frame) { got = append(got, f) })
+	if err := r.canApp.Send(can.Frame{ID: 0x100, Data: []byte{42}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := r.k.Run(10 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) == 0 || got[0].Slot != 2 || got[0].Data[0] != 42 {
+		t.Fatalf("FlexRay app got %+v", got)
+	}
+	stats := r.gw.Stats()
+	if stats[0].Forwarded == 0 {
+		t.Fatalf("route stats = %+v", stats)
+	}
+}
+
+func TestFlexRayToEthernetRouting(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{From: "flexray", FromID: 1, To: "eth", ToID: 99}); err != nil {
+		t.Fatalf("AddRoute: %v", err)
+	}
+	var got []ethernet.Message
+	r.ethApp.Subscribe(func(m ethernet.Message) { got = append(got, m) })
+	if err := r.frApp.WriteSlot(1, []byte{7, 8}); err != nil {
+		t.Fatalf("WriteSlot: %v", err)
+	}
+	if err := r.k.Run(10 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0].Topic != 99 || got[0].Payload[1] != 8 {
+		t.Fatalf("ethernet got %+v", got)
+	}
+}
+
+func TestEthernetToCANRoutingWithTransform(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{
+		From: "eth", FromID: 5, To: "can", ToID: 0x200,
+		Transform: func(b []byte) []byte {
+			// Repack: keep first byte only (CAN payload budget).
+			if len(b) > 1 {
+				return b[:1]
+			}
+			return b
+		},
+	}); err != nil {
+		t.Fatalf("AddRoute: %v", err)
+	}
+	var got []can.Frame
+	r.canApp.Subscribe(nil, func(f can.Frame) { got = append(got, f) })
+	if err := r.ethApp.Broadcast(5, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if err := r.k.Run(20 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 0x200 || len(got[0].Data) != 1 {
+		t.Fatalf("CAN app got %+v", got)
+	}
+}
+
+func TestUnroutedCounted(t *testing.T) {
+	r := newRig(t)
+	if err := r.canApp.Send(can.Frame{ID: 0x300}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := r.k.Run(10 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.gw.Unrouted() != 1 {
+		t.Fatalf("Unrouted = %d, want 1", r.gw.Unrouted())
+	}
+}
+
+func TestFanOutOneToMany(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw.AddRoute(Route{From: "can", FromID: 0x100, To: "flexray", ToID: 2}); err != nil {
+		t.Fatalf("AddRoute: %v", err)
+	}
+	if err := r.gw.AddRoute(Route{From: "can", FromID: 0x100, To: "eth", ToID: 50}); err != nil {
+		t.Fatalf("AddRoute: %v", err)
+	}
+	frGot, ethGot := 0, 0
+	r.frApp.Subscribe(func(flexray.Frame) { frGot++ })
+	r.ethApp.Subscribe(func(ethernet.Message) { ethGot++ })
+	if err := r.canApp.Send(can.Frame{ID: 0x100, Data: []byte{1}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := r.k.Run(20 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if frGot != 1 || ethGot != 1 {
+		t.Fatalf("fan-out fr=%d eth=%d", frGot, ethGot)
+	}
+	if len(r.gw.Routes()) != 2 {
+		t.Fatalf("Routes = %+v", r.gw.Routes())
+	}
+}
+
+func TestSendErrorCounted(t *testing.T) {
+	r := newRig(t)
+	// Route to a FlexRay slot the gateway node does not own → Send fails.
+	if err := r.gw.AddRoute(Route{From: "can", FromID: 0x100, To: "flexray", ToID: 4}); err != nil {
+		t.Fatalf("AddRoute: %v", err)
+	}
+	if err := r.canApp.Send(can.Frame{ID: 0x100, Data: []byte{1}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := r.k.Run(10 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	stats := r.gw.Stats()
+	if stats[0].Errors != 1 || stats[0].Forwarded != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,117 @@
+package gateway
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+// fakePort is an in-memory Port for routing-table property tests.
+type fakePort struct {
+	name string
+	sent map[uint32]int
+	rx   []func(uint32, []byte)
+}
+
+func newFakePort(name string) *fakePort {
+	return &fakePort{name: name, sent: make(map[uint32]int)}
+}
+
+func (p *fakePort) Name() string { return p.name }
+
+func (p *fakePort) Send(id uint32, _ []byte) error {
+	p.sent[id]++
+	return nil
+}
+
+func (p *fakePort) Subscribe(fn func(uint32, []byte)) { p.rx = append(p.rx, fn) }
+
+func (p *fakePort) inject(id uint32, data []byte) {
+	for _, fn := range p.rx {
+		fn(id, data)
+	}
+}
+
+// Property: for any random routing table, every injected message with a
+// route is forwarded to exactly its routes' destinations, and messages
+// without routes only increment the unrouted counter.
+func TestQuickRoutingTableExactness(t *testing.T) {
+	f := func(seed int64, nRoutes, nMsgs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel()
+		g, err := New(Config{Kernel: k, ProcessingDelay: 10 * time.Microsecond})
+		if err != nil {
+			return false
+		}
+		in := newFakePort("in")
+		outs := []*fakePort{newFakePort("o1"), newFakePort("o2")}
+		if err := g.AttachPort(in); err != nil {
+			return false
+		}
+		for _, o := range outs {
+			if err := g.AttachPort(o); err != nil {
+				return false
+			}
+		}
+		routes := int(nRoutes%8) + 1
+		// want[fromID] = list of (port index, toID)
+		type dst struct {
+			port int
+			toID uint32
+		}
+		want := map[uint32][]dst{}
+		for i := 0; i < routes; i++ {
+			fromID := uint32(rng.Intn(10))
+			toPort := rng.Intn(len(outs))
+			toID := uint32(rng.Intn(100)) + 1000
+			if err := g.AddRoute(Route{
+				From: "in", FromID: fromID,
+				To: outs[toPort].name, ToID: toID,
+			}); err != nil {
+				return false
+			}
+			want[fromID] = append(want[fromID], dst{toPort, toID})
+		}
+		sentCount := map[uint32]int{}
+		unrouted := 0
+		msgs := int(nMsgs%30) + 1
+		for i := 0; i < msgs; i++ {
+			id := uint32(rng.Intn(14)) // some ids have no route
+			in.inject(id, []byte{byte(i)})
+			if len(want[id]) == 0 {
+				unrouted++
+			} else {
+				sentCount[id]++
+			}
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		if g.Unrouted() != uint64(unrouted) {
+			return false
+		}
+		// Every routed message reached exactly its destinations.
+		gotTotal := 0
+		for _, o := range outs {
+			for _, n := range o.sent {
+				gotTotal += n
+			}
+		}
+		wantTotal := 0
+		for id, n := range sentCount {
+			wantTotal += n * len(want[id])
+			for _, d := range want[id] {
+				if outs[d.port].sent[d.toID] < n {
+					return false
+				}
+			}
+		}
+		return gotTotal == wantTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

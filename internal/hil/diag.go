@@ -1,0 +1,58 @@
+package hil
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+)
+
+// The diagnostics node models the paper's category-1 timing fault source:
+// a low-priority task sharing the sensor-bus resource with SafeSpeed
+// under the priority-ceiling protocol. Nominally its bus access is
+// negligible; stretched by the error injector it holds the resource long
+// enough to block GetSensorValue and starve SafeSpeed's heartbeats —
+// "an object hangs as a result of a requested resource being blocked,
+// either by the object itself or some other object" (§3).
+
+// registerDiagnostics adds the diagnostics application to the model. Must
+// run before Freeze.
+func (v *Validator) registerDiagnostics() error {
+	var err error
+	if v.DiagApp, err = v.Model.AddApp("Diagnostics", runnable.QM); err != nil {
+		return fmt.Errorf("hil: diagnostics: %w", err)
+	}
+	if v.DiagTask, err = v.Model.AddTask(v.DiagApp, "DiagTask", 2); err != nil {
+		return fmt.Errorf("hil: diagnostics: %w", err)
+	}
+	if v.DiagRunnable, err = v.Model.AddRunnable(v.DiagTask, "DiagFlush",
+		200*time.Microsecond, runnable.QM); err != nil {
+		return fmt.Errorf("hil: diagnostics: %w", err)
+	}
+	return nil
+}
+
+// wireDiagnostics declares the shared sensor-bus resource, guards
+// SafeSpeed's sensor read with it, and defines the diagnostic task. Must
+// run after the OS exists and before SafeSpeed.Register.
+func (v *Validator) wireDiagnostics() error {
+	res, err := v.OS.DeclareResource("SensorBus", v.SafeSpeed.Task, v.DiagTask)
+	if err != nil {
+		return fmt.Errorf("hil: diagnostics: %w", err)
+	}
+	v.SensorBus = res
+	v.SafeSpeed.SensorResource = &v.SensorBus
+	if err := v.OS.DefineTask(v.DiagTask, osek.TaskAttrs{MaxActivations: 2}, osek.Program{
+		osek.Lock{Resource: res},
+		osek.Exec{Runnable: v.DiagRunnable},
+		osek.Unlock{Resource: res},
+	}); err != nil {
+		return fmt.Errorf("hil: diagnostics: %w", err)
+	}
+	if v.DiagAlarm, err = v.OS.CreateAlarm("DiagAlarm",
+		osek.ActivateAlarm(v.DiagTask), true, 100*time.Millisecond, 100*time.Millisecond); err != nil {
+		return fmt.Errorf("hil: diagnostics: %w", err)
+	}
+	return nil
+}

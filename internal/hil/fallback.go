@@ -1,0 +1,128 @@
+package hil
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/fmf"
+	"swwd/internal/osek"
+	"swwd/internal/reconfig"
+	"swwd/internal/runnable"
+	"swwd/internal/vehicle"
+)
+
+// limpHome is the degraded-mode speed governor: no driver throttle, brake
+// whenever the vehicle is above the limp-home cap. It is deliberately
+// simpler than SAFE_CC_process — the point of a fallback configuration.
+type limpHome struct {
+	plant *vehicle.Longitudinal
+	capMs float64
+
+	throttle float64
+	brake    float64
+	execs    uint64
+}
+
+// control is a bang-bang degraded cruise: brake above the cap, gentle
+// throttle below 90% of it, coast in between — far simpler than
+// SAFE_CC_process but enough to keep the function alive.
+func (l *limpHome) control() {
+	l.execs++
+	v := l.plant.Speed()
+	switch {
+	case v > l.capMs:
+		l.throttle, l.brake = 0, 0.3
+	case v < 0.9*l.capMs:
+		l.throttle, l.brake = 0.3, 0
+	default:
+		l.throttle, l.brake = 0, 0
+	}
+}
+
+// Controls reports the fallback actuator demand.
+func (l *limpHome) Controls() (throttle, brake float64) { return l.throttle, l.brake }
+
+// registerFallback adds the limp-home application to the model. Must run
+// before Freeze.
+func (v *Validator) registerFallback() error {
+	capKph := v.opts.FallbackSpeedKph
+	if capKph <= 0 {
+		capKph = 60
+	}
+	v.limp = &limpHome{plant: v.Long, capMs: vehicle.KphToMs(capKph)}
+	var err error
+	if v.FallbackApp, err = v.Model.AddApp("SafeSpeedFallback", runnable.SafetyRelevant); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	if v.FallbackTask, err = v.Model.AddTask(v.FallbackApp, "LimpHomeTask", 9); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	if v.FallbackRunnable, err = v.Model.AddRunnable(v.FallbackTask, "LimpHome_process",
+		100*time.Microsecond, runnable.SafetyRelevant); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	return nil
+}
+
+// wireFallback defines the limp-home task and the reconfiguration
+// manager. Must run after the OS and FMF exist.
+func (v *Validator) wireFallback() error {
+	if err := v.OS.DefineTask(v.FallbackTask, osek.TaskAttrs{MaxActivations: 2}, osek.Program{
+		osek.Exec{Runnable: v.FallbackRunnable, OnDone: v.limp.control},
+	}); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	var err error
+	// Not autostarted: the reconfiguration manager arms it on demand.
+	if v.fallbackAlarm, err = v.OS.CreateAlarm("LimpHomeAlarm",
+		osek.ActivateAlarm(v.FallbackTask), false, 0, 0); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	if v.Reconfig, err = reconfig.New(v.OS); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	if err := v.Reconfig.AddFallback(reconfig.Fallback{
+		ForApp: v.SafeSpeed.App,
+		Task:   v.FallbackTask,
+		Alarm:  v.fallbackAlarm,
+		Offset: 50 * time.Millisecond,
+		Cycle:  50 * time.Millisecond,
+	}); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	v.FMF.Subscribe(v.Reconfig.Notify)
+	// Toggle the fallback runnable's Activation Status with engagement so
+	// the watchdog supervises the degraded mode too (§3.3 AS usage).
+	// Limp-home runs every 50ms; with a 10ms cycle a 25-cycle window sees
+	// 5 nominal heartbeats.
+	hyp := core.Hypothesis{AlivenessCycles: 25, MinHeartbeats: 3, ArrivalCycles: 25, MaxArrivals: 7}
+	if err := v.Watchdog.SetHypothesis(v.FallbackRunnable, hyp); err != nil {
+		return fmt.Errorf("hil: fallback: %w", err)
+	}
+	v.FMF.Subscribe(func(n fmf.Notification) {
+		if n.Treatment == nil || n.Treatment.App != v.SafeSpeed.App {
+			return
+		}
+		switch n.Treatment.Action {
+		case fmf.TerminateAppAction:
+			_ = v.Watchdog.Activate(v.FallbackRunnable)
+		case fmf.RestartAppAction:
+			_ = v.Watchdog.Deactivate(v.FallbackRunnable)
+		}
+	})
+	return nil
+}
+
+// FallbackEngaged reports whether the limp-home mode is active.
+func (v *Validator) FallbackEngaged() bool {
+	return v.Reconfig != nil && v.Reconfig.Engaged(v.SafeSpeed.App)
+}
+
+// FallbackExecutions reports how often the limp-home control ran.
+func (v *Validator) FallbackExecutions() uint64 {
+	if v.limp == nil {
+		return 0
+	}
+	return v.limp.execs
+}

@@ -1,0 +1,153 @@
+package hil
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/fmf"
+	"swwd/internal/inject"
+	"swwd/internal/sim"
+	"swwd/internal/vehicle"
+)
+
+func TestFallbackRequiresTreatment(t *testing.T) {
+	if _, err := New(Options{EnableFallback: true}); err == nil {
+		t.Fatal("fallback without treatment accepted")
+	}
+}
+
+func TestFallbackEngagesOnTermination(t *testing.T) {
+	v := newValidator(t, Options{
+		EnableTreatment: true,
+		EnableFallback:  true,
+	})
+	if err := v.FMF.SetPolicy(v.SafeSpeed.App, fmf.TerminateApp); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	// Persistent flow fault: SafeSpeed is terminated, limp-home engages.
+	branch := &inject.FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+	}
+	v.Injector.ApplyAt(5*sim.Second, branch)
+	// Let the car reach the 80 km/h cruise first.
+	if err := v.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.FallbackEngaged() {
+		t.Fatal("fallback engaged before any fault")
+	}
+	if err := v.Run(60 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !v.FallbackEngaged() {
+		t.Fatal("fallback never engaged after termination")
+	}
+	if v.FallbackExecutions() == 0 {
+		t.Fatal("limp-home control never ran")
+	}
+	// SafeSpeed is gone...
+	st, err := v.OS.State(v.SafeSpeed.Task)
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if st.String() != "suspended" {
+		t.Fatalf("SafeSpeed task state = %v, want suspended", st)
+	}
+	// ...but the vehicle is still governed: limp-home holds ~60 km/h
+	// (driver demand is zero in degraded mode, so braking + drag
+	// dominate: the car must be at or below the cap).
+	got := vehicle.MsToKph(v.Long.Speed())
+	if got > 62 {
+		t.Fatalf("speed = %.1f km/h, want held at/below the 60 km/h limp cap", got)
+	}
+	// The reconfiguration was logged.
+	log := v.Reconfig.Log()
+	if len(log) == 0 || !log[0].Engaged || log[0].Err != nil {
+		t.Fatalf("reconfig log = %+v", log)
+	}
+	// The degraded mode is itself supervised: its runnable is active.
+	c, err := v.Watchdog.CounterSnapshot(v.FallbackRunnable)
+	if err != nil {
+		t.Fatalf("CounterSnapshot: %v", err)
+	}
+	if !c.Active {
+		t.Fatal("fallback runnable not activated in the watchdog")
+	}
+}
+
+func TestFallbackSupervisedAliveness(t *testing.T) {
+	// Once limp-home is engaged and supervised, starving ITS dispatch
+	// must produce aliveness errors too.
+	v := newValidator(t, Options{
+		EnableTreatment: true,
+		EnableFallback:  true,
+	})
+	if err := v.FMF.SetPolicy(v.SafeSpeed.App, fmf.TerminateApp); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	branch := &inject.FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+	}
+	v.Injector.ApplyAt(2*sim.Second, branch)
+	if err := v.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !v.FallbackEngaged() {
+		t.Fatal("fallback not engaged")
+	}
+	// With SafeSpeed terminated AND its monitoring suspended, the only
+	// active monitored runnable of that control path is limp-home; the
+	// aliveness count must be quiet now.
+	if err := v.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	before := v.Watchdog.Results().Aliveness
+	if err := v.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if quiet := v.Watchdog.Results().Aliveness; quiet != before {
+		t.Fatalf("aliveness still accumulating on terminated app: %d -> %d", before, quiet)
+	}
+	// Starve the limp-home task: new aliveness errors must appear — the
+	// degraded mode is supervised too.
+	stretch := &inject.ExecStretch{OS: v.OS, Runnable: v.FallbackRunnable, Scale: 5000}
+	if err := stretch.Apply(); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := v.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after := v.Watchdog.Results().Aliveness; after == before {
+		t.Fatalf("starved fallback produced no aliveness errors (still %d)", after)
+	}
+}
+
+func TestFallbackRetiredOnRestartTreatment(t *testing.T) {
+	// With the restart policy (and a transient fault) the fallback
+	// engages never — restart treatments retire/never-engage it.
+	v := newValidator(t, Options{
+		EnableTreatment: true,
+		EnableFallback:  true,
+	})
+	branch := &inject.FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+		Unset: func() { v.SafeSpeed.FaultBranch = 0 },
+	}
+	if err := v.Injector.Window(2*sim.Second, 3*sim.Second, branch); err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if err := v.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.FallbackEngaged() {
+		t.Fatal("fallback engaged under restart policy")
+	}
+	// System recovered normally.
+	if st, _ := v.Watchdog.TaskState(v.SafeSpeed.Task); st != core.StateOK {
+		t.Fatalf("task state = %v", st)
+	}
+}

@@ -1,0 +1,63 @@
+package hil
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/hwwd"
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+)
+
+// The hardware watchdog layer: a lowest-priority task services the
+// hardware watchdog. Per-runnable faults never starve it (SafeSpeed and
+// friends leave plenty of idle CPU), so the §2 division of labour holds —
+// the hardware watchdog fires only when the software as a whole
+// monopolises the CPU, and the firing performs the ECU reset.
+
+// registerHardwareWatchdog adds the kick task to the model. Must run
+// before Freeze.
+func (v *Validator) registerHardwareWatchdog() error {
+	var err error
+	if v.HWKickApp, err = v.Model.AddApp("HWWatchdogService", runnable.QM); err != nil {
+		return fmt.Errorf("hil: hwwd: %w", err)
+	}
+	// Priority 1: below every application task, so the kick only happens
+	// when the CPU has idle capacity each period.
+	if v.HWKickTask, err = v.Model.AddTask(v.HWKickApp, "HWKickTask", 1); err != nil {
+		return fmt.Errorf("hil: hwwd: %w", err)
+	}
+	if v.HWKickRunnable, err = v.Model.AddRunnable(v.HWKickTask, "HWKick",
+		20*time.Microsecond, runnable.QM); err != nil {
+		return fmt.Errorf("hil: hwwd: %w", err)
+	}
+	return nil
+}
+
+// wireHardwareWatchdog builds the watchdog and the kick task. Must run
+// after the OS exists.
+func (v *Validator) wireHardwareWatchdog() error {
+	var err error
+	if v.HWWatchdog, err = hwwd.New(hwwd.Config{
+		Kernel:  v.Kernel,
+		Timeout: 200 * time.Millisecond,
+		OnExpire: func() {
+			// The hardware reset path: everything restarts from the boot
+			// configuration, and the Software Watchdog state clears.
+			v.OS.ResetECU()
+			v.Watchdog.ClearAll()
+		},
+	}); err != nil {
+		return fmt.Errorf("hil: hwwd: %w", err)
+	}
+	if err := v.OS.DefineTask(v.HWKickTask, osek.TaskAttrs{MaxActivations: 2}, osek.Program{
+		osek.Exec{Runnable: v.HWKickRunnable, OnDone: v.HWWatchdog.Kick},
+	}); err != nil {
+		return fmt.Errorf("hil: hwwd: %w", err)
+	}
+	if _, err := v.OS.CreateAlarm("HWKickAlarm",
+		osek.ActivateAlarm(v.HWKickTask), true, 50*time.Millisecond, 50*time.Millisecond); err != nil {
+		return fmt.Errorf("hil: hwwd: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package hil
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/inject"
+	"swwd/internal/sim"
+)
+
+func TestHardwareWatchdogQuietOnHealthyRun(t *testing.T) {
+	v := newValidator(t, Options{WithHardwareWatchdog: true})
+	if err := v.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.HWWatchdog.Expiries() != 0 {
+		t.Fatalf("hardware watchdog fired %d times on a healthy run", v.HWWatchdog.Expiries())
+	}
+	if v.HWWatchdog.Kicks() < 150 {
+		t.Fatalf("kicks = %d, want ~200 (every 50ms)", v.HWWatchdog.Kicks())
+	}
+}
+
+func TestHardwareWatchdogBlindToRunnableFault(t *testing.T) {
+	// The §2 division of labour: an invalid branch (runnable-level fault)
+	// is invisible to the hardware watchdog but caught by the Software
+	// Watchdog.
+	v := newValidator(t, Options{WithHardwareWatchdog: true})
+	branch := &inject.FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+	}
+	v.Injector.ApplyAt(2*sim.Second, branch)
+	if err := v.Run(8 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.HWWatchdog.Expiries() != 0 {
+		t.Fatalf("hardware watchdog fired on a runnable-level fault")
+	}
+	if v.Watchdog.Results().ProgramFlow == 0 {
+		t.Fatal("software watchdog missed the fault")
+	}
+}
+
+func TestHardwareWatchdogCatchesCPUMonopolisation(t *testing.T) {
+	// Total overload: the highest-priority steer task's Vote stretched to
+	// consume far beyond its 5ms period monopolises the CPU. The lowest-
+	// priority kick task starves, the hardware watchdog fires and resets
+	// the ECU. (The Software Watchdog's cycle alarm keeps detecting too —
+	// both layers see this one, but only the hardware watchdog can act
+	// when the whole software stack is wedged.)
+	v := newValidator(t, Options{WithHardwareWatchdog: true})
+	hog := &inject.ExecStretch{OS: v.OS, Runnable: v.SteerByWire.Vote, Scale: 10000}
+	if err := v.Injector.Window(2*sim.Second, 4*sim.Second, hog); err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if err := v.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.HWWatchdog.Expiries() == 0 {
+		t.Fatal("hardware watchdog did not fire under CPU monopolisation")
+	}
+	if v.OS.ResetCount() == 0 {
+		t.Fatal("no ECU reset performed")
+	}
+	first := v.HWWatchdog.LastExpiry()
+	if first < 2*sim.Second {
+		t.Fatalf("expiry before the overload window: %v", first)
+	}
+	// After the window the system recovers: kicks resume, no more firing.
+	expiries := v.HWWatchdog.Expiries()
+	if err := v.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.HWWatchdog.Expiries() != expiries {
+		t.Fatalf("hardware watchdog still firing after recovery: %d -> %d",
+			expiries, v.HWWatchdog.Expiries())
+	}
+}

@@ -1,0 +1,241 @@
+package hil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"swwd/internal/can"
+	"swwd/internal/ethernet"
+	"swwd/internal/flexray"
+	"swwd/internal/gateway"
+	"swwd/internal/osek"
+	"swwd/internal/vehicle"
+)
+
+// Message identifiers of the validator's communication matrix.
+const (
+	// CANSpeedID carries the measured vehicle speed (sensor node → all).
+	CANSpeedID can.FrameID = 0x100
+	// CANLimitID carries the commanded speed limit after gateway
+	// translation from telematics.
+	CANLimitID can.FrameID = 0x200
+	// EthLimitTopic is the telematics topic commanding the speed limit.
+	EthLimitTopic uint32 = 50
+	// FlexRaySteerSlot is the static slot carrying the steering command
+	// from the central node to the actuator node.
+	FlexRaySteerSlot = 1
+	// FlexRayGatewaySlot is the gateway's own static slot.
+	FlexRayGatewaySlot = 2
+)
+
+// Network is the validator's communication topology: CAN, FlexRay, the
+// TCP/IP telematics segment and the gateway node joining them.
+type Network struct {
+	v *Validator
+
+	CANBus  *can.Bus
+	FRBus   *flexray.Bus
+	EthNet  *ethernet.Network
+	Gateway *gateway.Gateway
+
+	// Nodes.
+	sensorCAN  *can.Node // sensor node publishing speed on CAN
+	centralCAN *can.Node // central node's CAN controller
+	centralFR  *flexray.Node
+	actuatorFR *flexray.Node
+	telematics *ethernet.Node
+	gatewayCAN *can.Node
+	gatewayFR  *flexray.Node
+	gatewayEth *ethernet.Node
+
+	// lastSteer is the steering command as received by the actuator node
+	// over FlexRay (applied to the lateral plant instead of the direct
+	// value when networks are enabled).
+	lastSteer float64
+	// lastLimitRx counts received limit commands on the central node.
+	lastLimitRx uint64
+	// command is the speed limit as held by the telematics source; the
+	// central node's v.speedLimit is only ever updated by reception, so
+	// the command genuinely travels telematics → gateway → CAN.
+	command float64
+	// rxISR is the central node's CAN receive interrupt: frame payloads
+	// are buffered by the controller and decoded in interrupt context,
+	// consuming CPU like a real driver would.
+	rxISR     osek.ISRID
+	rxPending [][]byte
+	// remoteFaults collects the fault reports of remote ECUs (see
+	// remote.go).
+	remoteFaults []RemoteFault
+}
+
+// newNetwork builds the buses, nodes and routing table.
+func newNetwork(v *Validator) (*Network, error) {
+	n := &Network{v: v, command: v.speedLimit}
+	var err error
+	if n.CANBus, err = can.NewBus(v.Kernel, 500000); err != nil {
+		return nil, err
+	}
+	if n.FRBus, err = flexray.NewBus(v.Kernel, flexray.Config{
+		StaticSlots:  8,
+		SlotDuration: 250 * time.Microsecond,
+	}); err != nil {
+		return nil, err
+	}
+	if n.EthNet, err = ethernet.NewNetwork(v.Kernel, ethernet.Config{
+		Latency: 2 * time.Millisecond,
+		Jitter:  500 * time.Microsecond,
+		Seed:    1,
+	}); err != nil {
+		return nil, err
+	}
+
+	n.sensorCAN = n.CANBus.AttachNode("sensor-node")
+	n.centralCAN = n.CANBus.AttachNode("central-node")
+	n.gatewayCAN = n.CANBus.AttachNode("gateway")
+
+	n.centralFR = n.FRBus.AttachNode("central-node")
+	n.actuatorFR = n.FRBus.AttachNode("actuator-node")
+	n.gatewayFR = n.FRBus.AttachNode("gateway")
+	if err := n.FRBus.AssignSlot(FlexRaySteerSlot, n.centralFR); err != nil {
+		return nil, err
+	}
+	if err := n.FRBus.AssignSlot(FlexRayGatewaySlot, n.gatewayFR); err != nil {
+		return nil, err
+	}
+
+	if n.telematics, err = n.EthNet.AttachNode("telematics"); err != nil {
+		return nil, err
+	}
+	if n.gatewayEth, err = n.EthNet.AttachNode("gateway"); err != nil {
+		return nil, err
+	}
+
+	if n.Gateway, err = gateway.New(gateway.Config{
+		Kernel:          v.Kernel,
+		ProcessingDelay: 200 * time.Microsecond,
+	}); err != nil {
+		return nil, err
+	}
+	cp, err := gateway.NewCANPort("can", n.gatewayCAN)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := gateway.NewFlexRayPort("flexray", n.gatewayFR)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := gateway.NewEthernetPort("eth", n.gatewayEth)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []gateway.Port{cp, fp, ep} {
+		if err := n.Gateway.AttachPort(p); err != nil {
+			return nil, err
+		}
+	}
+	// Telematics speed-limit command crosses into the CAN domain.
+	if err := n.Gateway.AddRoute(gateway.Route{
+		From: "eth", FromID: EthLimitTopic,
+		To: "can", ToID: uint32(CANLimitID),
+	}); err != nil {
+		return nil, err
+	}
+	// Vehicle speed is mirrored to telematics for remote monitoring.
+	if err := n.Gateway.AddRoute(gateway.Route{
+		From: "can", FromID: uint32(CANSpeedID),
+		To: "eth", ToID: uint32(CANSpeedID),
+	}); err != nil {
+		return nil, err
+	}
+
+	// Central node consumes the limit command through its CAN receive
+	// ISR: the controller buffers the payload and raises the interrupt;
+	// decoding happens in interrupt context on the ECU's CPU.
+	if n.rxISR, err = v.OS.DeclareISR("CanRxISR", 20*time.Microsecond, func() {
+		for _, data := range n.rxPending {
+			if len(data) >= 2 {
+				n.lastLimitRx++
+				v.speedLimit = decodeSpeed(data)
+			}
+		}
+		n.rxPending = n.rxPending[:0]
+	}); err != nil {
+		return nil, err
+	}
+	n.centralCAN.Subscribe(func(id can.FrameID) bool { return id == CANLimitID }, func(f can.Frame) {
+		n.rxPending = append(n.rxPending, f.Data)
+		_ = v.OS.RaiseISR(n.rxISR)
+	})
+	// Actuator node consumes the steering command.
+	n.actuatorFR.Subscribe(func(f flexray.Frame) {
+		if f.Slot == FlexRaySteerSlot && len(f.Data) >= 4 {
+			n.lastSteer = decodeSteer(f.Data)
+		}
+	})
+	return n, nil
+}
+
+// start launches the periodic node activities.
+func (n *Network) start() error {
+	if err := n.FRBus.Start(); err != nil {
+		return fmt.Errorf("hil: %w", err)
+	}
+	// Sensor node: publish measured speed on CAN every 10ms.
+	n.v.Kernel.Every(0, 10*time.Millisecond, func() bool {
+		frame := can.Frame{ID: CANSpeedID, Data: encodeSpeed(n.v.Long.Speed())}
+		// A full queue under bus overload is a legitimate condition; the
+		// frame is simply lost, as on the real bus.
+		_ = n.sensorCAN.Send(frame)
+		return true
+	})
+	// Central node: publish the steering command on its FlexRay slot
+	// every communication cycle.
+	n.v.Kernel.Every(0, n.FRBus.Config().CycleDuration(), func() bool {
+		_ = n.centralFR.WriteSlot(FlexRaySteerSlot, encodeSteer(n.v.SteerByWire.SteerCommand()))
+		return true
+	})
+	// Telematics: re-command the current speed limit once a second.
+	n.v.Kernel.Every(0, time.Second, func() bool {
+		_ = n.telematics.Broadcast(EthLimitTopic, encodeSpeed(n.command))
+		return true
+	})
+	return nil
+}
+
+// ActuatorSteer reports the steering command as received over FlexRay.
+func (n *Network) ActuatorSteer() float64 { return n.lastSteer }
+
+// LimitCommandsReceived reports how many limit commands reached the
+// central node over the gateway path.
+func (n *Network) LimitCommandsReceived() uint64 { return n.lastLimitRx }
+
+// encodeSpeed packs a speed (m/s) as big-endian centi-m/s.
+func encodeSpeed(ms float64) []byte {
+	v := uint16(math.Round(ms * 100))
+	buf := make([]byte, 2)
+	binary.BigEndian.PutUint16(buf, v)
+	return buf
+}
+
+// decodeSpeed unpacks encodeSpeed's format.
+func decodeSpeed(b []byte) float64 {
+	return float64(binary.BigEndian.Uint16(b)) / 100
+}
+
+// encodeSteer packs a steering angle (rad) as big-endian micro-rad,
+// signed.
+func encodeSteer(rad float64) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, uint32(int32(math.Round(rad*1e6))))
+	return buf
+}
+
+// decodeSteer unpacks encodeSteer's format.
+func decodeSteer(b []byte) float64 {
+	return float64(int32(binary.BigEndian.Uint32(b))) / 1e6
+}
+
+// SpeedLimitKph is a convenience accessor for traces.
+func (n *Network) SpeedLimitKph() float64 { return vehicle.MsToKph(n.v.speedLimit) }

@@ -1,0 +1,113 @@
+// Package hwwd models the ECU hardware watchdog the paper positions the
+// Software Watchdog against (§2): "A hardware watchdog treats the
+// embedded software as a whole. With the increasing density of
+// applications on one ECU, the hardware watchdog should be supplemented
+// with software services for the monitoring execution on a more detailed
+// level."
+//
+// The model is the classic windowless timeout watchdog: it must be kicked
+// (serviced) within its timeout or it fires and resets the ECU. In the
+// validator a lowest-priority task performs the kicking, so the hardware
+// watchdog catches total CPU monopolisation — the fault class the
+// Software Watchdog's per-runnable units are *not* needed for — while
+// staying blind to everything the paper's service detects.
+package hwwd
+
+import (
+	"errors"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+// Config parametrises the hardware watchdog.
+type Config struct {
+	Kernel *sim.Kernel
+	// Timeout is the service deadline; a missing kick fires the watchdog.
+	Timeout time.Duration
+	// OnExpire runs when the watchdog fires — typically the ECU reset.
+	// After firing, the watchdog re-arms itself (the reset system must
+	// resume kicking).
+	OnExpire func()
+}
+
+// Watchdog is one hardware watchdog instance.
+type Watchdog struct {
+	kernel   *sim.Kernel
+	timeout  time.Duration
+	onExpire func()
+
+	ev      *sim.Event
+	running bool
+
+	kicks      uint64
+	expiries   uint64
+	lastExpiry sim.Time
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Watchdog, error) {
+	if cfg.Kernel == nil {
+		return nil, errors.New("hwwd: kernel is required")
+	}
+	if cfg.Timeout <= 0 {
+		return nil, errors.New("hwwd: timeout must be positive")
+	}
+	return &Watchdog{kernel: cfg.Kernel, timeout: cfg.Timeout, onExpire: cfg.OnExpire}, nil
+}
+
+// Start arms the watchdog; the first kick is due within one timeout.
+func (w *Watchdog) Start() error {
+	if w.running {
+		return errors.New("hwwd: already running")
+	}
+	w.running = true
+	w.arm()
+	return nil
+}
+
+// Stop disarms the watchdog (e.g. controlled shutdown).
+func (w *Watchdog) Stop() {
+	if !w.running {
+		return
+	}
+	w.running = false
+	w.kernel.Cancel(w.ev)
+	w.ev = nil
+}
+
+// Kick services the watchdog, restarting the timeout. Kicking a stopped
+// watchdog is a no-op.
+func (w *Watchdog) Kick() {
+	if !w.running {
+		return
+	}
+	w.kicks++
+	w.kernel.Cancel(w.ev)
+	w.arm()
+}
+
+// Kicks reports how often the watchdog has been serviced.
+func (w *Watchdog) Kicks() uint64 { return w.kicks }
+
+// Expiries reports how often the watchdog has fired.
+func (w *Watchdog) Expiries() uint64 { return w.expiries }
+
+// LastExpiry reports the instant of the most recent firing (zero when it
+// never fired).
+func (w *Watchdog) LastExpiry() sim.Time { return w.lastExpiry }
+
+func (w *Watchdog) arm() {
+	w.ev = w.kernel.After(w.timeout, w.expire)
+}
+
+func (w *Watchdog) expire() {
+	w.expiries++
+	w.lastExpiry = w.kernel.Now()
+	if w.onExpire != nil {
+		w.onExpire()
+	}
+	if w.running {
+		w.arm()
+	}
+}

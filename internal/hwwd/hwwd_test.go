@@ -1,0 +1,92 @@
+package hwwd
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := New(Config{Kernel: sim.NewKernel()}); err == nil {
+		t.Error("zero timeout accepted")
+	}
+}
+
+func TestKickedWatchdogNeverFires(t *testing.T) {
+	k := sim.NewKernel()
+	w, err := New(Config{Kernel: k, Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	k.Every(50*sim.Millisecond, 50*time.Millisecond, func() bool {
+		w.Kick()
+		return true
+	})
+	if err := k.Run(5 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if w.Expiries() != 0 {
+		t.Fatalf("kicked watchdog fired %d times", w.Expiries())
+	}
+	if w.Kicks() == 0 {
+		t.Fatal("no kicks recorded")
+	}
+}
+
+func TestMissingKickFires(t *testing.T) {
+	k := sim.NewKernel()
+	fired := 0
+	w, err := New(Config{Kernel: k, Timeout: 100 * time.Millisecond, OnExpire: func() { fired++ }})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Kick twice, then go silent.
+	k.At(50*sim.Millisecond, w.Kick)
+	k.At(100*sim.Millisecond, w.Kick)
+	if err := k.Run(450 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Silence from 100ms: expiries at 200, 300, 400ms (re-armed each time).
+	if fired != 3 || w.Expiries() != 3 {
+		t.Fatalf("fired %d/%d times, want 3", fired, w.Expiries())
+	}
+	if w.LastExpiry() != 400*sim.Millisecond {
+		t.Fatalf("LastExpiry = %v", w.LastExpiry())
+	}
+}
+
+func TestStopDisarms(t *testing.T) {
+	k := sim.NewKernel()
+	w, err := New(Config{Kernel: k, Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := w.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	w.Stop()
+	w.Stop() // idempotent
+	w.Kick() // no-op when stopped
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if w.Expiries() != 0 {
+		t.Fatalf("stopped watchdog fired %d times", w.Expiries())
+	}
+	if w.Kicks() != 0 {
+		t.Fatal("kick counted while stopped")
+	}
+}

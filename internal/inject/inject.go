@@ -1,0 +1,207 @@
+// Package inject is the error-injection framework of the validation
+// campaign. The paper injects *errors* rather than raw faults ("Faults,
+// which are difficult to inject into the test bench ... can be relatively
+// easily emulated with errors", §4.5), by manipulating the execution
+// frequency and sequence of runnables: timing scalars, loop counters and
+// invalid execution branches, driven interactively from ControlDesk. This
+// package provides the same manipulations as programmable, schedulable
+// injections against the simulated ECU.
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// Injection is one reversible error-injection mechanism.
+type Injection interface {
+	// Name identifies the injection in logs and experiment records.
+	Name() string
+	// Apply activates the injected error.
+	Apply() error
+	// Revert removes it.
+	Revert() error
+}
+
+// ExecStretch scales a runnable's execution time — the "time scalar ...
+// connected to a slider instrument" of §4.5. Stretching a runnable delays
+// or starves its own and its successors' heartbeats (aliveness errors).
+type ExecStretch struct {
+	OS       *osek.OS
+	Runnable runnable.ID
+	Scale    float64
+}
+
+var _ Injection = (*ExecStretch)(nil)
+
+// Name implements Injection.
+func (e *ExecStretch) Name() string {
+	return fmt.Sprintf("exec-stretch(r%d x%g)", e.Runnable, e.Scale)
+}
+
+// Apply implements Injection.
+func (e *ExecStretch) Apply() error { return e.OS.SetExecScale(e.Runnable, e.Scale) }
+
+// Revert implements Injection.
+func (e *ExecStretch) Revert() error { return e.OS.SetExecScale(e.Runnable, 1) }
+
+// AlarmRateScale changes the period of the alarm dispatching a task,
+// changing the execution frequency of all its runnables: slowing it down
+// (> 1) starves heartbeats (aliveness), speeding it up (< 1) produces
+// excessive dispatch (arrival rate).
+type AlarmRateScale struct {
+	OS    *osek.OS
+	Alarm osek.AlarmID
+	Scale float64
+}
+
+var _ Injection = (*AlarmRateScale)(nil)
+
+// Name implements Injection.
+func (a *AlarmRateScale) Name() string {
+	return fmt.Sprintf("alarm-rate(a%d x%g)", a.Alarm, a.Scale)
+}
+
+// Apply implements Injection.
+func (a *AlarmRateScale) Apply() error { return a.OS.SetAlarmCycleScale(a.Alarm, a.Scale) }
+
+// Revert implements Injection.
+func (a *AlarmRateScale) Revert() error { return a.OS.SetAlarmCycleScale(a.Alarm, 1) }
+
+// BurstDispatch activates a task on its own additional period, modelling
+// the category-2 timing fault: "an object is excessively dispatched for
+// execution" (§3).
+type BurstDispatch struct {
+	OS     *osek.OS
+	Task   runnable.TaskID
+	Period time.Duration
+
+	ticker *sim.Ticker
+}
+
+var _ Injection = (*BurstDispatch)(nil)
+
+// Name implements Injection.
+func (b *BurstDispatch) Name() string {
+	return fmt.Sprintf("burst-dispatch(t%d every %v)", b.Task, b.Period)
+}
+
+// Apply implements Injection.
+func (b *BurstDispatch) Apply() error {
+	if b.Period <= 0 {
+		return fmt.Errorf("inject: %s: period must be positive", b.Name())
+	}
+	if b.ticker != nil {
+		return fmt.Errorf("inject: %s: already applied", b.Name())
+	}
+	k := b.OS.Kernel()
+	b.ticker = k.Every(k.Now().Add(b.Period), b.Period, func() bool {
+		// Activation failures (E_OS_LIMIT under overload) are themselves
+		// part of the injected phenomenon; the OS error hook sees them.
+		_ = b.OS.ActivateTask(b.Task)
+		return true
+	})
+	return nil
+}
+
+// Revert implements Injection.
+func (b *BurstDispatch) Revert() error {
+	if b.ticker == nil {
+		return nil
+	}
+	b.ticker.Stop()
+	b.ticker = nil
+	return nil
+}
+
+// FlagFault flips an application-exposed fault flag, used for the
+// "building invalid execution branches" and "manipulation of loop
+// counters" injections: the application's Select/Loop steps read the flag.
+type FlagFault struct {
+	Label string
+	Set   func()
+	Unset func()
+}
+
+var _ Injection = (*FlagFault)(nil)
+
+// Name implements Injection.
+func (f *FlagFault) Name() string { return fmt.Sprintf("flag(%s)", f.Label) }
+
+// Apply implements Injection.
+func (f *FlagFault) Apply() error {
+	if f.Set == nil {
+		return errors.New("inject: FlagFault without Set")
+	}
+	f.Set()
+	return nil
+}
+
+// Revert implements Injection.
+func (f *FlagFault) Revert() error {
+	if f.Unset != nil {
+		f.Unset()
+	}
+	return nil
+}
+
+// Event records one injection state change for the experiment log.
+type Event struct {
+	Time    sim.Time
+	Name    string
+	Applied bool // true = Apply, false = Revert
+	Err     error
+}
+
+// Scheduler arms injections at virtual instants, replacing the human at
+// the ControlDesk slider with a reproducible schedule.
+type Scheduler struct {
+	kernel *sim.Kernel
+	log    []Event
+}
+
+// NewScheduler creates a scheduler on the simulation kernel.
+func NewScheduler(k *sim.Kernel) (*Scheduler, error) {
+	if k == nil {
+		return nil, errors.New("inject: kernel is required")
+	}
+	return &Scheduler{kernel: k}, nil
+}
+
+// ApplyAt arms inj to be applied at the absolute instant t.
+func (s *Scheduler) ApplyAt(t sim.Time, inj Injection) {
+	s.kernel.At(t, func() {
+		err := inj.Apply()
+		s.log = append(s.log, Event{Time: s.kernel.Now(), Name: inj.Name(), Applied: true, Err: err})
+	})
+}
+
+// RevertAt arms inj to be reverted at the absolute instant t.
+func (s *Scheduler) RevertAt(t sim.Time, inj Injection) {
+	s.kernel.At(t, func() {
+		err := inj.Revert()
+		s.log = append(s.log, Event{Time: s.kernel.Now(), Name: inj.Name(), Applied: false, Err: err})
+	})
+}
+
+// Window applies inj during [start, end).
+func (s *Scheduler) Window(start, end sim.Time, inj Injection) error {
+	if end <= start {
+		return fmt.Errorf("inject: window end %v not after start %v", end, start)
+	}
+	s.ApplyAt(start, inj)
+	s.RevertAt(end, inj)
+	return nil
+}
+
+// Log returns the injection events so far, oldest first.
+func (s *Scheduler) Log() []Event {
+	out := make([]Event, len(s.log))
+	copy(out, s.log)
+	return out
+}

@@ -1,0 +1,177 @@
+package inject
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// rig wires a minimal one-task ECU.
+type rig struct {
+	k     *sim.Kernel
+	os    *osek.OS
+	task  runnable.TaskID
+	rid   runnable.ID
+	alarm osek.AlarmID
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	m := runnable.NewModel()
+	app, _ := m.AddApp("App", runnable.SafetyCritical)
+	task, _ := m.AddTask(app, "T", 5)
+	rid, err := m.AddRunnable(task, "R", time.Millisecond, runnable.SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	os, err := osek.New(osek.Config{Model: m, Kernel: k})
+	if err != nil {
+		t.Fatalf("osek.New: %v", err)
+	}
+	if err := os.DefineTask(task, osek.TaskAttrs{MaxActivations: 5}, osek.Program{osek.Exec{Runnable: rid}}); err != nil {
+		t.Fatalf("DefineTask: %v", err)
+	}
+	alarm, err := os.CreateAlarm("cyc", osek.ActivateAlarm(task), true, 10*time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	if err := os.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return &rig{k: k, os: os, task: task, rid: rid, alarm: alarm}
+}
+
+func TestExecStretchAppliesAndReverts(t *testing.T) {
+	r := newRig(t)
+	inj := &ExecStretch{OS: r.os, Runnable: r.rid, Scale: 3}
+	if inj.Name() == "" {
+		t.Error("empty name")
+	}
+	if err := inj.Apply(); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := inj.Revert(); err != nil {
+		t.Fatalf("Revert: %v", err)
+	}
+}
+
+func TestAlarmRateScaleWindowSlowsDispatch(t *testing.T) {
+	r := newRig(t)
+	s, err := NewScheduler(r.k)
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	inj := &AlarmRateScale{OS: r.os, Alarm: r.alarm, Scale: 2}
+	if err := s.Window(50*sim.Millisecond, 100*sim.Millisecond, inj); err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if err := r.k.Run(200 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Nominal: expiries every 10ms. Slowed x2 in [50,100): expiries at
+	// 10..50 (5), then 70, 90 (2, still slowed when scheduled), then the
+	// revert at 100 restores 10ms from the next reschedule: 110,120,...
+	got := r.os.ExecCount(r.rid)
+	if got < 12 || got > 18 {
+		t.Fatalf("ExecCount = %d, want roughly 15 with a slowed window", got)
+	}
+	log := s.Log()
+	if len(log) != 2 || !log[0].Applied || log[1].Applied {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[0].Err != nil || log[1].Err != nil {
+		t.Fatalf("injection errors: %+v", log)
+	}
+}
+
+func TestBurstDispatchDoublesRate(t *testing.T) {
+	r := newRig(t)
+	s, _ := NewScheduler(r.k)
+	inj := &BurstDispatch{OS: r.os, Task: r.task, Period: 10 * time.Millisecond}
+	s.ApplyAt(100*sim.Millisecond, inj)
+	s.RevertAt(200*sim.Millisecond, inj)
+	if err := r.k.Run(300 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 30 nominal dispatches + ~10 extra during [100,200].
+	got := r.os.ExecCount(r.rid)
+	if got < 38 || got > 42 {
+		t.Fatalf("ExecCount = %d, want ~40", got)
+	}
+}
+
+func TestBurstDispatchValidation(t *testing.T) {
+	r := newRig(t)
+	bad := &BurstDispatch{OS: r.os, Task: r.task, Period: 0}
+	if err := bad.Apply(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	inj := &BurstDispatch{OS: r.os, Task: r.task, Period: time.Millisecond}
+	if err := inj.Apply(); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := inj.Apply(); err == nil {
+		t.Fatal("double Apply accepted")
+	}
+	if err := inj.Revert(); err != nil {
+		t.Fatalf("Revert: %v", err)
+	}
+	if err := inj.Revert(); err != nil {
+		t.Fatalf("second Revert should be a no-op: %v", err)
+	}
+}
+
+func TestFlagFault(t *testing.T) {
+	flag := false
+	inj := &FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { flag = true },
+		Unset: func() { flag = false },
+	}
+	if err := inj.Apply(); err != nil || !flag {
+		t.Fatalf("Apply: err=%v flag=%v", err, flag)
+	}
+	if err := inj.Revert(); err != nil || flag {
+		t.Fatalf("Revert: err=%v flag=%v", err, flag)
+	}
+	empty := &FlagFault{Label: "broken"}
+	if err := empty.Apply(); err == nil {
+		t.Fatal("FlagFault without Set accepted")
+	}
+	if err := empty.Revert(); err != nil {
+		t.Fatalf("Revert without Unset should be a no-op: %v", err)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(nil); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	r := newRig(t)
+	s, _ := NewScheduler(r.k)
+	inj := &FlagFault{Label: "x", Set: func() {}}
+	if err := s.Window(10*sim.Millisecond, 10*sim.Millisecond, inj); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestSchedulerLogsErrors(t *testing.T) {
+	r := newRig(t)
+	s, _ := NewScheduler(r.k)
+	inj := &FlagFault{Label: "broken"} // Apply fails
+	s.ApplyAt(5*sim.Millisecond, inj)
+	if err := r.k.Run(10 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	log := s.Log()
+	if len(log) != 1 || log[0].Err == nil {
+		t.Fatalf("log = %+v", log)
+	}
+}

@@ -1,0 +1,217 @@
+package osek
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// AlarmID identifies an alarm within one OS instance.
+type AlarmID int
+
+// AlarmAction is what an alarm does on expiry: exactly one of the fields
+// must be configured.
+type AlarmAction struct {
+	// ActivateTask activates the given task.
+	ActivateTask runnable.TaskID
+	// SetEventTask/SetEventMask set events for an extended task.
+	SetEventTask runnable.TaskID
+	SetEventMask EventMask
+	// Callback runs an arbitrary function (OSEK ALARMCALLBACK).
+	Callback func()
+
+	// kind disambiguates; set by the constructor helpers.
+	kind alarmKind
+}
+
+type alarmKind int
+
+const (
+	alarmActivate alarmKind = iota + 1
+	alarmSetEvent
+	alarmCallback
+)
+
+// ActivateAlarm returns an action that activates tid on expiry.
+func ActivateAlarm(tid runnable.TaskID) AlarmAction {
+	return AlarmAction{ActivateTask: tid, kind: alarmActivate}
+}
+
+// EventAlarm returns an action that sets mask for tid on expiry.
+func EventAlarm(tid runnable.TaskID, mask EventMask) AlarmAction {
+	return AlarmAction{SetEventTask: tid, SetEventMask: mask, kind: alarmSetEvent}
+}
+
+// CallbackAlarm returns an action that runs fn on expiry.
+func CallbackAlarm(fn func()) AlarmAction {
+	return AlarmAction{Callback: fn, kind: alarmCallback}
+}
+
+type alarm struct {
+	id     AlarmID
+	name   string
+	action AlarmAction
+
+	armed bool
+	cycle time.Duration
+	scale float64 // injected cycle scalar; 1 when unset
+	ev    *sim.Event
+
+	autostart  bool
+	autoOffset time.Duration
+	autoCycle  time.Duration
+
+	expiries uint64
+}
+
+// CreateAlarm registers an alarm. If autostart is true the alarm is armed
+// at Start (and after each ECU reset) with the given offset and cycle; a
+// zero cycle makes it one-shot.
+func (o *OS) CreateAlarm(name string, action AlarmAction, autostart bool, offset, cycle time.Duration) (AlarmID, error) {
+	if o.started {
+		return -1, fmt.Errorf("osek: CreateAlarm %q after Start: %w", name, ErrAccess)
+	}
+	switch action.kind {
+	case alarmActivate, alarmSetEvent, alarmCallback:
+	default:
+		return -1, fmt.Errorf("osek: CreateAlarm %q: action not constructed via helper: %w", name, ErrValue)
+	}
+	if offset < 0 || cycle < 0 {
+		return -1, fmt.Errorf("osek: CreateAlarm %q: negative offset/cycle: %w", name, ErrValue)
+	}
+	id := AlarmID(len(o.alarms))
+	o.alarms = append(o.alarms, &alarm{
+		id: id, name: name, action: action, scale: 1,
+		autostart: autostart, autoOffset: offset, autoCycle: cycle,
+	})
+	return id, nil
+}
+
+// SetRelAlarm arms an alarm relative to now (OSEK SetRelAlarm). Arming an
+// already-armed alarm returns E_OS_STATE.
+func (o *OS) SetRelAlarm(id AlarmID, offset, cycle time.Duration) error {
+	a, err := o.alarmOf(id)
+	if err != nil {
+		return err
+	}
+	if a.armed {
+		return fmt.Errorf("osek: SetRelAlarm(%s): already armed: %w", a.name, ErrState)
+	}
+	if offset < 0 || cycle < 0 {
+		return fmt.Errorf("osek: SetRelAlarm(%s): negative offset/cycle: %w", a.name, ErrValue)
+	}
+	o.armAlarm(a, offset, cycle)
+	return nil
+}
+
+// CancelAlarm disarms an alarm (OSEK CancelAlarm); cancelling an unarmed
+// alarm returns E_OS_NOFUNC.
+func (o *OS) CancelAlarm(id AlarmID) error {
+	a, err := o.alarmOf(id)
+	if err != nil {
+		return err
+	}
+	if !a.armed {
+		return fmt.Errorf("osek: CancelAlarm(%s): not armed: %w", a.name, ErrNoFunc)
+	}
+	o.disarmAlarm(a)
+	return nil
+}
+
+// SetAlarmCycleScale stretches (scale > 1) or compresses (scale < 1) the
+// effective cycle of an alarm from its next expiry on. This is the
+// injection seam for the paper's "change the execution frequency" slider:
+// scaling the alarm that dispatches a task changes the arrival rate of all
+// its runnables.
+func (o *OS) SetAlarmCycleScale(id AlarmID, scale float64) error {
+	a, err := o.alarmOf(id)
+	if err != nil {
+		return err
+	}
+	if scale <= 0 {
+		return fmt.Errorf("osek: SetAlarmCycleScale(%s, %v): %w", a.name, scale, ErrValue)
+	}
+	a.scale = scale
+	return nil
+}
+
+// AlarmsActivating reports the alarms whose expiry activates the given
+// task; fault treatment uses this to stop dispatching a terminated
+// application.
+func (o *OS) AlarmsActivating(tid runnable.TaskID) []AlarmID {
+	var out []AlarmID
+	for _, a := range o.alarms {
+		if a.action.kind == alarmActivate && a.action.ActivateTask == tid {
+			out = append(out, a.id)
+		}
+	}
+	return out
+}
+
+// AlarmArmed reports whether the alarm is currently armed.
+func (o *OS) AlarmArmed(id AlarmID) (bool, error) {
+	a, err := o.alarmOf(id)
+	if err != nil {
+		return false, err
+	}
+	return a.armed, nil
+}
+
+// AlarmExpiries reports how often the alarm has expired.
+func (o *OS) AlarmExpiries(id AlarmID) (uint64, error) {
+	a, err := o.alarmOf(id)
+	if err != nil {
+		return 0, err
+	}
+	return a.expiries, nil
+}
+
+func (o *OS) alarmOf(id AlarmID) (*alarm, error) {
+	if int(id) < 0 || int(id) >= len(o.alarms) {
+		return nil, fmt.Errorf("osek: alarm id %d: %w", id, ErrID)
+	}
+	return o.alarms[id], nil
+}
+
+func (o *OS) armAlarm(a *alarm, offset, cycle time.Duration) {
+	a.armed = true
+	a.cycle = cycle
+	a.ev = o.kernel.After(offset, func() { o.expireAlarm(a) })
+}
+
+func (o *OS) disarmAlarm(a *alarm) {
+	if !a.armed {
+		return
+	}
+	a.armed = false
+	o.kernel.Cancel(a.ev)
+	a.ev = nil
+}
+
+func (o *OS) expireAlarm(a *alarm) {
+	a.ev = nil
+	a.expiries++
+	if a.cycle > 0 {
+		next := time.Duration(float64(a.cycle) * a.scale)
+		if next <= 0 {
+			next = time.Nanosecond
+		}
+		a.ev = o.kernel.After(next, func() { o.expireAlarm(a) })
+	} else {
+		a.armed = false
+	}
+	switch a.action.kind {
+	case alarmActivate:
+		// The service reports failures (e.g. E_OS_LIMIT on overload)
+		// through the error hook itself.
+		_ = o.ActivateTask(a.action.ActivateTask)
+	case alarmSetEvent:
+		_ = o.SetEvent(a.action.SetEventTask, a.action.SetEventMask)
+	case alarmCallback:
+		if a.action.Callback != nil {
+			a.action.Callback()
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package osek
+
+import "errors"
+
+// OSEK/VDX StatusType values, surfaced as Go sentinel errors. E_OK maps to
+// a nil error.
+var (
+	// ErrAccess corresponds to E_OS_ACCESS: object access without rights.
+	ErrAccess = errors.New("osek: E_OS_ACCESS")
+	// ErrCallLevel corresponds to E_OS_CALLEVEL: service called from a
+	// forbidden context.
+	ErrCallLevel = errors.New("osek: E_OS_CALLEVEL")
+	// ErrID corresponds to E_OS_ID: invalid object identifier.
+	ErrID = errors.New("osek: E_OS_ID")
+	// ErrLimit corresponds to E_OS_LIMIT: too many task activations.
+	ErrLimit = errors.New("osek: E_OS_LIMIT")
+	// ErrNoFunc corresponds to E_OS_NOFUNC: object in wrong mode for the
+	// requested service (e.g. cancelling an unarmed alarm).
+	ErrNoFunc = errors.New("osek: E_OS_NOFUNC")
+	// ErrResource corresponds to E_OS_RESOURCE: illegal resource usage,
+	// e.g. waiting for an event while holding a resource or non-LIFO
+	// release.
+	ErrResource = errors.New("osek: E_OS_RESOURCE")
+	// ErrState corresponds to E_OS_STATE: object in an incompatible state,
+	// e.g. setting an event for a suspended task.
+	ErrState = errors.New("osek: E_OS_STATE")
+	// ErrValue corresponds to E_OS_VALUE: parameter outside the admissible
+	// range.
+	ErrValue = errors.New("osek: E_OS_VALUE")
+	// ErrRunaway is an implementation-defined status reported when a task
+	// executes an implausible number of instantaneous steps without
+	// consuming time — the software analogue of a stuck loop. The task is
+	// forcibly terminated.
+	ErrRunaway = errors.New("osek: runaway task (instantaneous step limit exceeded)")
+)

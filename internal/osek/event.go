@@ -1,0 +1,19 @@
+package osek
+
+// EventMask is a bit set of OSEK events. Extended tasks wait on masks and
+// other tasks (or alarms) set them.
+type EventMask uint64
+
+// Event returns the mask with only bit n set; n must be in [0,64).
+func Event(n uint) EventMask {
+	if n >= 64 {
+		panic("osek: event bit out of range")
+	}
+	return EventMask(1) << n
+}
+
+// Has reports whether all events of q are set in m.
+func (m EventMask) Has(q EventMask) bool { return m&q == q }
+
+// Any reports whether at least one event of q is set in m.
+func (m EventMask) Any(q EventMask) bool { return m&q != 0 }

@@ -1,0 +1,81 @@
+package osek
+
+import (
+	"fmt"
+	"time"
+)
+
+// ISRID identifies a category-2 interrupt service routine.
+type ISRID int
+
+// isr is a category-2 ISR: it runs above every task priority, consumes
+// CPU time, and may call OS services (ActivateTask, SetEvent) from its
+// body — the OSEK interrupt model the validator's bus receive paths use.
+type isr struct {
+	id    ISRID
+	name  string
+	exec  time.Duration
+	body  func()
+	count uint64
+}
+
+// DeclareISR registers a category-2 ISR with its execution time and body.
+// Must be called before Start.
+func (o *OS) DeclareISR(name string, exec time.Duration, body func()) (ISRID, error) {
+	if o.started {
+		return -1, fmt.Errorf("osek: DeclareISR %q after Start: %w", name, ErrAccess)
+	}
+	if exec < 0 {
+		return -1, fmt.Errorf("osek: DeclareISR %q: negative execution time: %w", name, ErrValue)
+	}
+	id := ISRID(len(o.isrs))
+	o.isrs = append(o.isrs, &isr{id: id, name: name, exec: exec, body: body})
+	return id, nil
+}
+
+// RaiseISR requests execution of the ISR at the current instant.
+// Interrupts preempt the running task immediately; further interrupts
+// raised while one is in service are queued FIFO (a single interrupt
+// priority level).
+func (o *OS) RaiseISR(id ISRID) error {
+	if int(id) < 0 || int(id) >= len(o.isrs) {
+		return fmt.Errorf("osek: ISR id %d: %w", id, ErrID)
+	}
+	o.isrQueue = append(o.isrQueue, o.isrs[id])
+	if !o.isrActive {
+		o.serviceISR()
+	}
+	return nil
+}
+
+// ISRCount reports how often the ISR has completed.
+func (o *OS) ISRCount(id ISRID) (uint64, error) {
+	if int(id) < 0 || int(id) >= len(o.isrs) {
+		return 0, fmt.Errorf("osek: ISR id %d: %w", id, ErrID)
+	}
+	return o.isrs[id].count, nil
+}
+
+// serviceISR starts the next queued ISR: the running task is preempted
+// and the CPU is occupied for the ISR's execution time, after which the
+// body runs and normal scheduling resumes.
+func (o *OS) serviceISR() {
+	next := o.isrQueue[0]
+	o.isrQueue = o.isrQueue[1:]
+	o.isrActive = true
+	if o.running != nil {
+		o.preempt(o.running)
+	}
+	o.kernel.After(next.exec, func() {
+		next.count++
+		if next.body != nil {
+			next.body()
+		}
+		if len(o.isrQueue) > 0 {
+			o.serviceISR()
+			return
+		}
+		o.isrActive = false
+		o.dispatch()
+	})
+}

@@ -1,0 +1,123 @@
+package osek
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+func TestISRPreemptsRunningTask(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 10*time.Millisecond)
+	o := r.build(0)
+	isrID, err := o.DeclareISR("rx", time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("DeclareISR: %v", err)
+	}
+	var done sim.Time
+	r.define(tid, TaskAttrs{Autostart: true}, Program{Exec{Runnable: rid, OnDone: func() { done = r.k.Now() }}})
+	r.start()
+	r.k.At(3*sim.Millisecond, func() {
+		if err := o.RaiseISR(isrID); err != nil {
+			t.Errorf("RaiseISR: %v", err)
+		}
+	})
+	r.run(sim.Second)
+	// Task: 3ms before the ISR, 1ms ISR, 7ms remaining → done at 11ms.
+	if done != 11*sim.Millisecond {
+		t.Fatalf("task done at %v, want 11ms (delayed by ISR)", done)
+	}
+	count, err := o.ISRCount(isrID)
+	if err != nil || count != 1 {
+		t.Fatalf("ISRCount = %d, %v", count, err)
+	}
+}
+
+func TestISRActivatesTask(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 5)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	var isrID ISRID
+	var err error
+	isrID, err = o.DeclareISR("rx", 100*time.Microsecond, func() {
+		if err := o.ActivateTask(tid); err != nil {
+			t.Errorf("ActivateTask from ISR: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("DeclareISR: %v", err)
+	}
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	r.start()
+	r.k.At(5*sim.Millisecond, func() { _ = o.RaiseISR(isrID) })
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 1 {
+		t.Fatalf("ExecCount = %d, want 1 (task activated from ISR)", o.ExecCount(rid))
+	}
+}
+
+func TestNestedISRsServicedFIFO(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	var order []int
+	a, _ := o.DeclareISR("a", time.Millisecond, func() { order = append(order, 1) })
+	b, _ := o.DeclareISR("b", time.Millisecond, func() { order = append(order, 2) })
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	r.start()
+	r.k.At(0, func() {
+		_ = o.RaiseISR(a)
+		_ = o.RaiseISR(b) // raised while a is in service → queued
+	})
+	r.run(sim.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestISRValidation(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	if _, err := o.DeclareISR("bad", -time.Second, nil); !errors.Is(err, ErrValue) {
+		t.Errorf("negative exec accepted: %v", err)
+	}
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	r.start()
+	if _, err := o.DeclareISR("late", time.Millisecond, nil); !errors.Is(err, ErrAccess) {
+		t.Errorf("DeclareISR after Start accepted: %v", err)
+	}
+	if err := o.RaiseISR(ISRID(9)); !errors.Is(err, ErrID) {
+		t.Errorf("unknown ISR accepted: %v", err)
+	}
+	if _, err := o.ISRCount(ISRID(9)); !errors.Is(err, ErrID) {
+		t.Errorf("unknown ISR count accepted: %v", err)
+	}
+}
+
+func TestISRDoesNotRunTasksWhileActive(t *testing.T) {
+	// A task activated during a long ISR must only start after the ISR
+	// completes.
+	r := newRig(t)
+	tid := r.task("T", 9)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	var started sim.Time
+	isrID, _ := o.DeclareISR("slow", 5*time.Millisecond, nil)
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid, OnStart: func() { started = r.k.Now() }}})
+	r.start()
+	r.k.At(0, func() {
+		_ = o.RaiseISR(isrID)
+		_ = o.ActivateTask(tid) // ready, but the CPU belongs to the ISR
+	})
+	r.run(sim.Second)
+	if started != 5*sim.Millisecond {
+		t.Fatalf("task started at %v, want 5ms (after the ISR)", started)
+	}
+}

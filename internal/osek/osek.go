@@ -1,0 +1,833 @@
+// Package osek is a discrete-event model of an OSEK/VDX-conforming
+// operating system: fixed-priority fully/partly preemptive scheduling,
+// basic and extended tasks, multiple activation requests, events,
+// resources with the priority-ceiling protocol, cyclic alarms and the
+// standard hook routines.
+//
+// It is the substrate the paper integrates the Software Watchdog with
+// (§3.1: "An OSEK-conforming operating system with safety relevant
+// services such as the Software Watchdog"). Task bodies are Programs whose
+// Exec steps consume virtual CPU time from the sim kernel, so preemption,
+// blocking and excessive dispatch — the phenomena the watchdog detects —
+// arise from genuine scheduling, not from scripted traces.
+package osek
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// TaskState is the OSEK task state machine.
+type TaskState int
+
+// OSEK task states.
+const (
+	Suspended TaskState = iota + 1
+	Ready
+	Running
+	Waiting
+)
+
+// String returns the OSEK name of the state.
+func (s TaskState) String() string {
+	switch s {
+	case Suspended:
+		return "suspended"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Waiting:
+		return "waiting"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// TaskAttrs configures the OS-level attributes of a task beyond what the
+// mapping model records.
+type TaskAttrs struct {
+	// Extended tasks may wait on events; basic tasks may be activated
+	// multiple times.
+	Extended bool
+	// MaxActivations bounds concurrent activation requests of a basic
+	// task (including the active one). Zero means 1.
+	MaxActivations int
+	// NonPreemptable tasks are only descheduled at voluntary points
+	// (termination, waiting), modelling OSEK non-preemptive scheduling.
+	NonPreemptable bool
+	// Autostart tasks are activated by Start and again after an ECU
+	// reset.
+	Autostart bool
+}
+
+// Observer receives scheduling notifications; the Software Watchdog's
+// aliveness-indication glue code attaches here.
+type Observer interface {
+	// RunnableStart fires when a runnable instance first receives the CPU.
+	RunnableStart(rid runnable.ID, tid runnable.TaskID)
+	// RunnableEnd fires when a runnable instance completes execution.
+	RunnableEnd(rid runnable.ID, tid runnable.TaskID)
+	// TaskTransition fires on every task state change.
+	TaskTransition(tid runnable.TaskID, from, to TaskState)
+}
+
+// ObserverFuncs adapts plain functions to the Observer interface; nil
+// fields are ignored.
+type ObserverFuncs struct {
+	OnRunnableStart func(rid runnable.ID, tid runnable.TaskID)
+	OnRunnableEnd   func(rid runnable.ID, tid runnable.TaskID)
+	OnTransition    func(tid runnable.TaskID, from, to TaskState)
+}
+
+var _ Observer = ObserverFuncs{}
+
+// RunnableStart implements Observer.
+func (f ObserverFuncs) RunnableStart(rid runnable.ID, tid runnable.TaskID) {
+	if f.OnRunnableStart != nil {
+		f.OnRunnableStart(rid, tid)
+	}
+}
+
+// RunnableEnd implements Observer.
+func (f ObserverFuncs) RunnableEnd(rid runnable.ID, tid runnable.TaskID) {
+	if f.OnRunnableEnd != nil {
+		f.OnRunnableEnd(rid, tid)
+	}
+}
+
+// TaskTransition implements Observer.
+func (f ObserverFuncs) TaskTransition(tid runnable.TaskID, from, to TaskState) {
+	if f.OnTransition != nil {
+		f.OnTransition(tid, from, to)
+	}
+}
+
+// Hooks are the OSEK hook routines the application may install.
+type Hooks struct {
+	// Error is called with the failing task (or runnable.NoID when none)
+	// whenever an OS service detects an error, mirroring OSEK ErrorHook.
+	Error func(tid runnable.TaskID, err error)
+	// PreTask runs immediately before a task enters Running.
+	PreTask func(tid runnable.TaskID)
+	// PostTask runs immediately after a task leaves Running.
+	PostTask func(tid runnable.TaskID)
+}
+
+// Config assembles an OS instance.
+type Config struct {
+	Model  *runnable.Model
+	Kernel *sim.Kernel
+	// DispatchOverhead is charged to a task's CPU budget each time it
+	// transitions Ready→Running, modelling context-switch cost.
+	DispatchOverhead time.Duration
+	Hooks            Hooks
+	// RunawayLimit bounds consecutive instantaneous steps of one task
+	// before it is forcibly terminated as runaway. Zero means 100000.
+	RunawayLimit int
+}
+
+// TaskStats are cumulative per-task scheduling statistics.
+type TaskStats struct {
+	Activations  uint64
+	Dispatches   uint64
+	Preemptions  uint64
+	Terminations uint64
+}
+
+// tcb is the task control block.
+type tcb struct {
+	static runnable.Task
+	attrs  TaskAttrs
+	prog   Program
+
+	state    TaskState
+	dynPrio  int
+	readySeq uint64
+	pending  int // queued activation requests beyond the active one
+
+	// interpreter state
+	stack   []frame
+	inExec  bool
+	curExec *Exec
+	curRID  runnable.ID
+
+	remaining   time.Duration // unconsumed CPU time of current Exec step
+	execStart   sim.Time      // when the current burst began
+	completion  *sim.Event
+	overheadDue time.Duration // dispatch overhead still to charge
+
+	held   []ResourceID
+	events EventMask
+	wait   EventMask
+
+	stats TaskStats
+}
+
+// OS is one simulated ECU's operating system instance.
+type OS struct {
+	model     *runnable.Model
+	kernel    *sim.Kernel
+	cfg       Config
+	tasks     []*tcb
+	resources []*resource
+	alarms    []*alarm
+	observers []Observer
+	running   *tcb
+	seq       uint64
+	started   bool
+
+	execScale   map[runnable.ID]float64
+	execCount   []uint64
+	resetCount  int
+	runawayHits uint64
+
+	// category-2 interrupt state (see isr.go)
+	isrs      []*isr
+	isrQueue  []*isr
+	isrActive bool
+}
+
+// New creates an OS over a frozen mapping model. Every task in the model
+// must subsequently receive a body via DefineTask before Start.
+func New(cfg Config) (*OS, error) {
+	if cfg.Model == nil || cfg.Kernel == nil {
+		return nil, errors.New("osek: Config requires Model and Kernel")
+	}
+	if !cfg.Model.Frozen() {
+		return nil, errors.New("osek: model must be frozen")
+	}
+	if cfg.RunawayLimit <= 0 {
+		cfg.RunawayLimit = 100000
+	}
+	o := &OS{
+		model:     cfg.Model,
+		kernel:    cfg.Kernel,
+		cfg:       cfg,
+		execScale: make(map[runnable.ID]float64),
+		execCount: make([]uint64, cfg.Model.NumRunnables()),
+	}
+	for _, t := range cfg.Model.Tasks() {
+		o.tasks = append(o.tasks, &tcb{static: t, state: Suspended, dynPrio: t.Priority})
+	}
+	return o, nil
+}
+
+// Kernel exposes the simulation kernel the OS runs on.
+func (o *OS) Kernel() *sim.Kernel { return o.kernel }
+
+// Model exposes the mapping model the OS schedules.
+func (o *OS) Model() *runnable.Model { return o.model }
+
+// DefineTask installs attributes and a body for a model task. Must be
+// called before Start.
+func (o *OS) DefineTask(tid runnable.TaskID, attrs TaskAttrs, prog Program) error {
+	if o.started {
+		return fmt.Errorf("osek: DefineTask(%d) after Start: %w", tid, ErrAccess)
+	}
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return err
+	}
+	if len(prog) == 0 {
+		return fmt.Errorf("osek: DefineTask(%s): empty program: %w", t.static.Name, ErrValue)
+	}
+	if attrs.MaxActivations <= 0 {
+		attrs.MaxActivations = 1
+	}
+	if attrs.Extended && attrs.MaxActivations > 1 {
+		return fmt.Errorf("osek: DefineTask(%s): extended tasks cannot be multiply activated: %w",
+			t.static.Name, ErrValue)
+	}
+	t.attrs = attrs
+	t.prog = prog
+	return nil
+}
+
+// AddObserver attaches a scheduling observer. Safe to call at any time.
+func (o *OS) AddObserver(obs Observer) {
+	if obs != nil {
+		o.observers = append(o.observers, obs)
+	}
+}
+
+// SetExecScale stretches (scale > 1) or shrinks (scale < 1) the effective
+// execution time of one runnable; the error injector uses this as the
+// equivalent of the paper's ControlDesk "time scalar" slider.
+func (o *OS) SetExecScale(rid runnable.ID, scale float64) error {
+	if _, err := o.model.Runnable(rid); err != nil {
+		return err
+	}
+	if scale < 0 {
+		return fmt.Errorf("osek: SetExecScale(%d, %v): %w", rid, scale, ErrValue)
+	}
+	o.execScale[rid] = scale
+	return nil
+}
+
+// Start activates all autostart tasks and arms pre-configured alarms.
+func (o *OS) Start() error {
+	for _, t := range o.tasks {
+		if len(t.prog) == 0 {
+			return fmt.Errorf("osek: task %q has no program", t.static.Name)
+		}
+	}
+	o.started = true
+	o.startup()
+	return nil
+}
+
+// Started reports whether Start has been called.
+func (o *OS) Started() bool { return o.started }
+
+func (o *OS) startup() {
+	for _, t := range o.tasks {
+		if t.attrs.Autostart {
+			if err := o.ActivateTask(t.static.ID); err != nil {
+				o.errorHook(t.static.ID, err)
+			}
+		}
+	}
+	for _, a := range o.alarms {
+		if a.autostart && !a.armed {
+			o.armAlarm(a, a.autoOffset, a.autoCycle)
+		}
+	}
+}
+
+// State reports the OSEK state of a task.
+func (o *OS) State(tid runnable.TaskID) (TaskState, error) {
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return 0, err
+	}
+	return t.state, nil
+}
+
+// Running reports the currently running task, if any.
+func (o *OS) Running() (runnable.TaskID, bool) {
+	if o.running == nil {
+		return runnable.NoID, false
+	}
+	return o.running.static.ID, true
+}
+
+// Stats returns the scheduling statistics of a task.
+func (o *OS) Stats(tid runnable.TaskID) (TaskStats, error) {
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return TaskStats{}, err
+	}
+	return t.stats, nil
+}
+
+// ExecCount reports how many times a runnable has completed execution.
+func (o *OS) ExecCount(rid runnable.ID) uint64 {
+	if int(rid) < 0 || int(rid) >= len(o.execCount) {
+		return 0
+	}
+	return o.execCount[rid]
+}
+
+// ResetCount reports how many ECU software resets have occurred.
+func (o *OS) ResetCount() int { return o.resetCount }
+
+// RunawayHits reports how often the runaway guard fired.
+func (o *OS) RunawayHits() uint64 { return o.runawayHits }
+
+// ActivateTask transfers a suspended task into Ready, or queues an
+// additional activation request for a basic task (E_OS_LIMIT when the
+// configured maximum is exceeded).
+func (o *OS) ActivateTask(tid runnable.TaskID) error {
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return err
+	}
+	if t.state != Suspended {
+		if t.attrs.Extended {
+			err := fmt.Errorf("osek: ActivateTask(%s): extended task not suspended: %w", t.static.Name, ErrLimit)
+			o.errorHook(tid, err)
+			return err
+		}
+		if 1+t.pending >= t.attrs.MaxActivations {
+			err := fmt.Errorf("osek: ActivateTask(%s): activation limit %d: %w",
+				t.static.Name, t.attrs.MaxActivations, ErrLimit)
+			o.errorHook(tid, err)
+			return err
+		}
+		t.pending++
+		t.stats.Activations++
+		return nil
+	}
+	t.stats.Activations++
+	o.makeReady(t)
+	o.dispatch()
+	return nil
+}
+
+// SetEvent sets events for an extended task and readies it if it was
+// waiting on any of them.
+func (o *OS) SetEvent(tid runnable.TaskID, mask EventMask) error {
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return err
+	}
+	if !t.attrs.Extended {
+		err := fmt.Errorf("osek: SetEvent(%s): not an extended task: %w", t.static.Name, ErrAccess)
+		o.errorHook(tid, err)
+		return err
+	}
+	if t.state == Suspended {
+		err := fmt.Errorf("osek: SetEvent(%s): task suspended: %w", t.static.Name, ErrState)
+		o.errorHook(tid, err)
+		return err
+	}
+	t.events |= mask
+	if t.state == Waiting && t.events.Any(t.wait) {
+		o.transition(t, Ready)
+		t.readySeq = o.nextSeq()
+		o.dispatch()
+	}
+	return nil
+}
+
+// GetEvent reports the currently set events of an extended task.
+func (o *OS) GetEvent(tid runnable.TaskID) (EventMask, error) {
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return 0, err
+	}
+	if !t.attrs.Extended {
+		return 0, fmt.Errorf("osek: GetEvent(%s): not an extended task: %w", t.static.Name, ErrAccess)
+	}
+	return t.events, nil
+}
+
+// ForceTerminate is the administrative service fault treatment uses: the
+// task is moved to Suspended regardless of state, queued activations are
+// discarded and held resources released.
+func (o *OS) ForceTerminate(tid runnable.TaskID) error {
+	t, err := o.tcbOf(tid)
+	if err != nil {
+		return err
+	}
+	if t.state == Suspended {
+		t.pending = 0
+		return nil
+	}
+	if t == o.running {
+		o.stopBurst(t)
+		o.running = nil
+		o.postTask(t)
+	}
+	o.releaseAll(t)
+	t.pending = 0
+	t.events = 0
+	t.inExec = false
+	t.curExec = nil
+	t.stats.Terminations++
+	o.transition(t, Suspended)
+	o.dispatch()
+	return nil
+}
+
+// RestartTask force-terminates and immediately re-activates a task — the
+// paper's per-task fault treatment.
+func (o *OS) RestartTask(tid runnable.TaskID) error {
+	if err := o.ForceTerminate(tid); err != nil {
+		return err
+	}
+	return o.ActivateTask(tid)
+}
+
+// ReapplyAutostart re-activates suspended autostart tasks and re-arms
+// disarmed autostart alarms without a full reset — the recovery path when
+// a previously terminated application is restored.
+func (o *OS) ReapplyAutostart() {
+	o.startup()
+	o.dispatch()
+}
+
+// ResetECU performs the software reset of §3.5: every task is terminated,
+// alarms are disarmed, and the autostart configuration is applied afresh.
+func (o *OS) ResetECU() {
+	for _, t := range o.tasks {
+		if t.state != Suspended {
+			if t == o.running {
+				o.stopBurst(t)
+				o.running = nil
+				o.postTask(t)
+			}
+			o.releaseAll(t)
+			t.pending = 0
+			t.events = 0
+			o.transition(t, Suspended)
+		}
+		t.pending = 0
+	}
+	for _, a := range o.alarms {
+		o.disarmAlarm(a)
+	}
+	// Pending interrupts are lost across a software reset; an in-service
+	// ISR's completion event still fires but finds an empty queue.
+	o.isrQueue = nil
+	o.resetCount++
+	o.startup()
+	o.dispatch()
+}
+
+// ---- internal machinery ----
+
+func (o *OS) tcbOf(tid runnable.TaskID) (*tcb, error) {
+	if int(tid) < 0 || int(tid) >= len(o.tasks) {
+		return nil, fmt.Errorf("osek: task id %d: %w", tid, ErrID)
+	}
+	return o.tasks[tid], nil
+}
+
+func (o *OS) nextSeq() uint64 {
+	o.seq++
+	return o.seq
+}
+
+func (o *OS) errorHook(tid runnable.TaskID, err error) {
+	if o.cfg.Hooks.Error != nil {
+		o.cfg.Hooks.Error(tid, err)
+	}
+}
+
+func (o *OS) postTask(t *tcb) {
+	if o.cfg.Hooks.PostTask != nil {
+		o.cfg.Hooks.PostTask(t.static.ID)
+	}
+}
+
+func (o *OS) transition(t *tcb, to TaskState) {
+	from := t.state
+	if from == to {
+		return
+	}
+	t.state = to
+	for _, obs := range o.observers {
+		obs.TaskTransition(t.static.ID, from, to)
+	}
+}
+
+// makeReady initialises a fresh activation of a suspended task.
+func (o *OS) makeReady(t *tcb) {
+	t.stack = t.stack[:0]
+	t.stack = append(t.stack, frame{prog: t.prog})
+	t.inExec = false
+	t.curExec = nil
+	t.events = 0
+	t.wait = 0
+	t.remaining = 0
+	t.overheadDue = o.cfg.DispatchOverhead
+	t.readySeq = o.nextSeq()
+	o.transition(t, Ready)
+}
+
+// dispatch enforces the scheduling rule: the highest-priority ready task
+// runs, unless a non-preemptable task currently occupies the CPU or an
+// ISR is in service.
+func (o *OS) dispatch() {
+	if o.isrActive {
+		return
+	}
+	best := o.bestReady()
+	if o.running != nil {
+		if best == nil {
+			return
+		}
+		if o.running.attrs.NonPreemptable {
+			return
+		}
+		if best.dynPrio <= o.running.dynPrio {
+			return
+		}
+		o.preempt(o.running)
+	}
+	if best == nil {
+		return
+	}
+	o.run(best)
+}
+
+func (o *OS) bestReady() *tcb {
+	var best *tcb
+	for _, t := range o.tasks {
+		if t.state != Ready {
+			continue
+		}
+		if best == nil || t.dynPrio > best.dynPrio ||
+			(t.dynPrio == best.dynPrio && t.readySeq < best.readySeq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// stopBurst cancels the in-flight completion event and accounts consumed
+// CPU time.
+func (o *OS) stopBurst(t *tcb) {
+	if t.completion != nil {
+		o.kernel.Cancel(t.completion)
+		t.completion = nil
+		consumed := o.kernel.Now().Sub(t.execStart)
+		if consumed > t.remaining {
+			consumed = t.remaining
+		}
+		t.remaining -= consumed
+	}
+}
+
+func (o *OS) preempt(t *tcb) {
+	o.stopBurst(t)
+	t.stats.Preemptions++
+	o.running = nil
+	o.postTask(t)
+	// The preempted task keeps its original ready order (OSEK: it becomes
+	// the oldest task of its priority), which readySeq already encodes.
+	o.transition(t, Ready)
+}
+
+func (o *OS) run(t *tcb) {
+	if o.cfg.Hooks.PreTask != nil {
+		o.cfg.Hooks.PreTask(t.static.ID)
+	}
+	t.stats.Dispatches++
+	o.running = t
+	o.transition(t, Running)
+	if t.inExec {
+		o.beginBurst(t)
+		return
+	}
+	o.advance(t)
+}
+
+// beginBurst (re)starts CPU consumption for the current Exec step.
+func (o *OS) beginBurst(t *tcb) {
+	if t.overheadDue > 0 {
+		t.remaining += t.overheadDue
+		t.overheadDue = 0
+	}
+	t.execStart = o.kernel.Now()
+	t.completion = o.kernel.After(t.remaining, func() {
+		t.completion = nil
+		t.remaining = 0
+		o.finishExec(t)
+	})
+}
+
+func (o *OS) finishExec(t *tcb) {
+	t.inExec = false
+	ex := t.curExec
+	t.curExec = nil
+	o.execCount[t.curRID]++
+	if ex.OnDone != nil {
+		ex.OnDone()
+	}
+	for _, obs := range o.observers {
+		obs.RunnableEnd(t.curRID, t.static.ID)
+	}
+	// The task may have been force-terminated — or even restarted — from
+	// OnDone or an observer. Only continue interpreting if this very
+	// instance still owns the CPU and has not begun a new burst (a
+	// synchronous self-restart would have started a fresh Exec step).
+	if o.running != t || t.state != Running || t.inExec {
+		return
+	}
+	o.advance(t)
+}
+
+// advance interprets instantaneous steps of the running task until it
+// starts an Exec burst, blocks, terminates, or trips the runaway guard.
+func (o *OS) advance(t *tcb) {
+	for steps := 0; ; steps++ {
+		if steps > o.cfg.RunawayLimit {
+			o.runawayHits++
+			err := fmt.Errorf("osek: task %s: %w", t.static.Name, ErrRunaway)
+			o.errorHook(t.static.ID, err)
+			o.terminateRunning(t)
+			return
+		}
+		if len(t.stack) == 0 {
+			o.terminateRunning(t)
+			return
+		}
+		f := &t.stack[len(t.stack)-1]
+		if f.pc >= len(f.prog) {
+			if f.loop != nil && f.iter > 1 {
+				f.iter--
+				f.pc = 0
+				continue
+			}
+			t.stack = t.stack[:len(t.stack)-1]
+			continue
+		}
+		step := f.prog[f.pc]
+		f.pc++
+		switch s := step.(type) {
+		case Exec:
+			o.startExec(t, s)
+			return
+		case Lock:
+			if err := o.getResource(t, s.Resource); err != nil {
+				o.errorHook(t.static.ID, err)
+			}
+		case Unlock:
+			if err := o.releaseResource(t, s.Resource); err != nil {
+				o.errorHook(t.static.ID, err)
+			}
+			// Lowering our priority may let a higher-priority waiter in;
+			// pc has already advanced, so the task resumes at the next
+			// step when re-dispatched.
+			if best := o.bestReady(); best != nil && best.dynPrio > t.dynPrio && !t.attrs.NonPreemptable {
+				o.preempt(t)
+				o.dispatch()
+				return
+			}
+		case Wait:
+			if !t.attrs.Extended {
+				o.errorHook(t.static.ID, fmt.Errorf("osek: WaitEvent in basic task %s: %w", t.static.Name, ErrAccess))
+				continue
+			}
+			if len(t.held) > 0 {
+				o.errorHook(t.static.ID, fmt.Errorf("osek: WaitEvent while holding resource in %s: %w", t.static.Name, ErrResource))
+				continue
+			}
+			if t.events.Any(s.Mask) {
+				continue
+			}
+			t.wait = s.Mask
+			o.running = nil
+			o.postTask(t)
+			o.transition(t, Waiting)
+			o.dispatch()
+			return
+		case ClearEvt:
+			t.events &^= s.Mask
+		case SetEvt:
+			if err := o.SetEvent(s.Task, s.Mask); err == nil && (o.running != t || t.state != Running) {
+				// We were preempted by the task we readied.
+				return
+			}
+		case Activate:
+			if err := o.ActivateTask(s.Task); err == nil && (o.running != t || t.state != Running) {
+				return
+			}
+		case Chain:
+			target, err := o.tcbOf(s.Task)
+			if err != nil {
+				o.errorHook(t.static.ID, err)
+				o.terminateRunning(t)
+				return
+			}
+			o.terminateRunning(t)
+			if target.state == Suspended {
+				target.stats.Activations++
+				o.makeReady(target)
+				o.dispatch()
+			} else if target != t {
+				if err := o.ActivateTask(s.Task); err != nil {
+					o.errorHook(t.static.ID, err)
+				}
+			}
+			return
+		case Call:
+			if s.Fn != nil {
+				s.Fn()
+			}
+			if o.running != t || t.state != Running {
+				return // Fn force-terminated or reset us
+			}
+		case Yield:
+			// Schedule(): give a higher-priority ready task the CPU; pc
+			// has advanced, so we resume at the next step afterwards.
+			if best := o.bestReady(); best != nil && best.dynPrio > t.dynPrio {
+				o.preempt(t)
+				o.dispatch()
+				return
+			}
+		case Loop:
+			n := 0
+			if s.Count != nil {
+				n = s.Count()
+			}
+			if n > 0 {
+				s := s
+				t.stack = append(t.stack, frame{prog: s.Body, iter: n, loop: &s})
+			}
+		case Select:
+			idx := -1
+			if s.Choose != nil {
+				idx = s.Choose()
+			}
+			if idx >= 0 && idx < len(s.Arms) {
+				t.stack = append(t.stack, frame{prog: s.Arms[idx]})
+			}
+		default:
+			o.errorHook(t.static.ID, fmt.Errorf("osek: task %s: unknown step %T: %w", t.static.Name, step, ErrValue))
+		}
+	}
+}
+
+func (o *OS) startExec(t *tcb, ex Exec) {
+	r, err := o.model.Runnable(ex.Runnable)
+	if err != nil {
+		o.errorHook(t.static.ID, fmt.Errorf("osek: task %s: exec of unknown runnable %d: %w", t.static.Name, ex.Runnable, err))
+		o.advance(t)
+		return
+	}
+	dur := r.ExecTime
+	if scale, ok := o.execScale[ex.Runnable]; ok {
+		dur = time.Duration(float64(dur) * scale)
+	}
+	t.inExec = true
+	exCopy := ex
+	t.curExec = &exCopy
+	t.curRID = ex.Runnable
+	t.remaining = dur
+	if ex.OnStart != nil {
+		ex.OnStart()
+	}
+	for _, obs := range o.observers {
+		obs.RunnableStart(ex.Runnable, t.static.ID)
+	}
+	// OnStart or an observer may have descheduled us, or restarted the
+	// task outright (then curExec belongs to the new instance and its
+	// burst is already scheduled — starting ours would leak a completion
+	// event).
+	if o.running != t || t.state != Running || t.curExec != &exCopy {
+		return
+	}
+	o.beginBurst(t)
+}
+
+// terminateRunning implements TerminateTask semantics for the running
+// task, including the queued-activation rule.
+func (o *OS) terminateRunning(t *tcb) {
+	if len(t.held) > 0 {
+		o.errorHook(t.static.ID, fmt.Errorf("osek: task %s terminated holding resources: %w", t.static.Name, ErrResource))
+		o.releaseAll(t)
+	}
+	o.stopBurst(t)
+	t.inExec = false
+	t.curExec = nil
+	t.stats.Terminations++
+	o.running = nil
+	o.postTask(t)
+	if t.pending > 0 {
+		t.pending--
+		t.stats.Activations++ // the queued request becomes active
+		o.transition(t, Suspended)
+		o.makeReady(t)
+	} else {
+		o.transition(t, Suspended)
+	}
+	o.dispatch()
+}

@@ -1,0 +1,1219 @@
+package osek
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// rig bundles a kernel, model and OS under construction for tests.
+type rig struct {
+	t      *testing.T
+	k      *sim.Kernel
+	m      *runnable.Model
+	os     *OS
+	app    runnable.AppID
+	errs   []error
+	errTID []runnable.TaskID
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{t: t, k: sim.NewKernel(), m: runnable.NewModel()}
+	app, err := r.m.AddApp("App", runnable.SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddApp: %v", err)
+	}
+	r.app = app
+	return r
+}
+
+func (r *rig) task(name string, prio int) runnable.TaskID {
+	r.t.Helper()
+	tid, err := r.m.AddTask(r.app, name, prio)
+	if err != nil {
+		r.t.Fatalf("AddTask(%s): %v", name, err)
+	}
+	return tid
+}
+
+func (r *rig) runnable(tid runnable.TaskID, name string, exec time.Duration) runnable.ID {
+	r.t.Helper()
+	rid, err := r.m.AddRunnable(tid, name, exec, runnable.SafetyCritical)
+	if err != nil {
+		r.t.Fatalf("AddRunnable(%s): %v", name, err)
+	}
+	return rid
+}
+
+func (r *rig) build(overhead time.Duration) *OS {
+	r.t.Helper()
+	if err := r.m.Freeze(); err != nil {
+		r.t.Fatalf("Freeze: %v", err)
+	}
+	o, err := New(Config{
+		Model:            r.m,
+		Kernel:           r.k,
+		DispatchOverhead: overhead,
+		Hooks: Hooks{Error: func(tid runnable.TaskID, err error) {
+			r.errs = append(r.errs, err)
+			r.errTID = append(r.errTID, tid)
+		}},
+	})
+	if err != nil {
+		r.t.Fatalf("New: %v", err)
+	}
+	r.os = o
+	return o
+}
+
+func (r *rig) define(tid runnable.TaskID, attrs TaskAttrs, prog Program) {
+	r.t.Helper()
+	if err := r.os.DefineTask(tid, attrs, prog); err != nil {
+		r.t.Fatalf("DefineTask(%d): %v", tid, err)
+	}
+}
+
+func (r *rig) start() {
+	r.t.Helper()
+	if err := r.os.Start(); err != nil {
+		r.t.Fatalf("Start: %v", err)
+	}
+}
+
+func (r *rig) run(until sim.Time) {
+	r.t.Helper()
+	if err := r.k.Run(until); err != nil {
+		r.t.Fatalf("kernel.Run: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without model/kernel succeeded")
+	}
+	m := runnable.NewModel()
+	if _, err := New(Config{Model: m, Kernel: sim.NewKernel()}); err == nil {
+		t.Error("New with unfrozen model succeeded")
+	}
+}
+
+func TestSimpleTaskRunsToCompletion(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 5*time.Millisecond)
+	o := r.build(0)
+	var started, done sim.Time
+	r.define(tid, TaskAttrs{}, Program{Exec{
+		Runnable: rid,
+		OnStart:  func() { started = r.k.Now() },
+		OnDone:   func() { done = r.k.Now() },
+	}})
+	r.start()
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(sim.Second)
+	if started != 0 {
+		t.Errorf("started at %v, want 0", started)
+	}
+	if done != 5*sim.Millisecond {
+		t.Errorf("done at %v, want 5ms", done)
+	}
+	st, _ := o.State(tid)
+	if st != Suspended {
+		t.Errorf("state = %v, want suspended", st)
+	}
+	if o.ExecCount(rid) != 1 {
+		t.Errorf("ExecCount = %d, want 1", o.ExecCount(rid))
+	}
+	stats, _ := o.Stats(tid)
+	if stats.Activations != 1 || stats.Dispatches != 1 || stats.Terminations != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestActivateSuspendedOnlyOnceRunsSequence(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	a := r.runnable(tid, "A", time.Millisecond)
+	b := r.runnable(tid, "B", 2*time.Millisecond)
+	c := r.runnable(tid, "C", 3*time.Millisecond)
+	o := r.build(0)
+	prog, err := SequentialProgram(r.m, tid, nil)
+	if err != nil {
+		t.Fatalf("SequentialProgram: %v", err)
+	}
+	var order []runnable.ID
+	o.AddObserver(ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
+		order = append(order, rid)
+	}})
+	r.define(tid, TaskAttrs{}, prog)
+	r.start()
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(sim.Second)
+	want := []runnable.ID{a, b, c}
+	if len(order) != 3 {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if r.k.Now() != sim.Second {
+		t.Fatalf("clock = %v", r.k.Now())
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	r := newRig(t)
+	lo := r.task("Lo", 1)
+	hi := r.task("Hi", 10)
+	lr := r.runnable(lo, "LR", 10*time.Millisecond)
+	hr := r.runnable(hi, "HR", 2*time.Millisecond)
+	o := r.build(0)
+	var ends []struct {
+		rid runnable.ID
+		at  sim.Time
+	}
+	o.AddObserver(ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
+		ends = append(ends, struct {
+			rid runnable.ID
+			at  sim.Time
+		}{rid, r.k.Now()})
+	}})
+	r.define(lo, TaskAttrs{Autostart: true}, Program{Exec{Runnable: lr}})
+	r.define(hi, TaskAttrs{}, Program{Exec{Runnable: hr}})
+	r.start()
+	// Preempt the low task 3ms in.
+	r.k.At(3*sim.Millisecond, func() {
+		if err := o.ActivateTask(hi); err != nil {
+			t.Errorf("ActivateTask(hi): %v", err)
+		}
+	})
+	r.run(sim.Second)
+	if len(ends) != 2 {
+		t.Fatalf("ends = %+v", ends)
+	}
+	if ends[0].rid != hr || ends[0].at != 5*sim.Millisecond {
+		t.Errorf("high runnable ended %v at %v, want %v at 5ms", ends[0].rid, ends[0].at, hr)
+	}
+	// Low runnable: 3ms done before preemption, 7ms after hi finishes at 5ms → ends at 12ms.
+	if ends[1].rid != lr || ends[1].at != 12*sim.Millisecond {
+		t.Errorf("low runnable ended %v at %v, want %v at 12ms", ends[1].rid, ends[1].at, lr)
+	}
+	loStats, _ := o.Stats(lo)
+	if loStats.Preemptions != 1 {
+		t.Errorf("low preemptions = %d, want 1", loStats.Preemptions)
+	}
+}
+
+func TestEqualPriorityFIFO(t *testing.T) {
+	r := newRig(t)
+	t1 := r.task("T1", 5)
+	t2 := r.task("T2", 5)
+	r1 := r.runnable(t1, "R1", 4*time.Millisecond)
+	r2 := r.runnable(t2, "R2", 4*time.Millisecond)
+	o := r.build(0)
+	var order []runnable.ID
+	o.AddObserver(ObserverFuncs{OnRunnableStart: func(rid runnable.ID, _ runnable.TaskID) {
+		order = append(order, rid)
+	}})
+	r.define(t1, TaskAttrs{}, Program{Exec{Runnable: r1}})
+	r.define(t2, TaskAttrs{}, Program{Exec{Runnable: r2}})
+	r.start()
+	if err := o.ActivateTask(t2); err != nil { // t2 first
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	if err := o.ActivateTask(t1); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(sim.Second)
+	if len(order) != 2 || order[0] != r2 || order[1] != r1 {
+		t.Fatalf("order = %v, want [%d %d] (FIFO)", order, r2, r1)
+	}
+	// Equal priority must not preempt: r2 runs to completion first.
+}
+
+func TestMultipleActivationsQueueAndLimit(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{MaxActivations: 3}, Program{Exec{Runnable: rid}})
+	r.start()
+	for i := 0; i < 3; i++ {
+		if err := o.ActivateTask(tid); err != nil {
+			t.Fatalf("ActivateTask #%d: %v", i, err)
+		}
+	}
+	if err := o.ActivateTask(tid); !errors.Is(err, ErrLimit) {
+		t.Fatalf("4th activation = %v, want ErrLimit", err)
+	}
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 3 {
+		t.Fatalf("ExecCount = %d, want 3 (queued activations)", o.ExecCount(rid))
+	}
+}
+
+func TestExtendedTaskCannotBeMultiplyActivated(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Extended: true}, Program{
+		Exec{Runnable: rid},
+		Wait{Mask: Event(0)},
+	})
+	r.start()
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(10 * sim.Millisecond)
+	if err := o.ActivateTask(tid); !errors.Is(err, ErrLimit) {
+		t.Fatalf("re-activation of extended task = %v, want ErrLimit", err)
+	}
+}
+
+func TestEventsWaitSetClear(t *testing.T) {
+	r := newRig(t)
+	worker := r.task("Worker", 5)
+	wr := r.runnable(worker, "WR", 2*time.Millisecond)
+	o := r.build(0)
+	var wokenAt sim.Time
+	r.define(worker, TaskAttrs{Extended: true, Autostart: true}, Program{
+		Wait{Mask: Event(1)},
+		Call{Fn: func() { wokenAt = r.k.Now() }},
+		ClearEvt{Mask: Event(1)},
+		Exec{Runnable: wr},
+	})
+	r.start()
+	r.k.At(7*sim.Millisecond, func() {
+		if err := o.SetEvent(worker, Event(1)); err != nil {
+			t.Errorf("SetEvent: %v", err)
+		}
+	})
+	r.run(20 * sim.Millisecond)
+	if wokenAt != 7*sim.Millisecond {
+		t.Errorf("woken at %v, want 7ms", wokenAt)
+	}
+	ev, err := o.GetEvent(worker)
+	if err != nil {
+		t.Fatalf("GetEvent: %v", err)
+	}
+	if ev.Has(Event(1)) {
+		t.Error("event still set after ClearEvt")
+	}
+	if o.ExecCount(wr) != 1 {
+		t.Errorf("ExecCount = %d, want 1", o.ExecCount(wr))
+	}
+	st, _ := o.State(worker)
+	if st != Suspended {
+		t.Errorf("state = %v, want suspended", st)
+	}
+}
+
+func TestWaitWithEventAlreadySetContinues(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Extended: true}, Program{
+		Exec{Runnable: rid},
+		Call{Fn: func() {
+			if err := o.SetEvent(tid, Event(2)); err != nil {
+				t.Errorf("self SetEvent: %v", err)
+			}
+		}},
+		Wait{Mask: Event(2)},
+		Exec{Runnable: rid},
+	})
+	r.start()
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 2 {
+		t.Fatalf("ExecCount = %d, want 2 (wait should not block)", o.ExecCount(rid))
+	}
+}
+
+func TestSetEventErrors(t *testing.T) {
+	r := newRig(t)
+	basic := r.task("B", 1)
+	ext := r.task("E", 2)
+	rb := r.runnable(basic, "RB", time.Millisecond)
+	re := r.runnable(ext, "RE", time.Millisecond)
+	o := r.build(0)
+	r.define(basic, TaskAttrs{}, Program{Exec{Runnable: rb}})
+	r.define(ext, TaskAttrs{Extended: true}, Program{Exec{Runnable: re}})
+	r.start()
+	if err := o.SetEvent(basic, Event(0)); !errors.Is(err, ErrAccess) {
+		t.Errorf("SetEvent on basic task = %v, want ErrAccess", err)
+	}
+	if err := o.SetEvent(ext, Event(0)); !errors.Is(err, ErrState) {
+		t.Errorf("SetEvent on suspended task = %v, want ErrState", err)
+	}
+	if err := o.SetEvent(runnable.TaskID(99), Event(0)); !errors.Is(err, ErrID) {
+		t.Errorf("SetEvent on bad id = %v, want ErrID", err)
+	}
+	if _, err := o.GetEvent(basic); !errors.Is(err, ErrAccess) {
+		t.Errorf("GetEvent on basic = %v, want ErrAccess", err)
+	}
+}
+
+func TestResourceCeilingPreventsPreemptionByUser(t *testing.T) {
+	// Classic PCP: low task holds resource shared with high task; while
+	// held, high activation does not preempt (ceiling == high prio), so
+	// the resource is never contended.
+	r := newRig(t)
+	lo := r.task("Lo", 1)
+	hi := r.task("Hi", 10)
+	lr1 := r.runnable(lo, "LR1", 4*time.Millisecond)
+	lr2 := r.runnable(lo, "LR2", 4*time.Millisecond)
+	hr := r.runnable(hi, "HR", time.Millisecond)
+	o := r.build(0)
+	res, err := o.DeclareResource("shared", lo, hi)
+	if err != nil {
+		t.Fatalf("DeclareResource: %v", err)
+	}
+	var hiStart sim.Time
+	o.AddObserver(ObserverFuncs{OnRunnableStart: func(rid runnable.ID, _ runnable.TaskID) {
+		if rid == hr {
+			hiStart = r.k.Now()
+		}
+	}})
+	r.define(lo, TaskAttrs{Autostart: true}, Program{
+		Lock{Resource: res},
+		Exec{Runnable: lr1},
+		Unlock{Resource: res},
+		Exec{Runnable: lr2},
+	})
+	r.define(hi, TaskAttrs{}, Program{
+		Lock{Resource: res},
+		Exec{Runnable: hr},
+		Unlock{Resource: res},
+	})
+	r.start()
+	r.k.At(2*sim.Millisecond, func() {
+		if err := o.ActivateTask(hi); err != nil {
+			t.Errorf("ActivateTask(hi): %v", err)
+		}
+	})
+	r.run(sim.Second)
+	// Lo holds the ceiling until 4ms; hi runs 4ms..5ms, then lo resumes LR2.
+	if hiStart != 4*sim.Millisecond {
+		t.Errorf("high task started at %v, want 4ms (blocked by ceiling)", hiStart)
+	}
+	if o.ExecCount(lr2) != 1 || o.ExecCount(hr) != 1 {
+		t.Errorf("exec counts lr2=%d hr=%d", o.ExecCount(lr2), o.ExecCount(hr))
+	}
+	if len(r.errs) != 0 {
+		t.Errorf("unexpected OS errors: %v", r.errs)
+	}
+}
+
+func TestNonLIFOReleaseReported(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	ra, _ := o.DeclareResource("A", tid)
+	rb, _ := o.DeclareResource("B", tid)
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Lock{Resource: ra},
+		Lock{Resource: rb},
+		Unlock{Resource: ra}, // wrong order
+		Exec{Runnable: rid},
+		Unlock{Resource: rb},
+		Unlock{Resource: ra},
+	})
+	r.start()
+	r.run(sim.Second)
+	found := false
+	for _, err := range r.errs {
+		if errors.Is(err, ErrResource) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-LIFO release not reported; errs = %v", r.errs)
+	}
+}
+
+func TestTerminateHoldingResourceReportedAndReleased(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	res, _ := o.DeclareResource("A", tid)
+	r.define(tid, TaskAttrs{Autostart: true, MaxActivations: 2}, Program{
+		Lock{Resource: res},
+		Exec{Runnable: rid},
+		// missing Unlock — terminates holding the resource
+	})
+	r.start()
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("second activation: %v", err)
+	}
+	r.run(sim.Second)
+	found := false
+	for _, err := range r.errs {
+		if errors.Is(err, ErrResource) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("terminate-holding-resource not reported; errs = %v", r.errs)
+	}
+	// Resource was force-released, so the queued activation could lock it again.
+	if o.ExecCount(rid) != 2 {
+		t.Fatalf("ExecCount = %d, want 2", o.ExecCount(rid))
+	}
+}
+
+func TestNonPreemptableRunsToCompletion(t *testing.T) {
+	r := newRig(t)
+	lo := r.task("Lo", 1)
+	hi := r.task("Hi", 10)
+	lr := r.runnable(lo, "LR", 10*time.Millisecond)
+	hr := r.runnable(hi, "HR", time.Millisecond)
+	o := r.build(0)
+	var hrStart sim.Time
+	o.AddObserver(ObserverFuncs{OnRunnableStart: func(rid runnable.ID, _ runnable.TaskID) {
+		if rid == hr {
+			hrStart = r.k.Now()
+		}
+	}})
+	r.define(lo, TaskAttrs{Autostart: true, NonPreemptable: true}, Program{Exec{Runnable: lr}})
+	r.define(hi, TaskAttrs{}, Program{Exec{Runnable: hr}})
+	r.start()
+	r.k.At(3*sim.Millisecond, func() {
+		if err := o.ActivateTask(hi); err != nil {
+			t.Errorf("ActivateTask(hi): %v", err)
+		}
+	})
+	r.run(sim.Second)
+	if hrStart != 10*sim.Millisecond {
+		t.Fatalf("high task started at %v, want 10ms (non-preemptable low task)", hrStart)
+	}
+	loStats, _ := o.Stats(lo)
+	if loStats.Preemptions != 0 {
+		t.Fatalf("non-preemptable task preempted %d times", loStats.Preemptions)
+	}
+}
+
+func TestCyclicAlarmActivatesTask(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	alarmID, err := o.CreateAlarm("cyclic", ActivateAlarm(tid), true, 10*time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	r.start()
+	// Expiries at 10..100 ms; the 100 ms activation needs 1 ms to finish.
+	r.run(105 * sim.Millisecond)
+	if got := o.ExecCount(rid); got != 10 {
+		t.Fatalf("ExecCount = %d, want 10", got)
+	}
+	exp, _ := o.AlarmExpiries(alarmID)
+	if exp != 10 {
+		t.Fatalf("expiries = %d, want 10", exp)
+	}
+}
+
+func TestAlarmCycleScaleChangesRate(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	alarmID, err := o.CreateAlarm("cyclic", ActivateAlarm(tid), true, 10*time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	r.start()
+	r.run(50 * sim.Millisecond) // 5 executions
+	if err := o.SetAlarmCycleScale(alarmID, 2.0); err != nil {
+		t.Fatalf("SetAlarmCycleScale: %v", err)
+	}
+	r.run(110 * sim.Millisecond) // next expiries at 70, 90, 110 → 3 more
+	if got := o.ExecCount(rid); got != 8 {
+		t.Fatalf("ExecCount = %d, want 8 after slowing the alarm", got)
+	}
+	if err := o.SetAlarmCycleScale(alarmID, 0); !errors.Is(err, ErrValue) {
+		t.Fatalf("zero scale accepted: %v", err)
+	}
+}
+
+func TestOneShotAlarmAndCancel(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	oneShot, err := o.CreateAlarm("oneshot", ActivateAlarm(tid), false, 0, 0)
+	if err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	r.start()
+	if err := o.CancelAlarm(oneShot); !errors.Is(err, ErrNoFunc) {
+		t.Fatalf("CancelAlarm unarmed = %v, want ErrNoFunc", err)
+	}
+	if err := o.SetRelAlarm(oneShot, 5*time.Millisecond, 0); err != nil {
+		t.Fatalf("SetRelAlarm: %v", err)
+	}
+	if err := o.SetRelAlarm(oneShot, 5*time.Millisecond, 0); !errors.Is(err, ErrState) {
+		t.Fatalf("double arm = %v, want ErrState", err)
+	}
+	r.run(20 * sim.Millisecond)
+	if o.ExecCount(rid) != 1 {
+		t.Fatalf("ExecCount = %d, want 1 (one-shot)", o.ExecCount(rid))
+	}
+	// Re-arm and cancel before expiry.
+	if err := o.SetRelAlarm(oneShot, 5*time.Millisecond, 0); err != nil {
+		t.Fatalf("re-arm: %v", err)
+	}
+	if err := o.CancelAlarm(oneShot); err != nil {
+		t.Fatalf("CancelAlarm: %v", err)
+	}
+	r.run(50 * sim.Millisecond)
+	if o.ExecCount(rid) != 1 {
+		t.Fatalf("cancelled alarm still fired: ExecCount = %d", o.ExecCount(rid))
+	}
+}
+
+func TestCallbackAndEventAlarms(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Extended: true, Autostart: true}, Program{
+		Wait{Mask: Event(3)},
+		Exec{Runnable: rid},
+	})
+	fired := 0
+	if _, err := o.CreateAlarm("cb", CallbackAlarm(func() { fired++ }), true, time.Millisecond, time.Millisecond); err != nil {
+		t.Fatalf("CreateAlarm cb: %v", err)
+	}
+	if _, err := o.CreateAlarm("ev", EventAlarm(tid, Event(3)), true, 5*time.Millisecond, 0); err != nil {
+		t.Fatalf("CreateAlarm ev: %v", err)
+	}
+	r.start()
+	r.run(10 * sim.Millisecond)
+	if fired != 10 {
+		t.Fatalf("callback fired %d times, want 10", fired)
+	}
+	if o.ExecCount(rid) != 1 {
+		t.Fatalf("event alarm did not wake task: ExecCount = %d", o.ExecCount(rid))
+	}
+}
+
+func TestChainTask(t *testing.T) {
+	r := newRig(t)
+	t1 := r.task("T1", 1)
+	t2 := r.task("T2", 1)
+	r1 := r.runnable(t1, "R1", time.Millisecond)
+	r2 := r.runnable(t2, "R2", time.Millisecond)
+	o := r.build(0)
+	r.define(t1, TaskAttrs{Autostart: true}, Program{
+		Exec{Runnable: r1},
+		Chain{Task: t2},
+		Exec{Runnable: r1}, // must not run
+	})
+	r.define(t2, TaskAttrs{}, Program{Exec{Runnable: r2}})
+	r.start()
+	r.run(sim.Second)
+	if o.ExecCount(r1) != 1 {
+		t.Fatalf("steps after Chain executed: ExecCount(r1) = %d", o.ExecCount(r1))
+	}
+	if o.ExecCount(r2) != 1 {
+		t.Fatalf("chained task did not run: ExecCount(r2) = %d", o.ExecCount(r2))
+	}
+}
+
+func TestChainSelfRestarts(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	r.build(0)
+	count := 0
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Exec{Runnable: rid, OnDone: func() { count++ }},
+		Select{
+			Choose: func() int {
+				if count < 3 {
+					return 0
+				}
+				return -1
+			},
+			Arms: []Program{{Chain{Task: tid}}},
+		},
+	})
+	r.start()
+	r.run(sim.Second)
+	if count != 3 {
+		t.Fatalf("self-chain executed %d times, want 3", count)
+	}
+}
+
+func TestLoopStep(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	n := 4
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Loop{Count: func() int { return n }, Body: Program{Exec{Runnable: rid}}},
+	})
+	r.start()
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 4 {
+		t.Fatalf("loop body executed %d times, want 4", o.ExecCount(rid))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Loop{Count: func() int { return 3 }, Body: Program{
+			Loop{Count: func() int { return 2 }, Body: Program{Exec{Runnable: rid}}},
+		}},
+	})
+	r.start()
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 6 {
+		t.Fatalf("nested loops executed %d times, want 6", o.ExecCount(rid))
+	}
+}
+
+func TestZeroAndNegativeLoopCountSkipsBody(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	other := r.runnable(tid, "Other", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Loop{Count: func() int { return 0 }, Body: Program{Exec{Runnable: rid}}},
+		Loop{Count: func() int { return -5 }, Body: Program{Exec{Runnable: rid}}},
+		Exec{Runnable: other},
+	})
+	r.start()
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 0 || o.ExecCount(other) != 1 {
+		t.Fatalf("counts = %d/%d, want 0/1", o.ExecCount(rid), o.ExecCount(other))
+	}
+}
+
+func TestSelectBranches(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	ra := r.runnable(tid, "A", time.Millisecond)
+	rb := r.runnable(tid, "B", time.Millisecond)
+	o := r.build(0)
+	choice := 0
+	r.define(tid, TaskAttrs{Autostart: true, MaxActivations: 3}, Program{
+		Select{
+			Choose: func() int { return choice },
+			Arms:   []Program{{Exec{Runnable: ra}}, {Exec{Runnable: rb}}},
+		},
+	})
+	r.start() // autostart activation evaluates Select with choice=0 → arm A
+	r.k.At(10*sim.Millisecond, func() { choice = 1; _ = o.ActivateTask(tid) })
+	r.k.At(20*sim.Millisecond, func() { choice = 99; _ = o.ActivateTask(tid) }) // out of range: no arm
+	r.run(sim.Second)
+	if o.ExecCount(ra) != 1 || o.ExecCount(rb) != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", o.ExecCount(ra), o.ExecCount(rb))
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	o.cfg.RunawayLimit = 100
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Loop{Count: func() int { return 1 << 30 }, Body: Program{Call{Fn: func() {}}}},
+	})
+	r.start()
+	r.run(sim.Second)
+	if o.RunawayHits() != 1 {
+		t.Fatalf("RunawayHits = %d, want 1", o.RunawayHits())
+	}
+	found := false
+	for _, err := range r.errs {
+		if errors.Is(err, ErrRunaway) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runaway not reported through error hook")
+	}
+	st, _ := o.State(tid)
+	if st != Suspended {
+		t.Fatalf("runaway task state = %v, want suspended", st)
+	}
+}
+
+func TestExecScaleStretchesRunnable(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 10*time.Millisecond)
+	o := r.build(0)
+	var done sim.Time
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid, OnDone: func() { done = r.k.Now() }}})
+	r.start()
+	if err := o.SetExecScale(rid, 2.5); err != nil {
+		t.Fatalf("SetExecScale: %v", err)
+	}
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(sim.Second)
+	if done != 25*sim.Millisecond {
+		t.Fatalf("done at %v, want 25ms with scale 2.5", done)
+	}
+	if err := o.SetExecScale(rid, -1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if err := o.SetExecScale(runnable.ID(99), 1); err == nil {
+		t.Fatal("unknown runnable accepted")
+	}
+}
+
+func TestDispatchOverheadCharged(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 10*time.Millisecond)
+	o := r.build(time.Millisecond)
+	var done sim.Time
+	r.define(tid, TaskAttrs{Autostart: true}, Program{Exec{Runnable: rid, OnDone: func() { done = r.k.Now() }}})
+	r.start()
+	r.run(sim.Second)
+	_ = o
+	if done != 11*sim.Millisecond {
+		t.Fatalf("done at %v, want 11ms (10ms exec + 1ms dispatch overhead)", done)
+	}
+}
+
+func TestForceTerminateRunning(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 10*time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Autostart: true}, Program{Exec{Runnable: rid}})
+	r.start()
+	r.k.At(3*sim.Millisecond, func() {
+		if err := o.ForceTerminate(tid); err != nil {
+			t.Errorf("ForceTerminate: %v", err)
+		}
+	})
+	r.run(sim.Second)
+	if o.ExecCount(rid) != 0 {
+		t.Fatalf("ExecCount = %d, want 0 (terminated mid-exec)", o.ExecCount(rid))
+	}
+	st, _ := o.State(tid)
+	if st != Suspended {
+		t.Fatalf("state = %v, want suspended", st)
+	}
+}
+
+func TestRestartTask(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 10*time.Millisecond)
+	o := r.build(0)
+	var doneTimes []sim.Time
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Exec{Runnable: rid, OnDone: func() { doneTimes = append(doneTimes, r.k.Now()) }},
+	})
+	r.start()
+	r.k.At(3*sim.Millisecond, func() {
+		if err := o.RestartTask(tid); err != nil {
+			t.Errorf("RestartTask: %v", err)
+		}
+	})
+	r.run(sim.Second)
+	// Restarted at 3ms, runs the full 10ms again → completes at 13ms.
+	if len(doneTimes) != 1 || doneTimes[0] != 13*sim.Millisecond {
+		t.Fatalf("doneTimes = %v, want [13ms]", doneTimes)
+	}
+}
+
+func TestResetECURestartsAutostart(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	if _, err := o.CreateAlarm("cyc", ActivateAlarm(tid), true, 10*time.Millisecond, 10*time.Millisecond); err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	r.start()
+	r.run(35 * sim.Millisecond) // expiries at 10,20,30 → 3 executions
+	if o.ExecCount(rid) != 3 {
+		t.Fatalf("pre-reset ExecCount = %d, want 3", o.ExecCount(rid))
+	}
+	r.k.At(40*sim.Millisecond, func() { o.ResetECU() })
+	r.run(95 * sim.Millisecond) // after reset at 40: expiries at 50,...,90 → 5 more
+	if o.ResetCount() != 1 {
+		t.Fatalf("ResetCount = %d, want 1", o.ResetCount())
+	}
+	if o.ExecCount(rid) != 8 {
+		t.Fatalf("post-reset ExecCount = %d, want 8", o.ExecCount(rid))
+	}
+}
+
+func TestObserverTransitions(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	var trans []TaskState
+	o.AddObserver(ObserverFuncs{OnTransition: func(_ runnable.TaskID, _, to TaskState) {
+		trans = append(trans, to)
+	}})
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	r.start()
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	r.run(sim.Second)
+	want := []TaskState{Ready, Running, Suspended}
+	if len(trans) != len(want) {
+		t.Fatalf("transitions = %v, want %v", trans, want)
+	}
+	for i := range want {
+		if trans[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", trans, want)
+		}
+	}
+}
+
+func TestDefineTaskValidation(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	if err := o.DefineTask(runnable.TaskID(9), TaskAttrs{}, Program{Call{}}); !errors.Is(err, ErrID) {
+		t.Errorf("unknown task = %v, want ErrID", err)
+	}
+	if err := o.DefineTask(tid, TaskAttrs{}, nil); !errors.Is(err, ErrValue) {
+		t.Errorf("empty program = %v, want ErrValue", err)
+	}
+	if err := o.DefineTask(tid, TaskAttrs{Extended: true, MaxActivations: 2}, Program{Call{}}); !errors.Is(err, ErrValue) {
+		t.Errorf("extended multiple activations = %v, want ErrValue", err)
+	}
+	if err := o.Start(); err == nil {
+		t.Error("Start succeeded with undefined task body")
+	}
+}
+
+func TestTaskStateString(t *testing.T) {
+	cases := map[TaskState]string{
+		Suspended:    "suspended",
+		Ready:        "ready",
+		Running:      "running",
+		Waiting:      "waiting",
+		TaskState(7): "TaskState(7)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestWaitInBasicTaskReported(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Wait{Mask: Event(0)},
+		Exec{Runnable: rid},
+	})
+	r.start()
+	r.run(sim.Second)
+	found := false
+	for _, err := range r.errs {
+		if errors.Is(err, ErrAccess) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Wait in basic task not reported")
+	}
+	// The wait is skipped; the task still completes.
+	if o.ExecCount(rid) != 1 {
+		t.Fatalf("ExecCount = %d, want 1", o.ExecCount(rid))
+	}
+}
+
+func TestWaitHoldingResourceReported(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", time.Millisecond)
+	o := r.build(0)
+	res, _ := o.DeclareResource("A", tid)
+	r.define(tid, TaskAttrs{Extended: true, Autostart: true}, Program{
+		Lock{Resource: res},
+		Wait{Mask: Event(0)},
+		Exec{Runnable: rid},
+		Unlock{Resource: res},
+	})
+	r.start()
+	r.run(sim.Second)
+	found := false
+	for _, err := range r.errs {
+		if errors.Is(err, ErrResource) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Wait holding resource not reported")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	rid := r.runnable(tid, "R", 5*time.Millisecond)
+	o := r.build(0)
+	if o.Kernel() != r.k || o.Model() != r.m {
+		t.Fatal("Kernel/Model accessors broken")
+	}
+	if o.Started() {
+		t.Fatal("Started before Start")
+	}
+	r.define(tid, TaskAttrs{}, Program{Exec{Runnable: rid}})
+	r.start()
+	if !o.Started() {
+		t.Fatal("not Started after Start")
+	}
+	if _, running := o.Running(); running {
+		t.Fatal("Running with idle CPU")
+	}
+	if err := o.ActivateTask(tid); err != nil {
+		t.Fatalf("ActivateTask: %v", err)
+	}
+	got, running := o.Running()
+	if !running || got != tid {
+		t.Fatalf("Running = %v,%v", got, running)
+	}
+	if _, err := o.State(runnable.TaskID(99)); !errors.Is(err, ErrID) {
+		t.Errorf("State unknown id = %v", err)
+	}
+	if _, err := o.Stats(runnable.TaskID(99)); !errors.Is(err, ErrID) {
+		t.Errorf("Stats unknown id = %v", err)
+	}
+	if o.ExecCount(runnable.ID(99)) != 0 || o.ExecCount(runnable.ID(-1)) != 0 {
+		t.Error("ExecCount out-of-range not zero")
+	}
+	r.run(sim.Second)
+}
+
+func TestAlarmIntrospection(t *testing.T) {
+	r := newRig(t)
+	t1 := r.task("T1", 1)
+	t2 := r.task("T2", 2)
+	r.runnable(t1, "R1", time.Millisecond)
+	r2 := r.runnable(t2, "R2", time.Millisecond)
+	o := r.build(0)
+	a1, err := o.CreateAlarm("a1", ActivateAlarm(t1), true, time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	a2, err := o.CreateAlarm("a2", ActivateAlarm(t1), false, 0, 0)
+	if err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	if _, err := o.CreateAlarm("bad", AlarmAction{}, false, 0, 0); !errors.Is(err, ErrValue) {
+		t.Errorf("hand-built action accepted: %v", err)
+	}
+	if _, err := o.CreateAlarm("neg", ActivateAlarm(t1), false, -time.Second, 0); !errors.Is(err, ErrValue) {
+		t.Errorf("negative offset accepted: %v", err)
+	}
+	got := o.AlarmsActivating(t1)
+	if len(got) != 2 || got[0] != a1 || got[1] != a2 {
+		t.Fatalf("AlarmsActivating = %v", got)
+	}
+	if len(o.AlarmsActivating(t2)) != 0 {
+		t.Fatal("AlarmsActivating for t2 not empty")
+	}
+	r.define(t1, TaskAttrs{}, Program{Exec{Runnable: runnable.ID(0)}})
+	r.define(t2, TaskAttrs{}, Program{Exec{Runnable: r2}})
+	r.start()
+	armed, err := o.AlarmArmed(a1)
+	if err != nil || !armed {
+		t.Fatalf("AlarmArmed(a1) = %v,%v", armed, err)
+	}
+	armed, err = o.AlarmArmed(a2)
+	if err != nil || armed {
+		t.Fatalf("AlarmArmed(a2) = %v,%v", armed, err)
+	}
+	if _, err := o.AlarmArmed(AlarmID(99)); !errors.Is(err, ErrID) {
+		t.Errorf("unknown alarm accepted: %v", err)
+	}
+	if _, err := o.AlarmExpiries(AlarmID(99)); !errors.Is(err, ErrID) {
+		t.Errorf("unknown alarm accepted in expiries: %v", err)
+	}
+	if err := o.SetRelAlarm(AlarmID(99), 0, 0); !errors.Is(err, ErrID) {
+		t.Errorf("unknown alarm accepted in SetRelAlarm: %v", err)
+	}
+	if err := o.SetRelAlarm(a2, -time.Second, 0); !errors.Is(err, ErrValue) {
+		t.Errorf("negative SetRelAlarm accepted: %v", err)
+	}
+	if _, err := o.CreateAlarm("late", ActivateAlarm(t1), false, 0, 0); !errors.Is(err, ErrAccess) {
+		t.Errorf("CreateAlarm after Start accepted: %v", err)
+	}
+}
+
+func TestEventMaskHelpers(t *testing.T) {
+	m := Event(0) | Event(3)
+	if !m.Has(Event(0)) || !m.Has(Event(3)) || m.Has(Event(1)) {
+		t.Error("Has broken")
+	}
+	if !m.Any(Event(3)|Event(5)) || m.Any(Event(5)) {
+		t.Error("Any broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Event(64) did not panic")
+		}
+	}()
+	Event(64)
+}
+
+func TestYieldInNonPreemptableTask(t *testing.T) {
+	r := newRig(t)
+	lo := r.task("Lo", 1)
+	hi := r.task("Hi", 10)
+	lr1 := r.runnable(lo, "LR1", 4*time.Millisecond)
+	lr2 := r.runnable(lo, "LR2", 4*time.Millisecond)
+	hr := r.runnable(hi, "HR", time.Millisecond)
+	o := r.build(0)
+	var hrStart sim.Time
+	o.AddObserver(ObserverFuncs{OnRunnableStart: func(rid runnable.ID, _ runnable.TaskID) {
+		if rid == hr {
+			hrStart = r.k.Now()
+		}
+	}})
+	r.define(lo, TaskAttrs{Autostart: true, NonPreemptable: true}, Program{
+		Exec{Runnable: lr1},
+		Yield{}, // voluntary rescheduling point
+		Exec{Runnable: lr2},
+	})
+	r.define(hi, TaskAttrs{}, Program{Exec{Runnable: hr}})
+	r.start()
+	r.k.At(1*sim.Millisecond, func() {
+		if err := o.ActivateTask(hi); err != nil {
+			t.Errorf("ActivateTask: %v", err)
+		}
+	})
+	r.run(sim.Second)
+	// Without Yield the high task would wait until 8ms; with it, it runs
+	// at the 4ms boundary.
+	if hrStart != 4*sim.Millisecond {
+		t.Fatalf("high task started at %v, want 4ms (at the Yield)", hrStart)
+	}
+	if o.ExecCount(lr2) != 1 {
+		t.Fatal("non-preemptable task did not resume after Yield")
+	}
+}
+
+func TestYieldNoopWhenNothingHigher(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 5)
+	a := r.runnable(tid, "A", time.Millisecond)
+	b := r.runnable(tid, "B", time.Millisecond)
+	o := r.build(0)
+	var done sim.Time
+	r.define(tid, TaskAttrs{Autostart: true, NonPreemptable: true}, Program{
+		Exec{Runnable: a},
+		Yield{},
+		Exec{Runnable: b, OnDone: func() { done = r.k.Now() }},
+	})
+	r.start()
+	r.run(sim.Second)
+	_ = o
+	if done != 2*sim.Millisecond {
+		t.Fatalf("done at %v, want 2ms (Yield without contender is free)", done)
+	}
+}
+
+func TestSelfRestartFromOnDone(t *testing.T) {
+	// A callback restarting its own task synchronously must not leave the
+	// old instance's interpreter running over the new instance's burst.
+	r := newRig(t)
+	tid := r.task("T", 1)
+	a := r.runnable(tid, "A", time.Millisecond)
+	b := r.runnable(tid, "B", time.Millisecond)
+	o := r.build(0)
+	restarts := 0
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Exec{Runnable: a, OnDone: func() {
+			if restarts < 3 {
+				restarts++
+				if err := o.RestartTask(tid); err != nil {
+					t.Errorf("RestartTask: %v", err)
+				}
+			}
+		}},
+		Exec{Runnable: b},
+	})
+	r.start()
+	r.run(sim.Second)
+	// A runs 4 times (initial + 3 restarts), B only on the final pass.
+	if o.ExecCount(a) != 4 {
+		t.Fatalf("ExecCount(a) = %d, want 4", o.ExecCount(a))
+	}
+	if o.ExecCount(b) != 1 {
+		t.Fatalf("ExecCount(b) = %d, want 1 (earlier instances were restarted before B)", o.ExecCount(b))
+	}
+	st, _ := o.State(tid)
+	if st != Suspended {
+		t.Fatalf("state = %v", st)
+	}
+}
+
+func TestSelfRestartFromOnStart(t *testing.T) {
+	r := newRig(t)
+	tid := r.task("T", 1)
+	a := r.runnable(tid, "A", time.Millisecond)
+	o := r.build(0)
+	restarted := false
+	r.define(tid, TaskAttrs{Autostart: true}, Program{
+		Exec{Runnable: a, OnStart: func() {
+			if !restarted {
+				restarted = true
+				if err := o.RestartTask(tid); err != nil {
+					t.Errorf("RestartTask: %v", err)
+				}
+			}
+		}},
+	})
+	r.start()
+	r.run(sim.Second)
+	// The first instance was restarted before executing; only the second
+	// instance's burst completes.
+	if o.ExecCount(a) != 1 {
+		t.Fatalf("ExecCount = %d, want 1", o.ExecCount(a))
+	}
+	if r.k.Pending() != 0 {
+		t.Fatalf("leaked events: %d pending", r.k.Pending())
+	}
+}

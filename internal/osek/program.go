@@ -1,0 +1,118 @@
+package osek
+
+import (
+	"swwd/internal/runnable"
+)
+
+// Program is the body of a task: a sequence of steps executed in order on
+// each activation. Steps either consume simulated CPU time (Exec) or are
+// instantaneous OS service calls and control flow.
+//
+// The step set deliberately includes Loop and Select because the paper's
+// error-injection campaign manipulates exactly these: "manipulation of
+// loop counters and building invalid execution branches" (§4.5).
+type Program []Step
+
+// Step is one element of a task body.
+type Step interface{ isStep() }
+
+// Exec models a runnable executing on the CPU for its configured execution
+// time (scaled by any injected execution-time scalar). OnStart fires when
+// the runnable first gets the CPU for this instance, OnDone when it
+// completes; both run instantaneously in simulation time.
+type Exec struct {
+	Runnable runnable.ID
+	OnStart  func()
+	OnDone   func()
+}
+
+// Lock acquires an OSEK resource with the priority-ceiling protocol
+// (GetResource).
+type Lock struct{ Resource ResourceID }
+
+// Unlock releases an OSEK resource (ReleaseResource); releases must be
+// LIFO with respect to Lock.
+type Unlock struct{ Resource ResourceID }
+
+// Wait blocks the (extended) task until at least one event in Mask is set
+// (WaitEvent). If one already is, the task continues immediately.
+type Wait struct{ Mask EventMask }
+
+// ClearEvt clears the given events of the calling task (ClearEvent).
+type ClearEvt struct{ Mask EventMask }
+
+// SetEvt sets events for another task (SetEvent).
+type SetEvt struct {
+	Task runnable.TaskID
+	Mask EventMask
+}
+
+// Activate activates another task (ActivateTask).
+type Activate struct{ Task runnable.TaskID }
+
+// Chain terminates the calling task and activates Task (ChainTask); any
+// remaining steps of the program are not executed.
+type Chain struct{ Task runnable.TaskID }
+
+// Call runs an arbitrary instantaneous action, used for application logic
+// that needs no CPU-time modelling.
+type Call struct{ Fn func() }
+
+// Yield is the OSEK Schedule() service: a voluntary rescheduling point.
+// For preemptable tasks it is a no-op (they are preempted immediately
+// anyway); a non-preemptable task lets a higher-priority ready task run
+// and resumes afterwards.
+type Yield struct{}
+
+// Loop executes Body Count() times. Count is evaluated when the loop step
+// is reached, which is the seam the loop-counter error injection uses.
+type Loop struct {
+	Count func() int
+	Body  Program
+}
+
+// Select evaluates Choose and executes the corresponding arm; an index
+// outside [0,len(Arms)) executes nothing. Invalid-branch error injection
+// flips the chooser to a wrong arm at run time.
+type Select struct {
+	Choose func() int
+	Arms   []Program
+}
+
+func (Exec) isStep()     {}
+func (Lock) isStep()     {}
+func (Unlock) isStep()   {}
+func (Wait) isStep()     {}
+func (ClearEvt) isStep() {}
+func (SetEvt) isStep()   {}
+func (Activate) isStep() {}
+func (Chain) isStep()    {}
+func (Call) isStep()     {}
+func (Yield) isStep()    {}
+func (Loop) isStep()     {}
+func (Select) isStep()   {}
+
+// SequentialProgram builds the common task body: the task's runnables from
+// the model, executed in their mapped order, with optional per-runnable
+// completion actions.
+func SequentialProgram(m *runnable.Model, tid runnable.TaskID, onDone map[runnable.ID]func()) (Program, error) {
+	t, err := m.Task(tid)
+	if err != nil {
+		return nil, err
+	}
+	prog := make(Program, 0, len(t.Runnables))
+	for _, rid := range t.Runnables {
+		prog = append(prog, Exec{Runnable: rid, OnDone: onDone[rid]})
+	}
+	return prog, nil
+}
+
+// frame is one level of the program interpreter's control stack.
+type frame struct {
+	prog Program
+	pc   int
+	// iter holds remaining loop iterations when this frame is a Loop body
+	// re-entry point.
+	iter int
+	loop *Loop
+}

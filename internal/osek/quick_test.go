@@ -1,0 +1,261 @@
+package osek
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// quickRig builds n single-runnable tasks with the given priorities and
+// execution times.
+func quickRig(priorities []int, execs []time.Duration) (*sim.Kernel, *OS, []runnable.TaskID, []runnable.ID, error) {
+	k := sim.NewKernel()
+	m := runnable.NewModel()
+	app, err := m.AddApp("A", runnable.QM)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	tids := make([]runnable.TaskID, len(priorities))
+	rids := make([]runnable.ID, len(priorities))
+	for i, p := range priorities {
+		tids[i], err = m.AddTask(app, "T"+string(rune('A'+i%26))+string(rune('0'+i/26)), p)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		rids[i], err = m.AddRunnable(tids[i], "R"+string(rune('A'+i%26))+string(rune('0'+i/26)), execs[i], runnable.QM)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	if err := m.Freeze(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	o, err := New(Config{Model: m, Kernel: k})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i, tid := range tids {
+		if err := o.DefineTask(tid, TaskAttrs{MaxActivations: 8}, Program{Exec{Runnable: rids[i]}}); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	if err := o.Start(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return k, o, tids, rids, nil
+}
+
+// Property: tasks with distinct priorities activated at the same instant
+// complete in strictly descending priority order, and the makespan equals
+// the sum of execution times (work conservation, no idle gaps).
+func TestQuickPriorityOrderAndWorkConservation(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		n := int(count%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		prios := rng.Perm(n) // distinct priorities 0..n-1
+		execs := make([]time.Duration, n)
+		var total time.Duration
+		for i := range execs {
+			execs[i] = time.Duration(rng.Intn(9)+1) * time.Millisecond
+			total += execs[i]
+		}
+		k, o, tids, rids, err := quickRig(prios, execs)
+		if err != nil {
+			return false
+		}
+		var endOrder []runnable.ID
+		var lastEnd sim.Time
+		o.AddObserver(ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
+			endOrder = append(endOrder, rid)
+			lastEnd = k.Now()
+		}})
+		for _, tid := range tids {
+			if err := o.ActivateTask(tid); err != nil {
+				return false
+			}
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		if len(endOrder) != n {
+			return false
+		}
+		// Completion order: strictly descending priority.
+		prioOf := make(map[runnable.ID]int, n)
+		for i, rid := range rids {
+			prioOf[rid] = prios[i]
+		}
+		for i := 1; i < n; i++ {
+			if prioOf[endOrder[i]] > prioOf[endOrder[i-1]] {
+				return false
+			}
+		}
+		return lastEnd == sim.Time(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no activation is lost — every accepted ActivateTask leads to
+// exactly one completed execution of the task's runnable.
+func TestQuickActivationConservation(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		n := int(count%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		prios := rng.Perm(n)
+		execs := make([]time.Duration, n)
+		for i := range execs {
+			execs[i] = time.Duration(rng.Intn(3)+1) * time.Millisecond
+		}
+		k, o, tids, rids, err := quickRig(prios, execs)
+		if err != nil {
+			return false
+		}
+		accepted := make([]uint64, n)
+		// Random activations over 200ms of virtual time.
+		for i := 0; i < 60; i++ {
+			at := sim.Time(rng.Intn(200)) * sim.Millisecond
+			idx := rng.Intn(n)
+			k.At(at, func() {
+				if err := o.ActivateTask(tids[idx]); err == nil {
+					accepted[idx]++
+				}
+			})
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		for i := range tids {
+			if o.ExecCount(rids[i]) != accepted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism — the same random scenario replayed on a fresh
+// kernel produces the identical completion trace.
+func TestQuickSchedulerDeterminism(t *testing.T) {
+	run := func(seed int64) ([]runnable.ID, []sim.Time, bool) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		prios := rng.Perm(n)
+		execs := make([]time.Duration, n)
+		for i := range execs {
+			execs[i] = time.Duration(rng.Intn(5)+1) * time.Millisecond
+		}
+		k, o, tids, _, err := quickRig(prios, execs)
+		if err != nil {
+			return nil, nil, false
+		}
+		var order []runnable.ID
+		var times []sim.Time
+		o.AddObserver(ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
+			order = append(order, rid)
+			times = append(times, k.Now())
+		}})
+		for i := 0; i < 40; i++ {
+			at := sim.Time(rng.Intn(100)) * sim.Millisecond
+			idx := rng.Intn(n)
+			k.At(at, func() { _ = o.ActivateTask(tids[idx]) })
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return nil, nil, false
+		}
+		return order, times, true
+	}
+	f := func(seed int64) bool {
+		o1, t1, ok1 := run(seed)
+		o2, t2, ok2 := run(seed)
+		if !ok1 || !ok2 || len(o1) != len(o2) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] || t1[i] != t2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the priority-ceiling protocol guarantees mutual exclusion —
+// for any interleaving of activations, at most one task is ever inside
+// the critical section of the shared resource.
+func TestQuickPCPMutualExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel()
+		m := runnable.NewModel()
+		app, _ := m.AddApp("A", runnable.QM)
+		const n = 3
+		tids := make([]runnable.TaskID, n)
+		rids := make([]runnable.ID, n)
+		for i := 0; i < n; i++ {
+			tids[i], _ = m.AddTask(app, "T"+string(rune('0'+i)), i+1)
+			var err error
+			rids[i], err = m.AddRunnable(tids[i], "R"+string(rune('0'+i)),
+				time.Duration(rng.Intn(4)+1)*time.Millisecond, runnable.QM)
+			if err != nil {
+				return false
+			}
+		}
+		if err := m.Freeze(); err != nil {
+			return false
+		}
+		o, err := New(Config{Model: m, Kernel: k})
+		if err != nil {
+			return false
+		}
+		res, err := o.DeclareResource("shared", tids...)
+		if err != nil {
+			return false
+		}
+		inside := 0
+		maxInside := 0
+		for i := 0; i < n; i++ {
+			i := i
+			if err := o.DefineTask(tids[i], TaskAttrs{MaxActivations: 4}, Program{
+				Lock{Resource: res},
+				Call{Fn: func() {
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+				}},
+				Exec{Runnable: rids[i]},
+				Call{Fn: func() { inside-- }},
+				Unlock{Resource: res},
+			}); err != nil {
+				return false
+			}
+		}
+		if err := o.Start(); err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			at := sim.Time(rng.Intn(100)) * sim.Millisecond
+			idx := rng.Intn(n)
+			k.At(at, func() { _ = o.ActivateTask(tids[idx]) })
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		return maxInside == 1 && inside == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

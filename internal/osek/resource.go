@@ -1,0 +1,101 @@
+package osek
+
+import (
+	"fmt"
+
+	"swwd/internal/runnable"
+)
+
+// ResourceID identifies an OSEK resource within one OS instance.
+type ResourceID int
+
+// resource implements the OSEK priority-ceiling protocol (OSEK PCP): while
+// a task holds the resource its dynamic priority is raised to the ceiling,
+// the highest base priority of any task that uses the resource. This
+// prevents priority inversion and deadlock — but a task that simply holds
+// a resource too long still starves its peers, which is exactly the
+// category-1 timing fault ("an object hangs as a result of a requested
+// resource being blocked") the Software Watchdog detects.
+type resource struct {
+	id      ResourceID
+	name    string
+	ceiling int
+	holder  *tcb // nil when free
+}
+
+// DeclareResource registers a resource used by the given tasks; the
+// ceiling priority is the maximum of their base priorities. Must be called
+// before Start.
+func (o *OS) DeclareResource(name string, users ...runnable.TaskID) (ResourceID, error) {
+	if o.started {
+		return -1, fmt.Errorf("osek: DeclareResource %q after Start: %w", name, ErrAccess)
+	}
+	if len(users) == 0 {
+		return -1, fmt.Errorf("osek: DeclareResource %q with no users: %w", name, ErrValue)
+	}
+	ceiling := 0
+	for _, tid := range users {
+		t, err := o.model.Task(tid)
+		if err != nil {
+			return -1, fmt.Errorf("osek: DeclareResource %q: %w", name, err)
+		}
+		if t.Priority > ceiling {
+			ceiling = t.Priority
+		}
+	}
+	id := ResourceID(len(o.resources))
+	o.resources = append(o.resources, &resource{id: id, name: name, ceiling: ceiling})
+	return id, nil
+}
+
+// getResource implements the Lock step for the running task.
+func (o *OS) getResource(t *tcb, rid ResourceID) error {
+	if int(rid) < 0 || int(rid) >= len(o.resources) {
+		return fmt.Errorf("osek: GetResource(%d): %w", rid, ErrID)
+	}
+	res := o.resources[rid]
+	if res.holder != nil {
+		// Under correct PCP usage this cannot happen (the ceiling blocks
+		// contenders from being dispatched); it indicates a configuration
+		// fault such as an undeclared user.
+		return fmt.Errorf("osek: GetResource(%s): already held by %s: %w",
+			res.name, res.holder.static.Name, ErrAccess)
+	}
+	res.holder = t
+	t.held = append(t.held, rid)
+	if res.ceiling > t.dynPrio {
+		t.dynPrio = res.ceiling
+	}
+	return nil
+}
+
+// releaseResource implements the Unlock step; releases must be LIFO.
+func (o *OS) releaseResource(t *tcb, rid ResourceID) error {
+	if int(rid) < 0 || int(rid) >= len(o.resources) {
+		return fmt.Errorf("osek: ReleaseResource(%d): %w", rid, ErrID)
+	}
+	if len(t.held) == 0 || t.held[len(t.held)-1] != rid {
+		return fmt.Errorf("osek: ReleaseResource(%s): non-LIFO release: %w",
+			o.resources[rid].name, ErrResource)
+	}
+	t.held = t.held[:len(t.held)-1]
+	o.resources[rid].holder = nil
+	t.dynPrio = t.static.Priority
+	for _, held := range t.held {
+		if c := o.resources[held].ceiling; c > t.dynPrio {
+			t.dynPrio = c
+		}
+	}
+	return nil
+}
+
+// releaseAll force-releases everything a task still holds, used on
+// (forced) termination per the OSEK rule that a terminating task must not
+// hold resources.
+func (o *OS) releaseAll(t *tcb) {
+	for i := len(t.held) - 1; i >= 0; i-- {
+		o.resources[t.held[i]].holder = nil
+	}
+	t.held = t.held[:0]
+	t.dynPrio = t.static.Priority
+}

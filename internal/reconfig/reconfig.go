@@ -1,0 +1,146 @@
+// Package reconfig implements the dynamic reconfiguration of applications
+// the paper's outlook calls for ("fault handling strategies, especially
+// concerning dynamic reconfiguration of applications", §5): when the
+// Fault Management Framework terminates a faulty application, a
+// pre-registered fallback configuration — typically a simpler limp-home
+// task at a lower rate — is activated so the vehicle function degrades
+// instead of disappearing. When the primary application is restored the
+// fallback is retired again.
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/fmf"
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// Fallback describes one degraded-mode configuration.
+type Fallback struct {
+	// ForApp is the primary application whose termination engages the
+	// fallback.
+	ForApp runnable.AppID
+	// Task is the fallback task to dispatch while engaged.
+	Task runnable.TaskID
+	// Alarm is the (non-autostart) cyclic alarm dispatching Task.
+	Alarm osek.AlarmID
+	// Offset and Cycle arm the alarm.
+	Offset, Cycle time.Duration
+}
+
+// Event records one reconfiguration for the scenario log.
+type Event struct {
+	Time    sim.Time
+	App     runnable.AppID
+	Engaged bool // true = fallback engaged, false = retired
+	Err     error
+}
+
+// Manager performs the reconfigurations. Wire it to the framework with
+// fmf.Subscribe(manager.Notify).
+type Manager struct {
+	os        *osek.OS
+	fallbacks map[runnable.AppID]Fallback
+	engaged   map[runnable.AppID]bool
+	log       []Event
+}
+
+// New creates a manager operating on the given OS.
+func New(os *osek.OS) (*Manager, error) {
+	if os == nil {
+		return nil, errors.New("reconfig: OS is required")
+	}
+	return &Manager{
+		os:        os,
+		fallbacks: make(map[runnable.AppID]Fallback),
+		engaged:   make(map[runnable.AppID]bool),
+	}, nil
+}
+
+// AddFallback registers a degraded-mode configuration for an application.
+func (m *Manager) AddFallback(fb Fallback) error {
+	if _, dup := m.fallbacks[fb.ForApp]; dup {
+		return fmt.Errorf("reconfig: app %d already has a fallback", fb.ForApp)
+	}
+	if fb.Cycle <= 0 {
+		return fmt.Errorf("reconfig: fallback for app %d: cycle must be positive", fb.ForApp)
+	}
+	m.fallbacks[fb.ForApp] = fb
+	return nil
+}
+
+// Engaged reports whether the fallback for app is currently active.
+func (m *Manager) Engaged(app runnable.AppID) bool { return m.engaged[app] }
+
+// Log returns the reconfiguration events so far.
+func (m *Manager) Log() []Event {
+	out := make([]Event, len(m.log))
+	copy(out, m.log)
+	return out
+}
+
+// Notify is the fmf.Notification subscriber: terminate treatments engage
+// the fallback, restart treatments retire it (the primary is back).
+func (m *Manager) Notify(n fmf.Notification) {
+	if n.Treatment == nil {
+		return
+	}
+	switch n.Treatment.Action {
+	case fmf.TerminateAppAction:
+		m.engage(n.Treatment.App, n.Treatment.Time)
+	case fmf.RestartAppAction:
+		m.retire(n.Treatment.App, n.Treatment.Time)
+	case fmf.ResetECUAction:
+		// The reset re-applies the autostart configuration; fallbacks are
+		// not autostarted, so mark everything retired.
+		for app, on := range m.engaged {
+			if on {
+				m.retire(app, n.Treatment.Time)
+			}
+		}
+	}
+}
+
+func (m *Manager) engage(app runnable.AppID, at sim.Time) {
+	fb, ok := m.fallbacks[app]
+	if !ok || m.engaged[app] {
+		return
+	}
+	err := m.os.SetRelAlarm(fb.Alarm, fb.Offset, fb.Cycle)
+	if err == nil {
+		m.engaged[app] = true
+	}
+	m.log = append(m.log, Event{Time: at, App: app, Engaged: true, Err: err})
+}
+
+// Restore retires the fallback and restores the primary application's
+// boot configuration (autostart tasks and alarms) — the manual recovery
+// path, e.g. after maintenance.
+func (m *Manager) Restore(app runnable.AppID) error {
+	if _, ok := m.fallbacks[app]; !ok {
+		return fmt.Errorf("reconfig: app %d has no fallback", app)
+	}
+	if !m.engaged[app] {
+		return nil
+	}
+	m.retire(app, m.os.Kernel().Now())
+	m.os.ReapplyAutostart()
+	return nil
+}
+
+func (m *Manager) retire(app runnable.AppID, at sim.Time) {
+	fb, ok := m.fallbacks[app]
+	if !ok || !m.engaged[app] {
+		return
+	}
+	err := m.os.CancelAlarm(fb.Alarm)
+	if terr := m.os.ForceTerminate(fb.Task); err == nil {
+		err = terr
+	}
+	m.engaged[app] = false
+	m.log = append(m.log, Event{Time: at, App: app, Engaged: false, Err: err})
+}

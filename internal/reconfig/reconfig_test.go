@@ -1,0 +1,220 @@
+package reconfig
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/fmf"
+	"swwd/internal/osek"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// rig wires a primary task (cyclically dispatched) and a fallback task.
+type rig struct {
+	t            *testing.T
+	k            *sim.Kernel
+	os           *osek.OS
+	mgr          *Manager
+	app          runnable.AppID
+	primary      runnable.TaskID
+	primaryRID   runnable.ID
+	primaryAlarm osek.AlarmID
+	fbTask       runnable.TaskID
+	fbRID        runnable.ID
+	fbAlarm      osek.AlarmID
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{t: t, k: sim.NewKernel()}
+	m := runnable.NewModel()
+	var err error
+	if r.app, err = m.AddApp("Primary", runnable.SafetyCritical); err != nil {
+		t.Fatalf("AddApp: %v", err)
+	}
+	if r.primary, err = m.AddTask(r.app, "PrimaryTask", 5); err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	if r.primaryRID, err = m.AddRunnable(r.primary, "PrimaryRun", time.Millisecond, runnable.SafetyCritical); err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	fbApp, err := m.AddApp("Fallback", runnable.SafetyRelevant)
+	if err != nil {
+		t.Fatalf("AddApp: %v", err)
+	}
+	if r.fbTask, err = m.AddTask(fbApp, "FallbackTask", 4); err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	if r.fbRID, err = m.AddRunnable(r.fbTask, "FallbackRun", time.Millisecond, runnable.SafetyRelevant); err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if r.os, err = osek.New(osek.Config{Model: m, Kernel: r.k}); err != nil {
+		t.Fatalf("osek.New: %v", err)
+	}
+	if err := r.os.DefineTask(r.primary, osek.TaskAttrs{MaxActivations: 2}, osek.Program{osek.Exec{Runnable: r.primaryRID}}); err != nil {
+		t.Fatalf("DefineTask: %v", err)
+	}
+	if err := r.os.DefineTask(r.fbTask, osek.TaskAttrs{MaxActivations: 2}, osek.Program{osek.Exec{Runnable: r.fbRID}}); err != nil {
+		t.Fatalf("DefineTask: %v", err)
+	}
+	if r.primaryAlarm, err = r.os.CreateAlarm("PrimaryAlarm", osek.ActivateAlarm(r.primary), true, 10*time.Millisecond, 10*time.Millisecond); err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	if r.fbAlarm, err = r.os.CreateAlarm("FallbackAlarm", osek.ActivateAlarm(r.fbTask), false, 0, 0); err != nil {
+		t.Fatalf("CreateAlarm: %v", err)
+	}
+	if err := r.os.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if r.mgr, err = New(r.os); err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := r.mgr.AddFallback(Fallback{
+		ForApp: r.app,
+		Task:   r.fbTask,
+		Alarm:  r.fbAlarm,
+		Offset: 20 * time.Millisecond,
+		Cycle:  20 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("AddFallback: %v", err)
+	}
+	return r
+}
+
+func terminateNotification(app runnable.AppID, at sim.Time) fmf.Notification {
+	return fmf.Notification{Treatment: &fmf.Treatment{
+		Time: at, Action: fmf.TerminateAppAction, App: app,
+	}}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil OS accepted")
+	}
+	r := newRig(t)
+	if err := r.mgr.AddFallback(Fallback{ForApp: r.app, Task: r.fbTask, Alarm: r.fbAlarm, Cycle: time.Second}); err == nil {
+		t.Error("duplicate fallback accepted")
+	}
+	if err := r.mgr.AddFallback(Fallback{ForApp: runnable.AppID(5), Task: r.fbTask, Alarm: r.fbAlarm}); err == nil {
+		t.Error("zero cycle accepted")
+	}
+}
+
+func TestEngageOnTerminate(t *testing.T) {
+	r := newRig(t)
+	if err := r.k.Run(50 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.os.ExecCount(r.primaryRID) == 0 {
+		t.Fatal("primary never ran")
+	}
+	if r.mgr.Engaged(r.app) {
+		t.Fatal("engaged before termination")
+	}
+	// Simulate the FMF terminating the primary app.
+	r.mgr.Notify(terminateNotification(r.app, r.k.Now()))
+	if !r.mgr.Engaged(r.app) {
+		t.Fatal("not engaged after terminate notification")
+	}
+	if err := r.k.Run(200 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.os.ExecCount(r.fbRID) == 0 {
+		t.Fatal("fallback never dispatched after engagement")
+	}
+	log := r.mgr.Log()
+	if len(log) != 1 || !log[0].Engaged || log[0].Err != nil {
+		t.Fatalf("log = %+v", log)
+	}
+	// Double engage is a no-op.
+	r.mgr.Notify(terminateNotification(r.app, r.k.Now()))
+	if len(r.mgr.Log()) != 1 {
+		t.Fatalf("double engage logged: %+v", r.mgr.Log())
+	}
+}
+
+func TestRetireOnRestartTreatment(t *testing.T) {
+	r := newRig(t)
+	r.mgr.Notify(terminateNotification(r.app, 0))
+	if !r.mgr.Engaged(r.app) {
+		t.Fatal("not engaged")
+	}
+	r.mgr.Notify(fmf.Notification{Treatment: &fmf.Treatment{
+		Action: fmf.RestartAppAction, App: r.app,
+	}})
+	if r.mgr.Engaged(r.app) {
+		t.Fatal("still engaged after restart treatment")
+	}
+	before := r.os.ExecCount(r.fbRID)
+	if err := r.k.Run(200 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.os.ExecCount(r.fbRID) != before {
+		t.Fatal("fallback still dispatching after retirement")
+	}
+}
+
+func TestRetireOnECUReset(t *testing.T) {
+	r := newRig(t)
+	r.mgr.Notify(terminateNotification(r.app, 0))
+	r.mgr.Notify(fmf.Notification{Treatment: &fmf.Treatment{
+		Action: fmf.ResetECUAction, App: runnable.NoID,
+	}})
+	if r.mgr.Engaged(r.app) {
+		t.Fatal("still engaged after ECU reset")
+	}
+}
+
+func TestNonTreatmentNotificationsIgnored(t *testing.T) {
+	r := newRig(t)
+	r.mgr.Notify(fmf.Notification{})
+	if r.mgr.Engaged(r.app) || len(r.mgr.Log()) != 0 {
+		t.Fatal("non-treatment notification acted on")
+	}
+	// Terminate of an app without fallback: ignored.
+	r.mgr.Notify(terminateNotification(runnable.AppID(1), 0))
+	if len(r.mgr.Log()) != 0 {
+		t.Fatal("foreign app engaged something")
+	}
+}
+
+func TestRestoreReappliesAutostart(t *testing.T) {
+	r := newRig(t)
+	// Terminate the primary for real (cancel its alarm + force terminate),
+	// as the hil executor does, then engage.
+	if err := r.os.CancelAlarm(r.primaryAlarm); err != nil {
+		t.Fatalf("CancelAlarm: %v", err)
+	}
+	if err := r.os.ForceTerminate(r.primary); err != nil {
+		t.Fatalf("ForceTerminate: %v", err)
+	}
+	r.mgr.Notify(terminateNotification(r.app, r.k.Now()))
+	if err := r.k.Run(100 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	primaryBefore := r.os.ExecCount(r.primaryRID)
+	// Restore: fallback retired, primary's autostart alarm re-armed.
+	if err := r.mgr.Restore(r.app); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.mgr.Engaged(r.app) {
+		t.Fatal("still engaged after Restore")
+	}
+	if err := r.k.Run(r.k.Now() + 200*sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.os.ExecCount(r.primaryRID) <= primaryBefore {
+		t.Fatal("primary not dispatching after Restore")
+	}
+	// Restore of a not-engaged app is a no-op; unknown app errors.
+	if err := r.mgr.Restore(r.app); err != nil {
+		t.Fatalf("idempotent Restore: %v", err)
+	}
+	if err := r.mgr.Restore(runnable.AppID(7)); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

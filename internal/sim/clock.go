@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// WallClock is a Clock backed by the real time.Now, for deploying
+// sim-agnostic components (notably the watchdog core) as live services.
+// Instants are reported relative to the clock's creation.
+type WallClock struct {
+	start time.Time
+}
+
+var _ Clock = (*WallClock)(nil)
+
+// NewWallClock returns a WallClock whose instant zero is now.
+func NewWallClock() *WallClock {
+	return &WallClock{start: time.Now()}
+}
+
+// Now reports the elapsed real time since the clock was created.
+func (c *WallClock) Now() Time { return Time(time.Since(c.start)) }
+
+// ManualClock is a Clock advanced explicitly by tests. It is safe for
+// concurrent use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+var _ Clock = (*ManualClock)(nil)
+
+// NewManualClock returns a ManualClock at instant zero.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// Now reports the current manual instant.
+func (c *ManualClock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative d panics.
+func (c *ManualClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("sim: ManualClock.Advance called with negative duration")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Set moves the clock to an absolute instant, which must not be in the
+// past.
+func (c *ManualClock) Set(t Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t < c.now {
+		panic("sim: ManualClock.Set would move time backwards")
+	}
+	c.now = t
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallClockAdvances(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("WallClock did not advance: a=%v b=%v", a, b)
+	}
+}
+
+func TestManualClockAdvance(t *testing.T) {
+	c := NewManualClock()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	c.Advance(10 * time.Millisecond)
+	if c.Now() != 10*Millisecond {
+		t.Fatalf("Now() = %v, want 10ms", c.Now())
+	}
+	c.Set(Second)
+	if c.Now() != Second {
+		t.Fatalf("Now() = %v, want 1s", c.Now())
+	}
+}
+
+func TestManualClockBackwardsPanics(t *testing.T) {
+	c := NewManualClock()
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("Set backwards did not panic")
+		}
+	}()
+	c.Set(Millisecond)
+}
+
+func TestManualClockNegativeAdvancePanics(t *testing.T) {
+	c := NewManualClock()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance did not panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestManualClockConcurrent(t *testing.T) {
+	c := NewManualClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8*1000*Microsecond {
+		t.Fatalf("Now() = %v, want 8ms", c.Now())
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel replaces the wall-clock environment of the paper's
+// hardware-in-the-loop validator: all components (OSEK scheduler, buses,
+// plant models, the Software Watchdog itself) advance on a shared virtual
+// clock. Events scheduled for the same instant fire in scheduling order,
+// which makes every experiment bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant on the virtual clock, in nanoseconds since
+// the start of the simulation.
+type Time int64
+
+// Common durations used throughout the automotive models.
+const (
+	Microsecond = Time(time.Microsecond)
+	Millisecond = Time(time.Millisecond)
+	Second      = Time(time.Second)
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the instant to the duration elapsed since simulation
+// start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the instant as an elapsed duration, e.g. "120ms".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Clock is the read-only time source handed to components that must run
+// both under simulation and in real deployments (the watchdog core is
+// written against this interface).
+type Clock interface {
+	// Now reports the current instant.
+	Now() Time
+}
+
+// ErrStopped is returned by Run when Stop was called before the horizon
+// was reached.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// EventFunc is the body of a scheduled event. It runs at its scheduled
+// virtual instant.
+type EventFunc func()
+
+// Event is a handle to a scheduled event; it can be cancelled as long as
+// it has not fired.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        EventFunc
+	index     int // heap index, -1 once fired or cancelled
+	cancelled bool
+}
+
+// Time reports the instant the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Kernel is a single-threaded discrete-event scheduler. The zero value is
+// not usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	running bool
+	fired   uint64
+}
+
+var _ Clock = (*Kernel)(nil)
+
+// NewKernel returns a kernel with the clock at instant zero and an empty
+// event queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current virtual instant.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired reports how many events have executed so far; useful for
+// diagnostics and tests.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// At schedules fn to run at the absolute instant at. Scheduling in the
+// past (before Now) is a programming error and panics, because it would
+// silently corrupt causality in every model built on top.
+func (k *Kernel) At(at Time, fn EventFunc) *Event {
+	if fn == nil {
+		panic("sim: At called with nil EventFunc")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (at=%v now=%v)", at, k.now))
+	}
+	k.seq++
+	ev := &Event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (k *Kernel) After(d time.Duration, fn EventFunc) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative duration %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op; Cancel reports whether the event was
+// actually removed.
+func (k *Kernel) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		return false
+	}
+	ev.cancelled = true
+	heap.Remove(&k.queue, ev.index)
+	return true
+}
+
+// Stop makes the current or next Run return ErrStopped after the event in
+// progress completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// instant. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(*Event)
+	k.now = ev.at
+	k.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events in timestamp order until the queue is empty or the
+// first event strictly beyond horizon would fire; the clock is left at the
+// last fired event (or advanced to horizon if no event reached it). It
+// returns ErrStopped if Stop was called, and an error if invoked
+// re-entrantly from inside an event.
+func (k *Kernel) Run(horizon Time) error {
+	if k.running {
+		return errors.New("sim: Run called re-entrantly from an event")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	k.stopped = false
+	for k.queue.Len() > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		if k.queue[0].at > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}
+
+// RunUntilIdle executes events until the queue drains completely,
+// regardless of how far the clock advances. It returns ErrStopped if Stop
+// was called.
+func (k *Kernel) RunUntilIdle() error {
+	if k.running {
+		return errors.New("sim: RunUntilIdle called re-entrantly from an event")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	k.stopped = false
+	for k.queue.Len() > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		k.Step()
+	}
+	return nil
+}
+
+// EveryFunc is the body of a periodic event; returning false cancels the
+// recurrence.
+type EveryFunc func() bool
+
+// Every schedules fn to run first at start and then every period until fn
+// returns false. It returns a handle to the currently pending occurrence's
+// canceller.
+func (k *Kernel) Every(start Time, period time.Duration, fn EveryFunc) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive period %v", period))
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn}
+	t.ev = k.At(start, t.tick)
+	return t
+}
+
+// Ticker is a recurring event created by Every.
+type Ticker struct {
+	kernel  *Kernel
+	period  time.Duration
+	fn      EveryFunc
+	ev      *Event
+	stopped bool
+	ticks   uint64
+}
+
+// Ticks reports how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Stop cancels future occurrences.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.kernel.Cancel(t.ev)
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.ticks++
+	if !t.fn() {
+		t.stopped = true
+		return
+	}
+	t.ev = t.kernel.After(t.period, t.tick)
+}
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if got := k.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestAtFiresInTimestampOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30*Millisecond, func() { order = append(order, 3) })
+	k.At(10*Millisecond, func() { order = append(order, 1) })
+	k.At(20*Millisecond, func() { order = append(order, 2) })
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got := k.Now(); got != 30*Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", got)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*Millisecond, func() { order = append(order, i) })
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.At(7*Millisecond, func() {
+		k.After(3*time.Millisecond, func() { at = k.Now() })
+	})
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if at != 10*Millisecond {
+		t.Fatalf("nested After fired at %v, want 10ms", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5*Millisecond, func() {})
+	})
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+}
+
+func TestNilEventFuncPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil EventFunc did not panic")
+		}
+	}()
+	k.At(0, nil)
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ev := k.At(10*Millisecond, func() { fired = true })
+	if !k.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if k.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	k := NewKernel()
+	ev := k.At(1*Millisecond, func() {})
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if k.Cancel(ev) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	k := NewKernel()
+	if k.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	evs := make([]*Event, 0, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, k.At(Time(i)*Millisecond, func() { fired = append(fired, i) }))
+	}
+	// Cancel every third event, from the middle of the heap.
+	for i := 2; i < 20; i += 3 {
+		if !k.Cancel(evs[i]) {
+			t.Fatalf("Cancel(evs[%d]) = false", i)
+		}
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	for _, v := range fired {
+		if v >= 2 && (v-2)%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Fatalf("events fired out of order after heap removal: %v", fired)
+	}
+	if len(fired) != 14 {
+		t.Fatalf("fired %d events, want 14", len(fired))
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		tm := Time(i) * 10 * Millisecond
+		k.At(tm, func() { fired = append(fired, tm) })
+	}
+	if err := k.Run(25 * Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if k.Now() != 25*Millisecond {
+		t.Fatalf("Now() = %v after Run, want horizon 25ms", k.Now())
+	}
+	if k.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", k.Pending())
+	}
+	// Resuming picks up the remaining events.
+	if err := k.Run(100 * Millisecond); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunEventAtHorizonFires(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.At(10*Millisecond, func() { fired = true })
+	if err := k.Run(10 * Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event exactly at horizon did not fire")
+	}
+}
+
+func TestStopAbortsRun(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.At(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	err := k.RunUntilIdle()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunUntilIdle = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestReentrantRunFails(t *testing.T) {
+	k := NewKernel()
+	var inner error
+	k.At(0, func() { inner = k.Run(Second) })
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if inner == nil {
+		t.Fatal("re-entrant Run did not error")
+	}
+}
+
+func TestEveryTicksAtPeriod(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	k.Every(10*Millisecond, 10*time.Millisecond, func() bool {
+		ticks = append(ticks, k.Now())
+		return len(ticks) < 5
+	})
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if len(ticks) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(ticks))
+	}
+	for i, tm := range ticks {
+		want := Time(i+1) * 10 * Millisecond
+		if tm != want {
+			t.Fatalf("tick %d at %v, want %v", i, tm, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	k := NewKernel()
+	ticker := (*Ticker)(nil)
+	count := 0
+	ticker = k.Every(0, 5*time.Millisecond, func() bool {
+		count++
+		if count == 3 {
+			ticker.Stop()
+		}
+		return true
+	})
+	if err := k.Run(Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop, want 3", count)
+	}
+	if ticker.Ticks() != 3 {
+		t.Fatalf("Ticks() = %d, want 3", ticker.Ticks())
+	}
+	ticker.Stop() // second Stop is a no-op
+}
+
+func TestEveryNonPositivePeriodPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Error("Every with zero period did not panic")
+		}
+	}()
+	k.Every(0, 0, func() bool { return true })
+}
+
+func TestEventsFiredCounter(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.At(Time(i), func() {})
+	}
+	if err := k.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if k.EventsFired() != 7 {
+		t.Fatalf("EventsFired() = %d, want 7", k.EventsFired())
+	}
+}
+
+// Property: for any multiset of scheduling instants, events fire in
+// non-decreasing time order and the clock never moves backwards.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off) * Microsecond
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset never disturbs the order of the
+// survivors, and exactly the survivors fire.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(offsets []uint16, cancelMask []bool) bool {
+		k := NewKernel()
+		fired := map[int]bool{}
+		var order []Time
+		evs := make([]*Event, len(offsets))
+		for i, off := range offsets {
+			i := i
+			at := Time(off) * Microsecond
+			evs[i] = k.At(at, func() {
+				fired[i] = true
+				order = append(order, k.Now())
+			})
+		}
+		wantFired := len(offsets)
+		for i := range offsets {
+			if i < len(cancelMask) && cancelMask[i] {
+				k.Cancel(evs[i])
+				wantFired--
+			}
+		}
+		if err := k.RunUntilIdle(); err != nil {
+			return false
+		}
+		if len(fired) != wantFired {
+			return false
+		}
+		for i := range offsets {
+			cancelled := i < len(cancelMask) && cancelMask[i]
+			if cancelled == fired[i] {
+				return false
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two kernels fed the same pseudo-random schedule produce the
+// identical firing sequence (determinism).
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		runOnce := func() []int {
+			rng := rand.New(rand.NewSource(seed))
+			k := NewKernel()
+			var ids []int
+			for i := 0; i < 50; i++ {
+				i := i
+				k.At(Time(rng.Intn(1000))*Microsecond, func() { ids = append(ids, i) })
+			}
+			if err := k.RunUntilIdle(); err != nil {
+				return nil
+			}
+			return ids
+		}
+		a, b := runOnce(), runOnce()
+		if len(a) != len(b) || len(a) != 50 {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(0).Add(15 * time.Millisecond)
+	if tm != 15*Millisecond {
+		t.Fatalf("Add = %v, want 15ms", tm)
+	}
+	if d := tm.Sub(5 * Millisecond); d != 10*time.Millisecond {
+		t.Fatalf("Sub = %v, want 10ms", d)
+	}
+	if tm.Duration() != 15*time.Millisecond {
+		t.Fatalf("Duration = %v", tm.Duration())
+	}
+	if tm.String() != "15ms" {
+		t.Fatalf("String = %q", tm.String())
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"swwd/internal/sim"
+)
+
+// Property: for any set of series with random (sorted) timestamps, the CSV
+// has one row per distinct timestamp, every row has one cell per series
+// plus the tick column, and the last row carries each series' final value
+// (step semantics).
+func TestQuickCSVAlignment(t *testing.T) {
+	f := func(seed int64, nSeries, nPoints uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := int(nSeries%4) + 1
+		points := int(nPoints%20) + 1
+		clk := sim.NewManualClock()
+		r, err := NewRecorder(clk)
+		if err != nil {
+			return false
+		}
+		distinct := map[sim.Time]bool{}
+		finals := make(map[string]float64)
+		for s := 0; s < series; s++ {
+			name := "s" + strconv.Itoa(s)
+			t := sim.Time(0)
+			for p := 0; p < points; p++ {
+				t += sim.Time(rng.Intn(5)+1) * sim.Millisecond
+				v := float64(rng.Intn(100))
+				r.RecordAt(t, name, v)
+				distinct[t] = true
+				finals[name] = v
+			}
+		}
+		var sb strings.Builder
+		if err := r.WriteCSV(&sb, sim.Millisecond); err != nil {
+			return false
+		}
+		lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+		if len(lines) != len(distinct)+1 {
+			return false
+		}
+		header := strings.Split(lines[0], ",")
+		if len(header) != series+1 {
+			return false
+		}
+		last := strings.Split(lines[len(lines)-1], ",")
+		if len(last) != series+1 {
+			return false
+		}
+		for i, name := range header[1:] {
+			want := finals[name]
+			got, err := strconv.ParseFloat(last[i+1], 64)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

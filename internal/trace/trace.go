@@ -1,0 +1,225 @@
+// Package trace records named time series during simulation runs and
+// renders them as CSV and ASCII plots. It stands in for the dSPACE
+// ControlDesk experiment environment the paper uses to "trigger the error
+// injection ... and visualize the results" (§4.5): the experiment
+// harnesses sample the watchdog counters every 10 ms tick and plot the
+// same series as Figs. 5 and 6 (AC, CCA, AM Result, PFC Result, task
+// state, …).
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"swwd/internal/sim"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	Time  sim.Time
+	Value float64
+}
+
+// Series is one named signal over time.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Last returns the most recent value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// Min and Max report the value range; both are 0 for an empty series.
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Value < min {
+			min = p.Value
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Max reports the largest value of the series.
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Recorder collects samples against a clock.
+type Recorder struct {
+	clock  sim.Clock
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder creates a recorder reading timestamps from clock.
+func NewRecorder(clock sim.Clock) (*Recorder, error) {
+	if clock == nil {
+		return nil, errors.New("trace: clock is required")
+	}
+	return &Recorder{clock: clock, series: make(map[string]*Series)}, nil
+}
+
+// Record appends a sample at the current clock instant.
+func (r *Recorder) Record(name string, v float64) {
+	r.RecordAt(r.clock.Now(), name, v)
+}
+
+// RecordAt appends a sample with an explicit timestamp; timestamps within
+// one series must be non-decreasing.
+func (r *Recorder) RecordAt(t sim.Time, name string, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	if n := len(s.Points); n > 0 && s.Points[n-1].Time > t {
+		// Out-of-order samples would silently corrupt plots.
+		panic(fmt.Sprintf("trace: out-of-order sample for %q (%v after %v)", name, t, s.Points[n-1].Time))
+	}
+	s.Points = append(s.Points, Point{Time: t, Value: v})
+}
+
+// Names reports the recorded series names in registration order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Series returns a recorded series, or nil when the name is unknown. The
+// returned value is live; callers must not mutate it while recording.
+func (r *Recorder) Series(name string) *Series {
+	return r.series[name]
+}
+
+// WriteCSV renders all series as one table: a time column (in units of
+// tick, e.g. 10ms to match the paper's x-axes) followed by one column per
+// series. Samples are aligned on the union of timestamps; missing values
+// repeat the previous sample (step semantics).
+func (r *Recorder) WriteCSV(w io.Writer, tick sim.Time) error {
+	if tick <= 0 {
+		return errors.New("trace: tick must be positive")
+	}
+	times := r.timeline()
+	cw := csv.NewWriter(w)
+	header := append([]string{"tick"}, r.order...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	idx := make(map[string]int, len(r.order))
+	last := make(map[string]float64, len(r.order))
+	row := make([]string, len(header))
+	for _, t := range times {
+		row[0] = strconv.FormatFloat(float64(t)/float64(tick), 'g', -1, 64)
+		for i, name := range r.order {
+			s := r.series[name]
+			j := idx[name]
+			for j < len(s.Points) && s.Points[j].Time <= t {
+				last[name] = s.Points[j].Value
+				j++
+			}
+			idx[name] = j
+			row[i+1] = strconv.FormatFloat(last[name], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// timeline returns the sorted union of all sample timestamps.
+func (r *Recorder) timeline() []sim.Time {
+	seen := make(map[sim.Time]bool)
+	var times []sim.Time
+	for _, s := range r.series {
+		for _, p := range s.Points {
+			if !seen[p.Time] {
+				seen[p.Time] = true
+				times = append(times, p.Time)
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times
+}
+
+// Plot renders one series as a step-style ASCII chart of the given
+// dimensions, with the value range auto-scaled — the terminal counterpart
+// of a ControlDesk plotter lane.
+func Plot(s *Series, width, height int) string {
+	if s == nil || len(s.Points) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	t0 := s.Points[0].Time
+	t1 := s.Points[len(s.Points)-1].Time
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	idx := 0
+	value := s.Points[0].Value
+	for col := 0; col < width; col++ {
+		t := t0 + sim.Time(int64(span)*int64(col)/int64(width-1))
+		for idx < len(s.Points) && s.Points[idx].Time <= t {
+			value = s.Points[idx].Value
+			idx++
+		}
+		rowF := (value - lo) / (hi - lo)
+		row := height - 1 - int(rowF*float64(height-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%g .. %g]\n", s.Name, lo, hi)
+	for _, line := range grid {
+		b.WriteString("  |")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %v .. %v\n", t0, t1)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+)
+
+func TestRecorderRequiresClock(t *testing.T) {
+	if _, err := NewRecorder(nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	clk := sim.NewManualClock()
+	r, err := NewRecorder(clk)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	r.Record("AC", 1)
+	clk.Advance(10 * time.Millisecond)
+	r.Record("AC", 2)
+	r.Record("CCA", 5)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "AC" || names[1] != "CCA" {
+		t.Fatalf("Names = %v", names)
+	}
+	s := r.Series("AC")
+	if s == nil || len(s.Points) != 2 {
+		t.Fatalf("Series(AC) = %+v", s)
+	}
+	if s.Points[1].Time != 10*sim.Millisecond || s.Points[1].Value != 2 {
+		t.Fatalf("point = %+v", s.Points[1])
+	}
+	if s.Last() != 2 || s.Min() != 1 || s.Max() != 2 {
+		t.Fatalf("Last/Min/Max = %v/%v/%v", s.Last(), s.Min(), s.Max())
+	}
+	if r.Series("nope") != nil {
+		t.Fatal("unknown series not nil")
+	}
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	s := &Series{Name: "empty"}
+	if s.Last() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+}
+
+func TestOutOfOrderPanics(t *testing.T) {
+	clk := sim.NewManualClock()
+	r, _ := NewRecorder(clk)
+	r.RecordAt(10*sim.Millisecond, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order sample did not panic")
+		}
+	}()
+	r.RecordAt(5*sim.Millisecond, "x", 2)
+}
+
+func TestWriteCSVAlignsSeries(t *testing.T) {
+	clk := sim.NewManualClock()
+	r, _ := NewRecorder(clk)
+	r.RecordAt(0, "a", 1)
+	r.RecordAt(10*sim.Millisecond, "a", 2)
+	r.RecordAt(10*sim.Millisecond, "b", 7)
+	r.RecordAt(20*sim.Millisecond, "b", 8)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb, 10*sim.Millisecond); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := []string{
+		"tick,a,b",
+		"0,1,0",
+		"1,2,7",
+		"2,2,8", // a holds its last value (step semantics)
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestWriteCSVValidatesTick(t *testing.T) {
+	clk := sim.NewManualClock()
+	r, _ := NewRecorder(clk)
+	if err := r.WriteCSV(&strings.Builder{}, 0); err == nil {
+		t.Fatal("zero tick accepted")
+	}
+}
+
+func TestPlotRendersRange(t *testing.T) {
+	clk := sim.NewManualClock()
+	r, _ := NewRecorder(clk)
+	for i := 0; i <= 10; i++ {
+		r.RecordAt(sim.Time(i)*10*sim.Millisecond, "ramp", float64(i))
+	}
+	out := Plot(r.Series("ramp"), 40, 8)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "[0 .. 10]") {
+		t.Fatalf("plot header wrong:\n%s", out)
+	}
+	if strings.Count(out, "*") == 0 {
+		t.Fatal("no marks plotted")
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	if Plot(nil, 40, 8) != "" {
+		t.Error("nil series plotted")
+	}
+	if Plot(&Series{Name: "x"}, 40, 8) != "" {
+		t.Error("empty series plotted")
+	}
+	s := &Series{Name: "x", Points: []Point{{Time: 0, Value: 5}}}
+	if Plot(s, 4, 8) != "" {
+		t.Error("too-narrow plot accepted")
+	}
+	// Constant series must not divide by zero.
+	s.Points = append(s.Points, Point{Time: sim.Second, Value: 5})
+	if out := Plot(s, 20, 4); out == "" {
+		t.Error("constant series produced no plot")
+	}
+}

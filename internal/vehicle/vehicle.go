@@ -1,0 +1,263 @@
+// Package vehicle provides the plant and environment models behind the
+// validator's driving-dynamics and environment-simulation nodes (§4.1):
+// a longitudinal vehicle model for SafeSpeed (automatic limitation of
+// vehicle speed to an externally commanded maximum), a lateral lane model
+// for SafeLane (lane departure warning), and deterministic driver and
+// environment profiles.
+package vehicle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Gravity is the standard gravitational acceleration in m/s².
+const Gravity = 9.81
+
+// airDensity is the standard air density in kg/m³.
+const airDensity = 1.204
+
+// LongitudinalParams parametrise the one-dimensional vehicle model.
+type LongitudinalParams struct {
+	// Mass in kg.
+	Mass float64
+	// MaxDriveForce in N at full throttle.
+	MaxDriveForce float64
+	// MaxBrakeForce in N at full braking.
+	MaxBrakeForce float64
+	// DragArea is Cd·A in m² for aerodynamic drag.
+	DragArea float64
+	// RollCoeff is the rolling-resistance coefficient.
+	RollCoeff float64
+}
+
+// DefaultLongitudinalParams model a mid-size passenger car.
+func DefaultLongitudinalParams() LongitudinalParams {
+	return LongitudinalParams{
+		Mass:          1500,
+		MaxDriveForce: 6000,
+		MaxBrakeForce: 12000,
+		DragArea:      0.7,
+		RollCoeff:     0.012,
+	}
+}
+
+// Validate checks physical plausibility.
+func (p LongitudinalParams) Validate() error {
+	if p.Mass <= 0 || p.MaxDriveForce <= 0 || p.MaxBrakeForce <= 0 {
+		return errors.New("vehicle: mass and forces must be positive")
+	}
+	if p.DragArea < 0 || p.RollCoeff < 0 {
+		return errors.New("vehicle: drag and rolling coefficients must be non-negative")
+	}
+	return nil
+}
+
+// Longitudinal integrates vehicle speed under throttle and brake inputs.
+type Longitudinal struct {
+	params LongitudinalParams
+	speed  float64 // m/s
+	dist   float64 // m travelled
+}
+
+// NewLongitudinal creates the model at standstill.
+func NewLongitudinal(p LongitudinalParams) (*Longitudinal, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Longitudinal{params: p}, nil
+}
+
+// Speed reports the current speed in m/s.
+func (l *Longitudinal) Speed() float64 { return l.speed }
+
+// Distance reports the travelled distance in m.
+func (l *Longitudinal) Distance() float64 { return l.dist }
+
+// SetSpeed overrides the state, e.g. for scenario setup.
+func (l *Longitudinal) SetSpeed(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	l.speed = v
+}
+
+// Step advances the model by dt with throttle and brake in [0,1] (values
+// outside are clamped — actuator saturation).
+func (l *Longitudinal) Step(dt time.Duration, throttle, brake float64) {
+	if dt <= 0 {
+		return
+	}
+	throttle = clamp01(throttle)
+	brake = clamp01(brake)
+	drive := throttle * l.params.MaxDriveForce
+	braking := brake * l.params.MaxBrakeForce
+	drag := 0.5 * airDensity * l.params.DragArea * l.speed * l.speed
+	roll := 0.0
+	if l.speed > 0 {
+		roll = l.params.RollCoeff * l.params.Mass * Gravity
+	}
+	accel := (drive - braking - drag - roll) / l.params.Mass
+	h := dt.Seconds()
+	l.speed += accel * h
+	if l.speed < 0 {
+		l.speed = 0
+	}
+	l.dist += l.speed * h
+}
+
+// LateralParams parametrise the lane-tracking model.
+type LateralParams struct {
+	// Wheelbase in m.
+	Wheelbase float64
+	// LaneHalfWidth is the distance from lane centre to marking in m.
+	LaneHalfWidth float64
+}
+
+// DefaultLateralParams model a passenger car in a standard lane.
+func DefaultLateralParams() LateralParams {
+	return LateralParams{Wheelbase: 2.7, LaneHalfWidth: 1.75}
+}
+
+// Validate checks plausibility.
+func (p LateralParams) Validate() error {
+	if p.Wheelbase <= 0 || p.LaneHalfWidth <= 0 {
+		return errors.New("vehicle: wheelbase and lane width must be positive")
+	}
+	return nil
+}
+
+// Lateral integrates lateral lane offset under a steering input and road
+// curvature, using the kinematic bicycle approximation for small angles.
+type Lateral struct {
+	params  LateralParams
+	offset  float64 // m from lane centre, positive left
+	heading float64 // rad relative to lane direction
+}
+
+// NewLateral creates the model centred in the lane.
+func NewLateral(p LateralParams) (*Lateral, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Lateral{params: p}, nil
+}
+
+// Offset reports the lateral offset from the lane centre in m.
+func (l *Lateral) Offset() float64 { return l.offset }
+
+// Heading reports the heading error in rad.
+func (l *Lateral) Heading() float64 { return l.heading }
+
+// SetOffset overrides the lateral state for scenario setup.
+func (l *Lateral) SetOffset(offset, heading float64) {
+	l.offset = offset
+	l.heading = heading
+}
+
+// Step advances the model by dt at speed v (m/s) with front steering angle
+// steer (rad) on a road of the given curvature (1/m).
+func (l *Lateral) Step(dt time.Duration, v, steer, curvature float64) {
+	if dt <= 0 || v <= 0 {
+		return
+	}
+	h := dt.Seconds()
+	yawRate := v / l.params.Wheelbase * math.Tan(steer)
+	l.heading += (yawRate - v*curvature) * h
+	l.offset += v * math.Sin(l.heading) * h
+}
+
+// Departed reports whether the vehicle centre has crossed a lane marking.
+func (l *Lateral) Departed() bool {
+	return math.Abs(l.offset) >= l.params.LaneHalfWidth
+}
+
+// Segment is one piece of a piecewise-constant profile.
+type Segment struct {
+	Until time.Duration // segment applies while t < Until
+	Value float64
+}
+
+// Profile is a piecewise-constant function of scenario time, used for
+// commanded speed limits and road curvature.
+type Profile struct {
+	segments []Segment
+	fallback float64
+}
+
+// NewProfile builds a profile; segments must be ordered by Until.
+// fallback applies beyond the last segment.
+func NewProfile(fallback float64, segments ...Segment) (*Profile, error) {
+	for i := 1; i < len(segments); i++ {
+		if segments[i].Until <= segments[i-1].Until {
+			return nil, fmt.Errorf("vehicle: profile segments out of order at %d", i)
+		}
+	}
+	return &Profile{segments: segments, fallback: fallback}, nil
+}
+
+// At evaluates the profile at scenario time t.
+func (p *Profile) At(t time.Duration) float64 {
+	for _, s := range p.segments {
+		if t < s.Until {
+			return s.Value
+		}
+	}
+	return p.fallback
+}
+
+// Driver is a deterministic open-loop driver model: a desired-speed
+// profile translated to throttle via a proportional law, plus a steering
+// profile for lateral scenarios.
+type Driver struct {
+	// DesiredSpeed is the driver's target speed profile in m/s.
+	DesiredSpeed *Profile
+	// Steer is the steering-angle profile in rad.
+	Steer *Profile
+	// ThrottleGain converts speed error to throttle demand.
+	ThrottleGain float64
+}
+
+// NewDriver builds a driver; profiles may be nil (zero demand).
+func NewDriver(desired, steer *Profile, gain float64) (*Driver, error) {
+	if gain <= 0 {
+		return nil, errors.New("vehicle: driver gain must be positive")
+	}
+	return &Driver{DesiredSpeed: desired, Steer: steer, ThrottleGain: gain}, nil
+}
+
+// Throttle reports the driver throttle demand in [0,1] at time t given the
+// current speed.
+func (d *Driver) Throttle(t time.Duration, speed float64) float64 {
+	if d.DesiredSpeed == nil {
+		return 0
+	}
+	return clamp01((d.DesiredSpeed.At(t) - speed) * d.ThrottleGain)
+}
+
+// Steering reports the steering angle at time t.
+func (d *Driver) Steering(t time.Duration) float64 {
+	if d.Steer == nil {
+		return 0
+	}
+	return d.Steer.At(t)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// KphToMs converts km/h to m/s.
+func KphToMs(kph float64) float64 { return kph / 3.6 }
+
+// MsToKph converts m/s to km/h.
+func MsToKph(ms float64) float64 { return ms * 3.6 }

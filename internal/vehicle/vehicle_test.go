@@ -1,0 +1,237 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func newLong(t *testing.T) *Longitudinal {
+	t.Helper()
+	l, err := NewLongitudinal(DefaultLongitudinalParams())
+	if err != nil {
+		t.Fatalf("NewLongitudinal: %v", err)
+	}
+	return l
+}
+
+func TestLongitudinalValidation(t *testing.T) {
+	bad := DefaultLongitudinalParams()
+	bad.Mass = 0
+	if _, err := NewLongitudinal(bad); err == nil {
+		t.Error("zero mass accepted")
+	}
+	bad = DefaultLongitudinalParams()
+	bad.DragArea = -1
+	if _, err := NewLongitudinal(bad); err == nil {
+		t.Error("negative drag accepted")
+	}
+}
+
+func TestAccelerationFromStandstill(t *testing.T) {
+	l := newLong(t)
+	for i := 0; i < 1000; i++ {
+		l.Step(10*time.Millisecond, 1, 0)
+	}
+	// After 10 s full throttle, a 1500 kg car with 6 kN should be moving
+	// briskly but below terminal speed.
+	v := MsToKph(l.Speed())
+	if v < 80 || v > 160 {
+		t.Fatalf("speed after 10s full throttle = %.1f km/h, want 80..160", v)
+	}
+	if l.Distance() <= 0 {
+		t.Fatal("no distance accumulated")
+	}
+}
+
+func TestTerminalSpeedReached(t *testing.T) {
+	l := newLong(t)
+	for i := 0; i < 60000; i++ { // 10 minutes
+		l.Step(10*time.Millisecond, 1, 0)
+	}
+	v1 := l.Speed()
+	for i := 0; i < 1000; i++ {
+		l.Step(10*time.Millisecond, 1, 0)
+	}
+	if math.Abs(l.Speed()-v1) > 0.01 {
+		t.Fatalf("speed still changing at terminal: %v -> %v", v1, l.Speed())
+	}
+	// Terminal speed where drive = drag + roll.
+	p := DefaultLongitudinalParams()
+	drag := 0.5 * airDensity * p.DragArea * v1 * v1
+	roll := p.RollCoeff * p.Mass * Gravity
+	if math.Abs(drag+roll-p.MaxDriveForce) > 50 {
+		t.Fatalf("force balance off: drag+roll=%.1f, drive=%.1f", drag+roll, p.MaxDriveForce)
+	}
+}
+
+func TestBrakingStops(t *testing.T) {
+	l := newLong(t)
+	l.SetSpeed(KphToMs(100))
+	for i := 0; i < 1000; i++ {
+		l.Step(10*time.Millisecond, 0, 1)
+	}
+	if l.Speed() != 0 {
+		t.Fatalf("speed after 10s full braking = %v, want 0", l.Speed())
+	}
+}
+
+func TestSpeedNeverNegative(t *testing.T) {
+	l := newLong(t)
+	l.Step(time.Second, 0, 1)
+	if l.Speed() < 0 {
+		t.Fatal("negative speed")
+	}
+	l.SetSpeed(-5)
+	if l.Speed() != 0 {
+		t.Fatal("SetSpeed accepted negative")
+	}
+}
+
+func TestInputClamping(t *testing.T) {
+	l := newLong(t)
+	l.Step(time.Second, 5, -3) // clamped to throttle=1 brake=0
+	v1 := l.Speed()
+	l2 := newLong(t)
+	l2.Step(time.Second, 1, 0)
+	if math.Abs(v1-l2.Speed()) > 1e-9 {
+		t.Fatal("inputs not clamped")
+	}
+	l.Step(0, 1, 0) // zero dt is a no-op
+	if l.Speed() != v1 {
+		t.Fatal("zero dt changed state")
+	}
+}
+
+func TestLateralDriftAndDeparture(t *testing.T) {
+	lat, err := NewLateral(DefaultLateralParams())
+	if err != nil {
+		t.Fatalf("NewLateral: %v", err)
+	}
+	v := KphToMs(100)
+	// Small constant steering drifts the car out of the lane.
+	steps := 0
+	for !lat.Departed() && steps < 100000 {
+		lat.Step(10*time.Millisecond, v, 0.002, 0)
+		steps++
+	}
+	if !lat.Departed() {
+		t.Fatal("constant steering never departed the lane")
+	}
+	if lat.Offset() < DefaultLateralParams().LaneHalfWidth {
+		t.Fatalf("offset %v below marking at departure", lat.Offset())
+	}
+}
+
+func TestLateralCurvatureCompensation(t *testing.T) {
+	lat, _ := NewLateral(DefaultLateralParams())
+	v := KphToMs(80)
+	curvature := 1.0 / 500 // 500 m radius curve
+	// Steering that exactly matches the curvature keeps the car centred:
+	// yawRate = v/L*tan(steer) must equal v*curvature.
+	steer := math.Atan(DefaultLateralParams().Wheelbase * curvature)
+	for i := 0; i < 10000; i++ {
+		lat.Step(10*time.Millisecond, v, steer, curvature)
+	}
+	if math.Abs(lat.Offset()) > 0.01 {
+		t.Fatalf("offset %v with matched steering, want ~0", lat.Offset())
+	}
+	// No steering on the same curve drifts outward.
+	lat2, _ := NewLateral(DefaultLateralParams())
+	for i := 0; i < 10000 && !lat2.Departed(); i++ {
+		lat2.Step(10*time.Millisecond, v, 0, curvature)
+	}
+	if !lat2.Departed() {
+		t.Fatal("unsteered car never left the curved lane")
+	}
+}
+
+func TestLateralValidation(t *testing.T) {
+	if _, err := NewLateral(LateralParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+	lat, _ := NewLateral(DefaultLateralParams())
+	lat.SetOffset(0.5, 0.01)
+	if lat.Offset() != 0.5 || lat.Heading() != 0.01 {
+		t.Error("SetOffset did not apply")
+	}
+	before := lat.Offset()
+	lat.Step(10*time.Millisecond, 0, 0.1, 0) // zero speed: no motion
+	if lat.Offset() != before {
+		t.Error("zero-speed step moved the car")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p, err := NewProfile(10,
+		Segment{Until: time.Second, Value: 1},
+		Segment{Until: 3 * time.Second, Value: 2},
+	)
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	cases := map[time.Duration]float64{
+		0:                      1,
+		999 * time.Millisecond: 1,
+		time.Second:            2,
+		2 * time.Second:        2,
+		5 * time.Second:        10,
+	}
+	for tm, want := range cases {
+		if got := p.At(tm); got != want {
+			t.Errorf("At(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if _, err := NewProfile(0, Segment{Until: 2 * time.Second}, Segment{Until: time.Second}); err == nil {
+		t.Error("out-of-order segments accepted")
+	}
+}
+
+func TestDriverThrottleProportional(t *testing.T) {
+	desired, _ := NewProfile(KphToMs(120))
+	d, err := NewDriver(desired, nil, 0.1)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	if got := d.Throttle(0, KphToMs(120)); got != 0 {
+		t.Errorf("throttle at target = %v", got)
+	}
+	if got := d.Throttle(0, 0); got != 1 {
+		t.Errorf("throttle far below target = %v, want saturated 1", got)
+	}
+	if got := d.Throttle(0, KphToMs(130)); got != 0 {
+		t.Errorf("throttle above target = %v, want 0", got)
+	}
+	if got := d.Steering(0); got != 0 {
+		t.Errorf("nil steer profile → %v", got)
+	}
+	if _, err := NewDriver(desired, nil, 0); err == nil {
+		t.Error("zero gain accepted")
+	}
+	empty := &Driver{ThrottleGain: 1}
+	if empty.Throttle(0, 0) != 0 {
+		t.Error("nil desired profile not zero")
+	}
+}
+
+func TestClosedLoopDriverReachesDesiredSpeed(t *testing.T) {
+	desired, _ := NewProfile(KphToMs(100))
+	d, _ := NewDriver(desired, nil, 0.5)
+	l := newLong(t)
+	for i := 0; i < 20000; i++ {
+		tm := time.Duration(i) * 10 * time.Millisecond
+		l.Step(10*time.Millisecond, d.Throttle(tm, l.Speed()), 0)
+	}
+	if got := MsToKph(l.Speed()); math.Abs(got-100) > 5 {
+		t.Fatalf("closed-loop speed = %.1f km/h, want ~100", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if math.Abs(KphToMs(36)-10) > 1e-9 {
+		t.Error("KphToMs")
+	}
+	if math.Abs(MsToKph(10)-36) > 1e-9 {
+		t.Error("MsToKph")
+	}
+}

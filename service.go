@@ -1,0 +1,80 @@
+package swwd
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Service drives a Watchdog's time-triggered units from the wall clock,
+// deploying it as a live dependability service for ordinary Go programs:
+// goroutines play the role of runnables and call Heartbeat; the service
+// runs the monitoring cycle on a ticker.
+type Service struct {
+	w      *Watchdog
+	period time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+	running bool
+}
+
+// NewService wraps a watchdog; period is the monitoring cycle (zero means
+// the watchdog's configured CyclePeriod).
+func NewService(w *Watchdog, period time.Duration) (*Service, error) {
+	if w == nil {
+		return nil, errors.New("swwd: watchdog is required")
+	}
+	if period <= 0 {
+		period = w.CyclePeriod()
+	}
+	return &Service{w: w, period: period}, nil
+}
+
+// Start launches the cycle goroutine. It is an error to start a running
+// service.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return errors.New("swwd: service already running")
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	s.stopped = make(chan struct{})
+	go s.loop(s.stop, s.stopped)
+	return nil
+}
+
+func (s *Service) loop(stop <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	ticker := time.NewTicker(s.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.w.Cycle()
+		}
+	}
+}
+
+// Stop halts the cycle goroutine and waits for it to exit. Stopping a
+// stopped service is a no-op.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stop)
+	stopped := s.stopped
+	s.mu.Unlock()
+	<-stopped
+}
+
+// Watchdog exposes the wrapped watchdog, e.g. for Heartbeat calls.
+func (s *Service) Watchdog() *Watchdog { return s.w }

@@ -1,0 +1,123 @@
+// Package swwd is the public API of the Software Watchdog library, a Go
+// reproduction of "Application of Software Watchdog as a Dependability
+// Software Service for Automotive Safety Relevant Systems" (DSN 2007).
+//
+// The Software Watchdog monitors individual application components
+// (runnables) at run time through three units: heartbeat monitoring
+// (aliveness and arrival rate against a per-runnable fault hypothesis),
+// program flow checking against a look-up table of allowed
+// predecessor/successor pairs, and task state indication deriving task,
+// application and ECU health from accumulated error indications.
+//
+// Two deployment modes are supported:
+//
+//   - Simulation: the internal packages assemble the paper's full
+//     hardware-in-the-loop validator (OSEK scheduler, CAN/FlexRay/Ethernet
+//     domains, vehicle plant, error injection) on a deterministic virtual
+//     clock; see cmd/validator and cmd/experiments.
+//   - Live service: this package's Service drives the same watchdog core
+//     from a wall clock so ordinary Go programs can monitor their
+//     goroutine "runnables"; see examples/quickstart.
+//
+// The facade re-exports the core types so downstream users never import
+// internal packages directly.
+package swwd
+
+import (
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// Re-exported identifier types of the mapping model.
+type (
+	// RunnableID identifies a runnable within one Model.
+	RunnableID = runnable.ID
+	// TaskID identifies a task within one Model.
+	TaskID = runnable.TaskID
+	// AppID identifies an application within one Model.
+	AppID = runnable.AppID
+	// Criticality classifies dependability requirements.
+	Criticality = runnable.Criticality
+	// Model maps runnables onto tasks, tasks onto applications.
+	Model = runnable.Model
+)
+
+// Re-exported criticality levels.
+const (
+	QM             = runnable.QM
+	SafetyRelevant = runnable.SafetyRelevant
+	SafetyCritical = runnable.SafetyCritical
+)
+
+// Re-exported watchdog types.
+type (
+	// Watchdog is the Software Watchdog service instance.
+	Watchdog = core.Watchdog
+	// Config assembles a Watchdog.
+	Config = core.Config
+	// Hypothesis is the per-runnable fault hypothesis.
+	Hypothesis = core.Hypothesis
+	// Thresholds are the TSI error-indication-vector limits.
+	Thresholds = core.Thresholds
+	// Report is one detected error.
+	Report = core.Report
+	// StateEvent is a derived health-state transition.
+	StateEvent = core.StateEvent
+	// Sink receives watchdog output.
+	Sink = core.Sink
+	// ErrorKind classifies detections.
+	ErrorKind = core.ErrorKind
+	// HealthState is OK or faulty.
+	HealthState = core.HealthState
+	// Counters is a snapshot of one runnable's monitoring counters.
+	Counters = core.Counters
+	// Results are the cumulative detection counts.
+	Results = core.Results
+	// Clock abstracts the time source.
+	Clock = sim.Clock
+	// Calibrator derives fault hypotheses from a healthy observation run.
+	Calibrator = core.Calibrator
+)
+
+// Re-exported enumeration values.
+const (
+	AlivenessError   = core.AlivenessError
+	ArrivalRateError = core.ArrivalRateError
+	ProgramFlowError = core.ProgramFlowError
+
+	StateOK     = core.StateOK
+	StateFaulty = core.StateFaulty
+)
+
+// NewModel creates an empty mapping model.
+func NewModel() *Model { return runnable.NewModel() }
+
+// New creates a Watchdog; see core.Config for the fields. If Clock is nil
+// a wall clock starting now is used, which is the right default for live
+// services.
+func New(cfg Config) (*Watchdog, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewWallClock()
+	}
+	return core.New(cfg)
+}
+
+// DefaultThresholds mirror the paper's evaluation setup (threshold 3).
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// NewWallClock returns a Clock backed by real time, anchored at now.
+func NewWallClock() Clock { return sim.NewWallClock() }
+
+// NewCalibrator creates a hypothesis calibrator over the frozen model,
+// observing windows of the given length in watchdog cycles. Feed it
+// Heartbeat/Cycle during a known-healthy run, then Suggest hypotheses
+// with a safety margin.
+func NewCalibrator(model *Model, windowCycles int) (*Calibrator, error) {
+	return core.NewCalibrator(model, windowCycles)
+}
+
+// CyclePeriodDefault is the monitoring cycle of the paper's plots.
+const CyclePeriodDefault = 10 * time.Millisecond

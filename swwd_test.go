@@ -1,0 +1,161 @@
+package swwd
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildModel returns a one-app, one-task, two-runnable model.
+func buildModel(t *testing.T) (*Model, TaskID, RunnableID, RunnableID) {
+	t.Helper()
+	m := NewModel()
+	app, err := m.AddApp("service", SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddApp: %v", err)
+	}
+	task, err := m.AddTask(app, "worker", 1)
+	if err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	producer, err := m.AddRunnable(task, "producer", time.Millisecond, SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	consumer, err := m.AddRunnable(task, "consumer", time.Millisecond, SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return m, task, producer, consumer
+}
+
+func TestNewDefaultsToWallClock(t *testing.T) {
+	m, _, _, _ := buildModel(t)
+	w, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if w.CyclePeriod() != CyclePeriodDefault {
+		t.Fatalf("CyclePeriod = %v", w.CyclePeriod())
+	}
+}
+
+func TestReexportedConstantsMatch(t *testing.T) {
+	if AlivenessError.String() != "aliveness" || StateOK.String() != "OK" {
+		t.Fatal("re-exports broken")
+	}
+	if DefaultThresholds().ProgramFlow != 3 {
+		t.Fatal("default thresholds changed")
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	if _, err := NewService(nil, time.Second); err == nil {
+		t.Fatal("nil watchdog accepted")
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	m, _, producer, _ := buildModel(t)
+	w, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.SetHypothesis(producer, Hypothesis{AlivenessCycles: 2, MinHeartbeats: 1}); err != nil {
+		t.Fatalf("SetHypothesis: %v", err)
+	}
+	if err := w.Activate(producer); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	svc, err := NewService(w, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	if svc.Watchdog() != w {
+		t.Fatal("Watchdog() mismatch")
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := svc.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	// A healthy goroutine beats faster than the hypothesis requires.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.Heartbeat(producer)
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if got := w.Results().Aliveness; got != 0 {
+		t.Fatalf("healthy goroutine produced %d aliveness errors", got)
+	}
+	// Stall the goroutine: errors accumulate.
+	close(stop)
+	wg.Wait()
+	time.Sleep(50 * time.Millisecond)
+	if got := w.Results().Aliveness; got == 0 {
+		t.Fatal("stalled goroutine not detected")
+	}
+	svc.Stop()
+	svc.Stop() // idempotent
+	after := w.CycleCount()
+	time.Sleep(20 * time.Millisecond)
+	if w.CycleCount() != after {
+		t.Fatal("cycles still advancing after Stop")
+	}
+}
+
+func TestServiceRestart(t *testing.T) {
+	m, _, _, _ := buildModel(t)
+	w, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc, err := NewService(w, time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := svc.Start(); err != nil {
+			t.Fatalf("Start #%d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		svc.Stop()
+	}
+	if w.CycleCount() == 0 {
+		t.Fatal("no cycles across restarts")
+	}
+}
+
+func TestEndToEndFlowCheckingViaFacade(t *testing.T) {
+	m, _, producer, consumer := buildModel(t)
+	w, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.AddFlowSequence(producer, consumer); err != nil {
+		t.Fatalf("AddFlowSequence: %v", err)
+	}
+	w.Heartbeat(producer)
+	w.Heartbeat(consumer)
+	w.Heartbeat(producer)
+	w.Heartbeat(producer) // illegal producer→producer
+	if got := w.Results().ProgramFlow; got != 1 {
+		t.Fatalf("ProgramFlow = %d, want 1", got)
+	}
+}

@@ -1,0 +1,31 @@
+package validator_test
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/validator"
+)
+
+// Example runs a short validator scenario: the dispatch alarm of the
+// SafeSpeed task is slowed 8x at t = 1s (the paper's time-scalar
+// injection) and the Software Watchdog reports the starved heartbeats.
+func Example() {
+	v, err := validator.New(validator.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	injection := &validator.AlarmRateScale{OS: v.OS, Alarm: v.SafeSpeedAlarm, Scale: 8}
+	v.Injector.ApplyAt(1*validator.Second, injection)
+	if err := v.Run(2 * time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := v.Watchdog.Results()
+	fmt.Printf("aliveness detected: %v\n", res.Aliveness > 0)
+	fmt.Printf("flow errors: %d\n", res.ProgramFlow)
+	// Output:
+	// aliveness detected: true
+	// flow errors: 0
+}

@@ -1,0 +1,73 @@
+// Package validator is the public surface of the EASIS architecture
+// validator simulation: the assembled ECU (OSEK scheduler, SafeSpeed /
+// SafeLane / Steer-by-Wire applications, Software Watchdog, Fault
+// Management Framework), the vehicle plant, the optional CAN / FlexRay /
+// telematics topology, and the error-injection scheduler. It re-exports
+// the internal assembly so downstream users can run scenarios without
+// touching internal packages.
+package validator
+
+import (
+	"swwd/internal/hil"
+	"swwd/internal/inject"
+	"swwd/internal/sim"
+	"swwd/internal/trace"
+	"swwd/internal/vehicle"
+)
+
+// Time is an instant on the simulation's virtual clock (nanoseconds since
+// scenario start).
+type Time = sim.Time
+
+// Convenient virtual-time constants.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Re-exported assembly types.
+type (
+	// Options configure a validator instance.
+	Options = hil.Options
+	// Validator is one assembled instance.
+	Validator = hil.Validator
+	// Network is the communication topology (nil unless Options.WithNetworks).
+	Network = hil.Network
+)
+
+// Re-exported injection types (the ControlDesk-slider equivalents).
+type (
+	// Injection is one reversible error-injection mechanism.
+	Injection = inject.Injection
+	// ExecStretch scales a runnable's execution time.
+	ExecStretch = inject.ExecStretch
+	// AlarmRateScale changes a dispatch alarm's period.
+	AlarmRateScale = inject.AlarmRateScale
+	// BurstDispatch excessively dispatches a task.
+	BurstDispatch = inject.BurstDispatch
+	// FlagFault flips an application fault flag (invalid branches, loop
+	// counters).
+	FlagFault = inject.FlagFault
+	// InjectionEvent records one injection state change.
+	InjectionEvent = inject.Event
+)
+
+// Re-exported trace types for consuming recorded series.
+type (
+	// Recorder collects named time series.
+	Recorder = trace.Recorder
+	// Series is one recorded signal.
+	Series = trace.Series
+)
+
+// New assembles a validator.
+func New(opts Options) (*Validator, error) { return hil.New(opts) }
+
+// Plot renders a recorded series as an ASCII chart.
+func Plot(s *Series, width, height int) string { return trace.Plot(s, width, height) }
+
+// KphToMs converts km/h to m/s.
+func KphToMs(kph float64) float64 { return vehicle.KphToMs(kph) }
+
+// MsToKph converts m/s to km/h.
+func MsToKph(ms float64) float64 { return vehicle.MsToKph(ms) }

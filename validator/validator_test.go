@@ -1,0 +1,63 @@
+package validator
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublicScenarioEndToEnd(t *testing.T) {
+	v, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	injection := &AlarmRateScale{OS: v.OS, Alarm: v.SafeSpeedAlarm, Scale: 8}
+	if err := v.Injector.Window(2*Second, 3*Second, injection); err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if err := v.Run(4 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.Watchdog.Results().Aliveness == 0 {
+		t.Fatal("no detections through the public API")
+	}
+	am := v.Recorder.Series("AM Result")
+	if am == nil {
+		t.Fatal("no AM Result series")
+	}
+	plot := Plot(am, 40, 6)
+	if !strings.Contains(plot, "AM Result") {
+		t.Fatalf("plot = %q", plot)
+	}
+	log := v.Injector.Log()
+	if len(log) != 2 {
+		t.Fatalf("injection log = %+v", log)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if KphToMs(36) != 10 || MsToKph(10) != 36 {
+		t.Fatal("conversions broken")
+	}
+	if Second != 1000*Millisecond {
+		t.Fatal("time constants broken")
+	}
+}
+
+func TestFlagFaultThroughFacade(t *testing.T) {
+	v, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	branch := &FlagFault{
+		Label: "invalid-branch",
+		Set:   func() { v.SafeSpeed.FaultBranch = 1 },
+	}
+	v.Injector.ApplyAt(1*Second, branch)
+	if err := v.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.Watchdog.Results().ProgramFlow == 0 {
+		t.Fatal("flow fault not detected through the facade")
+	}
+}
