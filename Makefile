@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover experiments examples clean
+.PHONY: all build vet test test-short race bench bench-hotpath cover experiments examples clean
 
 all: build vet test
 
@@ -16,8 +16,16 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector run, including the Beat/Cycle/Activate stress tests.
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Just the lock-free hot-path benchmarks (README §Performance).
+bench-hotpath:
+	$(GO) test -run xxx -bench 'Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' -benchmem -count=3 .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

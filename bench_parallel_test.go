@@ -1,0 +1,327 @@
+// Hot-path concurrency benchmarks for the lock-free heartbeat redesign:
+// parallel throughput with and without a concurrent monitoring cycle, the
+// handle fast path against the compat wrapper, and an in-file replica of
+// the seed's global-mutex design as the before/after baseline.
+//
+// Run with: go test -bench 'Beat|Parallel' -benchmem
+package swwd_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swwd"
+)
+
+// buildParallelWatchdog constructs a watchdog over nTasks tasks with
+// perTask runnables each (the ISSUE's contention topology is 8 tasks x 8
+// runnables = 64), one flow sequence per task, hypotheses that never trip
+// during the bench, and one pre-registered Monitor handle per runnable.
+func buildParallelWatchdog(b *testing.B, nTasks, perTask int) (*swwd.Watchdog, []*swwd.Monitor) {
+	b.Helper()
+	m := swwd.NewModel()
+	app, err := m.AddApp("bench", swwd.SafetyCritical)
+	if err != nil {
+		b.Fatalf("AddApp: %v", err)
+	}
+	var rids []swwd.RunnableID
+	var seqs [][]swwd.RunnableID
+	for t := 0; t < nTasks; t++ {
+		task, err := m.AddTask(app, fmt.Sprintf("T%d", t), t+1)
+		if err != nil {
+			b.Fatalf("AddTask: %v", err)
+		}
+		var seq []swwd.RunnableID
+		for r := 0; r < perTask; r++ {
+			rid, err := m.AddRunnable(task, fmt.Sprintf("r%d_%d", t, r), time.Millisecond, swwd.SafetyCritical)
+			if err != nil {
+				b.Fatalf("AddRunnable: %v", err)
+			}
+			rids = append(rids, rid)
+			seq = append(seq, rid)
+		}
+		seqs = append(seqs, seq)
+	}
+	if err := m.Freeze(); err != nil {
+		b.Fatalf("Freeze: %v", err)
+	}
+	w, err := swwd.New(m, swwd.WithClock(swwd.NewWallClock()))
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	monitors := make([]*swwd.Monitor, len(rids))
+	for i, rid := range rids {
+		if err := w.SetHypothesis(rid, swwd.Hypothesis{
+			AlivenessCycles: 1 << 20, MinHeartbeats: 1,
+			ArrivalCycles: 1 << 20, MaxArrivals: 1 << 30,
+		}); err != nil {
+			b.Fatalf("SetHypothesis: %v", err)
+		}
+		if err := w.Activate(rid); err != nil {
+			b.Fatalf("Activate: %v", err)
+		}
+		if monitors[i], err = w.Register(rid); err != nil {
+			b.Fatalf("Register: %v", err)
+		}
+	}
+	for _, seq := range seqs {
+		if len(seq) < 2 {
+			continue // single-runnable tasks carry no flow table
+		}
+		if err := w.AddFlowSequence(seq...); err != nil {
+			b.Fatalf("AddFlowSequence: %v", err)
+		}
+	}
+	return w, monitors
+}
+
+// BenchmarkMonitorBeat measures the handle fast path single-threaded —
+// directly comparable to BenchmarkHeartbeat, which goes through the
+// compat wrapper's bounds check and index resolution.
+func BenchmarkMonitorBeat(b *testing.B) {
+	w, monitors := buildParallelWatchdog(b, 1, 3)
+	_ = w
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		monitors[i%3].Beat()
+	}
+}
+
+// BenchmarkHeartbeatParallel measures aggregate heartbeat throughput with
+// GOMAXPROCS goroutines beating concurrently over 64 runnables in 8
+// tasks. Each goroutine walks its own task's flow sequence so the PFC
+// predecessor registers shard by task and the counters stay per-runnable:
+// the redesign's intended zero-contention regime.
+func BenchmarkHeartbeatParallel(b *testing.B) {
+	const nTasks, perTask = 8, 8
+	w, monitors := buildParallelWatchdog(b, nTasks, perTask)
+	_ = w
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		task := int(next.Add(1)-1) % nTasks
+		mine := monitors[task*perTask : (task+1)*perTask]
+		i := 0
+		for pb.Next() {
+			mine[i].Beat()
+			i++
+			if i == perTask {
+				i = 0
+			}
+		}
+	})
+}
+
+// BenchmarkHeartbeatParallelContended is the adversarial layout: all
+// goroutines hammer the same runnable, so every beat contends on one
+// cache line. This bounds the worst case of the lock-free design (atomic
+// RMW on a shared line) against the baseline's worst case (global mutex).
+func BenchmarkHeartbeatParallelContended(b *testing.B) {
+	w, monitors := buildParallelWatchdog(b, 1, 1)
+	_ = w
+	m := monitors[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Beat()
+		}
+	})
+}
+
+// BenchmarkBeatWithConcurrentCycle measures heartbeat throughput while a
+// background goroutine runs the monitoring cycle at a 100µs period — the
+// live-service contention profile where the seed design serialized every
+// beat against the whole Cycle sweep under one mutex.
+func BenchmarkBeatWithConcurrentCycle(b *testing.B) {
+	const nTasks, perTask = 8, 8
+	w, monitors := buildParallelWatchdog(b, nTasks, perTask)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(100 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.Cycle()
+			}
+		}
+	}()
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		task := int(next.Add(1)-1) % nTasks
+		mine := monitors[task*perTask : (task+1)*perTask]
+		i := 0
+		for pb.Next() {
+			mine[i].Beat()
+			i++
+			if i == perTask {
+				i = 0
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+// mutexWatchdog replicates the seed's hot-path design: one global mutex
+// serializing every heartbeat (counter updates + PFC check) and the whole
+// cycle sweep. It exists purely as the before side of the before/after
+// comparison in README §Performance.
+type mutexWatchdog struct {
+	mu        sync.Mutex
+	active    []bool
+	ac, arc   []uint32
+	cca, ccar []uint32
+	taskOf    []int
+	lastExec  []int // per task; -1 = none
+	monitored []bool
+	allowed   map[[2]int]bool
+	flowErrs  uint64
+}
+
+func newMutexWatchdog(nTasks, perTask int) *mutexWatchdog {
+	n := nTasks * perTask
+	w := &mutexWatchdog{
+		active:    make([]bool, n),
+		ac:        make([]uint32, n),
+		arc:       make([]uint32, n),
+		cca:       make([]uint32, n),
+		ccar:      make([]uint32, n),
+		taskOf:    make([]int, n),
+		lastExec:  make([]int, nTasks),
+		monitored: make([]bool, n),
+		allowed:   make(map[[2]int]bool),
+	}
+	for t := 0; t < nTasks; t++ {
+		w.lastExec[t] = -1
+		for r := 0; r < perTask; r++ {
+			rid := t*perTask + r
+			w.taskOf[rid] = t
+			w.active[rid] = true
+			w.monitored[rid] = true
+			succ := t*perTask + (r+1)%perTask
+			w.allowed[[2]int{rid, succ}] = true
+		}
+	}
+	return w
+}
+
+func (w *mutexWatchdog) Heartbeat(rid int) {
+	w.mu.Lock()
+	if rid < 0 || rid >= len(w.active) {
+		w.mu.Unlock()
+		return
+	}
+	if w.active[rid] {
+		w.ac[rid]++
+		w.arc[rid]++
+	}
+	if w.monitored[rid] {
+		t := w.taskOf[rid]
+		if last := w.lastExec[t]; last >= 0 && !w.allowed[[2]int{last, rid}] {
+			w.flowErrs++
+		}
+		w.lastExec[t] = rid
+	}
+	w.mu.Unlock()
+}
+
+func (w *mutexWatchdog) Cycle() {
+	w.mu.Lock()
+	for rid := range w.active {
+		if !w.active[rid] {
+			continue
+		}
+		w.cca[rid]++
+		if w.cca[rid] >= 1<<20 {
+			w.ac[rid], w.cca[rid] = 0, 0
+		}
+		w.ccar[rid]++
+		if w.ccar[rid] >= 1<<20 {
+			w.arc[rid], w.ccar[rid] = 0, 0
+		}
+	}
+	w.mu.Unlock()
+}
+
+// BenchmarkHeartbeatParallelMutexBaseline is BenchmarkHeartbeatParallel
+// run against the global-mutex replica: the denominator of the
+// throughput-multiple claim.
+func BenchmarkHeartbeatParallelMutexBaseline(b *testing.B) {
+	const nTasks, perTask = 8, 8
+	w := newMutexWatchdog(nTasks, perTask)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		task := int(next.Add(1)-1) % nTasks
+		i := 0
+		for pb.Next() {
+			w.Heartbeat(task*perTask + i)
+			i++
+			if i == perTask {
+				i = 0
+			}
+		}
+	})
+	if w.flowErrs != 0 {
+		// Per-task walks are legal sequences; interleaving across tasks
+		// never mixes predecessor registers.
+		b.Fatalf("baseline flagged %d flow errors on a legal walk", w.flowErrs)
+	}
+}
+
+// BenchmarkBeatWithConcurrentCycleMutexBaseline pairs the contention
+// bench with the global-mutex replica, whose Cycle holds the lock across
+// the whole 64-runnable sweep.
+func BenchmarkBeatWithConcurrentCycleMutexBaseline(b *testing.B) {
+	const nTasks, perTask = 8, 8
+	w := newMutexWatchdog(nTasks, perTask)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(100 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.Cycle()
+			}
+		}
+	}()
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		task := int(next.Add(1)-1) % nTasks
+		i := 0
+		for pb.Next() {
+			w.Heartbeat(task*perTask + i)
+			i++
+			if i == perTask {
+				i = 0
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

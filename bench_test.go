@@ -44,7 +44,7 @@ func buildWatchdog(b *testing.B, n int) (*swwd.Watchdog, []swwd.RunnableID) {
 	if err := m.Freeze(); err != nil {
 		b.Fatalf("Freeze: %v", err)
 	}
-	w, err := swwd.New(swwd.Config{Model: m, Clock: swwd.NewWallClock()})
+	w, err := swwd.New(m, swwd.WithClock(swwd.NewWallClock()))
 	if err != nil {
 		b.Fatalf("New: %v", err)
 	}

@@ -236,7 +236,7 @@ func (s *Spec) Build(clock Clock, sink Sink) (*System, error) {
 			thresholds.ProgramFlow = 3
 		}
 	}
-	w, err := New(Config{
+	w, err := NewFromConfig(Config{
 		Model:              model,
 		Clock:              clock,
 		Sink:               sink,

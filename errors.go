@@ -1,0 +1,25 @@
+package swwd
+
+import (
+	"errors"
+
+	"swwd/internal/core"
+)
+
+// Sentinel errors of the facade. Match with errors.Is; returned errors
+// may wrap these with call-site context.
+var (
+	// ErrUnknownRunnable is reported by every watchdog method that takes
+	// a runnable identifier — SetHypothesis, Register, Activate,
+	// Deactivate, MonitorFlow, AddFlowPair, CounterSnapshot,
+	// RunnableErrors — when the identifier is not part of the model.
+	ErrUnknownRunnable = core.ErrUnknownRunnable
+
+	// ErrAlreadyRunning is reported by Service.Start and Service.Run when
+	// the monitoring loop is already active.
+	ErrAlreadyRunning = errors.New("swwd: service already running")
+
+	// ErrNotRunning is reported by Service.Stop when no monitoring loop
+	// is active. Callers treating Stop as idempotent may ignore it.
+	ErrNotRunning = errors.New("swwd: service not running")
+)

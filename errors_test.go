@@ -1,0 +1,157 @@
+package swwd
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSentinelErrorsUnknownRunnable pins the errors.Is contract of every
+// facade method that takes a runnable identifier.
+func TestSentinelErrorsUnknownRunnable(t *testing.T) {
+	m, _, producer, _ := buildModel(t)
+	w, err := New(m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bogus := RunnableID(9999)
+	if err := w.SetHypothesis(bogus, Hypothesis{AlivenessCycles: 1, MinHeartbeats: 1}); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("SetHypothesis: got %v, want ErrUnknownRunnable", err)
+	}
+	if _, err := w.Register(bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("Register: got %v, want ErrUnknownRunnable", err)
+	}
+	if err := w.Activate(bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("Activate: got %v, want ErrUnknownRunnable", err)
+	}
+	if err := w.Deactivate(bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("Deactivate: got %v, want ErrUnknownRunnable", err)
+	}
+	if err := w.MonitorFlow(bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("MonitorFlow: got %v, want ErrUnknownRunnable", err)
+	}
+	if err := w.AddFlowPair(bogus, producer); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("AddFlowPair pred: got %v, want ErrUnknownRunnable", err)
+	}
+	if err := w.AddFlowPair(producer, bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("AddFlowPair succ: got %v, want ErrUnknownRunnable", err)
+	}
+	if _, err := w.CounterSnapshot(bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("CounterSnapshot: got %v, want ErrUnknownRunnable", err)
+	}
+	if _, _, _, err := w.RunnableErrors(bogus); !errors.Is(err, ErrUnknownRunnable) {
+		t.Fatalf("RunnableErrors: got %v, want ErrUnknownRunnable", err)
+	}
+	// The happy path stays error-free.
+	if _, err := w.Register(producer); err != nil {
+		t.Fatalf("Register(valid): %v", err)
+	}
+}
+
+// TestServiceSentinelErrors pins ErrAlreadyRunning / ErrNotRunning across
+// both driving styles.
+func TestServiceSentinelErrors(t *testing.T) {
+	m, _, _, _ := buildModel(t)
+	w, err := New(m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc, err := NewService(w, time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	if err := svc.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Stop idle: got %v, want ErrNotRunning", err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := svc.Start(); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("double Start: got %v, want ErrAlreadyRunning", err)
+	}
+	if err := svc.Run(context.Background()); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("Run while started: got %v, want ErrAlreadyRunning", err)
+	}
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := svc.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("second Stop: got %v, want ErrNotRunning", err)
+	}
+}
+
+// TestServiceRunContextCancel verifies the blocking variant honours
+// context cancellation and returns the context's error.
+func TestServiceRunContextCancel(t *testing.T) {
+	m, _, _, _ := buildModel(t)
+	w, err := New(m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc, err := NewService(w, time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(ctx) }()
+	// Let a few cycles run, then cancel.
+	deadline := time.Now().Add(time.Second)
+	for w.CycleCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("service never cycled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	// The loop claim is released: a fresh Run works.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := svc.Run(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second Run: got %v, want context.Canceled", err)
+	}
+}
+
+// TestServiceRunStoppedByStop verifies Stop ends a blocked Run with a nil
+// return, the documented "stopped, not cancelled" contract.
+func TestServiceRunStoppedByStop(t *testing.T) {
+	m, _, _, _ := buildModel(t)
+	w, err := New(m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc, err := NewService(w, time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(context.Background()) }()
+	// Wait until the loop owns the claim, then Stop it.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if err := svc.Stop(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Run never claimed the loop")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v after Stop, want nil", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+}

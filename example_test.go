@@ -21,7 +21,7 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	w, _ := swwd.New(swwd.Config{Model: model})
+	w, _ := swwd.New(model)
 	_ = w.SetHypothesis(worker, swwd.Hypothesis{AlivenessCycles: 2, MinHeartbeats: 1})
 	_ = w.Activate(worker)
 
@@ -47,7 +47,7 @@ func ExampleWatchdog_AddFlowSequence() {
 	producer, _ := model.AddRunnable(task, "producer", time.Millisecond, swwd.SafetyCritical)
 	consumer, _ := model.AddRunnable(task, "consumer", time.Millisecond, swwd.SafetyCritical)
 	_ = model.Freeze()
-	w, _ := swwd.New(swwd.Config{Model: model})
+	w, _ := swwd.New(model)
 	_ = w.AddFlowSequence(producer, consumer)
 
 	w.Heartbeat(producer)

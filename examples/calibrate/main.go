@@ -68,7 +68,7 @@ func run() error {
 	fmt.Printf("observed %d healthy windows\n", cal.Windows())
 
 	// Phase 2: install the suggested hypotheses.
-	w, err := swwd.New(swwd.Config{Model: model})
+	w, err := swwd.New(model)
 	if err != nil {
 		return err
 	}

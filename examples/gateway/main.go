@@ -31,7 +31,7 @@ func main() {
 }
 
 func run() error {
-	v, err := validator.New(validator.Options{WithNetworks: true})
+	v, err := validator.New(validator.WithNetworks())
 	if err != nil {
 		return err
 	}

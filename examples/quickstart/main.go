@@ -2,10 +2,11 @@
 // service for an ordinary Go program.
 //
 // A small pipeline of goroutines plays the role of the paper's runnables:
-// a producer, a worker and a publisher, each reporting heartbeats. The
-// watchdog checks their aliveness and arrival rate against per-runnable
-// fault hypotheses and validates the producer→worker→publisher flow. Mid
-// run the worker stalls, and the watchdog reports the aliveness error and
+// a producer, a worker and a publisher, each reporting heartbeats through
+// a pre-registered Monitor handle (the lock-free hot path). The watchdog
+// checks their aliveness and arrival rate against per-runnable fault
+// hypotheses and validates the producer→worker→publisher flow. Mid run
+// the worker stalls, and the watchdog reports the aliveness error and
 // flips the task state.
 //
 // Run with:
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -63,17 +65,19 @@ func run() error {
 		return err
 	}
 
-	// 2. Build the watchdog: 5ms monitoring cycle, each stage must beat
-	// at least twice per 10-cycle (50ms) window and at most 30 times.
-	w, err := swwd.New(swwd.Config{
-		Model:       model,
-		Sink:        sink{},
-		CyclePeriod: 5 * time.Millisecond,
-	})
+	// 2. Build the watchdog with functional options: 5ms monitoring
+	// cycle, each stage must beat at least twice per 10-cycle (50ms)
+	// window and at most 30 times. Each stage gets a Monitor handle so
+	// its hot-path heartbeats skip the map/bounds indirection.
+	w, err := swwd.New(model,
+		swwd.WithSink(sink{}),
+		swwd.WithCyclePeriod(5*time.Millisecond),
+	)
 	if err != nil {
 		return err
 	}
-	for _, rid := range stages {
+	var monitors [3]*swwd.Monitor
+	for i, rid := range stages {
 		if err := w.SetHypothesis(rid, swwd.Hypothesis{
 			AlivenessCycles: 10, MinHeartbeats: 2,
 			ArrivalCycles: 10, MaxArrivals: 30,
@@ -83,20 +87,30 @@ func run() error {
 		if err := w.Activate(rid); err != nil {
 			return err
 		}
+		if monitors[i], err = w.Register(rid); err != nil {
+			return err
+		}
 	}
 	if err := w.AddFlowSequence(stages[0], stages[1], stages[2]); err != nil {
 		return err
 	}
 
-	// 3. Start the monitoring service.
+	// 3. Start the monitoring service. Run is the blocking,
+	// context-aware variant: cancelling the context ends the loop, so
+	// the service slots into errgroup-style lifecycles. (Start/Stop
+	// remain available for simpler wiring.)
 	svc, err := swwd.NewService(w, 0)
 	if err != nil {
 		return err
 	}
-	if err := svc.Start(); err != nil {
-		return err
-	}
-	defer svc.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- svc.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-svcDone
+	}()
 
 	// 4. The pipeline: each stage beats on every iteration. The stall
 	// flag freezes the worker (and everything downstream of it).
@@ -124,9 +138,9 @@ func run() error {
 				}
 				continue
 			}
-			w.Heartbeat(stages[0]) // producer
-			w.Heartbeat(stages[1]) // worker
-			w.Heartbeat(stages[2]) // publisher
+			monitors[0].Beat() // producer
+			monitors[1].Beat() // worker
+			monitors[2].Beat() // publisher
 		}
 	}()
 

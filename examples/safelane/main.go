@@ -30,9 +30,9 @@ func main() {
 }
 
 func run() error {
-	v, err := validator.New(validator.Options{
-		TraceRunnables: []string{"GetLanePosition", "LaneDetect", "WarnActuate"},
-	})
+	v, err := validator.New(
+		validator.WithTraceRunnables("GetLanePosition", "LaneDetect", "WarnActuate"),
+	)
 	if err != nil {
 		return err
 	}

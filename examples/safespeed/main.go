@@ -30,11 +30,10 @@ func main() {
 }
 
 func run() error {
-	v, err := validator.New(validator.Options{
-		EnableTreatment: true,
-		DriverTargetKph: 150,
-		SpeedLimitKph:   80,
-	})
+	v, err := validator.New(
+		validator.WithTreatment(),
+		validator.WithSpeeds(150, 80),
+	)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// buildConcurrencyFixture builds a model with nTasks tasks of
+// runnablesPerTask runnables each, a full hypothesis on every runnable,
+// every runnable active, and the straight-line flow sequence installed per
+// task.
+func buildConcurrencyFixture(t testing.TB, nTasks, runnablesPerTask int) (*Watchdog, []runnable.ID, []runnable.TaskID) {
+	t.Helper()
+	m := runnable.NewModel()
+	app, err := m.AddApp("stress", runnable.SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddApp: %v", err)
+	}
+	var rids []runnable.ID
+	var tids []runnable.TaskID
+	for ti := 0; ti < nTasks; ti++ {
+		task, err := m.AddTask(app, "T"+string(rune('A'+ti)), ti+1)
+		if err != nil {
+			t.Fatalf("AddTask: %v", err)
+		}
+		tids = append(tids, task)
+		for ri := 0; ri < runnablesPerTask; ri++ {
+			rid, err := m.AddRunnable(task, "r"+string(rune('A'+ti))+string(rune('0'+ri)), time.Millisecond, runnable.SafetyCritical)
+			if err != nil {
+				t.Fatalf("AddRunnable: %v", err)
+			}
+			rids = append(rids, rid)
+		}
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	w, err := New(Config{
+		Model: m, Clock: sim.NewManualClock(),
+		EagerArrivalCheck: true, // exercise the eager cold path too
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, rid := range rids {
+		if err := w.SetHypothesis(rid, Hypothesis{
+			AlivenessCycles: 4, MinHeartbeats: 1,
+			ArrivalCycles: 4, MaxArrivals: 64,
+		}); err != nil {
+			t.Fatalf("SetHypothesis: %v", err)
+		}
+		if err := w.Activate(rid); err != nil {
+			t.Fatalf("Activate: %v", err)
+		}
+	}
+	for ti := 0; ti < nTasks; ti++ {
+		seq := rids[ti*runnablesPerTask : (ti+1)*runnablesPerTask]
+		if len(seq) >= 2 {
+			if err := w.AddFlowSequence(seq...); err != nil {
+				t.Fatalf("AddFlowSequence: %v", err)
+			}
+		}
+	}
+	return w, rids, tids
+}
+
+// TestConcurrentBeatCycle_Race hammers the watchdog from many goroutines
+// at once — heartbeats via both the legacy Heartbeat entry point and
+// Monitor handles, the time-triggered Cycle sweep, activation toggles and
+// fault treatment — and is intended to run under `go test -race`. It
+// asserts only invariants that hold under any interleaving: no panics, no
+// data races, a bounded snapshot, and that results remain monotonic.
+func TestConcurrentBeatCycle_Race(t *testing.T) {
+	const (
+		nTasks     = 8
+		perTask    = 8
+		goroutines = 8
+		iterations = 2000
+	)
+	w, rids, tids := buildConcurrencyFixture(t, nTasks, perTask)
+
+	monitors := make([]*Monitor, len(rids))
+	for i, rid := range rids {
+		var err error
+		monitors[i], err = w.Register(rid)
+		if err != nil {
+			t.Fatalf("Register(%d): %v", rid, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// Beaters: half through handles, half through the legacy wrapper.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			<-start
+			for i := 0; i < iterations; i++ {
+				k := rng.Intn(len(rids))
+				if seed%2 == 0 {
+					monitors[k].Beat()
+				} else {
+					w.Heartbeat(rids[k])
+				}
+			}
+		}(int64(g))
+	}
+
+	// Cycle ticker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < iterations/4; i++ {
+			w.Cycle()
+		}
+	}()
+
+	// Activation churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		<-start
+		for i := 0; i < iterations/4; i++ {
+			rid := rids[rng.Intn(len(rids))]
+			if i%2 == 0 {
+				_ = w.Deactivate(rid)
+			} else {
+				_ = w.Activate(rid)
+			}
+		}
+	}()
+
+	// Fault treatment: ClearTask plus suspend/resume.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		<-start
+		for i := 0; i < iterations/8; i++ {
+			tid := tids[rng.Intn(len(tids))]
+			switch i % 3 {
+			case 0:
+				_ = w.ClearTask(tid)
+			case 1:
+				_ = w.SuspendTaskMonitoring(tid)
+			default:
+				_ = w.ResumeTaskMonitoring(tid)
+			}
+		}
+	}()
+
+	// Readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < iterations/4; i++ {
+			_ = w.Results()
+			_, _ = w.CounterSnapshot(rids[i%len(rids)])
+			_ = w.ECUState()
+			_ = w.CycleCount()
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+
+	// Monotonicity / sanity: one more quiet window must be observable.
+	before := w.Results()
+	w.Cycle()
+	after := w.Results()
+	if after.Aliveness < before.Aliveness || after.ArrivalRate < before.ArrivalRate ||
+		after.ProgramFlow < before.ProgramFlow {
+		t.Fatalf("results went backwards: %+v -> %+v", before, after)
+	}
+}
+
+// TestConcurrentRegisterAndConfig races Register/SetHypothesis/flow-table
+// growth against live heartbeats: configuration is copy-on-write, so
+// beats in flight must always see either the old or the new table.
+func TestConcurrentRegisterAndConfig(t *testing.T) {
+	w, rids, _ := buildConcurrencyFixture(t, 4, 4)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			<-start
+			for i := 0; i < 1000; i++ {
+				w.Heartbeat(rids[rng.Intn(len(rids))])
+			}
+		}(int64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 500; i++ {
+			m, err := w.Register(rids[i%len(rids)])
+			if err != nil {
+				t.Errorf("Register: %v", err)
+				return
+			}
+			m.Beat()
+			_ = m.Counters()
+			_ = w.SetHypothesis(rids[i%len(rids)], Hypothesis{
+				AlivenessCycles: 3, MinHeartbeats: 1,
+				ArrivalCycles: 3, MaxArrivals: 32,
+			})
+			_ = w.MonitorFlow(rids[i%len(rids)])
+		}
+	}()
+	close(start)
+	wg.Wait()
+}

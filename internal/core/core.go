@@ -16,6 +16,10 @@
 //     indications in error indication vectors and deriving task,
 //     application and global ECU state (§3.5).
 //
+// The heartbeat hot path is lock-free in the common (healthy) case: see
+// hot.go for the layout and monitor.go for the per-runnable handle API.
+// Detections and configuration changes take the single cold-path mutex.
+//
 // The watchdog is clock-agnostic: driven by an OSEK alarm on virtual time
 // in the HIL reproduction, or by a time.Ticker when deployed as a live Go
 // service (see the root swwd package).
@@ -25,11 +29,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swwd/internal/runnable"
 	"swwd/internal/sim"
 )
+
+// ErrUnknownRunnable is returned (wrapped) by every method taking a
+// runnable identifier when the identifier is not part of the model. Test
+// with errors.Is.
+var ErrUnknownRunnable = errors.New("unknown runnable")
 
 // Hypothesis is the per-runnable fault hypothesis: how many heartbeats the
 // runnable must (aliveness) and may (arrival rate) produce within its
@@ -120,20 +130,9 @@ type Config struct {
 	ECUFaultyAppCount int
 }
 
-// rstate is the heartbeat-monitoring state of one runnable.
-type rstate struct {
-	active bool
-	hyp    Hypothesis
-
-	ac   int // Aliveness Counter
-	arc  int // Arrival Rate Counter
-	cca  int // Cycle Counter for Aliveness
-	ccar int // Cycle Counter for Arrival Rate
-
-	errs [3]uint64 // error-indication vector element, indexed by kind-1
-}
-
-// tstate is the TSI state of one task.
+// tstate is the TSI state of one task. All fields are cold-path state
+// guarded by the watchdog mutex; the PFC predecessor register lives
+// separately under the flow shards (see hot.go).
 type tstate struct {
 	state HealthState
 	// lastFlowCycle is the cycle of the most recent program-flow error on
@@ -143,9 +142,6 @@ type tstate struct {
 	// correlatedAlivenessReported implements the paper's "only one
 	// accumulated aliveness error is reported" during a flow-error burst.
 	correlatedAlivenessReported bool
-	// lastExec is the previously executed monitored runnable of this
-	// task, the PFC predecessor register.
-	lastExec runnable.ID
 	// suspendedAS remembers which runnables had their Activation Status
 	// on when SuspendTaskMonitoring switched the task off.
 	suspendedAS []runnable.ID
@@ -174,24 +170,33 @@ type Results struct {
 }
 
 // Watchdog is the Software Watchdog service instance for one ECU.
+//
+// Concurrency model: Heartbeat / Monitor.Beat and Cycle are safe for
+// unrestricted concurrent use and are lock-free on the healthy path (see
+// hot.go). Configuration methods (SetHypothesis, Activate, AddFlowPair,
+// Clear*, Suspend/Resume) serialize on an internal mutex and may run
+// concurrently with heartbeats; a heartbeat racing a configuration change
+// lands on either side of it.
 type Watchdog struct {
-	mu  sync.Mutex
-	cfg Config
-
+	cfg   Config
 	model *runnable.Model
 	clock sim.Clock
 	sink  Sink
 
-	cycle uint64
+	// Hot state (lock-free): per-runnable counters, the PFC look-up table
+	// snapshot, per-task predecessor registers and the cycle counter.
+	hot    []hotState
+	taskOf []runnable.TaskID // rid → hosting task, precomputed
+	flow   atomic.Pointer[flowTable]
+	preds  []predReg
+	cycle  atomic.Uint64
 
-	rs []rstate
-	ts []tstate
-	as []astate
-
-	// successors[p] is a bitset over runnable IDs allowed to follow p.
-	successors [][]uint64
-	monitored  []bool // PFC-monitored runnables
-
+	// Cold state, guarded by mu: detections, error-indication vectors and
+	// the TSI derivation chain.
+	mu       sync.Mutex
+	errv     [][3]uint64 // error-indication vector, indexed by kind-1
+	ts       []tstate
+	as       []astate
 	ecuState HealthState
 	results  Results
 }
@@ -228,25 +233,32 @@ func New(cfg Config) (*Watchdog, error) {
 		cfg.ECUFaultyAppCount = 2
 	}
 	n := cfg.Model.NumRunnables()
-	words := (n + 63) / 64
 	w := &Watchdog{
-		cfg:        cfg,
-		model:      cfg.Model,
-		clock:      cfg.Clock,
-		sink:       cfg.Sink,
-		rs:         make([]rstate, n),
-		ts:         make([]tstate, cfg.Model.NumTasks()),
-		as:         make([]astate, cfg.Model.NumApps()),
-		successors: make([][]uint64, n),
-		monitored:  make([]bool, n),
-		ecuState:   StateOK,
+		cfg:      cfg,
+		model:    cfg.Model,
+		clock:    cfg.Clock,
+		sink:     cfg.Sink,
+		hot:      make([]hotState, n),
+		taskOf:   make([]runnable.TaskID, n),
+		preds:    make([]predReg, cfg.Model.NumTasks()),
+		errv:     make([][3]uint64, n),
+		ts:       make([]tstate, cfg.Model.NumTasks()),
+		as:       make([]astate, cfg.Model.NumApps()),
+		ecuState: StateOK,
 	}
-	for i := range w.successors {
-		w.successors[i] = make([]uint64, words)
+	disabled := &Hypothesis{}
+	for i := range w.hot {
+		w.hot[i].hyp.Store(disabled)
+		w.hot[i].eagerLimit.Store(eagerDisabled)
+		w.taskOf[i] = cfg.Model.TaskOf(runnable.ID(i))
+		w.hot[i].tid = w.taskOf[i]
+	}
+	w.flow.Store(newFlowTable(n))
+	for i := range w.preds {
+		w.preds[i].last.Store(int64(runnable.NoID))
 	}
 	for i := range w.ts {
 		w.ts[i].state = StateOK
-		w.ts[i].lastExec = runnable.NoID
 	}
 	for i := range w.as {
 		w.as[i].state = StateOK
@@ -257,29 +269,39 @@ func New(cfg Config) (*Watchdog, error) {
 // CyclePeriod reports the configured watchdog cycle period.
 func (w *Watchdog) CyclePeriod() time.Duration { return w.cfg.CyclePeriod }
 
+// checkRunnable validates a runnable identifier against the model.
+func (w *Watchdog) checkRunnable(rid runnable.ID) error {
+	if uint(rid) >= uint(len(w.hot)) {
+		return fmt.Errorf("core: %w: id %d", ErrUnknownRunnable, rid)
+	}
+	return nil
+}
+
 // SetHypothesis installs the fault hypothesis for a runnable. The runnable
-// is not activated; call Activate.
+// is not activated; call Activate. Unknown identifiers report
+// ErrUnknownRunnable.
 func (w *Watchdog) SetHypothesis(rid runnable.ID, h Hypothesis) error {
 	if err := h.Validate(); err != nil {
 		return fmt.Errorf("core: SetHypothesis(%d): %w", rid, err)
 	}
-	if _, err := w.model.Runnable(rid); err != nil {
+	if err := w.checkRunnable(rid); err != nil {
 		return err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.rs[rid].hyp = h
+	hs := &w.hot[rid]
+	hyp := h // private copy; the pointer is published to the hot path
+	hs.hyp.Store(&hyp)
+	hs.eagerLimit.Store(eagerLimitFor(w.cfg.EagerArrivalCheck, h))
 	return nil
 }
 
 // Hypothesis reports the installed fault hypothesis of a runnable.
 func (w *Watchdog) Hypothesis(rid runnable.ID) (Hypothesis, error) {
-	if _, err := w.model.Runnable(rid); err != nil {
+	if err := w.checkRunnable(rid); err != nil {
 		return Hypothesis{}, err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.rs[rid].hyp, nil
+	return *w.hot[rid].hyp.Load(), nil
 }
 
 // Activate sets a runnable's Activation Status: its heartbeats are
@@ -295,14 +317,18 @@ func (w *Watchdog) Deactivate(rid runnable.ID) error {
 }
 
 func (w *Watchdog) setActive(rid runnable.ID, active bool) error {
-	if _, err := w.model.Runnable(rid); err != nil {
+	if err := w.checkRunnable(rid); err != nil {
 		return err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	rs := &w.rs[rid]
-	rs.active = active
-	rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+	hs := &w.hot[rid]
+	if active {
+		hs.active.Store(1)
+	} else {
+		hs.active.Store(0)
+	}
+	hs.resetCounters()
 	return nil
 }
 
@@ -310,32 +336,34 @@ func (w *Watchdog) setActive(rid runnable.ID, active bool) error {
 // (typically safety-critical, §3.4) runnables update and are checked
 // against the flow look-up table.
 func (w *Watchdog) MonitorFlow(rid runnable.ID) error {
-	if _, err := w.model.Runnable(rid); err != nil {
+	if err := w.checkRunnable(rid); err != nil {
 		return err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.monitored[rid] = true
+	ft := w.flow.Load().clone()
+	ft.setMonitored(rid)
+	w.flow.Store(ft)
 	return nil
 }
 
 // AddFlowPair allows succ to execute immediately after pred within their
 // common task. Both runnables are implicitly enrolled in flow monitoring.
 func (w *Watchdog) AddFlowPair(pred, succ runnable.ID) error {
-	if _, err := w.model.Runnable(pred); err != nil {
+	if err := w.checkRunnable(pred); err != nil {
 		return err
 	}
-	if _, err := w.model.Runnable(succ); err != nil {
+	if err := w.checkRunnable(succ); err != nil {
 		return err
 	}
-	if w.model.TaskOf(pred) != w.model.TaskOf(succ) {
+	if w.taskOf[pred] != w.taskOf[succ] {
 		return fmt.Errorf("core: AddFlowPair(%d,%d): runnables belong to different tasks", pred, succ)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.successors[pred][succ/64] |= 1 << (uint(succ) % 64)
-	w.monitored[pred] = true
-	w.monitored[succ] = true
+	ft := w.flow.Load().clone()
+	ft.addPair(pred, succ)
+	w.flow.Store(ft)
 	return nil
 }
 
@@ -353,56 +381,78 @@ func (w *Watchdog) AddFlowSequence(rids ...runnable.ID) error {
 	return w.AddFlowPair(rids[len(rids)-1], rids[0])
 }
 
-// allowed reports whether succ may follow pred per the look-up table.
-func (w *Watchdog) allowed(pred, succ runnable.ID) bool {
-	return w.successors[pred][succ/64]&(1<<(uint(succ)%64)) != 0
-}
-
 // Heartbeat is the aliveness indication routine runnables call (directly,
 // or via the OSEK observer glue). It records the heartbeat in AC and ARC
-// and runs the event-triggered program-flow check.
+// and runs the event-triggered program-flow check. Unknown identifiers
+// are ignored, matching the tolerance required of glue code.
+//
+// Heartbeat is lock-free in the healthy case; prefer Register and
+// Monitor.Beat on hot call sites to also skip the bounds check and the
+// task lookup.
 func (w *Watchdog) Heartbeat(rid runnable.ID) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if int(rid) < 0 || int(rid) >= len(w.rs) {
+	if uint(rid) >= uint(len(w.hot)) {
 		return
 	}
-	rs := &w.rs[rid]
-	if rs.active {
-		rs.ac++
-		rs.arc++
-		if w.cfg.EagerArrivalCheck && rs.hyp.ArrivalCycles > 0 && rs.arc > rs.hyp.MaxArrivals {
-			w.detectLocked(ArrivalRateError, rid, rs.arc, rs.hyp.MaxArrivals, runnable.NoID)
-			rs.arc, rs.ccar = 0, 0
-		}
-	}
-	w.checkFlowLocked(rid)
+	w.beat(rid, &w.hot[rid])
 }
 
-// checkFlowLocked implements the PFC unit: compare the actually executed
+// beat is the shared hot path of Heartbeat and Monitor.Beat. rid has been
+// validated; hs is the runnable's hot state (which carries the hosting
+// task).
+func (w *Watchdog) beat(rid runnable.ID, hs *hotState) {
+	if hs.active.Load() != 0 {
+		v := hs.addBeat()
+		if uint32(v) > hs.eagerLimit.Load() {
+			w.eagerArrival(rid, hs, v)
+		}
+	}
+	ft := w.flow.Load()
+	if ft.isMonitored(rid) {
+		w.checkFlow(ft, rid, hs.tid)
+	}
+}
+
+// eagerArrival is the cold path of the EagerArrivalCheck ablation: the
+// heartbeat that pushed ARC beyond MaxArrivals reports the arrival-rate
+// error immediately and resets the window. The CompareAndSwap elects
+// exactly one reporter when several heartbeats race past the limit.
+func (w *Watchdog) eagerArrival(rid runnable.ID, hs *hotState, v uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Clear the ARC half, preserving AC. The CAS elects exactly one
+	// reporter: it fails if another heartbeat or a Cycle sweep already
+	// moved the counter word.
+	if !hs.acArc.CompareAndSwap(v, v&^uint64(1<<32-1)) {
+		return // another heartbeat or a Cycle sweep already closed the window
+	}
+	hs.ccar.Store(0)
+	hyp := hs.hyp.Load()
+	w.detectLocked(ArrivalRateError, rid, int(uint32(v)), hyp.MaxArrivals, runnable.NoID)
+}
+
+// checkFlow implements the PFC unit: compare the actually executed
 // successor with the predefined successors of the predecessor. Flow is
 // tracked per task, so legal preemption interleavings between tasks are
-// not flagged.
-func (w *Watchdog) checkFlowLocked(rid runnable.ID) {
-	if !w.monitored[rid] {
-		return
-	}
-	tid := w.model.TaskOf(rid)
-	ts := &w.ts[tid]
-	pred := ts.lastExec
-	ts.lastExec = rid
+// not flagged. The read-predecessor/set-current step is one atomic
+// exchange on the task's padded register; the look-up itself reads the
+// immutable table snapshot.
+func (w *Watchdog) checkFlow(ft *flowTable, rid runnable.ID, tid runnable.TaskID) {
+	pred := runnable.ID(w.preds[tid].last.Swap(int64(rid)))
 	if pred == runnable.NoID {
 		return // first monitored execution of this task: no predecessor yet
 	}
-	if w.allowed(pred, rid) {
+	if ft.allowed(pred, rid) {
 		return
 	}
-	ts.lastFlowCycle = w.cycle
+	w.mu.Lock()
+	ts := &w.ts[tid]
+	ts.lastFlowCycle = w.cycle.Load()
 	if !ts.flowSeen {
 		ts.flowSeen = true
 		ts.correlatedAlivenessReported = false
 	}
 	w.detectLocked(ProgramFlowError, rid, 0, 0, pred)
+	w.mu.Unlock()
 }
 
 // Cycle advances the time-triggered part of the watchdog by one monitoring
@@ -410,31 +460,38 @@ func (w *Watchdog) checkFlowLocked(rid runnable.ID) {
 // expires are checked, then reset (§3.3: counters are "checked shortly
 // before the next period begins" and "reset to zero, if the periods ...
 // expire or an error is detected").
+//
+// The sweep holds no global lock: expiring windows are closed with an
+// atomic Swap so concurrent heartbeats land in either the closing or the
+// next window, and only actual detections take the cold-path mutex.
 func (w *Watchdog) Cycle() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.cycle++
-	for rid := range w.rs {
-		rs := &w.rs[rid]
-		if !rs.active {
+	w.cycle.Add(1)
+	for i := range w.hot {
+		hs := &w.hot[i]
+		if hs.active.Load() == 0 {
 			continue
 		}
-		if rs.hyp.AlivenessCycles > 0 {
-			rs.cca++
-			if rs.cca >= rs.hyp.AlivenessCycles {
-				if rs.ac < rs.hyp.MinHeartbeats {
-					w.detectLocked(AlivenessError, runnable.ID(rid), rs.ac, rs.hyp.MinHeartbeats, runnable.NoID)
+		hyp := hs.hyp.Load()
+		if hyp.AlivenessCycles > 0 {
+			if hs.cca.Add(1) >= uint32(hyp.AlivenessCycles) {
+				ac := hs.closeAliveness()
+				hs.cca.Store(0)
+				if int(ac) < hyp.MinHeartbeats {
+					w.mu.Lock()
+					w.detectLocked(AlivenessError, runnable.ID(i), int(ac), hyp.MinHeartbeats, runnable.NoID)
+					w.mu.Unlock()
 				}
-				rs.ac, rs.cca = 0, 0
 			}
 		}
-		if rs.hyp.ArrivalCycles > 0 {
-			rs.ccar++
-			if rs.ccar >= rs.hyp.ArrivalCycles {
-				if rs.arc > rs.hyp.MaxArrivals {
-					w.detectLocked(ArrivalRateError, runnable.ID(rid), rs.arc, rs.hyp.MaxArrivals, runnable.NoID)
+		if hyp.ArrivalCycles > 0 {
+			if hs.ccar.Add(1) >= uint32(hyp.ArrivalCycles) {
+				arc := hs.closeArrival()
+				hs.ccar.Store(0)
+				if int(arc) > hyp.MaxArrivals {
+					w.mu.Lock()
+					w.detectLocked(ArrivalRateError, runnable.ID(i), int(arc), hyp.MaxArrivals, runnable.NoID)
+					w.mu.Unlock()
 				}
-				rs.arc, rs.ccar = 0, 0
 			}
 		}
 	}
@@ -443,13 +500,14 @@ func (w *Watchdog) Cycle() {
 // detectLocked routes one detected error through the collaboration logic
 // and the TSI unit, and reports it to the sink. Callers hold w.mu.
 func (w *Watchdog) detectLocked(kind ErrorKind, rid runnable.ID, observed, expected int, pred runnable.ID) {
-	tid := w.model.TaskOf(rid)
+	tid := w.taskOf[rid]
 	app := w.model.AppOfRunnable(rid)
 	ts := &w.ts[tid]
 
+	cycle := w.cycle.Load()
 	correlated := false
 	if kind == AlivenessError && !w.cfg.DisableCorrelation && ts.flowSeen &&
-		w.cycle-ts.lastFlowCycle <= uint64(w.cfg.CorrelationWindowCycles) {
+		cycle-ts.lastFlowCycle <= uint64(w.cfg.CorrelationWindowCycles) {
 		// Collaboration of the units (Fig. 6): this aliveness error is a
 		// symptom of the program-flow fault. Accumulate it at most once.
 		correlated = true
@@ -467,12 +525,11 @@ func (w *Watchdog) detectLocked(kind ErrorKind, rid runnable.ID, observed, expec
 	case ProgramFlowError:
 		w.results.ProgramFlow++
 	}
-	rs := &w.rs[rid]
-	rs.errs[kind-1]++
+	w.errv[rid][kind-1]++
 
 	w.sink.Fault(Report{
 		Time:        w.clock.Now(),
-		Cycle:       w.cycle,
+		Cycle:       cycle,
 		Kind:        kind,
 		Runnable:    rid,
 		Task:        tid,
@@ -485,7 +542,7 @@ func (w *Watchdog) detectLocked(kind ErrorKind, rid runnable.ID, observed, expec
 
 	// TSI: element of the error indication vector reached its threshold →
 	// the whole task is considered faulty (§3.5).
-	if ts.state == StateOK && rs.errs[kind-1] >= uint64(w.cfg.Thresholds.of(kind)) {
+	if ts.state == StateOK && w.errv[rid][kind-1] >= uint64(w.cfg.Thresholds.of(kind)) {
 		w.setTaskStateLocked(tid, StateFaulty, kind)
 	}
 }
@@ -498,8 +555,9 @@ func (w *Watchdog) setTaskStateLocked(tid runnable.TaskID, state HealthState, ca
 		return
 	}
 	ts.state = state
+	cycle := w.cycle.Load()
 	w.sink.StateChanged(StateEvent{
-		Time: w.clock.Now(), Cycle: w.cycle,
+		Time: w.clock.Now(), Cycle: cycle,
 		Scope: TaskScope, Task: tid, App: w.model.AppOf(tid),
 		State: state, Cause: cause,
 	})
@@ -521,7 +579,7 @@ func (w *Watchdog) setTaskStateLocked(tid runnable.TaskID, state HealthState, ca
 		if w.as[app].state != appState {
 			w.as[app].state = appState
 			w.sink.StateChanged(StateEvent{
-				Time: w.clock.Now(), Cycle: w.cycle,
+				Time: w.clock.Now(), Cycle: cycle,
 				Scope: AppScope, Task: runnable.NoID, App: app,
 				State: appState, Cause: cause,
 			})
@@ -541,7 +599,7 @@ func (w *Watchdog) setTaskStateLocked(tid runnable.TaskID, state HealthState, ca
 	if w.ecuState != ecu {
 		w.ecuState = ecu
 		w.sink.StateChanged(StateEvent{
-			Time: w.clock.Now(), Cycle: w.cycle,
+			Time: w.clock.Now(), Cycle: cycle,
 			Scope: ECUScope, Task: runnable.NoID, App: runnable.NoID,
 			State: ecu, Cause: cause,
 		})
@@ -555,16 +613,18 @@ func (w *Watchdog) ClearTask(tid runnable.TaskID) error {
 	if err != nil {
 		return err
 	}
+	// Reset the PFC predecessor register; a racing beat lands before or
+	// after the reset, exactly as with a lock.
+	w.preds[tid].last.Store(int64(runnable.NoID))
+
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ts := &w.ts[tid]
 	ts.flowSeen = false
 	ts.correlatedAlivenessReported = false
-	ts.lastExec = runnable.NoID
 	for _, rid := range t.Runnables {
-		rs := &w.rs[rid]
-		rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
-		rs.errs = [3]uint64{}
+		w.hot[rid].resetCounters()
+		w.errv[rid] = [3]uint64{}
 	}
 	if ts.state != StateOK {
 		w.setTaskStateLocked(tid, StateOK, 0)
@@ -586,11 +646,11 @@ func (w *Watchdog) SuspendTaskMonitoring(tid runnable.TaskID) error {
 	ts := &w.ts[tid]
 	ts.suspendedAS = ts.suspendedAS[:0]
 	for _, rid := range t.Runnables {
-		rs := &w.rs[rid]
-		if rs.active {
+		hs := &w.hot[rid]
+		if hs.active.Load() != 0 {
 			ts.suspendedAS = append(ts.suspendedAS, rid)
-			rs.active = false
-			rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+			hs.active.Store(0)
+			hs.resetCounters()
 		}
 	}
 	return nil
@@ -606,9 +666,9 @@ func (w *Watchdog) ResumeTaskMonitoring(tid runnable.TaskID) error {
 	defer w.mu.Unlock()
 	ts := &w.ts[tid]
 	for _, rid := range ts.suspendedAS {
-		rs := &w.rs[rid]
-		rs.active = true
-		rs.ac, rs.arc, rs.cca, rs.ccar = 0, 0, 0, 0
+		hs := &w.hot[rid]
+		hs.active.Store(1)
+		hs.resetCounters()
 	}
 	ts.suspendedAS = ts.suspendedAS[:0]
 	return nil
@@ -622,28 +682,27 @@ func (w *Watchdog) ClearAll() {
 		_ = w.ResumeTaskMonitoring(runnable.TaskID(tid))
 		_ = w.ClearTask(runnable.TaskID(tid))
 	}
-	w.mu.Lock()
-	w.cycle = 0
-	w.mu.Unlock()
+	w.cycle.Store(0)
 }
 
 // CycleCount reports how many monitoring cycles have elapsed.
-func (w *Watchdog) CycleCount() uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.cycle
-}
+func (w *Watchdog) CycleCount() uint64 { return w.cycle.Load() }
 
 // CounterSnapshot reports the live heartbeat-monitoring counters of a
-// runnable — the series plotted in Fig. 5.
+// runnable — the series plotted in Fig. 5. Under concurrent heartbeats
+// the four counters are individually, not jointly, consistent.
 func (w *Watchdog) CounterSnapshot(rid runnable.ID) (Counters, error) {
-	if _, err := w.model.Runnable(rid); err != nil {
+	if err := w.checkRunnable(rid); err != nil {
 		return Counters{}, err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	rs := &w.rs[rid]
-	return Counters{Active: rs.active, AC: rs.ac, ARC: rs.arc, CCA: rs.cca, CCAR: rs.ccar}, nil
+	hs := &w.hot[rid]
+	return Counters{
+		Active: hs.active.Load() != 0,
+		AC:     int(hs.loadAC()),
+		ARC:    int(hs.loadARC()),
+		CCA:    int(hs.cca.Load()),
+		CCAR:   int(hs.ccar.Load()),
+	}, nil
 }
 
 // Results reports the cumulative detection counts (the AM/AR/PFC Result
@@ -657,12 +716,12 @@ func (w *Watchdog) Results() Results {
 // RunnableErrors reports the error-indication-vector element of one
 // runnable: accumulated error counts by kind.
 func (w *Watchdog) RunnableErrors(rid runnable.ID) (aliveness, arrival, flow uint64, err error) {
-	if _, err := w.model.Runnable(rid); err != nil {
+	if err := w.checkRunnable(rid); err != nil {
 		return 0, 0, 0, err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	e := w.rs[rid].errs
+	e := w.errv[rid]
 	return e[0], e[1], e[2], nil
 }
 

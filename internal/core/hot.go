@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"swwd/internal/runnable"
+)
+
+// This file holds the lock-free heartbeat hot path state. The design goal
+// is the paper's "minimize performance penalty" requirement (§5, Table 2):
+// a heartbeat from a healthy runnable must cost a handful of uncontended
+// atomic operations, never a global lock. The layout follows three rules:
+//
+//   - Per-runnable counters (AC, ARC, CCA, CCAR) and the Activation Status
+//     live in a cache-line-padded hotState so heartbeats from different
+//     runnables never write the same cache line (no false sharing). AC and
+//     ARC share one 64-bit word, so recording a heartbeat in both is a
+//     single atomic add.
+//   - The program-flow look-up table is an immutable snapshot swapped with
+//     an atomic pointer (copy-on-write on the rare AddFlowPair), so the
+//     per-beat flow check is two loads and a bit test.
+//   - PFC predecessor tracking shards by task: each task owns a padded
+//     atomic register, and the per-beat read-predecessor/set-current step
+//     is one atomic exchange. (An earlier iteration guarded the registers
+//     with 16 sharded mutexes; benchmarking showed the uncontended
+//     lock/unlock pair alone cost more than half of the seed's entire
+//     hot path, so the shards degenerated to one lock-free register per
+//     task — perfect sharding.)
+//
+// The cold path — detections, the TSI unit, configuration — stays behind
+// the watchdog's single mutex; it runs only when something is wrong or
+// being reconfigured.
+
+// cacheLineSize is the assumed coherence granularity. Padding to two lines
+// also defeats the adjacent-line prefetcher on common x86 parts.
+const cacheLineSize = 64
+
+// eagerDisabled parks the eager arrival limit out of reach so the hot path
+// pays a single always-false compare when the eager check is off.
+const eagerDisabled = math.MaxUint32
+
+// hotState is the lock-free heartbeat-monitoring state of one runnable
+// (§3.3): the Aliveness Counter, Arrival Rate Counter, the two cycle
+// counters and the Activation Status bit, all updated with atomics.
+//
+// Ownership discipline:
+//
+//   - acArc packs AC (high 32 bits) and ARC (low 32 bits) into one word,
+//     so the hot path records a heartbeat in both counters with a single
+//     atomic add. Window closes clear one half with a CAS loop (cold,
+//     once per expired window). The packing is sound because both halves
+//     reset every few monitoring cycles; a window would need 2^32 beats
+//     for ARC to carry into AC.
+//   - active gates the counters; it is written by Activate/Deactivate and
+//     the treatment paths (cold).
+//   - cca and ccar are written only by Cycle and by counter resets; the
+//     hot path never touches them.
+//   - eagerLimit caches the immediate arrival-rate trip point
+//     (MaxArrivals when armed, eagerDisabled otherwise) so the hot path
+//     needs no hypothesis load.
+//   - hyp is the installed fault hypothesis, replaced wholesale by
+//     SetHypothesis; Cycle reads it once per runnable per sweep.
+//   - tid is the hosting task, precomputed at construction and immutable
+//     thereafter; keeping it on the runnable's own cache line saves the
+//     compat wrapper a second slice load.
+type hotState struct {
+	acArc      atomic.Uint64
+	active     atomic.Uint32
+	cca        atomic.Uint32
+	ccar       atomic.Uint32
+	eagerLimit atomic.Uint32
+	hyp        atomic.Pointer[Hypothesis]
+	tid        runnable.TaskID
+
+	_ [2*cacheLineSize - 40]byte
+}
+
+// addBeat records one heartbeat in AC and ARC with a single atomic add
+// and returns the packed post-add value.
+func (h *hotState) addBeat() uint64 { return h.acArc.Add(1<<32 | 1) }
+
+// loadAC returns the current Aliveness Counter.
+func (h *hotState) loadAC() uint32 { return uint32(h.acArc.Load() >> 32) }
+
+// loadARC returns the current Arrival Rate Counter.
+func (h *hotState) loadARC() uint32 { return uint32(h.acArc.Load()) }
+
+// closeAliveness atomically zeroes AC, preserving ARC, and returns the
+// closed window's AC. Concurrent heartbeats land in either the closing or
+// the fresh window, exactly as with a dedicated counter swap.
+func (h *hotState) closeAliveness() uint32 {
+	for {
+		old := h.acArc.Load()
+		if h.acArc.CompareAndSwap(old, old&(1<<32-1)) {
+			return uint32(old >> 32)
+		}
+	}
+}
+
+// closeArrival atomically zeroes ARC, preserving AC, and returns the
+// closed window's ARC.
+func (h *hotState) closeArrival() uint32 {
+	for {
+		old := h.acArc.Load()
+		if h.acArc.CompareAndSwap(old, old&^uint64(1<<32-1)) {
+			return uint32(old)
+		}
+	}
+}
+
+// resetCounters zeroes AC, ARC, CCA and CCAR ("reset to zero, if the
+// periods ... expire or an error is detected", §3.3; also on activation
+// changes and fault treatment).
+func (h *hotState) resetCounters() {
+	h.acArc.Store(0)
+	h.cca.Store(0)
+	h.ccar.Store(0)
+}
+
+// eagerLimitFor computes the hot-path arrival trip point for a hypothesis.
+func eagerLimitFor(eager bool, h Hypothesis) uint32 {
+	if !eager || h.ArrivalCycles <= 0 || h.MaxArrivals <= 0 {
+		return eagerDisabled
+	}
+	if uint64(h.MaxArrivals) >= uint64(eagerDisabled) {
+		return eagerDisabled
+	}
+	return uint32(h.MaxArrivals)
+}
+
+// flowTable is an immutable snapshot of the PFC configuration: which
+// runnables are enrolled and which successor pairs are allowed (§3.4).
+// Readers load it once per heartbeat through an atomic pointer; writers
+// clone-and-swap under the watchdog mutex.
+type flowTable struct {
+	words int
+	// monitored is a bitset over runnable IDs of PFC-enrolled runnables.
+	monitored []uint64
+	// successors[p] is a bitset over runnable IDs allowed to follow p.
+	successors [][]uint64
+}
+
+// newFlowTable returns an empty table for n runnables.
+func newFlowTable(n int) *flowTable {
+	words := (n + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	t := &flowTable{
+		words:      words,
+		monitored:  make([]uint64, words),
+		successors: make([][]uint64, n),
+	}
+	for i := range t.successors {
+		t.successors[i] = make([]uint64, words)
+	}
+	return t
+}
+
+// clone deep-copies the table for copy-on-write mutation.
+func (t *flowTable) clone() *flowTable {
+	nt := &flowTable{
+		words:      t.words,
+		monitored:  append([]uint64(nil), t.monitored...),
+		successors: make([][]uint64, len(t.successors)),
+	}
+	for i := range t.successors {
+		nt.successors[i] = append([]uint64(nil), t.successors[i]...)
+	}
+	return nt
+}
+
+// isMonitored reports whether rid is PFC-enrolled. rid must be in range.
+func (t *flowTable) isMonitored(rid runnable.ID) bool {
+	return t.monitored[uint(rid)>>6]&(1<<(uint(rid)&63)) != 0
+}
+
+// setMonitored enrols rid. Callers mutate only fresh clones.
+func (t *flowTable) setMonitored(rid runnable.ID) {
+	t.monitored[uint(rid)>>6] |= 1 << (uint(rid) & 63)
+}
+
+// allowed reports whether succ may follow pred per the look-up table.
+func (t *flowTable) allowed(pred, succ runnable.ID) bool {
+	return t.successors[pred][uint(succ)>>6]&(1<<(uint(succ)&63)) != 0
+}
+
+// addPair allows succ after pred. Callers mutate only fresh clones.
+func (t *flowTable) addPair(pred, succ runnable.ID) {
+	t.successors[pred][uint(succ)>>6] |= 1 << (uint(succ) & 63)
+	t.setMonitored(pred)
+	t.setMonitored(succ)
+}
+
+// predReg is the per-task PFC predecessor register ("the previously
+// executed monitored runnable"), padded so neighbouring tasks do not
+// share a cache line. The beat path reads-and-replaces it with a single
+// atomic exchange — predecessor tracking sharded by task with one
+// lock-free register per shard.
+type predReg struct {
+	last atomic.Int64 // runnable.ID; runnable.NoID when no predecessor
+	_    [cacheLineSize - 8]byte
+}

@@ -331,9 +331,20 @@ func New(opts Options) (*Validator, error) {
 // activation statuses for all three applications.
 func (v *Validator) configureWatchdog() error {
 	// Aliveness indication glue: every runnable completion reports a
-	// heartbeat (§3.4 "automatically generated glue code").
+	// heartbeat (§3.4 "automatically generated glue code"). The glue
+	// pre-registers one Monitor handle per runnable so the per-beat path
+	// is the lock-free handle fast path rather than the bounds-checked
+	// compat wrapper.
+	monitors := make([]*core.Monitor, v.Model.NumRunnables())
+	for rid := range monitors {
+		m, err := v.Watchdog.Register(runnable.ID(rid))
+		if err != nil {
+			return fmt.Errorf("hil: %w", err)
+		}
+		monitors[rid] = m
+	}
 	v.OS.AddObserver(osek.ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
-		v.Watchdog.Heartbeat(rid)
+		monitors[rid].Beat()
 	}})
 	type app interface {
 		FlowSequence() []runnable.ID

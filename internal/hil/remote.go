@@ -121,8 +121,16 @@ func newRemoteECU(v *Validator) (*RemoteECU, error) {
 	if err := r.Watchdog.AddFlowSequence(r.Sense, r.Process); err != nil {
 		return nil, fmt.Errorf("hil: remote: %w", err)
 	}
+	monitors := make([]*core.Monitor, r.Model.NumRunnables())
+	for rid := range monitors {
+		m, err := r.Watchdog.Register(runnable.ID(rid))
+		if err != nil {
+			return nil, fmt.Errorf("hil: remote: %w", err)
+		}
+		monitors[rid] = m
+	}
 	r.OS.AddObserver(osek.ObserverFuncs{OnRunnableEnd: func(rid runnable.ID, _ runnable.TaskID) {
-		r.Watchdog.Heartbeat(rid)
+		monitors[rid].Beat()
 	}})
 
 	process := osek.Exec{Runnable: r.Process}

@@ -1,0 +1,63 @@
+package swwd
+
+import "time"
+
+// Option configures a Watchdog built with New. Options are applied in
+// order over the zero Config, so later options win; anything expressible
+// with an Option can equally be set on a Config passed to NewFromConfig.
+type Option func(*Config)
+
+// WithClock sets the time source stamped onto reports. The default is a
+// wall clock anchored at construction, the right choice for live
+// services; simulations pass their virtual clock.
+func WithClock(c Clock) Option {
+	return func(cfg *Config) { cfg.Clock = c }
+}
+
+// WithSink attaches the receiver of fault reports and state events,
+// typically a Fault Management Framework. Without a sink, output is
+// discarded but stays queryable through Results and the state accessors.
+func WithSink(s Sink) Option {
+	return func(cfg *Config) { cfg.Sink = s }
+}
+
+// WithCyclePeriod documents the intended spacing of monitoring cycles
+// (the Service ticker default). Zero or negative falls back to
+// CyclePeriodDefault (10ms, the tick of the paper's plots).
+func WithCyclePeriod(d time.Duration) Option {
+	return func(cfg *Config) { cfg.CyclePeriod = d }
+}
+
+// WithThresholds sets the TSI error-indication-vector limits; the zero
+// value means DefaultThresholds (3/3/3, the paper's evaluation setup).
+func WithThresholds(t Thresholds) Option {
+	return func(cfg *Config) { cfg.Thresholds = t }
+}
+
+// WithEagerArrivalCheck trips an arrival-rate error the moment ARC
+// exceeds MaxArrivals instead of at period end (ablation; the paper
+// checks "shortly before the next period begins").
+func WithEagerArrivalCheck() Option {
+	return func(cfg *Config) { cfg.EagerArrivalCheck = true }
+}
+
+// WithoutCorrelation disables the Fig. 6 collaboration between the PFC
+// and heartbeat units (ablation): aliveness errors are accumulated even
+// when a program-flow root cause was just detected on the same task.
+func WithoutCorrelation() Option {
+	return func(cfg *Config) { cfg.DisableCorrelation = true }
+}
+
+// WithCorrelationWindow sets how many cycles after a program-flow error
+// an aliveness error on the same task is attributed to the flow root
+// cause. Zero or negative means the default of 2.
+func WithCorrelationWindow(cycles int) Option {
+	return func(cfg *Config) { cfg.CorrelationWindowCycles = cycles }
+}
+
+// WithECUFaultyAppCount sets how many simultaneously faulty applications
+// mark the global ECU state faulty. Zero or negative means the default
+// of 2; 1 makes any faulty application an ECU-level fault.
+func WithECUFaultyAppCount(n int) Option {
+	return func(cfg *Config) { cfg.ECUFaultyAppCount = n }
+}

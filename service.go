@@ -1,6 +1,7 @@
 package swwd
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -8,16 +9,22 @@ import (
 
 // Service drives a Watchdog's time-triggered units from the wall clock,
 // deploying it as a live dependability service for ordinary Go programs:
-// goroutines play the role of runnables and call Heartbeat; the service
-// runs the monitoring cycle on a ticker.
+// goroutines play the role of runnables and call Heartbeat (or
+// Monitor.Beat); the service runs the monitoring cycle on a ticker.
+//
+// Two driving styles are supported. Run(ctx) is the blocking,
+// context-aware variant for errgroup-style lifecycles; Start/Stop manage
+// a background goroutine for main-function wiring. Both share one
+// exclusive monitoring loop: starting while running reports
+// ErrAlreadyRunning.
 type Service struct {
 	w      *Watchdog
 	period time.Duration
 
 	mu      sync.Mutex
-	stop    chan struct{}
-	stopped chan struct{}
 	running bool
+	stop    chan struct{} // closed by Stop to end the current loop
+	done    chan struct{} // closed by the loop on exit
 }
 
 // NewService wraps a watchdog; period is the monitoring cycle (zero means
@@ -32,49 +39,97 @@ func NewService(w *Watchdog, period time.Duration) (*Service, error) {
 	return &Service{w: w, period: period}, nil
 }
 
-// Start launches the cycle goroutine. It is an error to start a running
-// service.
-func (s *Service) Start() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.running {
-		return errors.New("swwd: service already running")
+// Run drives the monitoring cycle on the calling goroutine until ctx is
+// cancelled (returning ctx.Err()) or Stop is called (returning nil).
+// It reports ErrAlreadyRunning if a loop is already active.
+//
+// Goroutine-leak guarantee: Run spawns no goroutines; its ticker is
+// stopped and all service state is released before it returns, so a
+// cancelled Run leaves nothing behind.
+func (s *Service) Run(ctx context.Context) error {
+	stop, done, err := s.begin()
+	if err != nil {
+		return err
 	}
-	s.running = true
-	s.stop = make(chan struct{})
-	s.stopped = make(chan struct{})
-	go s.loop(s.stop, s.stopped)
+	defer s.end(done)
+	return s.loop(ctx, stop)
+}
+
+// Start launches the cycle loop on a background goroutine and returns
+// immediately. It reports ErrAlreadyRunning if a loop is already active.
+//
+// Goroutine-leak guarantee: Start spawns exactly one goroutine, which
+// exits when Stop is called; Stop blocks until it has exited, so no
+// goroutine outlives a completed Stop.
+func (s *Service) Start() error {
+	stop, done, err := s.begin()
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer s.end(done)
+		_ = s.loop(context.Background(), stop)
+	}()
 	return nil
 }
 
-func (s *Service) loop(stop <-chan struct{}, stopped chan<- struct{}) {
-	defer close(stopped)
+// Stop halts the active loop — whether launched by Start or blocked in
+// Run — and waits for it to exit. It reports ErrNotRunning when no loop
+// is active; callers treating Stop as idempotent may ignore the error.
+func (s *Service) Stop() error {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return ErrNotRunning
+	}
+	select {
+	case <-s.stop: // a concurrent Stop already signalled this loop
+	default:
+		close(s.stop)
+	}
+	done := s.done
+	s.mu.Unlock()
+	<-done
+	return nil
+}
+
+// begin claims the exclusive monitoring loop.
+func (s *Service) begin() (stop, done chan struct{}, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return nil, nil, ErrAlreadyRunning
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	return s.stop, s.done, nil
+}
+
+// end releases the loop claim and signals waiters.
+func (s *Service) end(done chan struct{}) {
+	s.mu.Lock()
+	s.running = false
+	s.mu.Unlock()
+	close(done)
+}
+
+// loop runs monitoring cycles until ctx is cancelled or stop is closed.
+func (s *Service) loop(ctx context.Context, stop <-chan struct{}) error {
 	ticker := time.NewTicker(s.period)
 	defer ticker.Stop()
 	for {
 		select {
+		case <-ctx.Done():
+			return ctx.Err()
 		case <-stop:
-			return
+			return nil
 		case <-ticker.C:
 			s.w.Cycle()
 		}
 	}
 }
 
-// Stop halts the cycle goroutine and waits for it to exit. Stopping a
-// stopped service is a no-op.
-func (s *Service) Stop() {
-	s.mu.Lock()
-	if !s.running {
-		s.mu.Unlock()
-		return
-	}
-	s.running = false
-	close(s.stop)
-	stopped := s.stopped
-	s.mu.Unlock()
-	<-stopped
-}
-
-// Watchdog exposes the wrapped watchdog, e.g. for Heartbeat calls.
+// Watchdog exposes the wrapped watchdog, e.g. for Register/Heartbeat
+// calls.
 func (s *Service) Watchdog() *Watchdog { return s.w }

@@ -56,6 +56,10 @@ const (
 type (
 	// Watchdog is the Software Watchdog service instance.
 	Watchdog = core.Watchdog
+	// Monitor is a per-runnable heartbeat handle obtained from
+	// Watchdog.Register; its Beat method is the preferred hot-path
+	// aliveness indication (lock-free, no bounds checks).
+	Monitor = core.Monitor
 	// Config assembles a Watchdog.
 	Config = core.Config
 	// Hypothesis is the per-runnable fault hypothesis.
@@ -95,10 +99,29 @@ const (
 // NewModel creates an empty mapping model.
 func NewModel() *Model { return runnable.NewModel() }
 
-// New creates a Watchdog; see core.Config for the fields. If Clock is nil
-// a wall clock starting now is used, which is the right default for live
-// services.
-func New(cfg Config) (*Watchdog, error) {
+// New creates a Watchdog monitoring the runnables of a frozen model,
+// configured by functional options. This is the preferred constructor:
+//
+//	w, err := swwd.New(model,
+//	    swwd.WithCyclePeriod(5*time.Millisecond),
+//	    swwd.WithSink(myFMF),
+//	)
+//
+// Without WithClock a wall clock starting now is used, which is the right
+// default for live services. NewFromConfig remains available for callers
+// that assemble a Config struct (e.g. from a Spec file).
+func New(model *Model, opts ...Option) (*Watchdog, error) {
+	cfg := Config{Model: model}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig creates a Watchdog from an assembled Config; see
+// core.Config for the fields. If Clock is nil a wall clock starting now
+// is used.
+func NewFromConfig(cfg Config) (*Watchdog, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.NewWallClock()
 	}

@@ -34,7 +34,7 @@ func buildModel(t *testing.T) (*Model, TaskID, RunnableID, RunnableID) {
 
 func TestNewDefaultsToWallClock(t *testing.T) {
 	m, _, _, _ := buildModel(t)
-	w, err := New(Config{Model: m})
+	w, err := New(m)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -60,7 +60,7 @@ func TestServiceValidation(t *testing.T) {
 
 func TestServiceLifecycle(t *testing.T) {
 	m, _, producer, _ := buildModel(t)
-	w, err := New(Config{Model: m})
+	w, err := New(m, WithCyclePeriod(2*time.Millisecond))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -122,7 +122,7 @@ func TestServiceLifecycle(t *testing.T) {
 
 func TestServiceRestart(t *testing.T) {
 	m, _, _, _ := buildModel(t)
-	w, err := New(Config{Model: m})
+	w, err := New(m)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -144,7 +144,7 @@ func TestServiceRestart(t *testing.T) {
 
 func TestEndToEndFlowCheckingViaFacade(t *testing.T) {
 	m, _, producer, consumer := buildModel(t)
-	w, err := New(Config{Model: m})
+	w, err := New(m)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -11,7 +11,7 @@ import (
 // SafeSpeed task is slowed 8x at t = 1s (the paper's time-scalar
 // injection) and the Software Watchdog reports the starved heartbeats.
 func Example() {
-	v, err := validator.New(validator.Options{})
+	v, err := validator.New()
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -1,0 +1,86 @@
+package validator
+
+import "time"
+
+// Option configures a validator assembled with New. Options are applied
+// in order over the zero Options value, so later options win; anything
+// expressible with an Option can equally be set on an Options struct
+// passed to NewFromOptions.
+type Option func(*Options)
+
+// WithCyclePeriod sets the Software Watchdog monitoring cycle; zero means
+// 10ms, the tick of the paper's plots.
+func WithCyclePeriod(d time.Duration) Option {
+	return func(o *Options) { o.CyclePeriod = d }
+}
+
+// WithTreatment attaches the FMF's treatment executor; without it the
+// framework records faults but does not act (the detection-only setup of
+// the counter-trace figures).
+func WithTreatment() Option {
+	return func(o *Options) { o.EnableTreatment = true }
+}
+
+// WithSpeeds sets the driver's desired speed and the externally commanded
+// limit in km/h; zeros mean the defaults 150 and 80.
+func WithSpeeds(driverTargetKph, speedLimitKph float64) Option {
+	return func(o *Options) {
+		o.DriverTargetKph = driverTargetKph
+		o.SpeedLimitKph = speedLimitKph
+	}
+}
+
+// WithNetworks wires the CAN/FlexRay/Ethernet buses and the gateway node
+// into the loop.
+func WithNetworks() Option {
+	return func(o *Options) { o.WithNetworks = true }
+}
+
+// WithRemoteECU adds a second ECU on the shared CAN bus with its own OSEK
+// instance and Software Watchdog (implies networks are required).
+func WithRemoteECU() Option {
+	return func(o *Options) { o.WithRemoteECU = true }
+}
+
+// WithHardwareWatchdog adds the ECU hardware watchdog serviced by a
+// lowest-priority kick task (§2 layering).
+func WithHardwareWatchdog() Option {
+	return func(o *Options) { o.WithHardwareWatchdog = true }
+}
+
+// WithDiagnostics adds the low-priority diagnostics task sharing the
+// sensor-bus resource with SafeSpeed.
+func WithDiagnostics() Option {
+	return func(o *Options) { o.WithDiagnostics = true }
+}
+
+// WithFallback registers the limp-home degraded mode for SafeSpeed;
+// speedKph zero means the default 60.
+func WithFallback(speedKph float64) Option {
+	return func(o *Options) {
+		o.EnableFallback = true
+		o.FallbackSpeedKph = speedKph
+	}
+}
+
+// WithECUReset lets the FMF perform the §3.5 software reset.
+func WithECUReset() Option {
+	return func(o *Options) { o.AllowECUReset = true }
+}
+
+// WithEagerArrivalCheck enables the immediate arrival-rate trip
+// (ablation).
+func WithEagerArrivalCheck() Option {
+	return func(o *Options) { o.EagerArrivalCheck = true }
+}
+
+// WithoutCorrelation turns off the Fig. 6 unit collaboration (ablation).
+func WithoutCorrelation() Option {
+	return func(o *Options) { o.DisableCorrelation = true }
+}
+
+// WithTraceRunnables lists model runnable names whose counters are
+// sampled; nil traces the SafeSpeed runnables.
+func WithTraceRunnables(names ...string) Option {
+	return func(o *Options) { o.TraceRunnables = names }
+}

@@ -60,8 +60,22 @@ type (
 	Series = trace.Series
 )
 
-// New assembles a validator.
-func New(opts Options) (*Validator, error) { return hil.New(opts) }
+// New assembles a validator configured by functional options:
+//
+//	v, err := validator.New(validator.WithNetworks(), validator.WithTreatment())
+//
+// NewFromOptions remains available for callers assembling an Options
+// struct.
+func New(opts ...Option) (*Validator, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return hil.New(o)
+}
+
+// NewFromOptions assembles a validator from an Options struct.
+func NewFromOptions(opts Options) (*Validator, error) { return hil.New(opts) }
 
 // Plot renders a recorded series as an ASCII chart.
 func Plot(s *Series, width, height int) string { return trace.Plot(s, width, height) }

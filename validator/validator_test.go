@@ -7,7 +7,7 @@ import (
 )
 
 func TestPublicScenarioEndToEnd(t *testing.T) {
-	v, err := New(Options{})
+	v, err := New()
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -45,7 +45,7 @@ func TestUnitConversions(t *testing.T) {
 }
 
 func TestFlagFaultThroughFacade(t *testing.T) {
-	v, err := New(Options{})
+	v, err := NewFromOptions(Options{})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
