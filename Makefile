@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-hotpath cover experiments examples clean
+.PHONY: all build vet test test-short race bench bench-hotpath bench-json cover experiments examples clean
 
 all: build vet test
 
@@ -26,6 +26,15 @@ bench:
 # Just the lock-free hot-path benchmarks (README §Performance).
 bench-hotpath:
 	$(GO) test -run xxx -bench 'Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' -benchmem -count=3 .
+
+# Cycle-sweep + hot-path benchmarks as machine-readable JSON
+# (BENCH_cycle.json, uploaded as a CI artifact). Override BENCHTIME for a
+# quick smoke run: make bench-json BENCHTIME=1x
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run xxx -bench 'CycleSweep|Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' \
+		-benchmem -benchtime $(BENCHTIME) . | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_cycle.json bench_output.txt
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

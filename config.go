@@ -66,6 +66,9 @@ type WatchdogSpec struct {
 	EagerArrivalCheck    bool `json:"eager_arrival_check,omitempty"`
 	DisableCorrelation   bool `json:"disable_correlation,omitempty"`
 	ECUFaultyAppCount    int  `json:"ecu_faulty_app_count,omitempty"`
+	// SweepShards enables the sharded parallel Cycle sweep (0 or 1 =
+	// serial; see WithSweepShards).
+	SweepShards int `json:"sweep_shards,omitempty"`
 }
 
 // LoadSpec parses a Spec from JSON.
@@ -245,6 +248,7 @@ func (s *Spec) Build(clock Clock, sink Sink) (*System, error) {
 		EagerArrivalCheck:  s.Watchdog.EagerArrivalCheck,
 		DisableCorrelation: s.Watchdog.DisableCorrelation,
 		ECUFaultyAppCount:  s.Watchdog.ECUFaultyAppCount,
+		SweepShards:        s.Watchdog.SweepShards,
 	})
 	if err != nil {
 		return nil, err

@@ -128,6 +128,25 @@ type Config struct {
 	// mark the global ECU state faulty. Zero means 2; set to 1 to make
 	// any faulty application an ECU-level fault.
 	ECUFaultyAppCount int
+	// SweepShards enables the sharded parallel Cycle sweep: the due
+	// runnables of a cycle are split across a persistent pool of
+	// SweepShards workers. 0 or 1 keeps the sweep serial. Only large due
+	// populations engage the pool (small sweeps stay serial regardless);
+	// watchdogs with a pool should be retired with Close. Ignored with
+	// LegacySweep.
+	SweepShards int
+	// LegacySweep selects the retired O(N) full-table sweep instead of
+	// the due-cycle timer wheel. It exists as the bit-identical reference
+	// the equivalence tests replay against and as the benchmark baseline;
+	// production deployments should leave it off.
+	LegacySweep bool
+	// wheelSize overrides the timer-wheel bucket count (power of two;
+	// zero means defaultWheelSize). In-package test hook.
+	wheelSize uint64
+	// sweepParallelMin overrides the due-population threshold above which
+	// SweepShards engages the pool (zero means the default). In-package
+	// test hook.
+	sweepParallelMin int
 }
 
 // tstate is the TSI state of one task. All fields are cold-path state
@@ -172,11 +191,14 @@ type Results struct {
 // Watchdog is the Software Watchdog service instance for one ECU.
 //
 // Concurrency model: Heartbeat / Monitor.Beat and Cycle are safe for
-// unrestricted concurrent use and are lock-free on the healthy path (see
-// hot.go). Configuration methods (SetHypothesis, Activate, AddFlowPair,
-// Clear*, Suspend/Resume) serialize on an internal mutex and may run
-// concurrently with heartbeats; a heartbeat racing a configuration change
-// lands on either side of it.
+// unrestricted concurrent use; heartbeats are lock-free on the healthy
+// path (see hot.go) and the Cycle sweep visits only runnables whose
+// monitoring window expires this cycle (see wheel.go / sweep.go).
+// Configuration methods (SetHypothesis, Activate, AddFlowPair, Clear*,
+// Suspend/Resume) serialize on internal mutexes and may run concurrently
+// with heartbeats; a heartbeat racing a configuration change lands on
+// either side of it. Watchdogs configured with SweepShards > 1 own a
+// worker pool and should be retired with Close.
 type Watchdog struct {
 	cfg   Config
 	model *runnable.Model
@@ -190,6 +212,11 @@ type Watchdog struct {
 	flow   atomic.Pointer[flowTable]
 	preds  []predReg
 	cycle  atomic.Uint64
+
+	// sched is the due-cycle timer wheel driving the Cycle sweep; nil
+	// when Config.LegacySweep selects the reference full-table walk. Its
+	// mutex is ordered before mu (see wheel.go).
+	sched *scheduler
 
 	// Cold state, guarded by mu: detections, error-indication vectors and
 	// the TSI derivation chain.
@@ -232,6 +259,18 @@ func New(cfg Config) (*Watchdog, error) {
 	if cfg.ECUFaultyAppCount <= 0 {
 		cfg.ECUFaultyAppCount = 2
 	}
+	if cfg.SweepShards < 0 {
+		return nil, errors.New("core: SweepShards must be non-negative")
+	}
+	if cfg.SweepShards > 256 {
+		cfg.SweepShards = 256
+	}
+	if cfg.wheelSize != 0 && cfg.wheelSize&(cfg.wheelSize-1) != 0 {
+		return nil, errors.New("core: wheel size must be a power of two")
+	}
+	if cfg.sweepParallelMin <= 0 {
+		cfg.sweepParallelMin = sweepParallelDefaultMin
+	}
 	n := cfg.Model.NumRunnables()
 	w := &Watchdog{
 		cfg:      cfg,
@@ -252,6 +291,17 @@ func New(cfg Config) (*Watchdog, error) {
 		w.hot[i].eagerLimit.Store(eagerDisabled)
 		w.taskOf[i] = cfg.Model.TaskOf(runnable.ID(i))
 		w.hot[i].tid = w.taskOf[i]
+	}
+	if !cfg.LegacySweep {
+		size := cfg.wheelSize
+		if size == 0 {
+			size = defaultWheelSize
+		}
+		shards := cfg.SweepShards
+		if shards == 1 {
+			shards = 0
+		}
+		w.sched = newScheduler(n, size, shards, cfg.sweepParallelMin)
 	}
 	w.flow.Store(newFlowTable(n))
 	for i := range w.preds {
@@ -287,12 +337,19 @@ func (w *Watchdog) SetHypothesis(rid runnable.ID, h Hypothesis) error {
 	if err := w.checkRunnable(rid); err != nil {
 		return err
 	}
+	defer w.lockSched()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	hs := &w.hot[rid]
 	hyp := h // private copy; the pointer is published to the hot path
 	hs.hyp.Store(&hyp)
 	hs.eagerLimit.Store(eagerLimitFor(w.cfg.EagerArrivalCheck, h))
+	if w.sched != nil {
+		// Re-derive the deadlines under the new hypothesis, preserving
+		// the in-flight windows' elapsed cycles (the reference sweep does
+		// not reset counters on a hypothesis change).
+		w.reschedPreserveLocked(rid)
+	}
 	return nil
 }
 
@@ -320,6 +377,7 @@ func (w *Watchdog) setActive(rid runnable.ID, active bool) error {
 	if err := w.checkRunnable(rid); err != nil {
 		return err
 	}
+	defer w.lockSched()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	hs := &w.hot[rid]
@@ -329,6 +387,9 @@ func (w *Watchdog) setActive(rid runnable.ID, active bool) error {
 		hs.active.Store(0)
 	}
 	hs.resetCounters()
+	if w.sched != nil {
+		w.reschedFreshLocked(rid)
+	}
 	return nil
 }
 
@@ -417,6 +478,7 @@ func (w *Watchdog) beat(rid runnable.ID, hs *hotState) {
 // error immediately and resets the window. The CompareAndSwap elects
 // exactly one reporter when several heartbeats race past the limit.
 func (w *Watchdog) eagerArrival(rid runnable.ID, hs *hotState, v uint64) {
+	defer w.lockSched()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	// Clear the ARC half, preserving AC. The CAS elects exactly one
@@ -427,6 +489,11 @@ func (w *Watchdog) eagerArrival(rid runnable.ID, hs *hotState, v uint64) {
 	}
 	hs.ccar.Store(0)
 	hyp := hs.hyp.Load()
+	if w.sched != nil {
+		// The mid-period ARC reset restarts the arrival window; move its
+		// deadline accordingly.
+		w.reschedArrivalRestartLocked(rid, hyp)
+	}
 	w.detectLocked(ArrivalRateError, rid, int(uint32(v)), hyp.MaxArrivals, runnable.NoID)
 }
 
@@ -455,47 +522,8 @@ func (w *Watchdog) checkFlow(ft *flowTable, rid runnable.ID, tid runnable.TaskID
 	w.mu.Unlock()
 }
 
-// Cycle advances the time-triggered part of the watchdog by one monitoring
-// cycle: cycle counters are incremented and hypotheses whose period
-// expires are checked, then reset (§3.3: counters are "checked shortly
-// before the next period begins" and "reset to zero, if the periods ...
-// expire or an error is detected").
-//
-// The sweep holds no global lock: expiring windows are closed with an
-// atomic Swap so concurrent heartbeats land in either the closing or the
-// next window, and only actual detections take the cold-path mutex.
-func (w *Watchdog) Cycle() {
-	w.cycle.Add(1)
-	for i := range w.hot {
-		hs := &w.hot[i]
-		if hs.active.Load() == 0 {
-			continue
-		}
-		hyp := hs.hyp.Load()
-		if hyp.AlivenessCycles > 0 {
-			if hs.cca.Add(1) >= uint32(hyp.AlivenessCycles) {
-				ac := hs.closeAliveness()
-				hs.cca.Store(0)
-				if int(ac) < hyp.MinHeartbeats {
-					w.mu.Lock()
-					w.detectLocked(AlivenessError, runnable.ID(i), int(ac), hyp.MinHeartbeats, runnable.NoID)
-					w.mu.Unlock()
-				}
-			}
-		}
-		if hyp.ArrivalCycles > 0 {
-			if hs.ccar.Add(1) >= uint32(hyp.ArrivalCycles) {
-				arc := hs.closeArrival()
-				hs.ccar.Store(0)
-				if int(arc) > hyp.MaxArrivals {
-					w.mu.Lock()
-					w.detectLocked(ArrivalRateError, runnable.ID(i), int(arc), hyp.MaxArrivals, runnable.NoID)
-					w.mu.Unlock()
-				}
-			}
-		}
-	}
-}
+// Cycle is implemented in sweep.go: the wheel-based due-cycle sweep by
+// default, or the legacy full-table walk with Config.LegacySweep.
 
 // detectLocked routes one detected error through the collaboration logic
 // and the TSI unit, and reports it to the sink. Callers hold w.mu.
@@ -617,6 +645,7 @@ func (w *Watchdog) ClearTask(tid runnable.TaskID) error {
 	// after the reset, exactly as with a lock.
 	w.preds[tid].last.Store(int64(runnable.NoID))
 
+	defer w.lockSched()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ts := &w.ts[tid]
@@ -625,6 +654,9 @@ func (w *Watchdog) ClearTask(tid runnable.TaskID) error {
 	for _, rid := range t.Runnables {
 		w.hot[rid].resetCounters()
 		w.errv[rid] = [3]uint64{}
+		if w.sched != nil {
+			w.reschedFreshLocked(rid)
+		}
 	}
 	if ts.state != StateOK {
 		w.setTaskStateLocked(tid, StateOK, 0)
@@ -641,6 +673,7 @@ func (w *Watchdog) SuspendTaskMonitoring(tid runnable.TaskID) error {
 	if err != nil {
 		return err
 	}
+	defer w.lockSched()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ts := &w.ts[tid]
@@ -651,6 +684,9 @@ func (w *Watchdog) SuspendTaskMonitoring(tid runnable.TaskID) error {
 			ts.suspendedAS = append(ts.suspendedAS, rid)
 			hs.active.Store(0)
 			hs.resetCounters()
+			if w.sched != nil {
+				w.reschedFreshLocked(rid)
+			}
 		}
 	}
 	return nil
@@ -662,6 +698,7 @@ func (w *Watchdog) ResumeTaskMonitoring(tid runnable.TaskID) error {
 	if _, err := w.model.Task(tid); err != nil {
 		return err
 	}
+	defer w.lockSched()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ts := &w.ts[tid]
@@ -669,6 +706,9 @@ func (w *Watchdog) ResumeTaskMonitoring(tid runnable.TaskID) error {
 		hs := &w.hot[rid]
 		hs.active.Store(1)
 		hs.resetCounters()
+		if w.sched != nil {
+			w.reschedFreshLocked(rid)
+		}
 	}
 	ts.suspendedAS = ts.suspendedAS[:0]
 	return nil
@@ -681,6 +721,19 @@ func (w *Watchdog) ClearAll() {
 		// tid is always valid here.
 		_ = w.ResumeTaskMonitoring(runnable.TaskID(tid))
 		_ = w.ClearTask(runnable.TaskID(tid))
+	}
+	if s := w.sched; s != nil {
+		// Bucket slots are keyed by absolute cycle numbers: rewinding the
+		// counter invalidates every indexed deadline, so rebuild the wheel
+		// from the (freshly reset) per-runnable state.
+		s.mu.Lock()
+		w.cycle.Store(0)
+		s.resetAll()
+		for i := range w.hot {
+			w.reschedFreshLocked(runnable.ID(i))
+		}
+		s.mu.Unlock()
+		return
 	}
 	w.cycle.Store(0)
 }
@@ -696,13 +749,23 @@ func (w *Watchdog) CounterSnapshot(rid runnable.ID) (Counters, error) {
 		return Counters{}, err
 	}
 	hs := &w.hot[rid]
-	return Counters{
+	c := Counters{
 		Active: hs.active.Load() != 0,
 		AC:     int(hs.loadAC()),
 		ARC:    int(hs.loadARC()),
-		CCA:    int(hs.cca.Load()),
-		CCAR:   int(hs.ccar.Load()),
-	}, nil
+	}
+	if s := w.sched; s != nil {
+		// The wheel sweep no longer increments CCA/CCAR every cycle; the
+		// values are derived lock-free from the window anchors instead.
+		now := w.cycle.Load()
+		r := &s.rs[rid]
+		c.CCA = int(uint32(anchorElapsed(r.aliveAnchor.Load(), now)))
+		c.CCAR = int(uint32(anchorElapsed(r.arrAnchor.Load(), now)))
+	} else {
+		c.CCA = int(hs.cca.Load())
+		c.CCAR = int(hs.ccar.Load())
+	}
+	return c, nil
 }
 
 // Results reports the cumulative detection counts (the AM/AR/PFC Result

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// Compile-time layout assertions: the hot-path structs are sized to exact
+// cache-line multiples so adjacent array elements never share a line
+// (hotState spans two lines to also defeat adjacent-line prefetching;
+// predReg and shardOut span one). A zero-length array with a negative
+// length is a compile error, so each pair of declarations pins the size
+// from both sides — growing or shrinking any struct breaks the build
+// here, next to the explanation, instead of silently reintroducing false
+// sharing.
+var (
+	_ [unsafe.Sizeof(hotState{}) - 2*cacheLineSize]byte
+	_ [2*cacheLineSize - unsafe.Sizeof(hotState{})]byte
+
+	_ [unsafe.Sizeof(predReg{}) - cacheLineSize]byte
+	_ [cacheLineSize - unsafe.Sizeof(predReg{})]byte
+
+	_ [unsafe.Sizeof(shardOut{}) - cacheLineSize]byte
+	_ [cacheLineSize - unsafe.Sizeof(shardOut{})]byte
+)
+
+// TestHotLayout reports the sizes so a failing compile-time assertion is
+// easy to diagnose with `go test -run TestHotLayout -v`.
+func TestHotLayout(t *testing.T) {
+	if got := unsafe.Sizeof(hotState{}); got != 2*cacheLineSize {
+		t.Errorf("sizeof(hotState) = %d, want %d", got, 2*cacheLineSize)
+	}
+	if got := unsafe.Sizeof(predReg{}); got != cacheLineSize {
+		t.Errorf("sizeof(predReg) = %d, want %d", got, cacheLineSize)
+	}
+	if got := unsafe.Sizeof(shardOut{}); got != cacheLineSize {
+		t.Errorf("sizeof(shardOut) = %d, want %d", got, cacheLineSize)
+	}
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"sync"
+
+	"swwd/internal/runnable"
+)
+
+// This file holds the Cycle sweep implementations: the default
+// wheel-based sweep (serial and sharded-parallel) and the retired O(N)
+// full-table walk, kept in-tree both as the bit-identical reference for
+// the equivalence replay tests and as a benchmark/ablation baseline
+// (Config.LegacySweep).
+
+// sweepParallelDefaultMin is the minimum number of due runnables in one
+// cycle before the sharded pool is engaged; below it the fan-out/join
+// overhead dwarfs the sweep itself and the serial path wins.
+const sweepParallelDefaultMin = 256
+
+// detection is one deferred fault found by the sweep; detections are
+// batched so w.mu is taken once per cycle, not once per fault.
+type detection struct {
+	kind               ErrorKind
+	rid                runnable.ID
+	observed, expected int
+}
+
+// resched is one deadline re-index computed by a sweep worker and
+// applied serially after the join (workers never mutate the wheel).
+type resched struct {
+	rid  uint32
+	kind uint8
+	due  uint64
+}
+
+// shardOut is the result buffer of one sweep worker, padded so adjacent
+// workers do not publish into the same cache line.
+type shardOut struct {
+	dets []detection
+	res  []resched
+	_    [cacheLineSize - 2*24]byte // two slice headers per worker
+}
+
+// sweepPool is the persistent worker pool of the sharded sweep. Workers
+// park on the job channel between cycles; Watchdog.Close retires them.
+type sweepPool struct {
+	jobs chan func()
+	done sync.WaitGroup
+}
+
+func newSweepPool(n int) *sweepPool {
+	p := &sweepPool{jobs: make(chan func(), n)}
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.done.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *sweepPool) submit(f func()) { p.jobs <- f }
+
+func (p *sweepPool) close() {
+	close(p.jobs)
+	p.done.Wait()
+}
+
+// Close retires the sharded-sweep worker pool, if one was configured
+// (Config.SweepShards > 1). It is idempotent and safe to call
+// concurrently with Cycle; after Close the sweep continues serially.
+// Watchdogs without a worker pool need no Close.
+func (w *Watchdog) Close() {
+	s := w.sched
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
+}
+
+// Cycle advances the time-triggered part of the watchdog by one
+// monitoring cycle (§3.3: counters are "checked shortly before the next
+// period begins" and "reset to zero, if the periods ... expire or an
+// error is detected").
+//
+// The sweep is deadline-driven: only runnables whose aliveness or
+// arrival window expires on this very cycle are visited — O(due work)
+// via the timer wheel's bitmap buckets instead of the retired O(N) walk
+// over every padded counter line. Expiring windows are closed with
+// atomic swaps so concurrent heartbeats land in either the closing or
+// the next window; detections are batched and reported under one
+// acquisition of the cold-path mutex per cycle.
+func (w *Watchdog) Cycle() {
+	s := w.sched
+	if s == nil {
+		w.cycleLegacy()
+		return
+	}
+	s.mu.Lock()
+	c := w.cycle.Add(1)
+	if c&s.mask == 0 {
+		s.migrate(c)
+	}
+	b := &s.buckets[c&s.mask]
+	na, nr := 0, 0
+	if b.alive != nil {
+		na = b.alive.len()
+	}
+	if b.arr != nil {
+		nr = b.arr.len()
+	}
+	if na == 0 && nr == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.dueAlive = s.dueAlive[:0]
+	s.dueArr = s.dueArr[:0]
+	if na > 0 {
+		s.dueAlive = b.alive.drainInto(s.dueAlive)
+	}
+	if nr > 0 {
+		s.dueArr = b.arr.drainInto(s.dueArr)
+	}
+	// The drained deadlines are consumed: mark them unscheduled before
+	// processing so the per-item reschedule starts from a clean slate.
+	for _, rid := range s.dueAlive {
+		r := &s.rs[rid]
+		r.aliveDue, r.aliveLoc = 0, locNone
+	}
+	for _, rid := range s.dueArr {
+		r := &s.rs[rid]
+		r.arrDue, r.arrLoc = 0, locNone
+	}
+	s.items = mergeDue(s.items[:0], s.dueAlive, s.dueArr)
+	s.batch = s.batch[:0]
+	if s.pool != nil && len(s.items) >= s.parallelMin {
+		w.sweepParallel(c)
+	} else {
+		w.sweepSerial(c)
+	}
+	if len(s.batch) > 0 {
+		w.mu.Lock()
+		for _, d := range s.batch {
+			w.detectLocked(d.kind, d.rid, d.observed, d.expected, runnable.NoID)
+		}
+		w.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+// sweepSerial processes the due items inline: close expiring windows,
+// collect detections, restart and re-index the windows. Holds s.mu.
+func (w *Watchdog) sweepSerial(c uint64) {
+	s := w.sched
+	for _, it := range s.items {
+		rid := int(it.rid)
+		hs := &w.hot[rid]
+		if hs.active.Load() == 0 {
+			continue // defensive: deactivation unschedules under s.mu
+		}
+		hyp := hs.hyp.Load()
+		if it.alive && hyp.AlivenessCycles > 0 {
+			ac := hs.closeAliveness()
+			if int(ac) < hyp.MinHeartbeats {
+				s.batch = append(s.batch, detection{AlivenessError, runnable.ID(rid), int(ac), hyp.MinHeartbeats})
+			}
+			s.rs[rid].aliveAnchor.Store(c)
+			s.schedule(rid, kindAlive, c+uint64(hyp.AlivenessCycles), c)
+		}
+		if it.arr && hyp.ArrivalCycles > 0 {
+			arc := hs.closeArrival()
+			if int(arc) > hyp.MaxArrivals {
+				s.batch = append(s.batch, detection{ArrivalRateError, runnable.ID(rid), int(arc), hyp.MaxArrivals})
+			}
+			s.rs[rid].arrAnchor.Store(c)
+			s.schedule(rid, kindArr, c+uint64(hyp.ArrivalCycles), c)
+		}
+	}
+}
+
+// sweepParallel fans the due items out over the persistent worker pool
+// in contiguous (hence runnable-ascending) chunks. Workers only perform
+// atomic window closes and record their detections and deadline
+// re-indexes locally; the wheel mutation and the detection batch are
+// applied serially after the join, in shard order, so the observable
+// sequence is identical to the serial sweep. Holds s.mu.
+func (w *Watchdog) sweepParallel(c uint64) {
+	s := w.sched
+	n := s.shards
+	chunk := (len(s.items) + n - 1) / n
+	var wg sync.WaitGroup
+	used := 0
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		if lo >= len(s.items) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(s.items) {
+			hi = len(s.items)
+		}
+		o := &s.outs[i]
+		o.dets = o.dets[:0]
+		o.res = o.res[:0]
+		sub := s.items[lo:hi]
+		used++
+		wg.Add(1)
+		s.pool.submit(func() {
+			defer wg.Done()
+			w.sweepShard(c, sub, o)
+		})
+	}
+	wg.Wait()
+	for i := 0; i < used; i++ {
+		o := &s.outs[i]
+		for _, r := range o.res {
+			s.schedule(int(r.rid), int(r.kind), r.due, c)
+		}
+		s.batch = append(s.batch, o.dets...)
+	}
+}
+
+// sweepShard is the worker half of the parallel sweep: pure hot-state
+// atomics plus private result buffers, no wheel access.
+func (w *Watchdog) sweepShard(c uint64, items []dueItem, o *shardOut) {
+	s := w.sched
+	for _, it := range items {
+		rid := int(it.rid)
+		hs := &w.hot[rid]
+		if hs.active.Load() == 0 {
+			continue
+		}
+		hyp := hs.hyp.Load()
+		if it.alive && hyp.AlivenessCycles > 0 {
+			ac := hs.closeAliveness()
+			if int(ac) < hyp.MinHeartbeats {
+				o.dets = append(o.dets, detection{AlivenessError, runnable.ID(rid), int(ac), hyp.MinHeartbeats})
+			}
+			s.rs[rid].aliveAnchor.Store(c)
+			o.res = append(o.res, resched{rid: it.rid, kind: kindAlive, due: c + uint64(hyp.AlivenessCycles)})
+		}
+		if it.arr && hyp.ArrivalCycles > 0 {
+			arc := hs.closeArrival()
+			if int(arc) > hyp.MaxArrivals {
+				o.dets = append(o.dets, detection{ArrivalRateError, runnable.ID(rid), int(arc), hyp.MaxArrivals})
+			}
+			s.rs[rid].arrAnchor.Store(c)
+			o.res = append(o.res, resched{rid: it.rid, kind: kindArr, due: c + uint64(hyp.ArrivalCycles)})
+		}
+	}
+}
+
+// cycleLegacy is the retired full-table sweep (Config.LegacySweep): one
+// pass over every runnable's padded counter line per cycle, per-cycle
+// CCA/CCAR increments, one w.mu acquisition per fault. Kept as the
+// reference implementation the equivalence tests replay against and as
+// the "before" side of BenchmarkCycleSweep.
+func (w *Watchdog) cycleLegacy() {
+	w.cycle.Add(1)
+	for i := range w.hot {
+		hs := &w.hot[i]
+		if hs.active.Load() == 0 {
+			continue
+		}
+		hyp := hs.hyp.Load()
+		if hyp.AlivenessCycles > 0 {
+			if hs.cca.Add(1) >= uint32(hyp.AlivenessCycles) {
+				ac := hs.closeAliveness()
+				hs.cca.Store(0)
+				if int(ac) < hyp.MinHeartbeats {
+					w.mu.Lock()
+					w.detectLocked(AlivenessError, runnable.ID(i), int(ac), hyp.MinHeartbeats, runnable.NoID)
+					w.mu.Unlock()
+				}
+			}
+		}
+		if hyp.ArrivalCycles > 0 {
+			if hs.ccar.Add(1) >= uint32(hyp.ArrivalCycles) {
+				arc := hs.closeArrival()
+				hs.ccar.Store(0)
+				if int(arc) > hyp.MaxArrivals {
+					w.mu.Lock()
+					w.detectLocked(ArrivalRateError, runnable.ID(i), int(arc), hyp.MaxArrivals, runnable.NoID)
+					w.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// lockSched acquires the scheduler mutex when the wheel sweep is active
+// and returns the matching unlock. Lock order: sched.mu before w.mu.
+func (w *Watchdog) lockSched() func() {
+	if s := w.sched; s != nil {
+		s.mu.Lock()
+		return s.mu.Unlock
+	}
+	return func() {}
+}
+
+// reschedFreshLocked re-derives both deadlines of a runnable after its
+// counters were reset (activation changes, fault treatment): monitored
+// windows restart at the current cycle; everything else freezes at zero.
+// Requires sched.mu.
+func (w *Watchdog) reschedFreshLocked(rid runnable.ID) {
+	s := w.sched
+	c := w.cycle.Load()
+	i := int(rid)
+	s.unschedule(i, kindAlive)
+	s.unschedule(i, kindArr)
+	hs := &w.hot[i]
+	hyp := hs.hyp.Load()
+	active := hs.active.Load() != 0
+	r := &s.rs[i]
+	if active && hyp.AlivenessCycles > 0 {
+		r.aliveAnchor.Store(c)
+		s.schedule(i, kindAlive, c+uint64(hyp.AlivenessCycles), c)
+	} else {
+		r.aliveAnchor.Store(frozenFlag)
+	}
+	if active && hyp.ArrivalCycles > 0 {
+		r.arrAnchor.Store(c)
+		s.schedule(i, kindArr, c+uint64(hyp.ArrivalCycles), c)
+	} else {
+		r.arrAnchor.Store(frozenFlag)
+	}
+}
+
+// reschedPreserveLocked re-derives both deadlines of a runnable after a
+// hypothesis change, preserving the elapsed cycle-counter value exactly
+// like the reference sweep does (SetHypothesis never resets counters):
+// the in-flight window keeps its age, a shortened period that is already
+// exceeded expires on the next cycle, and disabling a unit freezes the
+// counter where it stands. Requires sched.mu.
+func (w *Watchdog) reschedPreserveLocked(rid runnable.ID) {
+	s := w.sched
+	c := w.cycle.Load()
+	i := int(rid)
+	hs := &w.hot[i]
+	hyp := hs.hyp.Load()
+	active := hs.active.Load() != 0
+	r := &s.rs[i]
+
+	elapsed := anchorElapsed(r.aliveAnchor.Load(), c)
+	if elapsed > c {
+		elapsed = c // defensive: anchors never precede cycle zero
+	}
+	s.unschedule(i, kindAlive)
+	if active && hyp.AlivenessCycles > 0 {
+		start := c - elapsed
+		due := start + uint64(hyp.AlivenessCycles)
+		if due <= c {
+			due = c + 1
+		}
+		r.aliveAnchor.Store(start)
+		s.schedule(i, kindAlive, due, c)
+	} else {
+		r.aliveAnchor.Store(frozenFlag | elapsed)
+	}
+
+	elapsed = anchorElapsed(r.arrAnchor.Load(), c)
+	if elapsed > c {
+		elapsed = c
+	}
+	s.unschedule(i, kindArr)
+	if active && hyp.ArrivalCycles > 0 {
+		start := c - elapsed
+		due := start + uint64(hyp.ArrivalCycles)
+		if due <= c {
+			due = c + 1
+		}
+		r.arrAnchor.Store(start)
+		s.schedule(i, kindArr, due, c)
+	} else {
+		r.arrAnchor.Store(frozenFlag | elapsed)
+	}
+}
+
+// reschedArrivalRestartLocked restarts the arrival window after an eager
+// arrival detection reset ARC mid-period (the reference sweep's
+// ccar.Store(0)). Requires sched.mu.
+func (w *Watchdog) reschedArrivalRestartLocked(rid runnable.ID, hyp *Hypothesis) {
+	s := w.sched
+	c := w.cycle.Load()
+	i := int(rid)
+	s.unschedule(i, kindArr)
+	r := &s.rs[i]
+	if hyp.ArrivalCycles > 0 {
+		r.arrAnchor.Store(c)
+		s.schedule(i, kindArr, c+uint64(hyp.ArrivalCycles), c)
+	} else {
+		r.arrAnchor.Store(frozenFlag)
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the due-cycle timer wheel behind the Cycle sweep.
+//
+// The seed design swept every runnable's padded 128-byte hotState line on
+// every monitoring cycle — O(N) per cycle even when no window expired,
+// measured 2.6× slower than the seed's packed-array walk (README
+// §Performance history). The wheel replaces that with deadline-based
+// scheduling: each runnable stores the absolute cycle number at which its
+// aliveness and arrival windows next expire, and those deadlines are
+// indexed in a ring of bitmap buckets keyed by `due % wheelSize`.
+// `Cycle()` then visits only the runnables whose window expires on that
+// very cycle — O(due work) plus a handful of summary-bitmap words —
+// instead of walking the whole table.
+//
+// Deadlines at least wheelSize cycles away cannot live in a bucket (the
+// slot would alias an earlier cycle), so they park in a per-kind overflow
+// bitset; every wheelSize cycles the sweep migrates overflow entries that
+// have come within the horizon into their bucket. A deadline parked in
+// overflow is always migrated before it is due: between `due-wheelSize`
+// and `due` there is exactly one multiple of wheelSize, migration runs at
+// that cycle before the bucket is drained, and at that point
+// `due - now < wheelSize` holds.
+//
+// All wheel state is guarded by scheduler.mu, which is ordered BEFORE the
+// watchdog's cold-path mutex (sched.mu < w.mu): configuration paths that
+// reschedule deadlines take sched.mu first, and the sweep batch-reports
+// detections under w.mu while still holding sched.mu. The heartbeat hot
+// path never touches the wheel; the only beat-path entry is the eager
+// arrival cold branch, which restarts the arrival window.
+
+// defaultWheelSize is the bucket count of the timer wheel (power of two).
+// Hypothesis periods are typically a handful of cycles (the paper uses 5),
+// so almost all live deadlines sit in buckets; longer periods overflow and
+// are migrated in once per wheel revolution.
+const defaultWheelSize = 256
+
+// deadline kinds.
+const (
+	kindAlive = 0
+	kindArr   = 1
+)
+
+// runnableSched locations.
+const (
+	locNone = iota
+	locBucket
+	locOverflow
+)
+
+// frozenFlag marks a counter anchor as frozen: the low 63 bits hold the
+// cycle-counter value directly instead of the window's start cycle.
+const frozenFlag = uint64(1) << 63
+
+// anchorElapsed decodes a counter anchor at cycle c: a running anchor
+// stores the window's start cycle (elapsed = c - start); a frozen anchor
+// stores the elapsed value itself (monitoring disabled or inactive, the
+// counter no longer advances).
+func anchorElapsed(a, c uint64) uint64 {
+	if a&frozenFlag != 0 {
+		return a &^ frozenFlag
+	}
+	return c - a
+}
+
+// runnableSched is the per-runnable deadline state. due/loc are guarded
+// by scheduler.mu; the anchors are atomics so CounterSnapshot can derive
+// CCA/CCAR lock-free (the hot path equivalent of the retired per-cycle
+// counter increments).
+type runnableSched struct {
+	aliveDue uint64 // absolute cycle the aliveness window expires; 0 = unscheduled
+	arrDue   uint64
+	aliveLoc uint8
+	arrLoc   uint8
+
+	aliveAnchor atomic.Uint64
+	arrAnchor   atomic.Uint64
+}
+
+// wheelBucket holds the deadlines of one wheel slot, one bitmap per kind.
+// Bitsets are allocated lazily: periodic hypotheses cluster on a few
+// slots, so most buckets of a big wheel stay nil.
+type wheelBucket struct {
+	alive *bitset
+	arr   *bitset
+}
+
+// get returns the bucket's bitset for kind, allocating on first use.
+func (b *wheelBucket) get(kind, n int) *bitset {
+	p := &b.alive
+	if kind == kindArr {
+		p = &b.arr
+	}
+	if *p == nil {
+		*p = newBitset(n)
+	}
+	return *p
+}
+
+// peek returns the bucket's bitset for kind without allocating.
+func (b *wheelBucket) peek(kind int) *bitset {
+	if kind == kindArr {
+		return b.arr
+	}
+	return b.alive
+}
+
+// scheduler is the due-cycle index driving the wheel-based sweep.
+type scheduler struct {
+	mu   sync.Mutex
+	size uint64 // bucket count, power of two
+	mask uint64
+
+	buckets   []wheelBucket
+	overAlive *bitset // deadlines ≥ size cycles away
+	overArr   *bitset
+	rs        []runnableSched
+	n         int // number of runnables
+
+	// Parallel sweep.
+	shards      int
+	parallelMin int // minimum due items before the pool is engaged
+	pool        *sweepPool
+	outs        []shardOut
+
+	// Reusable sweep buffers.
+	dueAlive []uint32
+	dueArr   []uint32
+	migr     []uint32
+	items    []dueItem
+	batch    []detection
+}
+
+// newScheduler builds the wheel for n runnables. size must be a power of
+// two; shards > 1 enables the parallel sweep (workers are started by the
+// caller via startPool).
+func newScheduler(n int, size uint64, shards, parallelMin int) *scheduler {
+	if size == 0 {
+		size = defaultWheelSize
+	}
+	s := &scheduler{
+		size:        size,
+		mask:        size - 1,
+		buckets:     make([]wheelBucket, size),
+		overAlive:   newBitset(n),
+		overArr:     newBitset(n),
+		rs:          make([]runnableSched, n),
+		n:           n,
+		shards:      shards,
+		parallelMin: parallelMin,
+	}
+	for i := range s.rs {
+		// Everything starts inactive: counters frozen at zero.
+		s.rs[i].aliveAnchor.Store(frozenFlag)
+		s.rs[i].arrAnchor.Store(frozenFlag)
+	}
+	if shards > 1 {
+		s.pool = newSweepPool(shards)
+		s.outs = make([]shardOut, shards)
+	}
+	return s
+}
+
+// overflow returns the overflow bitset for kind.
+func (s *scheduler) overflow(kind int) *bitset {
+	if kind == kindArr {
+		return s.overArr
+	}
+	return s.overAlive
+}
+
+// schedule indexes a deadline. due must be > now. Callers hold s.mu and
+// have unscheduled any previous deadline of the same kind.
+func (s *scheduler) schedule(rid, kind int, due, now uint64) {
+	var loc uint8
+	if due-now < s.size {
+		s.buckets[due&s.mask].get(kind, s.n).set(rid)
+		loc = locBucket
+	} else {
+		s.overflow(kind).set(rid)
+		loc = locOverflow
+	}
+	r := &s.rs[rid]
+	if kind == kindArr {
+		r.arrDue, r.arrLoc = due, loc
+	} else {
+		r.aliveDue, r.aliveLoc = due, loc
+	}
+}
+
+// unschedule removes a deadline if one is indexed. Callers hold s.mu.
+func (s *scheduler) unschedule(rid, kind int) {
+	r := &s.rs[rid]
+	due, loc := r.aliveDue, r.aliveLoc
+	if kind == kindArr {
+		due, loc = r.arrDue, r.arrLoc
+	}
+	switch loc {
+	case locBucket:
+		if bs := s.buckets[due&s.mask].peek(kind); bs != nil {
+			bs.clear(rid)
+		}
+	case locOverflow:
+		s.overflow(kind).clear(rid)
+	}
+	if kind == kindArr {
+		r.arrDue, r.arrLoc = 0, locNone
+	} else {
+		r.aliveDue, r.aliveLoc = 0, locNone
+	}
+}
+
+// migrate moves overflow deadlines that have come within the wheel
+// horizon into their bucket. Called once per wheel revolution, before the
+// current bucket is drained, so a deadline due this very cycle is still
+// swept on time.
+func (s *scheduler) migrate(now uint64) {
+	for kind := kindAlive; kind <= kindArr; kind++ {
+		ov := s.overflow(kind)
+		if ov.len() == 0 {
+			continue
+		}
+		s.migr = ov.appendMembers(s.migr[:0])
+		for _, rid := range s.migr {
+			r := &s.rs[rid]
+			due := r.aliveDue
+			if kind == kindArr {
+				due = r.arrDue
+			}
+			if due-now >= s.size {
+				continue
+			}
+			ov.clear(int(rid))
+			s.buckets[due&s.mask].get(kind, s.n).set(int(rid))
+			if kind == kindArr {
+				r.arrLoc = locBucket
+			} else {
+				r.aliveLoc = locBucket
+			}
+		}
+	}
+}
+
+// resetAll clears every indexed deadline (ClearAll rebuilds the wheel
+// after resetting the cycle counter, since bucket slots are keyed by
+// absolute cycle numbers).
+func (s *scheduler) resetAll() {
+	scratch := s.migr[:0]
+	for i := range s.buckets {
+		if b := s.buckets[i].alive; b != nil {
+			scratch = b.drainInto(scratch[:0])
+		}
+		if b := s.buckets[i].arr; b != nil {
+			scratch = b.drainInto(scratch[:0])
+		}
+	}
+	scratch = s.overAlive.drainInto(scratch[:0])
+	scratch = s.overArr.drainInto(scratch[:0])
+	s.migr = scratch[:0]
+	for i := range s.rs {
+		s.rs[i].aliveDue, s.rs[i].aliveLoc = 0, locNone
+		s.rs[i].arrDue, s.rs[i].arrLoc = 0, locNone
+	}
+}
+
+// dueItem is one runnable with at least one window expiring this cycle.
+type dueItem struct {
+	rid   uint32
+	alive bool
+	arr   bool
+}
+
+// mergeDue merges the two ascending due lists into per-runnable items,
+// preserving ascending runnable order so the sweep reports detections in
+// exactly the order of the reference full-table walk (runnable ascending,
+// aliveness before arrival per runnable).
+func mergeDue(dst []dueItem, alive, arr []uint32) []dueItem {
+	i, j := 0, 0
+	for i < len(alive) && j < len(arr) {
+		switch {
+		case alive[i] < arr[j]:
+			dst = append(dst, dueItem{rid: alive[i], alive: true})
+			i++
+		case alive[i] > arr[j]:
+			dst = append(dst, dueItem{rid: arr[j], arr: true})
+			j++
+		default:
+			dst = append(dst, dueItem{rid: alive[i], alive: true, arr: true})
+			i++
+			j++
+		}
+	}
+	for ; i < len(alive); i++ {
+		dst = append(dst, dueItem{rid: alive[i], alive: true})
+	}
+	for ; j < len(arr); j++ {
+		dst = append(dst, dueItem{rid: arr[j], arr: true})
+	}
+	return dst
+}

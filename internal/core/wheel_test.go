@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// --- bitset -----------------------------------------------------------
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(700)
+	ids := []int{0, 63, 64, 127, 128, 500, 699}
+	for _, id := range ids {
+		if b.contains(id) {
+			t.Fatalf("contains(%d) before set", id)
+		}
+		b.set(id)
+		b.set(id) // duplicate insert must be a no-op
+	}
+	if b.len() != len(ids) {
+		t.Fatalf("len = %d, want %d", b.len(), len(ids))
+	}
+	for _, id := range ids {
+		if !b.contains(id) {
+			t.Fatalf("contains(%d) after set = false", id)
+		}
+	}
+	got := b.appendMembers(nil)
+	for i, id := range ids {
+		if int(got[i]) != id {
+			t.Fatalf("appendMembers[%d] = %d, want %d", i, got[i], id)
+		}
+	}
+	if b.len() != len(ids) {
+		t.Fatalf("appendMembers drained the set: len = %d", b.len())
+	}
+	b.clear(63)
+	b.clear(63) // duplicate clear must be a no-op
+	if b.contains(63) || b.len() != len(ids)-1 {
+		t.Fatalf("clear(63): contains=%v len=%d", b.contains(63), b.len())
+	}
+	drained := b.drainInto(nil)
+	want := []int{0, 64, 127, 128, 500, 699}
+	if len(drained) != len(want) {
+		t.Fatalf("drainInto = %v, want %v", drained, want)
+	}
+	for i, id := range want {
+		if int(drained[i]) != id {
+			t.Fatalf("drainInto[%d] = %d, want %d", i, drained[i], id)
+		}
+	}
+	if b.len() != 0 {
+		t.Fatalf("len after drain = %d", b.len())
+	}
+	for _, id := range ids {
+		if b.contains(id) {
+			t.Fatalf("contains(%d) after drain", id)
+		}
+	}
+	// The set must be reusable after a drain (buckets are recycled).
+	b.set(42)
+	if !b.contains(42) || b.len() != 1 {
+		t.Fatalf("reuse after drain failed")
+	}
+}
+
+func TestMergeDue(t *testing.T) {
+	got := mergeDue(nil, []uint32{1, 3, 5}, []uint32{2, 3, 7})
+	want := []dueItem{
+		{rid: 1, alive: true},
+		{rid: 2, arr: true},
+		{rid: 3, alive: true, arr: true},
+		{rid: 5, alive: true},
+		{rid: 7, arr: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mergeDue = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeDue[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// --- wheel fixtures ---------------------------------------------------
+
+// wheelFixture builds a single-runnable watchdog with a tiny wheel so the
+// overflow and slot-alias paths are exercised in a handful of cycles.
+func wheelFixture(t *testing.T, size uint64, hyp Hypothesis) (*Watchdog, *collector, runnable.ID, runnable.TaskID) {
+	t.Helper()
+	m := runnable.NewModel()
+	app, _ := m.AddApp("wheel", runnable.SafetyCritical)
+	task, _ := m.AddTask(app, "T", 1)
+	rid, err := m.AddRunnable(task, "r", time.Millisecond, runnable.SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	sink := &collector{}
+	w, err := New(Config{Model: m, Clock: sim.NewManualClock(), Sink: sink, wheelSize: size})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.SetHypothesis(rid, hyp); err != nil {
+		t.Fatalf("SetHypothesis: %v", err)
+	}
+	if err := w.Activate(rid); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	return w, sink, rid, task
+}
+
+func faultCycles(sink *collector) []uint64 {
+	var cs []uint64
+	for _, f := range sink.faults {
+		cs = append(cs, f.Cycle)
+	}
+	return cs
+}
+
+// --- wheel behavior ---------------------------------------------------
+
+// TestWheelOverflowMigration parks a deadline beyond the wheel horizon
+// (L=9 on a 4-slot wheel) and checks it is migrated in and fires exactly
+// on schedule, including the re-armed second window.
+func TestWheelOverflowMigration(t *testing.T) {
+	w, sink, _, _ := wheelFixture(t, 4, Hypothesis{AlivenessCycles: 9, MinHeartbeats: 1})
+	for i := 0; i < 18; i++ {
+		w.Cycle()
+	}
+	got := faultCycles(sink)
+	if len(got) != 2 || got[0] != 9 || got[1] != 18 {
+		t.Fatalf("fault cycles = %v, want [9 18]", got)
+	}
+}
+
+// TestWheelPeriodEqualsSize re-arms a window whose period equals the
+// wheel size, so the fresh deadline lands in the very slot being swept.
+// The drain-before-process design must not re-process it on the same
+// cycle nor lose it.
+func TestWheelPeriodEqualsSize(t *testing.T) {
+	w, sink, _, _ := wheelFixture(t, 8, Hypothesis{AlivenessCycles: 8, MinHeartbeats: 1})
+	for i := 0; i < 24; i++ {
+		w.Cycle()
+	}
+	got := faultCycles(sink)
+	if len(got) != 3 || got[0] != 8 || got[1] != 16 || got[2] != 24 {
+		t.Fatalf("fault cycles = %v, want [8 16 24]", got)
+	}
+}
+
+// TestWheelDeactivateFromOverflow deactivates a runnable whose deadline
+// still sits in the overflow set (before any migration) and checks the
+// stale deadline neither fires nor corrupts a later re-activation — the
+// regression for the explicit per-runnable location tracking.
+func TestWheelDeactivateFromOverflow(t *testing.T) {
+	w, sink, rid, _ := wheelFixture(t, 4, Hypothesis{AlivenessCycles: 40, MinHeartbeats: 1})
+	w.Cycle()
+	w.Cycle() // cycle 2: deadline 40 still parked in overflow
+	if err := w.Deactivate(rid); err != nil {
+		t.Fatalf("Deactivate: %v", err)
+	}
+	for i := 0; i < 60; i++ {
+		w.Cycle()
+	}
+	if got := faultCycles(sink); len(got) != 0 {
+		t.Fatalf("faults after deactivate = %v, want none", got)
+	}
+	// Re-activate at cycle 62: the fresh window must expire at 102.
+	if err := w.Activate(rid); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	for i := 0; i < 45; i++ {
+		w.Cycle()
+	}
+	got := faultCycles(sink)
+	if len(got) != 1 || got[0] != 102 {
+		t.Fatalf("fault cycles = %v, want [102]", got)
+	}
+}
+
+// TestWheelClearAllRebuild checks ClearAll resets the cycle counter and
+// reindexes every deadline: the wheel's bucket keys are absolute cycle
+// numbers, so the rebuild must restart windows from the new cycle zero.
+func TestWheelClearAllRebuild(t *testing.T) {
+	w, sink, _, _ := wheelFixture(t, 4, Hypothesis{AlivenessCycles: 6, MinHeartbeats: 1})
+	for i := 0; i < 7; i++ {
+		w.Cycle()
+	}
+	if got := faultCycles(sink); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("pre-ClearAll fault cycles = %v, want [6]", got)
+	}
+	w.ClearAll()
+	sink.faults = nil
+	for i := 0; i < 13; i++ {
+		w.Cycle()
+	}
+	got := faultCycles(sink)
+	if len(got) != 2 || got[0] != 6 || got[1] != 12 {
+		t.Fatalf("post-ClearAll fault cycles = %v, want [6 12]", got)
+	}
+}
+
+// TestWheelSetHypothesisPreservesElapsed shrinks a window mid-flight and
+// checks the already-elapsed cycles are honored: after 4 cycles of an
+// L=10 window, shrinking to L=3 means the window is already overdue and
+// must fire on the next cycle, exactly like the legacy per-cycle counter
+// hitting its new limit.
+func TestWheelSetHypothesisPreservesElapsed(t *testing.T) {
+	w, sink, rid, _ := wheelFixture(t, 8, Hypothesis{AlivenessCycles: 10, MinHeartbeats: 1})
+	for i := 0; i < 4; i++ {
+		w.Cycle()
+	}
+	if err := w.SetHypothesis(rid, Hypothesis{AlivenessCycles: 3, MinHeartbeats: 1}); err != nil {
+		t.Fatalf("SetHypothesis: %v", err)
+	}
+	w.Cycle() // cycle 5: overdue window fires immediately
+	got := faultCycles(sink)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("fault cycles = %v, want [5]", got)
+	}
+}
+
+// TestWheelCounterSnapshotAnchors checks the anchor-derived CCA matches
+// the per-cycle counter semantics across freeze (Suspend) and resume.
+func TestWheelCounterSnapshotAnchors(t *testing.T) {
+	w, _, rid, tid := wheelFixture(t, 8, Hypothesis{AlivenessCycles: 50, MinHeartbeats: 1})
+	for i := 0; i < 4; i++ {
+		w.Cycle()
+	}
+	if c, _ := w.CounterSnapshot(rid); c.CCA != 4 {
+		t.Fatalf("CCA after 4 cycles = %d, want 4", c.CCA)
+	}
+	if err := w.SuspendTaskMonitoring(tid); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		w.Cycle()
+	}
+	if c, _ := w.CounterSnapshot(rid); c.CCA != 0 {
+		t.Fatalf("CCA while suspended = %d, want 0 (frozen at reset)", c.CCA)
+	}
+}
+
+// TestCloseIdempotent retires a sharded watchdog's worker pool twice.
+func TestCloseIdempotent(t *testing.T) {
+	m := runnable.NewModel()
+	app, _ := m.AddApp("close", runnable.QM)
+	task, _ := m.AddTask(app, "T", 1)
+	if _, err := m.AddRunnable(task, "r", time.Millisecond, runnable.QM); err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	w, err := New(Config{Model: m, Clock: sim.NewManualClock(), SweepShards: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.Cycle()
+	w.Close()
+	w.Close()
+	// The serial sweep must keep working after the pool is gone.
+	w.Cycle()
+}

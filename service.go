@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,11 +22,25 @@ type Service struct {
 	w      *Watchdog
 	period time.Duration
 
+	// missed counts monitoring cycles lost to ticker overruns: when one
+	// Cycle (or a scheduling stall) takes longer than the period, the
+	// ticker drops the intervening ticks and the watchdog's cycle counter
+	// falls behind wall time — which silently stretches every fault
+	// hypothesis window. The drift is detected from the tick timestamps.
+	missed  atomic.Uint64
+	overrun atomic.Pointer[OverrunHandler]
+
 	mu      sync.Mutex
 	running bool
 	stop    chan struct{} // closed by Stop to end the current loop
 	done    chan struct{} // closed by the loop on exit
 }
+
+// OverrunHandler observes monitoring-cycle overruns: missed is the number
+// of cycles lost between two ticker deliveries, late is how far past one
+// period the delivery arrived. Handlers run on the monitoring loop
+// goroutine and must be fast; typical use is a log line or a metric.
+type OverrunHandler func(missed uint64, late time.Duration)
 
 // NewService wraps a watchdog; period is the monitoring cycle (zero means
 // the watchdog's configured CyclePeriod).
@@ -114,17 +129,61 @@ func (s *Service) end(done chan struct{}) {
 	close(done)
 }
 
+// MissedCycles reports how many monitoring cycles have been lost to
+// overruns since the service was created (cumulative across restarts).
+// A non-zero value means the configured period is too short for the
+// sweep load — hypothesis windows were measured against fewer cycles
+// than wall time would imply.
+func (s *Service) MissedCycles() uint64 { return s.missed.Load() }
+
+// SetOverrunHandler installs (or, with nil, removes) the callback invoked
+// whenever ticker deliveries show that cycles were dropped. Safe to call
+// concurrently with a running loop.
+func (s *Service) SetOverrunHandler(h OverrunHandler) {
+	if h == nil {
+		s.overrun.Store(nil)
+		return
+	}
+	s.overrun.Store(&h)
+}
+
+// noteTick accounts one ticker delivery at now given the previous
+// delivery time, crediting fully skipped periods to the missed-cycle
+// counter and notifying the overrun handler. Go tickers drop ticks when
+// the receiver is slow, so a gap of k periods means k-1 cycles never ran.
+// The half-period guard tolerates ordinary scheduling jitter.
+func (s *Service) noteTick(prev, now time.Time) uint64 {
+	gap := now.Sub(prev)
+	if gap <= s.period+s.period/2 {
+		return 0
+	}
+	n := uint64(gap/s.period) - 1
+	if n == 0 {
+		return 0
+	}
+	s.missed.Add(n)
+	if h := s.overrun.Load(); h != nil {
+		(*h)(n, gap-s.period)
+	}
+	return n
+}
+
 // loop runs monitoring cycles until ctx is cancelled or stop is closed.
 func (s *Service) loop(ctx context.Context, stop <-chan struct{}) error {
 	ticker := time.NewTicker(s.period)
 	defer ticker.Stop()
+	var last time.Time
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-stop:
 			return nil
-		case <-ticker.C:
+		case now := <-ticker.C:
+			if !last.IsZero() {
+				s.noteTick(last, now)
+			}
+			last = now
 			s.w.Cycle()
 		}
 	}

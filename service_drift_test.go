@@ -1,0 +1,103 @@
+package swwd
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func driftService(t *testing.T) *Service {
+	t.Helper()
+	m := NewModel()
+	app, _ := m.AddApp("drift", QM)
+	task, _ := m.AddTask(app, "T", 1)
+	if _, err := m.AddRunnable(task, "r", time.Millisecond, QM); err != nil {
+		t.Fatalf("AddRunnable: %v", err)
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	w, err := New(m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s, err := NewService(w, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return s
+}
+
+// TestNoteTickDriftAccounting drives the tick accounting directly with
+// synthetic timestamps: on-time and jittery ticks are free, while a gap
+// of k periods credits k-1 missed cycles and fires the overrun handler
+// with the lateness.
+func TestNoteTickDriftAccounting(t *testing.T) {
+	s := driftService(t)
+	var gotMissed atomic.Uint64
+	var gotLate atomic.Int64
+	s.SetOverrunHandler(func(missed uint64, late time.Duration) {
+		gotMissed.Add(missed)
+		gotLate.Store(int64(late))
+	})
+
+	t0 := time.Unix(1000, 0)
+	period := 10 * time.Millisecond
+
+	// On-time tick: no drift.
+	if n := s.noteTick(t0, t0.Add(period)); n != 0 {
+		t.Fatalf("on-time tick: missed = %d, want 0", n)
+	}
+	// Jitter below the half-period guard: no drift.
+	if n := s.noteTick(t0, t0.Add(period+4*time.Millisecond)); n != 0 {
+		t.Fatalf("jittery tick: missed = %d, want 0", n)
+	}
+	if s.MissedCycles() != 0 {
+		t.Fatalf("MissedCycles after clean ticks = %d, want 0", s.MissedCycles())
+	}
+
+	// A 3.5-period gap means two whole cycles never ran.
+	gap := period*3 + period/2
+	if n := s.noteTick(t0, t0.Add(gap)); n != 2 {
+		t.Fatalf("overrun tick: missed = %d, want 2", n)
+	}
+	if s.MissedCycles() != 2 {
+		t.Fatalf("MissedCycles = %d, want 2", s.MissedCycles())
+	}
+	if gotMissed.Load() != 2 {
+		t.Fatalf("handler missed = %d, want 2", gotMissed.Load())
+	}
+	if want := gap - period; time.Duration(gotLate.Load()) != want {
+		t.Fatalf("handler late = %v, want %v", time.Duration(gotLate.Load()), want)
+	}
+
+	// Removing the handler keeps counting but stops callbacks.
+	s.SetOverrunHandler(nil)
+	if n := s.noteTick(t0, t0.Add(2*period)); n != 1 {
+		t.Fatalf("second overrun: missed = %d, want 1", n)
+	}
+	if s.MissedCycles() != 3 {
+		t.Fatalf("MissedCycles = %d, want 3", s.MissedCycles())
+	}
+	if gotMissed.Load() != 2 {
+		t.Fatalf("handler fired after removal: missed = %d", gotMissed.Load())
+	}
+}
+
+// TestServiceCleanRunNoDrift runs a real loop long enough for several
+// ticks and checks a healthy sweep reports no missed cycles.
+func TestServiceCleanRunNoDrift(t *testing.T) {
+	s := driftService(t)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if got := s.MissedCycles(); got > 2 {
+		// Allow a little CI scheduling slop, but a healthy loop must not
+		// be systematically behind.
+		t.Fatalf("MissedCycles after clean run = %d", got)
+	}
+}
