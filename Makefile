@@ -28,13 +28,17 @@ bench-hotpath:
 	$(GO) test -run xxx -bench 'Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' -benchmem -count=3 .
 
 # Cycle-sweep + hot-path benchmarks as machine-readable JSON
-# (BENCH_cycle.json, uploaded as a CI artifact). Override BENCHTIME for a
-# quick smoke run: make bench-json BENCHTIME=1x
+# (BENCH_cycle.json) plus the telemetry benchmarks (BENCH_stats.json),
+# both uploaded as CI artifacts. Override BENCHTIME for a quick smoke
+# run: make bench-json BENCHTIME=1x
 BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run xxx -bench 'CycleSweep|Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' \
 		-benchmem -benchtime $(BENCHTIME) . | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_cycle.json bench_output.txt
+	$(GO) test -run xxx -bench 'Snapshot|BeatWithStats|Journal' \
+		-benchmem -benchtime $(BENCHTIME) . | tee bench_stats_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_stats.json bench_stats_output.txt
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -54,4 +58,4 @@ examples:
 	$(GO) run ./examples/calibrate
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_stats_output.txt

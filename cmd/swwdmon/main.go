@@ -6,11 +6,18 @@
 //
 // Usage:
 //
-//	swwdmon -spec system.json [-duration 10s] [-quiet]
+//	swwdmon -spec system.json [-duration 10s] [-quiet] [-metrics :8080]
 //
 // Example:
 //
 //	my-app --heartbeat-log /dev/stdout | swwdmon -spec system.json
+//
+// With -metrics the process additionally serves its live telemetry (see
+// metrics.go): Prometheus text on /metrics, expvar JSON on /debug/vars
+// and pprof on /debug/pprof:
+//
+//	swwdmon -spec system.json -metrics :8080 &
+//	curl -s localhost:8080/metrics | grep swwd_
 package main
 
 import (
@@ -61,6 +68,7 @@ func run() error {
 	specPath := flag.String("spec", "", "path to the system spec (JSON)")
 	duration := flag.Duration("duration", 0, "stop after this long (0 = until stdin closes)")
 	quiet := flag.Bool("quiet", false, "suppress per-fault output, print state changes and the final summary only")
+	metrics := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
@@ -92,6 +100,16 @@ func run() error {
 	}
 	defer svc.Stop()
 	fmt.Printf("monitoring %d runnables, cycle %v\n", sys.Model.NumRunnables(), sys.Watchdog.CyclePeriod())
+
+	if *metrics != "" {
+		ms := newMetricsServer(svc, sys)
+		go func() {
+			if err := ms.serve(*metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "swwdmon: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("metrics on %s (/metrics, /debug/vars, /debug/pprof)\n", *metrics)
+	}
 
 	done := make(chan error, 1)
 	go func() {

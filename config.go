@@ -69,6 +69,10 @@ type WatchdogSpec struct {
 	// SweepShards enables the sharded parallel Cycle sweep (0 or 1 =
 	// serial; see WithSweepShards).
 	SweepShards int `json:"sweep_shards,omitempty"`
+	// JournalSize is the fault-event journal capacity in entries,
+	// rounded up to a power of two (0 = default 256, negative =
+	// disabled; see WithJournalSize).
+	JournalSize int `json:"journal_size,omitempty"`
 }
 
 // LoadSpec parses a Spec from JSON.
@@ -249,6 +253,7 @@ func (s *Spec) Build(clock Clock, sink Sink) (*System, error) {
 		DisableCorrelation: s.Watchdog.DisableCorrelation,
 		ECUFaultyAppCount:  s.Watchdog.ECUFaultyAppCount,
 		SweepShards:        s.Watchdog.SweepShards,
+		JournalSize:        s.Watchdog.JournalSize,
 	})
 	if err != nil {
 		return nil, err

@@ -7,7 +7,9 @@
 // checks their aliveness and arrival rate against per-runnable fault
 // hypotheses and validates the producer→worker→publisher flow. Mid run
 // the worker stalls, and the watchdog reports the aliveness error and
-// flips the task state.
+// flips the task state. Afterwards the example scrapes the telemetry
+// Snapshot and replays the fault-event journal, showing how the stall
+// is diagnosed after the fact from the freeze-framed counters.
 //
 // Run with:
 //
@@ -162,6 +164,31 @@ func run() error {
 		fmt.Println("ERROR: stall was not detected")
 		os.Exit(1)
 	}
+
+	// 5. Post-mortem telemetry: a Snapshot summarizes every runnable's
+	// lifetime beats and per-kind fault counts (the same figures a
+	// swwdmon -metrics endpoint exports), and the fault-event journal
+	// replays each detection with its freeze-framed counters.
+	snap := svc.Snapshot()
+	fmt.Printf("telemetry after %d cycles (%d ticks, %d missed):\n",
+		snap.Cycle, snap.Driver.Ticks, snap.Driver.MissedCycles)
+	names := []string{"producer", "worker", "publisher"}
+	for i, rs := range snap.Runnables {
+		fmt.Printf("  %-9s beats=%-4d aliveness-errors=%d arrival-errors=%d flow-errors=%d\n",
+			names[i], rs.Beats, rs.ErrAliveness, rs.ErrArrivalRate, rs.ErrProgramFlow)
+	}
+	fmt.Printf("journal: %d/%d entries (%d written, %d dropped); last entries:\n",
+		snap.Journal.Len, snap.Journal.Cap, snap.Journal.Written, snap.Journal.Dropped)
+	entries := w.Journal()
+	if len(entries) > 3 {
+		entries = entries[len(entries)-3:]
+	}
+	for _, e := range entries {
+		fmt.Printf("  #%d cycle=%d %s runnable=%s observed=%d expected=%d frame{AC=%d ARC=%d CCA=%d}\n",
+			e.Seq, e.Cycle, e.Kind, names[e.Runnable], e.Observed, e.Expected,
+			e.Frame.AC, e.Frame.ARC, e.Frame.CCA)
+	}
+
 	fmt.Println("stall detected — quickstart complete")
 	return nil
 }

@@ -43,6 +43,7 @@ func buildConcurrencyFixture(t testing.TB, nTasks, runnablesPerTask int) (*Watch
 	w, err := New(Config{
 		Model: m, Clock: sim.NewManualClock(),
 		EagerArrivalCheck: true, // exercise the eager cold path too
+		JournalSize:       16,   // tiny ring so the stress run wraps it constantly
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -172,6 +173,34 @@ func TestConcurrentBeatCycle_Race(t *testing.T) {
 		}
 	}()
 
+	// Telemetry scrapers: full snapshots and journal copies with reused
+	// buffers, racing the beaters, the sweep and the treatment paths —
+	// the shape of a live metrics endpoint scraping a busy watchdog.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var snap Snapshot
+		var entries []JournalEntry
+		<-start
+		for i := 0; i < iterations/4; i++ {
+			w.SnapshotInto(&snap)
+			if len(snap.Runnables) != len(rids) {
+				t.Errorf("snapshot has %d runnables, want %d", len(snap.Runnables), len(rids))
+				return
+			}
+			entries = w.JournalInto(entries[:0])
+			for j := 1; j < len(entries); j++ {
+				if entries[j].Seq != entries[j-1].Seq+1 {
+					t.Errorf("journal copy not contiguous: seq %d after %d",
+						entries[j].Seq, entries[j-1].Seq)
+					return
+				}
+			}
+			_ = w.JournalStats()
+			_ = w.SweepHistogram()
+		}
+	}()
+
 	close(start)
 	wg.Wait()
 
@@ -182,6 +211,16 @@ func TestConcurrentBeatCycle_Race(t *testing.T) {
 	if after.Aliveness < before.Aliveness || after.ArrivalRate < before.ArrivalRate ||
 		after.ProgramFlow < before.ProgramFlow {
 		t.Fatalf("results went backwards: %+v -> %+v", before, after)
+	}
+
+	// Journal accounting closes consistent: written = retained + dropped,
+	// and the drop counter only exceeds zero once the ring has wrapped.
+	st := w.JournalStats()
+	if uint64(st.Len) != st.Written-st.Dropped {
+		t.Fatalf("journal accounting: Len %d != Written %d - Dropped %d", st.Len, st.Written, st.Dropped)
+	}
+	if st.Written > uint64(st.Cap) && st.Dropped == 0 {
+		t.Fatalf("journal wrapped (%d written into %d slots) but dropped nothing", st.Written, st.Cap)
 	}
 }
 

@@ -140,6 +140,19 @@ type Config struct {
 	// the equivalence tests replay against and as the benchmark baseline;
 	// production deployments should leave it off.
 	LegacySweep bool
+	// JournalSize is the fault-event journal capacity in entries, rounded
+	// up to a power of two. Zero selects the default (256); negative
+	// disables the journal entirely. Journal writes happen only on the
+	// detection cold path, never on the healthy beat path.
+	JournalSize int
+	// MetricsSink, when set, receives a telemetry snapshot every
+	// MetricsEveryCycles monitoring cycles, invoked on the goroutine that
+	// called Cycle after the sweep finished. The *Snapshot points at a
+	// buffer the watchdog reuses: copy what must outlive the call.
+	MetricsSink func(*Snapshot)
+	// MetricsEveryCycles spaces MetricsSink invocations in cycles; zero
+	// means 100 (one emission per second at the default 10 ms cycle).
+	MetricsEveryCycles int
 	// wheelSize overrides the timer-wheel bucket count (power of two;
 	// zero means defaultWheelSize). In-package test hook.
 	wheelSize uint64
@@ -219,13 +232,22 @@ type Watchdog struct {
 	sched *scheduler
 
 	// Cold state, guarded by mu: detections, error-indication vectors and
-	// the TSI derivation chain.
+	// the TSI derivation chain. The fault-event journal shares mu: its
+	// only writers (detections) already hold it.
 	mu       sync.Mutex
 	errv     [][3]uint64 // error-indication vector, indexed by kind-1
 	ts       []tstate
 	as       []astate
 	ecuState HealthState
 	results  Results
+	journal  *journal // nil when Config.JournalSize < 0
+
+	// Telemetry: the Cycle-duration histogram (atomic, written once per
+	// cycle) and the reused MetricsSink snapshot buffer.
+	sweepHist    histogram
+	metricsEvery uint64
+	metricsMu    sync.Mutex
+	metricsBuf   Snapshot
 }
 
 // New validates the configuration and builds a watchdog with all
@@ -271,6 +293,9 @@ func New(cfg Config) (*Watchdog, error) {
 	if cfg.sweepParallelMin <= 0 {
 		cfg.sweepParallelMin = sweepParallelDefaultMin
 	}
+	if cfg.MetricsEveryCycles <= 0 {
+		cfg.MetricsEveryCycles = 100
+	}
 	n := cfg.Model.NumRunnables()
 	w := &Watchdog{
 		cfg:      cfg,
@@ -284,6 +309,10 @@ func New(cfg Config) (*Watchdog, error) {
 		ts:       make([]tstate, cfg.Model.NumTasks()),
 		as:       make([]astate, cfg.Model.NumApps()),
 		ecuState: StateOK,
+	}
+	w.metricsEvery = uint64(cfg.MetricsEveryCycles)
+	if cfg.JournalSize >= 0 {
+		w.journal = newJournal(cfg.JournalSize)
 	}
 	disabled := &Hypothesis{}
 	for i := range w.hot {
@@ -459,7 +488,10 @@ func (w *Watchdog) Heartbeat(rid runnable.ID) {
 
 // beat is the shared hot path of Heartbeat and Monitor.Beat. rid has been
 // validated; hs is the runnable's hot state (which carries the hosting
-// task).
+// task). The telemetry layer adds NOTHING here: lifetime beat counts are
+// derived by banking AC at window closes and resets (see
+// hotState.bankBeats), so a healthy beat costs exactly what it did
+// before the observability layer existed.
 func (w *Watchdog) beat(rid runnable.ID, hs *hotState) {
 	if hs.active.Load() != 0 {
 		v := hs.addBeat()
@@ -554,6 +586,7 @@ func (w *Watchdog) detectLocked(kind ErrorKind, rid runnable.ID, observed, expec
 		w.results.ProgramFlow++
 	}
 	w.errv[rid][kind-1]++
+	w.journalLocked(kind, rid, tid, app, cycle, observed, expected, pred, correlated)
 
 	w.sink.Fault(Report{
 		Time:        w.clock.Now(),
@@ -748,6 +781,12 @@ func (w *Watchdog) CounterSnapshot(rid runnable.ID) (Counters, error) {
 	if err := w.checkRunnable(rid); err != nil {
 		return Counters{}, err
 	}
+	return w.counters(rid), nil
+}
+
+// counters is the lock-free read behind CounterSnapshot, shared with the
+// telemetry Snapshot and the journal's freeze-frames. rid must be valid.
+func (w *Watchdog) counters(rid runnable.ID) Counters {
 	hs := &w.hot[rid]
 	c := Counters{
 		Active: hs.active.Load() != 0,
@@ -765,7 +804,7 @@ func (w *Watchdog) CounterSnapshot(rid runnable.ID) (Counters, error) {
 		c.CCA = int(hs.cca.Load())
 		c.CCAR = int(hs.ccar.Load())
 	}
-	return c, nil
+	return c
 }
 
 // Results reports the cumulative detection counts (the AM/AR/PFC Result

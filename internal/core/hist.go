@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the sweep-duration histogram: an HDR-style
+// log-bucketed latency recorder updated once per Cycle. Buckets are
+// powers of two of nanoseconds — bucket i counts durations d with
+// 2^(i-1) ≤ d < 2^i ns (bucket 0 counts sub-nanosecond readings) — so
+// recording is a bits.Len64 plus one atomic add, allocation-free and
+// safe for concurrent use. Cycle runs once per monitoring period
+// (typically 10 ms), so the two clock reads bracketing the sweep are
+// noise at the system level; the per-beat hot path is never timed.
+
+// histBuckets caps the bucket index: the last bucket absorbs everything
+// of 2^(histBuckets-1) ns (≈ 34 s) and beyond — far past any sane sweep.
+const histBuckets = 36
+
+// histogram is the atomic recorder.
+type histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// record adds one duration observation.
+func (h *histogram) record(d time.Duration) {
+	ns := uint64(d)
+	if int64(d) < 0 {
+		ns = 0 // clock went backwards; clamp rather than poison the sum
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.maxNs.Load()
+		if ns <= old || h.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// snapshotInto copies the current tallies. Concurrent records land in
+// either side of the copy; each counter is individually consistent.
+func (h *histogram) snapshotInto(s *HistogramSnapshot) {
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	s.MaxNs = h.maxNs.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a latency histogram.
+type HistogramSnapshot struct {
+	// Count observations, their sum and the maximum, in nanoseconds.
+	Count uint64
+	SumNs uint64
+	MaxNs uint64
+	// Buckets[i] counts observations in [2^(i-1), 2^i) ns; Buckets[0]
+	// holds sub-nanosecond readings. Use HistBucketBound for the upper
+	// bound of bucket i.
+	Buckets [histBuckets]uint64
+}
+
+// HistBuckets is the number of log buckets in a HistogramSnapshot.
+const HistBuckets = histBuckets
+
+// HistBucketBound returns the exclusive upper bound of bucket i in
+// nanoseconds (2^i), suitable as a Prometheus `le` label after
+// converting to seconds. The final bucket is unbounded (+Inf).
+func HistBucketBound(i int) uint64 {
+	return uint64(1) << uint(i)
+}
+
+// Mean reports the average observation, zero when empty.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the log buckets,
+// returning the upper bound of the bucket containing the q-th
+// observation — a conservative (over-)estimate with power-of-two
+// resolution, which is all an operator needs to spot a drifting sweep.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum > rank {
+			return time.Duration(HistBucketBound(i))
+		}
+	}
+	return time.Duration(s.MaxNs)
+}

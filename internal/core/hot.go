@@ -64,8 +64,16 @@ const eagerDisabled = math.MaxUint32
 //   - tid is the hosting task, precomputed at construction and immutable
 //     thereafter; keeping it on the runnable's own cache line saves the
 //     compat wrapper a second slice load.
+//   - beatsAcc is the banked half of the lifetime heartbeat counter
+//     feeding the telemetry Snapshot. The hot path never touches it:
+//     every beat already lands in AC, so whenever AC is about to be
+//     consumed (a window close) or discarded (a counter reset), the cold
+//     path folds the outgoing AC into beatsAcc first. Lifetime beats are
+//     then beatsAcc + live AC — the cumulative "beats seen while active"
+//     series at zero added cost per beat.
 type hotState struct {
 	acArc      atomic.Uint64
+	beatsAcc   atomic.Uint64
 	active     atomic.Uint32
 	cca        atomic.Uint32
 	ccar       atomic.Uint32
@@ -73,7 +81,7 @@ type hotState struct {
 	hyp        atomic.Pointer[Hypothesis]
 	tid        runnable.TaskID
 
-	_ [2*cacheLineSize - 40]byte
+	_ [2*cacheLineSize - 48]byte
 }
 
 // addBeat records one heartbeat in AC and ARC with a single atomic add
@@ -88,12 +96,16 @@ func (h *hotState) loadARC() uint32 { return uint32(h.acArc.Load()) }
 
 // closeAliveness atomically zeroes AC, preserving ARC, and returns the
 // closed window's AC. Concurrent heartbeats land in either the closing or
-// the fresh window, exactly as with a dedicated counter swap.
+// the fresh window, exactly as with a dedicated counter swap. The closed
+// window's beats are banked into the lifetime counter here, so the
+// telemetry series never loses them to the reset.
 func (h *hotState) closeAliveness() uint32 {
 	for {
 		old := h.acArc.Load()
 		if h.acArc.CompareAndSwap(old, old&(1<<32-1)) {
-			return uint32(old >> 32)
+			ac := uint32(old >> 32)
+			h.bankBeats(ac)
+			return ac
 		}
 	}
 }
@@ -111,11 +123,32 @@ func (h *hotState) closeArrival() uint32 {
 
 // resetCounters zeroes AC, ARC, CCA and CCAR ("reset to zero, if the
 // periods ... expire or an error is detected", §3.3; also on activation
-// changes and fault treatment).
+// changes and fault treatment). The discarded AC is banked into the
+// lifetime beat counter first so the telemetry series survives resets.
+// A beat racing the reset lands on either side of it, exactly as the
+// monitoring semantics already allow.
 func (h *hotState) resetCounters() {
+	h.bankBeats(h.loadAC())
 	h.acArc.Store(0)
 	h.cca.Store(0)
 	h.ccar.Store(0)
+}
+
+// bankBeats folds an AC amount that is about to be consumed or
+// discarded into the lifetime beat accumulator.
+func (h *hotState) bankBeats(ac uint32) {
+	if ac != 0 {
+		h.beatsAcc.Add(uint64(ac))
+	}
+}
+
+// lifetimeBeats reports the cumulative heartbeats recorded while the
+// runnable's Activation Status was on: the banked closed windows plus
+// the live AC. The two loads are individually atomic; a window closing
+// between them can transiently under-report by that window, which the
+// next read corrects.
+func (h *hotState) lifetimeBeats() uint64 {
+	return h.beatsAcc.Load() + uint64(h.loadAC())
 }
 
 // eagerLimitFor computes the hot-path arrival trip point for a hypothesis.

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"swwd/internal/runnable"
+)
+
+// This file implements the telemetry Snapshot: a point-in-time copy of
+// everything a live watchdog can report about itself — per-runnable
+// heartbeat counters and fault tallies, the cumulative detection
+// results, the TSI-derived ECU state, journal occupancy and the
+// sweep-duration histogram.
+//
+// Cost contract: the heartbeat hot path pays NOTHING for any of this.
+// The lifetime beat series is derived by banking each closing window's
+// AC into a per-runnable accumulator on the (cold) sweep and reset
+// paths, and every other figure comes from state the watchdog already
+// maintains. Reading a snapshot is cold: the per-runnable counters are plain
+// atomic loads, and one short acquisition of the cold-path mutex copies
+// the error-indication vectors, results and journal accounting
+// consistently. SnapshotInto reuses the caller's buffers, so a metrics
+// scraper settles into zero allocations per scrape.
+
+// RunnableStats is the telemetry of one runnable.
+type RunnableStats struct {
+	ID runnable.ID
+	// Active is the Activation Status (AS).
+	Active bool
+	// Beats is the lifetime count of heartbeats recorded while the
+	// runnable was active. Unlike AC/ARC it survives window closes and
+	// counter resets: closing windows bank their AC into an accumulator.
+	Beats uint64
+	// AC/ARC/CCA/CCAR are the live §3.3 monitoring counters.
+	AC, ARC, CCA, CCAR int
+	// ErrAliveness/ErrArrivalRate/ErrProgramFlow are the accumulated
+	// error-indication-vector elements (fault counts by kind).
+	ErrAliveness   uint64
+	ErrArrivalRate uint64
+	ErrProgramFlow uint64
+}
+
+// DriverStats is the cycle-driver telemetry contributed by whatever
+// drives Cycle — the swwd.Service ticker in live deployments. The core
+// leaves it zero; the Service fills it in its Snapshot wrapper so tick
+// drift (missed cycles silently stretching every hypothesis window) is
+// visible on the same scrape as the detection counters.
+type DriverStats struct {
+	// Ticks is the number of monitoring cycles actually driven.
+	Ticks uint64
+	// MissedCycles is the cumulative count of cycles lost to overruns.
+	MissedCycles uint64
+	// Overruns is the number of overrun events (each may lose several
+	// cycles); MaxLateNs the worst observed lateness in nanoseconds.
+	Overruns  uint64
+	MaxLateNs int64
+}
+
+// Snapshot is a point-in-time copy of the watchdog's telemetry.
+type Snapshot struct {
+	// Cycle is the monitoring-cycle counter at snapshot time.
+	Cycle uint64
+	// Results are the cumulative detection counts (AM/AR/PFC Result).
+	Results Results
+	// ECUState is the TSI-derived global state.
+	ECUState HealthState
+	// Journal summarizes the fault-event ring (zero when disabled).
+	Journal JournalStats
+	// Sweep is the Cycle-duration histogram.
+	Sweep HistogramSnapshot
+	// Driver is filled by the Service wrapper (zero from Watchdog.Snapshot).
+	Driver DriverStats
+	// Runnables holds one entry per runnable, indexed by runnable ID.
+	Runnables []RunnableStats
+}
+
+// Snapshot returns a freshly allocated telemetry snapshot. For repeated
+// scraping prefer SnapshotInto with a reused buffer.
+func (w *Watchdog) Snapshot() Snapshot {
+	var s Snapshot
+	w.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto fills s with the current telemetry, reusing s.Runnables
+// when it has capacity: scraping with a retained Snapshot is
+// allocation-free after the first call. The per-runnable counters are
+// individually consistent atomic reads; the fault tallies, results, ECU
+// state and journal accounting are copied jointly under one short
+// cold-path lock. Safe for concurrent use with beats, cycles and
+// configuration changes.
+func (w *Watchdog) SnapshotInto(s *Snapshot) {
+	n := len(w.hot)
+	if cap(s.Runnables) < n {
+		s.Runnables = make([]RunnableStats, n)
+	}
+	s.Runnables = s.Runnables[:n]
+
+	s.Cycle = w.cycle.Load()
+	s.Driver = DriverStats{}
+	for i := range w.hot {
+		rs := &s.Runnables[i]
+		c := w.counters(runnable.ID(i))
+		rs.ID = runnable.ID(i)
+		rs.Active = c.Active
+		rs.AC, rs.ARC, rs.CCA, rs.CCAR = c.AC, c.ARC, c.CCA, c.CCAR
+		rs.Beats = w.hot[i].lifetimeBeats()
+	}
+
+	w.mu.Lock()
+	for i := range s.Runnables {
+		e := w.errv[i]
+		rs := &s.Runnables[i]
+		rs.ErrAliveness, rs.ErrArrivalRate, rs.ErrProgramFlow = e[0], e[1], e[2]
+	}
+	s.Results = w.results
+	s.ECUState = w.ecuState
+	s.Journal = w.journalStatsLocked()
+	w.mu.Unlock()
+
+	w.sweepHist.snapshotInto(&s.Sweep)
+}
+
+// SweepHistogram returns a copy of the Cycle-duration histogram without
+// assembling a full Snapshot.
+func (w *Watchdog) SweepHistogram() HistogramSnapshot {
+	var s HistogramSnapshot
+	w.sweepHist.snapshotInto(&s)
+	return s
+}
+
+// maybeEmitMetrics invokes the configured MetricsSink every
+// cfg.MetricsEveryCycles cycles, on the Cycle caller's goroutine, with
+// the watchdog's reused snapshot buffer. Runs after the sweep released
+// the scheduler mutex, so a slow sink delays only its own cycle's
+// return, never the wheel.
+func (w *Watchdog) maybeEmitMetrics(c uint64) {
+	sink := w.cfg.MetricsSink
+	if sink == nil || c%w.metricsEvery != 0 {
+		return
+	}
+	w.metricsMu.Lock()
+	defer w.metricsMu.Unlock()
+	w.SnapshotInto(&w.metricsBuf)
+	sink(&w.metricsBuf)
+}

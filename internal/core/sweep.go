@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"swwd/internal/runnable"
 )
@@ -98,12 +99,26 @@ func (w *Watchdog) Close() {
 // atomic swaps so concurrent heartbeats land in either the closing or
 // the next window; detections are batched and reported under one
 // acquisition of the cold-path mutex per cycle.
+//
+// Telemetry: every Cycle is timed into the sweep-duration histogram
+// (two monotonic clock reads per cycle, amortized over a whole
+// monitoring period), and the optional MetricsSink fires after the
+// sweep's locks are released.
 func (w *Watchdog) Cycle() {
-	s := w.sched
-	if s == nil {
-		w.cycleLegacy()
-		return
+	start := time.Now()
+	var c uint64
+	if w.sched == nil {
+		c = w.cycleLegacy()
+	} else {
+		c = w.cycleWheel()
 	}
+	w.sweepHist.record(time.Since(start))
+	w.maybeEmitMetrics(c)
+}
+
+// cycleWheel is the wheel-based sweep; it returns the new cycle number.
+func (w *Watchdog) cycleWheel() uint64 {
+	s := w.sched
 	s.mu.Lock()
 	c := w.cycle.Add(1)
 	if c&s.mask == 0 {
@@ -119,7 +134,7 @@ func (w *Watchdog) Cycle() {
 	}
 	if na == 0 && nr == 0 {
 		s.mu.Unlock()
-		return
+		return c
 	}
 	s.dueAlive = s.dueAlive[:0]
 	s.dueArr = s.dueArr[:0]
@@ -154,6 +169,7 @@ func (w *Watchdog) Cycle() {
 		w.mu.Unlock()
 	}
 	s.mu.Unlock()
+	return c
 }
 
 // sweepSerial processes the due items inline: close expiring windows,
@@ -263,8 +279,8 @@ func (w *Watchdog) sweepShard(c uint64, items []dueItem, o *shardOut) {
 // CCA/CCAR increments, one w.mu acquisition per fault. Kept as the
 // reference implementation the equivalence tests replay against and as
 // the "before" side of BenchmarkCycleSweep.
-func (w *Watchdog) cycleLegacy() {
-	w.cycle.Add(1)
+func (w *Watchdog) cycleLegacy() uint64 {
+	c := w.cycle.Add(1)
 	for i := range w.hot {
 		hs := &w.hot[i]
 		if hs.active.Load() == 0 {
@@ -294,6 +310,7 @@ func (w *Watchdog) cycleLegacy() {
 			}
 		}
 	}
+	return c
 }
 
 // lockSched acquires the scheduler mutex when the wheel sweep is active

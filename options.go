@@ -72,6 +72,36 @@ func WithSweepShards(n int) Option {
 	return func(cfg *Config) { cfg.SweepShards = n }
 }
 
+// WithJournalSize sets the fault-event journal capacity in entries
+// (rounded up to a power of two). Zero keeps the default of 256. The
+// journal records every detection with a freeze-frame of the runnable's
+// counters; when full, the oldest entry is overwritten and the drop
+// counter advances. Journal writes happen only on the detection cold
+// path, never on the healthy beat path.
+func WithJournalSize(n int) Option {
+	return func(cfg *Config) { cfg.JournalSize = n }
+}
+
+// WithoutJournal disables the fault-event journal entirely: Journal()
+// returns nil and JournalStats() is zero. Detection counters and sinks
+// are unaffected.
+func WithoutJournal() Option {
+	return func(cfg *Config) { cfg.JournalSize = -1 }
+}
+
+// WithMetricsSink installs a telemetry callback: every everyCycles
+// monitoring cycles (zero means 100) the watchdog assembles a Snapshot
+// and hands it to sink on the goroutine that drove the Cycle. The
+// pointed-to Snapshot is a buffer the watchdog reuses across emissions —
+// copy whatever must outlive the call. Typical use is pushing gauges to
+// a metrics registry without polling from a second goroutine.
+func WithMetricsSink(sink func(*Snapshot), everyCycles int) Option {
+	return func(cfg *Config) {
+		cfg.MetricsSink = sink
+		cfg.MetricsEveryCycles = everyCycles
+	}
+}
+
 // WithLegacySweep selects the retired O(N) full-table Cycle sweep
 // instead of the due-cycle timer wheel. It exists as the bit-identical
 // reference for equivalence testing and benchmarking; production

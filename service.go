@@ -30,6 +30,13 @@ type Service struct {
 	missed  atomic.Uint64
 	overrun atomic.Pointer[OverrunHandler]
 
+	// Driver telemetry (see Stats/Snapshot): ticks actually driven,
+	// overrun events observed and the worst lateness seen, cumulative
+	// across restarts like missed.
+	ticks    atomic.Uint64
+	overruns atomic.Uint64
+	maxLate  atomic.Int64 // nanoseconds
+
 	mu      sync.Mutex
 	running bool
 	stop    chan struct{} // closed by Stop to end the current loop
@@ -162,8 +169,16 @@ func (s *Service) noteTick(prev, now time.Time) uint64 {
 		return 0
 	}
 	s.missed.Add(n)
+	s.overruns.Add(1)
+	late := gap - s.period
+	for {
+		old := s.maxLate.Load()
+		if int64(late) <= old || s.maxLate.CompareAndSwap(old, int64(late)) {
+			break
+		}
+	}
 	if h := s.overrun.Load(); h != nil {
-		(*h)(n, gap-s.period)
+		(*h)(n, late)
 	}
 	return n
 }
@@ -184,6 +199,7 @@ func (s *Service) loop(ctx context.Context, stop <-chan struct{}) error {
 				s.noteTick(last, now)
 			}
 			last = now
+			s.ticks.Add(1)
 			s.w.Cycle()
 		}
 	}
@@ -192,3 +208,35 @@ func (s *Service) loop(ctx context.Context, stop <-chan struct{}) error {
 // Watchdog exposes the wrapped watchdog, e.g. for Register/Heartbeat
 // calls.
 func (s *Service) Watchdog() *Watchdog { return s.w }
+
+// Stats reports the service's driver-level telemetry: cycles actually
+// driven, cycles lost to overruns, overrun events and the worst
+// observed lateness. All figures are cumulative across Start/Stop
+// restarts and safe to read concurrently with a running loop.
+func (s *Service) Stats() DriverStats {
+	return DriverStats{
+		Ticks:        s.ticks.Load(),
+		MissedCycles: s.missed.Load(),
+		Overruns:     s.overruns.Load(),
+		MaxLateNs:    s.maxLate.Load(),
+	}
+}
+
+// Snapshot returns the watchdog's telemetry snapshot with the service's
+// driver stats filled in, so tick drift (missed cycles silently
+// stretching every hypothesis window) is visible on the same scrape as
+// the detection counters. For allocation-bounded scraping use
+// SnapshotInto with a retained buffer.
+func (s *Service) Snapshot() Snapshot {
+	var snap Snapshot
+	s.SnapshotInto(&snap)
+	return snap
+}
+
+// SnapshotInto fills snap with the watchdog's telemetry plus the
+// service's driver stats, reusing snap's buffers (see
+// Watchdog.SnapshotInto).
+func (s *Service) SnapshotInto(snap *Snapshot) {
+	s.w.SnapshotInto(snap)
+	snap.Driver = s.Stats()
+}

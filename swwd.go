@@ -80,6 +80,21 @@ type (
 	Counters = core.Counters
 	// Results are the cumulative detection counts.
 	Results = core.Results
+	// Snapshot is a point-in-time copy of the watchdog's telemetry:
+	// per-runnable stats, detection results, journal accounting and the
+	// sweep-duration histogram. See Watchdog.Snapshot / SnapshotInto.
+	Snapshot = core.Snapshot
+	// RunnableStats is the telemetry of one runnable within a Snapshot.
+	RunnableStats = core.RunnableStats
+	// DriverStats is the cycle-driver telemetry (ticks, missed cycles,
+	// overruns) the Service fills into its Snapshot.
+	DriverStats = core.DriverStats
+	// JournalEntry is one recorded detection with its freeze-frame.
+	JournalEntry = core.JournalEntry
+	// JournalStats summarizes the fault-event ring.
+	JournalStats = core.JournalStats
+	// HistogramSnapshot is a copy of a log-bucketed latency histogram.
+	HistogramSnapshot = core.HistogramSnapshot
 	// Clock abstracts the time source.
 	Clock = sim.Clock
 	// Calibrator derives fault hypotheses from a healthy observation run.
@@ -144,3 +159,11 @@ func NewCalibrator(model *Model, windowCycles int) (*Calibrator, error) {
 
 // CyclePeriodDefault is the monitoring cycle of the paper's plots.
 const CyclePeriodDefault = 10 * time.Millisecond
+
+// HistBuckets is the bucket count of a HistogramSnapshot; bucket i spans
+// [2^(i-1), 2^i) nanoseconds (see HistBucketBound).
+const HistBuckets = core.HistBuckets
+
+// HistBucketBound returns the exclusive upper bound of histogram bucket
+// i in nanoseconds.
+func HistBucketBound(i int) uint64 { return core.HistBucketBound(i) }

@@ -1,0 +1,196 @@
+package swwd
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// telemetryFixture builds a 3-runnable watchdog through the facade.
+func telemetryFixture(t *testing.T, opts ...Option) (*Watchdog, [3]RunnableID, TaskID) {
+	t.Helper()
+	m := NewModel()
+	app, err := m.AddApp("telemetry", SafetyCritical)
+	if err != nil {
+		t.Fatalf("AddApp: %v", err)
+	}
+	task, err := m.AddTask(app, "T", 1)
+	if err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	var rids [3]RunnableID
+	for i, name := range []string{"a", "b", "c"} {
+		if rids[i], err = m.AddRunnable(task, name, time.Millisecond, SafetyCritical); err != nil {
+			t.Fatalf("AddRunnable: %v", err)
+		}
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	w, err := New(m, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, rid := range rids {
+		if err := w.SetHypothesis(rid, Hypothesis{
+			AlivenessCycles: 4, MinHeartbeats: 1,
+			ArrivalCycles: 4, MaxArrivals: 16,
+		}); err != nil {
+			t.Fatalf("SetHypothesis: %v", err)
+		}
+		if err := w.Activate(rid); err != nil {
+			t.Fatalf("Activate: %v", err)
+		}
+	}
+	return w, rids, task
+}
+
+// TestServiceDriverStatsWiring checks the satellite requirement that
+// tick drift is visible on the telemetry snapshot: MissedCycles, the
+// overrun event count and the worst lateness all surface in
+// Snapshot.Driver, while the bare Watchdog snapshot leaves Driver zero.
+func TestServiceDriverStatsWiring(t *testing.T) {
+	w, _, _ := telemetryFixture(t)
+	s, err := NewService(w, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+
+	// Drive the drift accounting deterministically with synthetic tick
+	// timestamps: a 3.5-period gap = one overrun event, two lost cycles.
+	t0 := time.Unix(1000, 0)
+	period := 10 * time.Millisecond
+	s.noteTick(t0, t0.Add(period*3+period/2))
+	s.noteTick(t0, t0.Add(period*2)) // second event, one more lost cycle
+
+	st := s.Stats()
+	if st.MissedCycles != 3 {
+		t.Fatalf("Stats.MissedCycles = %d, want 3", st.MissedCycles)
+	}
+	if st.Overruns != 2 {
+		t.Fatalf("Stats.Overruns = %d, want 2", st.Overruns)
+	}
+	if want := period*2 + period/2; st.MaxLateNs != int64(want) {
+		t.Fatalf("Stats.MaxLateNs = %v, want %v", time.Duration(st.MaxLateNs), want)
+	}
+
+	snap := s.Snapshot()
+	if snap.Driver != st {
+		t.Fatalf("Snapshot.Driver = %+v, want %+v", snap.Driver, st)
+	}
+	if bare := w.Snapshot(); bare.Driver != (DriverStats{}) {
+		t.Fatalf("bare Watchdog snapshot carries driver stats: %+v", bare.Driver)
+	}
+
+	// A short real run makes Ticks advance and flows into the snapshot.
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	time.Sleep(35 * time.Millisecond)
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if got := s.Stats().Ticks; got == 0 {
+		t.Fatalf("Ticks = 0 after a 35ms run at 10ms period")
+	}
+	var reused Snapshot
+	s.SnapshotInto(&reused)
+	if reused.Driver.Ticks != s.Stats().Ticks {
+		t.Fatalf("SnapshotInto.Driver.Ticks = %d, want %d", reused.Driver.Ticks, s.Stats().Ticks)
+	}
+}
+
+// TestFacadeJournalOptions exercises WithJournalSize / WithoutJournal
+// through the public API.
+func TestFacadeJournalOptions(t *testing.T) {
+	w, rids, _ := telemetryFixture(t, WithJournalSize(3)) // rounds up to 4
+	if got := w.JournalStats().Cap; got != 4 {
+		t.Fatalf("journal Cap = %d, want 4", got)
+	}
+	for i := 0; i < 12; i++ { // starved runnables trip every 4th cycle
+		w.Cycle()
+	}
+	st := w.JournalStats()
+	if st.Written != 9 || st.Dropped != 5 || st.Len != 4 {
+		t.Fatalf("JournalStats = %+v, want Written 9 Dropped 5 Len 4", st)
+	}
+	entries := w.Journal()
+	if len(entries) != 4 || entries[0].Seq != 5 {
+		t.Fatalf("journal = %d entries starting at seq %d, want 4 from seq 5",
+			len(entries), entries[0].Seq)
+	}
+	if entries[3].Runnable != rids[2] {
+		t.Fatalf("newest entry runnable = %d, want %d", entries[3].Runnable, rids[2])
+	}
+
+	off, _, _ := telemetryFixture(t, WithoutJournal())
+	for i := 0; i < 8; i++ {
+		off.Cycle()
+	}
+	if off.Journal() != nil || off.JournalStats() != (JournalStats{}) {
+		t.Fatalf("WithoutJournal still journals: %+v", off.JournalStats())
+	}
+	if off.Results().Aliveness == 0 {
+		t.Fatalf("detections must not depend on the journal")
+	}
+}
+
+// TestFacadeMetricsSink exercises WithMetricsSink through the public
+// API: emissions every 2 cycles, snapshot contents visible to the sink.
+func TestFacadeMetricsSink(t *testing.T) {
+	var cycles []uint64
+	var faults uint64
+	w, _, _ := telemetryFixture(t, WithMetricsSink(func(s *Snapshot) {
+		cycles = append(cycles, s.Cycle)
+		faults = s.Results.Aliveness
+	}, 2))
+	for i := 0; i < 8; i++ {
+		w.Cycle()
+	}
+	if len(cycles) != 4 {
+		t.Fatalf("sink fired %d times over 8 cycles with period 2, want 4: %v", len(cycles), cycles)
+	}
+	if faults == 0 {
+		t.Fatalf("sink never observed the aliveness detections")
+	}
+}
+
+// TestSpecJournalSize checks the JSON spec passthrough.
+func TestSpecJournalSize(t *testing.T) {
+	const specJSON = `{
+	  "apps": [{
+	    "name": "A", "criticality": "safety-critical",
+	    "tasks": [{
+	      "name": "T", "priority": 1,
+	      "runnables": [
+	        {"name": "r1", "exec_time": "100us",
+	         "hypothesis": {"aliveness_cycles": 5, "min_heartbeats": 1,
+	                        "arrival_cycles": 5, "max_arrivals": 8}},
+	        {"name": "r2", "exec_time": "100us"}
+	      ]
+	    }]
+	  }],
+	  "watchdog": {"cycle_period": "5ms", "journal_size": 7}
+	}`
+	spec, err := LoadSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	sys, err := spec.Build(nil, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := sys.Watchdog.JournalStats().Cap; got != 8 {
+		t.Fatalf("spec journal Cap = %d, want 8 (7 rounded up)", got)
+	}
+	for i := 0; i < 5; i++ {
+		sys.Watchdog.Cycle()
+	}
+	entries := sys.Watchdog.Journal()
+	if len(entries) != 1 {
+		t.Fatalf("journal = %d entries, want 1 (only r1 is monitored)", len(entries))
+	}
+	if name, _ := sys.Runnable("r1"); entries[0].Runnable != name {
+		t.Fatalf("journaled runnable %d, want r1", entries[0].Runnable)
+	}
+}
