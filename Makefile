@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-hotpath bench-json cover experiments examples clean
+.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-baseline bench-gate soak cover experiments examples clean
 
 all: build vet test
 
@@ -27,18 +27,42 @@ bench:
 bench-hotpath:
 	$(GO) test -run xxx -bench 'Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' -benchmem -count=3 .
 
-# Cycle-sweep + hot-path benchmarks as machine-readable JSON
-# (BENCH_cycle.json) plus the telemetry benchmarks (BENCH_stats.json),
-# both uploaded as CI artifacts. Override BENCHTIME for a quick smoke
-# run: make bench-json BENCHTIME=1x
+# Machine-readable benchmark suites under ./bench/ (gitignored): the
+# cycle-sweep + hot-path suite, the telemetry suite and the wire/ingest
+# suite. Override BENCHTIME for a quick smoke run: make bench-json BENCHTIME=1x
 BENCHTIME ?= 1s
 bench-json:
+	mkdir -p bench
 	$(GO) test -run xxx -bench 'CycleSweep|Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' \
-		-benchmem -benchtime $(BENCHTIME) . | tee bench_output.txt
-	$(GO) run ./cmd/benchjson -o BENCH_cycle.json bench_output.txt
+		-benchmem -benchtime $(BENCHTIME) . | tee bench/cycle.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_cycle.json bench/cycle.txt
 	$(GO) test -run xxx -bench 'Snapshot|BeatWithStats|Journal' \
-		-benchmem -benchtime $(BENCHTIME) . | tee bench_stats_output.txt
-	$(GO) run ./cmd/benchjson -o BENCH_stats.json bench_stats_output.txt
+		-benchmem -benchtime $(BENCHTIME) . | tee bench/stats.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_stats.json bench/stats.txt
+	$(GO) test -run xxx -bench 'WireDecode|WireEncode|IngestFrame' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/wire ./internal/ingest | tee bench/wire.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_wire.json bench/wire.txt
+
+# Refresh the committed baselines from a fresh full-length run: the
+# per-suite documents at the repo root plus the merged gate baseline.
+bench-baseline: bench-json
+	cp bench/BENCH_cycle.json BENCH_cycle.json
+	cp bench/BENCH_stats.json BENCH_stats.json
+	cp bench/BENCH_wire.json BENCH_wire.json
+	$(GO) run ./cmd/benchdiff -merge -o BENCH_baseline.json \
+		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json
+
+# Benchmark-regression gate: fresh results vs the committed baseline.
+# Fails on >30% ns/op regressions or any allocation on the gated
+# zero-alloc hot paths (see cmd/benchdiff).
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
+		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json
+
+# Full-scale loopback soak: 1000 nodes x 10 runnables over real UDP,
+# with a mid-run client kill (see internal/ingest/soak_test.go).
+soak:
+	$(GO) test -run TestIngestSoak -count=1 -v ./internal/ingest
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -58,4 +82,5 @@ examples:
 	$(GO) run ./examples/calibrate
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_stats_output.txt
+	rm -f cover.out test_output.txt
+	rm -rf bench

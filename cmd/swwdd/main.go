@@ -1,0 +1,173 @@
+// Command swwdd is the Software Watchdog ingestion daemon: the
+// dedicated health-monitoring node of a distributed deployment. It
+// listens for batched heartbeat frames (internal/wire) from remote
+// reporter nodes over UDP, replays them into a local watchdog on the
+// lock-free hot path (internal/ingest), supervises each node's link
+// through a synthetic link runnable, and serves the combined telemetry —
+// watchdog snapshot plus wire counters — on an HTTP metrics endpoint.
+//
+// Usage:
+//
+//	swwdd -listen :9400 -metrics :9401 -nodes 8 -runnables 10 -interval 100ms
+//
+// The fleet topology is uniform: -nodes nodes, each reporting
+// -runnables runnables and flushing one frame per -interval. Remote
+// reporters use the swwdclient library (see examples/remotenode) with a
+// node ID below -nodes and a matching runnable count. A node that stops
+// reporting — crashed process, unplugged network — raises an aliveness
+// fault on its link runnable within one monitoring window, printed to
+// stdout and visible on /metrics like any local fault.
+//
+// Two-terminal quickstart:
+//
+//	go run ./cmd/swwdd -listen :9400 -metrics :9401 &
+//	go run ./examples/remotenode -addr localhost:9400 -node 0
+//	curl -s localhost:9401/metrics | grep swwd_ingest_
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"swwd"
+	"swwd/internal/ingest"
+	"swwd/internal/promtext"
+)
+
+// printSink streams watchdog output to stdout.
+type printSink struct {
+	mu    sync.Mutex
+	quiet bool
+
+	faults uint64
+	states uint64
+}
+
+func (s *printSink) Fault(r swwd.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults++
+	if !s.quiet {
+		fmt.Printf("%v FAULT %s runnable=%d task=%d observed=%d expected=%d\n",
+			time.Duration(r.Time), r.Kind, r.Runnable, r.Task, r.Observed, r.Expected)
+	}
+}
+
+func (s *printSink) StateChanged(e swwd.StateEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.states++
+	fmt.Printf("%v STATE %s -> %s (cause %s)\n", time.Duration(e.Time), e.Scope, e.State, e.Cause)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "swwdd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":9400", "UDP address to ingest heartbeat frames on")
+	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this HTTP address (e.g. :9401)")
+	nodes := flag.Int("nodes", 8, "number of remote reporter nodes to pre-register")
+	runnables := flag.Int("runnables", 10, "monitored runnables per node")
+	interval := flag.Duration("interval", 100*time.Millisecond, "declared per-node frame flush interval")
+	cycle := flag.Duration("cycle", 10*time.Millisecond, "watchdog monitoring cycle period")
+	grace := flag.Int("grace", ingest.DefaultGraceFrames, "flush intervals a node may stay silent before a link aliveness fault")
+	shards := flag.Int("shards", ingest.DefaultShards, "ingest worker shards (a node is pinned to node%shards)")
+	duration := flag.Duration("duration", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
+	quiet := flag.Bool("quiet", false, "suppress per-fault output")
+	flag.Parse()
+
+	sink := &printSink{quiet: *quiet}
+	fleet, err := ingest.BuildFleet(ingest.FleetConfig{
+		Nodes:            *nodes,
+		RunnablesPerNode: *runnables,
+		Interval:         *interval,
+		CyclePeriod:      *cycle,
+		GraceFrames:      *grace,
+		Shards:           *shards,
+		Sink:             sink,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := fleet.Server.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer fleet.Server.Close()
+
+	svc, err := swwd.NewService(fleet.Watchdog, *cycle)
+	if err != nil {
+		return err
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	defer func() { _ = svc.Stop() }()
+
+	if *metrics != "" {
+		exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names}
+		http.HandleFunc("/metrics", exp.handle)
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("swwdd: metrics on http://%s/metrics\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	fmt.Printf("swwdd: ingesting on %s (%d nodes x %d runnables, interval %v, cycle %v)\n",
+		addr, *nodes, *runnables, *interval, *cycle)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	<-ctx.Done()
+
+	st := fleet.Server.Stats()
+	res := fleet.Watchdog.Results()
+	fmt.Printf("swwdd: frames=%d accepted=%d bytes=%d decode_errors=%d seq_gaps=%d dup_drops=%d dropped=%d\n",
+		st.Frames, st.Accepted, st.Bytes, st.DecodeErrors, st.SeqGaps, st.DuplicateDrops, st.DroppedPackets)
+	fmt.Printf("swwdd: detections aliveness=%d arrival_rate=%d program_flow=%d\n",
+		res.Aliveness, res.ArrivalRate, res.ProgramFlow)
+	return nil
+}
+
+// exporter renders the combined telemetry: the watchdog snapshot plus
+// the ingestion server's wire counters, with one reused buffer.
+type exporter struct {
+	svc   *swwd.Service
+	srv   *ingest.Server
+	names []string
+
+	mu   sync.Mutex
+	snap swwd.Snapshot
+	buf  bytes.Buffer
+}
+
+func (e *exporter) handle(w http.ResponseWriter, _ *http.Request) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.svc.SnapshotInto(&e.snap)
+	e.buf.Reset()
+	promtext.WriteSnapshot(&e.buf, &e.snap, e.names)
+	promtext.WriteIngest(&e.buf, e.srv.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(e.buf.Bytes())
+}

@@ -1,9 +1,9 @@
 // Metrics endpoint for swwdmon: -metrics addr serves the watchdog's
 // telemetry Snapshot in three stdlib-only forms on one listener:
 //
-//	/metrics     Prometheus text exposition (hand-rolled; no client
-//	             library): per-runnable beat and fault counters, the
-//	             cumulative detection results, journal occupancy and
+//	/metrics     Prometheus text exposition (internal/promtext; no
+//	             client library): per-runnable beat and fault counters,
+//	             the cumulative detection results, journal occupancy and
 //	             drop accounting, the sweep-duration histogram and the
 //	             Service tick/overrun drift counters.
 //	/debug/vars  expvar JSON; the full Snapshot is published under the
@@ -22,9 +22,9 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"sync"
-	"time"
 
 	"swwd"
+	"swwd/internal/promtext"
 )
 
 // metricsServer renders a Service's telemetry for scraping.
@@ -70,104 +70,7 @@ func (m *metricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	defer m.mu.Unlock()
 	m.svc.SnapshotInto(&m.snap)
 	m.buf.Reset()
-	writeProm(&m.buf, &m.snap, m.names)
+	promtext.WriteSnapshot(&m.buf, &m.snap, m.names)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(m.buf.Bytes())
-}
-
-// writeProm renders s in Prometheus text format version 0.0.4. Label
-// values go through %q: Go string quoting matches the Prometheus
-// escaping rules for backslash, double-quote and newline.
-func writeProm(b *bytes.Buffer, s *swwd.Snapshot, names []string) {
-	// Watchdog-level counters and state.
-	header(b, "swwd_cycles_total", "counter", "Monitoring cycles swept.")
-	fmt.Fprintf(b, "swwd_cycles_total %d\n", s.Cycle)
-	header(b, "swwd_detections_total", "counter", "Cumulative detections by error kind (AM/AR/PFC Result).")
-	fmt.Fprintf(b, "swwd_detections_total{kind=\"aliveness\"} %d\n", s.Results.Aliveness)
-	fmt.Fprintf(b, "swwd_detections_total{kind=\"arrival_rate\"} %d\n", s.Results.ArrivalRate)
-	fmt.Fprintf(b, "swwd_detections_total{kind=\"program_flow\"} %d\n", s.Results.ProgramFlow)
-	header(b, "swwd_ecu_state", "gauge", "TSI-derived ECU state (1=OK 2=faulty).")
-	fmt.Fprintf(b, "swwd_ecu_state %d\n", int(s.ECUState))
-
-	// Per-runnable series.
-	header(b, "swwd_runnable_active", "gauge", "Activation Status (AS) of the runnable.")
-	for i := range s.Runnables {
-		fmt.Fprintf(b, "swwd_runnable_active{runnable=%q} %d\n", label(names, i), b2i(s.Runnables[i].Active))
-	}
-	header(b, "swwd_runnable_beats_total", "counter", "Heartbeats recorded while the runnable was active.")
-	for i := range s.Runnables {
-		fmt.Fprintf(b, "swwd_runnable_beats_total{runnable=%q} %d\n", label(names, i), s.Runnables[i].Beats)
-	}
-	header(b, "swwd_runnable_faults_total", "counter", "Detections attributed to the runnable, by error kind.")
-	for i := range s.Runnables {
-		r := &s.Runnables[i]
-		n := label(names, i)
-		fmt.Fprintf(b, "swwd_runnable_faults_total{runnable=%q,kind=\"aliveness\"} %d\n", n, r.ErrAliveness)
-		fmt.Fprintf(b, "swwd_runnable_faults_total{runnable=%q,kind=\"arrival_rate\"} %d\n", n, r.ErrArrivalRate)
-		fmt.Fprintf(b, "swwd_runnable_faults_total{runnable=%q,kind=\"program_flow\"} %d\n", n, r.ErrProgramFlow)
-	}
-
-	// Fault-event journal accounting.
-	header(b, "swwd_journal_entries", "gauge", "Fault-event journal entries currently retained.")
-	fmt.Fprintf(b, "swwd_journal_entries %d\n", s.Journal.Len)
-	header(b, "swwd_journal_capacity", "gauge", "Fault-event journal ring capacity.")
-	fmt.Fprintf(b, "swwd_journal_capacity %d\n", s.Journal.Cap)
-	header(b, "swwd_journal_written_total", "counter", "Detections journaled over the watchdog's lifetime.")
-	fmt.Fprintf(b, "swwd_journal_written_total %d\n", s.Journal.Written)
-	header(b, "swwd_journal_dropped_total", "counter", "Journal entries overwritten by the ring wrapping.")
-	fmt.Fprintf(b, "swwd_journal_dropped_total %d\n", s.Journal.Dropped)
-
-	// Service tick drift.
-	header(b, "swwd_ticks_total", "counter", "Monitoring cycles driven by the service ticker.")
-	fmt.Fprintf(b, "swwd_ticks_total %d\n", s.Driver.Ticks)
-	header(b, "swwd_missed_cycles_total", "counter", "Cycles lost to tick overruns.")
-	fmt.Fprintf(b, "swwd_missed_cycles_total %d\n", s.Driver.MissedCycles)
-	header(b, "swwd_tick_overruns_total", "counter", "Tick overrun events.")
-	fmt.Fprintf(b, "swwd_tick_overruns_total %d\n", s.Driver.Overruns)
-	header(b, "swwd_tick_max_late_seconds", "gauge", "Worst observed tick lateness.")
-	fmt.Fprintf(b, "swwd_tick_max_late_seconds %g\n", time.Duration(s.Driver.MaxLateNs).Seconds())
-
-	// Sweep-duration histogram, cumulative per Prometheus convention.
-	// Buckets below the first observation and the saturated tail above
-	// the last one are elided; the +Inf bucket completes the series, so
-	// the exposition stays a handful of lines around the observed range.
-	header(b, "swwd_sweep_duration_seconds", "histogram", "Duration of one monitoring-cycle sweep.")
-	var cum uint64
-	for i := 0; i < swwd.HistBuckets; i++ {
-		cum += s.Sweep.Buckets[i]
-		if cum == 0 {
-			continue
-		}
-		bound := float64(swwd.HistBucketBound(i)) / 1e9
-		fmt.Fprintf(b, "swwd_sweep_duration_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
-		if cum == s.Sweep.Count {
-			break
-		}
-	}
-	fmt.Fprintf(b, "swwd_sweep_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.Sweep.Count)
-	fmt.Fprintf(b, "swwd_sweep_duration_seconds_sum %g\n", float64(s.Sweep.SumNs)/1e9)
-	fmt.Fprintf(b, "swwd_sweep_duration_seconds_count %d\n", s.Sweep.Count)
-	header(b, "swwd_sweep_duration_max_seconds", "gauge", "Longest sweep observed.")
-	fmt.Fprintf(b, "swwd_sweep_duration_max_seconds %g\n", float64(s.Sweep.MaxNs)/1e9)
-}
-
-// header emits the HELP/TYPE preamble for one metric family.
-func header(b *bytes.Buffer, name, typ, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-}
-
-// label returns the label value for runnable i, falling back to the
-// numeric ID when the name table is short.
-func label(names []string, i int) string {
-	if i < len(names) && names[i] != "" {
-		return names[i]
-	}
-	return fmt.Sprintf("runnable-%d", i)
-}
-
-func b2i(v bool) int {
-	if v {
-		return 1
-	}
-	return 0
 }

@@ -1,0 +1,90 @@
+// Command remotenode is the reporter half of the distributed-supervision
+// quickstart: it plays one remote node of a swwdd fleet, running a few
+// goroutine "runnables" that beat through the swwdclient library. Pair
+// it with cmd/swwdd:
+//
+//	terminal 1:  go run ./cmd/swwdd -listen :9400 -metrics :9401
+//	terminal 2:  go run ./examples/remotenode -addr localhost:9400 -node 0
+//
+// Kill terminal 2 (Ctrl-C) and watch terminal 1 raise an aliveness fault
+// on node0000/link within one monitoring window — the reporting channel
+// is supervised exactly like a runnable. With -hang N the example
+// instead freezes runnable N mid-run (the paper's aliveness-fault
+// injection), faulting that runnable while the link stays healthy.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"swwd/swwdclient"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "remotenode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:9400", "swwdd ingest address")
+	node := flag.Uint("node", 0, "this node's ID (must be registered on the server)")
+	runnables := flag.Int("runnables", 10, "runnable count (must match the server registration)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "frame flush interval (must match the server registration)")
+	beat := flag.Duration("beat", 20*time.Millisecond, "per-runnable beat period")
+	hang := flag.Int("hang", -1, "freeze this runnable after -hang-after (aliveness fault injection)")
+	hangAfter := flag.Duration("hang-after", 3*time.Second, "when to freeze the -hang runnable")
+	flag.Parse()
+
+	c, err := swwdclient.Dial(swwdclient.Config{
+		Addr:      *addr,
+		Node:      uint32(*node),
+		Runnables: *runnables,
+		Interval:  *interval,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("remotenode: node %d beating %d runnables every %v to %s (Ctrl-C to die and trip the link supervision)\n",
+		*node, *runnables, *beat, *addr)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *runnables; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := time.NewTicker(*beat)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if i == *hang && time.Since(start) >= *hangAfter {
+						fmt.Printf("remotenode: runnable %d hangs now\n", i)
+						<-ctx.Done() // frozen: no more beats from this runnable
+						return
+					}
+					c.Beat(i)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	fmt.Printf("remotenode: sent %d frames (seq %d), %d send errors, %d reconnects\n",
+		st.FramesSent, st.Seq, st.SendErrors, st.Reconnects)
+	return nil
+}

@@ -505,6 +505,49 @@ func (w *Watchdog) beat(rid runnable.ID, hs *hotState) {
 	}
 }
 
+// MaxBatchBeats bounds one BeatN call. The packed AC|ARC counter word
+// gives each half 32 bits; capping a single batch far below 2^32 keeps
+// one add from carrying the ARC half into AC even when windows run long.
+const MaxBatchBeats = 1 << 24
+
+// beatN is the batched-aliveness hot path behind Monitor.BeatN: n
+// heartbeats recorded with one atomic add. Like beat it is lock-free in
+// the healthy case; unlike beat it skips the program-flow check (order
+// information does not survive coalescing — see FlowEvent).
+func (w *Watchdog) beatN(rid runnable.ID, hs *hotState, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > MaxBatchBeats {
+		n = MaxBatchBeats
+	}
+	if hs.active.Load() == 0 {
+		return
+	}
+	v := hs.acArc.Add(uint64(n)<<32 | uint64(n))
+	if uint32(v) > hs.eagerLimit.Load() {
+		w.eagerArrival(rid, hs, v)
+	}
+}
+
+// FlowEvent replays one ordered execution of a PFC-enrolled runnable
+// without recording a heartbeat: the program-flow half of Heartbeat. The
+// batched wire protocol splits the two concerns — beat *counts* travel
+// compactly and land via Monitor.BeatN, while the ordered successor list
+// of flow-monitored runnables replays here so the look-up-table check
+// sees the same predecessor/successor pairs it would have seen locally.
+// Unknown identifiers and unenrolled runnables are ignored, matching
+// Heartbeat's tolerance.
+func (w *Watchdog) FlowEvent(rid runnable.ID) {
+	if uint(rid) >= uint(len(w.hot)) {
+		return
+	}
+	ft := w.flow.Load()
+	if ft.isMonitored(rid) {
+		w.checkFlow(ft, rid, w.hot[rid].tid)
+	}
+}
+
 // eagerArrival is the cold path of the EagerArrivalCheck ablation: the
 // heartbeat that pushed ARC beyond MaxArrivals reports the arrival-rate
 // error immediately and resets the window. The CompareAndSwap elects

@@ -36,6 +36,19 @@ func (m *Monitor) Beat() {
 	m.w.beat(m.rid, m.hs)
 }
 
+// BeatN reports n coalesced heartbeats in a single atomic add — the
+// replay primitive for batched remote heartbeat frames (internal/ingest):
+// a node that beat 47 times since its last frame lands all 47 in AC and
+// ARC at the cost of one Beat. Semantically equivalent to calling Beat n
+// times back-to-back within the same monitoring window, except that the
+// program-flow check does not run (batching erases execution order; see
+// Watchdog.FlowEvent for the ordered PFC replay). n <= 0 is a no-op; n is
+// clamped to MaxBatchBeats so a single call can never carry the packed
+// ARC half into AC.
+func (m *Monitor) BeatN(n int) {
+	m.w.beatN(m.rid, m.hs, n)
+}
+
 // ID reports the runnable this handle beats for.
 func (m *Monitor) ID() runnable.ID { return m.rid }
 

@@ -248,9 +248,9 @@ func TestHistogramBucketBounds(t *testing.T) {
 	var h histogram
 	h.record(0)
 	h.record(1)
-	h.record(1000)            // 2^9 < 1000 < 2^10 → bucket 10
-	h.record(time.Hour)       // beyond the last bound → clamped to the last bucket
-	h.record(-time.Second)    // clock regression → clamped to zero
+	h.record(1000)         // 2^9 < 1000 < 2^10 → bucket 10
+	h.record(time.Hour)    // beyond the last bound → clamped to the last bucket
+	h.record(-time.Second) // clock regression → clamped to zero
 	var s HistogramSnapshot
 	h.snapshotInto(&s)
 	if s.Count != 5 {

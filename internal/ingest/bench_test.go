@@ -1,0 +1,57 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+	"swwd/internal/wire"
+)
+
+// BenchmarkIngestFrame measures the full worker-side cost of one
+// accepted heartbeat frame: decode, node lookup, sequence check, the
+// batched beat replay for every runnable and the link beat. The frame
+// is the steady-state shape of a 10-runnable reporter; the benchmark
+// re-encodes nothing and must not allocate.
+func BenchmarkIngestFrame(b *testing.B) {
+	const rpn = 10
+	f, err := BuildFleet(FleetConfig{
+		Nodes:            1,
+		RunnablesPerNode: rpn,
+		Interval:         100 * time.Millisecond,
+		CyclePeriod:      10 * time.Millisecond,
+		GraceFrames:      3,
+		Clock:            sim.NewManualClock(),
+	})
+	if err != nil {
+		b.Fatalf("BuildFleet: %v", err)
+	}
+
+	frame := wire.Frame{Node: 0, IntervalMs: 100}
+	for i := 0; i < rpn; i++ {
+		frame.Beats = append(frame.Beats, wire.BeatRec{Runnable: uint32(i), Beats: 5})
+	}
+	// Pre-encode one frame per iteration so the monotonically increasing
+	// sequence number survives the duplicate-drop discipline.
+	bufs := make([][]byte, b.N)
+	for i := range bufs {
+		frame.Seq = uint64(i + 1)
+		buf, err := wire.AppendFrame(nil, &frame)
+		if err != nil {
+			b.Fatalf("AppendFrame: %v", err)
+		}
+		bufs[i] = buf
+	}
+
+	var scratch wire.Frame
+	b.SetBytes(int64(len(bufs[0])))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Server.ingestFrame(bufs[i], &scratch)
+	}
+	b.StopTimer()
+	if st := f.Server.Stats(); st.Accepted != uint64(b.N) {
+		b.Fatalf("accepted %d of %d frames (stats %+v)", st.Accepted, b.N, st)
+	}
+}

@@ -1,0 +1,172 @@
+// Fleet assembly: a declarative helper that builds the model, watchdog
+// and ingestion server for a uniform fleet of remote reporter nodes —
+// the deployment shape of a dedicated health-monitoring ECU aggregating
+// aliveness across the in-vehicle network. cmd/swwdd and the loopback
+// soak test share this code path.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/runnable"
+	"swwd/internal/sim"
+)
+
+// FleetConfig describes a uniform fleet: Nodes remote nodes, each
+// reporting RunnablesPerNode runnables and flushing one frame every
+// Interval.
+type FleetConfig struct {
+	// Nodes is the number of remote reporter nodes (must be positive).
+	Nodes int
+	// RunnablesPerNode is the monitored runnable count per node (must be
+	// positive).
+	RunnablesPerNode int
+	// Interval is the declared per-node frame flush cadence. Zero means
+	// 100ms.
+	Interval time.Duration
+	// CyclePeriod is the watchdog monitoring cycle. Zero means 10ms.
+	CyclePeriod time.Duration
+	// BeatsPerWindow is the MinHeartbeats each remote runnable must
+	// deliver per aliveness window (the window spans GraceFrames flush
+	// intervals, like the link hypothesis). Zero means 1.
+	BeatsPerWindow int
+	// GraceFrames, Shards, QueueLen, MaxPacket, ReadBuffer configure the
+	// Server (see Config).
+	GraceFrames int
+	Shards      int
+	QueueLen    int
+	MaxPacket   int
+	ReadBuffer  int
+	// JournalSize forwards to core.Config.JournalSize.
+	JournalSize int
+	// SweepShards forwards to core.Config.SweepShards.
+	SweepShards int
+	// Sink receives watchdog output; nil discards.
+	Sink core.Sink
+	// Clock defaults to a wall clock.
+	Clock sim.Clock
+}
+
+// Fleet is an assembled fleet system: the frozen model, the configured
+// watchdog, the ingestion server with every node registered, and the
+// name/ID tables the metrics exporter needs.
+type Fleet struct {
+	Model    *runnable.Model
+	Watchdog *core.Watchdog
+	Server   *Server
+	// Specs[i] is the registration of node ID i (0-based node IDs).
+	Specs []NodeSpec
+	// Names[rid] is the runnable name for metric labels.
+	Names []string
+}
+
+// BuildFleet assembles the model (one application, one task per node,
+// RunnablesPerNode monitored runnables plus one link runnable per
+// node), creates the watchdog, derives and installs every hypothesis,
+// and registers all nodes with a new ingestion server. The server is
+// not yet listening: call Fleet.Server.Listen, then drive
+// Fleet.Watchdog.Cycle (e.g. via swwd.Service).
+func BuildFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Nodes <= 0 || cfg.RunnablesPerNode <= 0 {
+		return nil, errors.New("ingest: fleet needs positive Nodes and RunnablesPerNode")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.CyclePeriod <= 0 {
+		cfg.CyclePeriod = 10 * time.Millisecond
+	}
+	if cfg.BeatsPerWindow <= 0 {
+		cfg.BeatsPerWindow = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewWallClock()
+	}
+
+	model := runnable.NewModel()
+	app, err := model.AddApp("fleet", runnable.SafetyRelevant)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]NodeSpec, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		task, err := model.AddTask(app, fmt.Sprintf("node%04d", n), 1)
+		if err != nil {
+			return nil, err
+		}
+		spec := NodeSpec{Node: uint32(n), Interval: cfg.Interval}
+		for r := 0; r < cfg.RunnablesPerNode; r++ {
+			rid, err := model.AddRunnable(task, fmt.Sprintf("node%04d/r%d", n, r), time.Millisecond, runnable.SafetyRelevant)
+			if err != nil {
+				return nil, err
+			}
+			spec.Runnables = append(spec.Runnables, rid)
+		}
+		link, err := model.AddRunnable(task, fmt.Sprintf("node%04d/link", n), time.Millisecond, runnable.SafetyCritical)
+		if err != nil {
+			return nil, err
+		}
+		spec.Link = link
+		specs[n] = spec
+	}
+	if err := model.Freeze(); err != nil {
+		return nil, err
+	}
+
+	w, err := core.New(core.Config{
+		Model:       model,
+		Clock:       cfg.Clock,
+		Sink:        cfg.Sink,
+		CyclePeriod: cfg.CyclePeriod,
+		JournalSize: cfg.JournalSize,
+		SweepShards: cfg.SweepShards,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Remote runnable hypothesis: like the link, the window spans
+	// GraceFrames flush intervals, requiring BeatsPerWindow heartbeats —
+	// a runnable whose beats stop flowing (locally dead, or its node's
+	// frames lost) faults within one window.
+	hyp := LinkHypothesis(cfg.Interval, cfg.CyclePeriod, cfg.GraceFrames)
+	hyp.MinHeartbeats = cfg.BeatsPerWindow
+	for n := range specs {
+		for _, rid := range specs[n].Runnables {
+			if err := w.SetHypothesis(rid, hyp); err != nil {
+				return nil, err
+			}
+			if err := w.Activate(rid); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	srv, err := NewServer(Config{
+		Watchdog:    w,
+		Shards:      cfg.Shards,
+		QueueLen:    cfg.QueueLen,
+		MaxPacket:   cfg.MaxPacket,
+		GraceFrames: cfg.GraceFrames,
+		ReadBuffer:  cfg.ReadBuffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for n := range specs {
+		if err := srv.RegisterNode(specs[n]); err != nil {
+			return nil, err
+		}
+	}
+
+	names := make([]string, model.NumRunnables())
+	for i := range names {
+		if r, err := model.Runnable(runnable.ID(i)); err == nil {
+			names[i] = r.Name
+		}
+	}
+	return &Fleet{Model: model, Watchdog: w, Server: srv, Specs: specs, Names: names}, nil
+}

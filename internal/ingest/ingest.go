@@ -1,0 +1,504 @@
+// Package ingest is the multi-node ingestion side of the networked
+// Software Watchdog: a UDP-first server that receives batched heartbeat
+// frames (internal/wire) from remote reporter nodes and replays them
+// into a local core.Watchdog on the existing lock-free hot path.
+//
+// This moves the paper's single-ECU service into the role of a dedicated
+// health-monitoring ECU: remote applications keep their in-process
+// heartbeat call sites (the swwdclient library coalesces them), and the
+// watchdog — hypotheses, detection, TSI derivation, journal, telemetry —
+// runs unchanged on the aggregating node.
+//
+// # Architecture
+//
+//	UDP socket ──► read loop ──► per-source shard workers ──► Monitor.BeatN
+//	              (PeekNode)     (decode + seq + replay)      Watchdog.FlowEvent
+//	                                                          link Monitor.Beat
+//
+// One reader goroutine pulls datagrams into buffers drawn from a fixed
+// free list, peeks the node ID from the frame header and hands the
+// packet to the worker that owns the node (node ID modulo shard count).
+// Pinning a node to one worker serializes its frames, so the per-node
+// sequence bookkeeping needs no locks, and decode buffers are per-worker,
+// so the steady-state ingest path — decode, validate, sequence-check,
+// replay — performs zero allocations per frame (see
+// BenchmarkIngestFrame).
+//
+// # Link supervision
+//
+// Link loss is itself supervised, through the same machinery as any
+// other aliveness fault: every registered node owns a synthetic "link
+// runnable" in the model. Each accepted in-order frame beats it once,
+// and its aliveness hypothesis is derived from the node's declared frame
+// interval (one required beat per GraceFrames intervals). A node that
+// goes silent — crashed client, unplugged network — stops producing link
+// beats, and the ordinary Cycle sweep raises an aliveness error on the
+// link runnable within one monitoring period, visible in the sink, the
+// fault journal and the metrics endpoint exactly like a local fault.
+// Duplicated or re-ordered datagrams are dropped without replay (a beat
+// must never count twice); lost datagrams surface as sequence gaps in
+// the server stats and, if the loss persists, as link aliveness faults.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/runnable"
+	"swwd/internal/wire"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultShards      = 4
+	DefaultQueueLen    = 512
+	DefaultMaxPacket   = 9000
+	DefaultGraceFrames = 3
+	DefaultReadBuffer  = 4 << 20
+)
+
+// ErrNodeExists is reported by RegisterNode for a duplicate node ID.
+var ErrNodeExists = errors.New("ingest: node already registered")
+
+// ErrClosed is reported by Listen after Close.
+var ErrClosed = errors.New("ingest: server closed")
+
+// NodeSpec describes one remote reporter node at registration time.
+type NodeSpec struct {
+	// Node is the wire node ID the reporter stamps on its frames.
+	Node uint32
+	// Interval is the node's declared frame flush cadence; the link
+	// runnable's aliveness hypothesis is derived from it.
+	Interval time.Duration
+	// Runnables maps the node-local runnable index used on the wire
+	// (position in this slice) to the model runnable ID.
+	Runnables []runnable.ID
+	// Link is the node's synthetic link runnable in the model. The
+	// server installs its aliveness hypothesis and activates it.
+	Link runnable.ID
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Watchdog receives the replayed heartbeats. Required.
+	Watchdog *core.Watchdog
+	// Shards is the worker count frames are decoded on; a node is pinned
+	// to the worker node%Shards, so frames of one node always replay in
+	// order. Zero means DefaultShards.
+	Shards int
+	// QueueLen is the per-worker packet queue depth. Zero means
+	// DefaultQueueLen. The free list holds Shards*QueueLen buffers; when
+	// it runs dry the reader drops datagrams and counts them.
+	QueueLen int
+	// MaxPacket is the largest datagram accepted, and the size of each
+	// pooled buffer. Zero means DefaultMaxPacket; senders must keep
+	// frames within it or they are counted as decode errors.
+	MaxPacket int
+	// GraceFrames is how many declared flush intervals a node may stay
+	// silent before its link runnable accumulates an aliveness error:
+	// the link hypothesis requires one beat per GraceFrames*Interval
+	// window. Zero means DefaultGraceFrames (tolerates GraceFrames-1
+	// consecutive lost datagrams without a false positive).
+	GraceFrames int
+	// ReadBuffer is the requested SO_RCVBUF of the UDP socket. Zero
+	// means DefaultReadBuffer.
+	ReadBuffer int
+}
+
+// Stats is a point-in-time copy of the server's ingestion counters.
+type Stats struct {
+	// Frames is the number of datagrams handed to workers; Bytes their
+	// cumulative payload size.
+	Frames uint64
+	Bytes  uint64
+	// Accepted counts frames that passed decode, registration and
+	// sequence checks and were replayed into the watchdog.
+	Accepted uint64
+	// DecodeErrors counts malformed frames, including frames naming a
+	// runnable index outside the node's registered table.
+	DecodeErrors uint64
+	// UnknownNode counts well-formed frames from unregistered node IDs.
+	UnknownNode uint64
+	// SeqGaps is the cumulative count of missing sequence numbers
+	// (frames lost in flight, as observed from jumps in Seq).
+	SeqGaps uint64
+	// SeqGapEvents counts accepted frames whose Seq jumped.
+	SeqGapEvents uint64
+	// DuplicateDrops counts frames dropped because their Seq was not
+	// beyond the node's last accepted frame (duplicate or re-ordered
+	// delivery) — dropped without replay so no beat counts twice.
+	DuplicateDrops uint64
+	// DroppedPackets counts datagrams discarded because the buffer free
+	// list or a worker queue was full.
+	DroppedPackets uint64
+	// ReadErrors counts transient socket read errors.
+	ReadErrors uint64
+	// Nodes is the number of registered nodes.
+	Nodes int
+}
+
+// packet is one pooled datagram buffer.
+type packet struct {
+	buf []byte
+	n   int
+}
+
+// nodeState is the server-side state of one registered node. Everything
+// except the sequence fields is immutable after registration; lastSeq
+// and haveSeq are touched only by the node's owning shard worker.
+type nodeState struct {
+	spec NodeSpec
+	// mons[i] is the Monitor handle of wire runnable index i.
+	mons []*core.Monitor
+	// link is the handle of the synthetic link runnable.
+	link *core.Monitor
+
+	lastSeq uint64
+	haveSeq bool
+}
+
+// Server ingests heartbeat frames into a watchdog.
+type Server struct {
+	w   *core.Watchdog
+	cfg Config
+
+	// nodes is a copy-on-write map: readers load it with one atomic
+	// pointer load; RegisterNode clones under regMu.
+	nodes atomic.Pointer[map[uint32]*nodeState]
+	regMu sync.Mutex
+
+	conn    *net.UDPConn
+	shards  []chan *packet
+	free    chan *packet
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+
+	frames     atomic.Uint64
+	bytes      atomic.Uint64
+	accepted   atomic.Uint64
+	decodeErrs atomic.Uint64
+	unknown    atomic.Uint64
+	seqGaps    atomic.Uint64
+	gapEvents  atomic.Uint64
+	dupDrops   atomic.Uint64
+	dropped    atomic.Uint64
+	readErrs   atomic.Uint64
+}
+
+// NewServer validates the configuration and builds an idle server;
+// register nodes with RegisterNode, then bind it with Listen.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Watchdog == nil {
+		return nil, errors.New("ingest: Config.Watchdog is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards > 64 {
+		cfg.Shards = 64
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if cfg.MaxPacket <= 0 {
+		cfg.MaxPacket = DefaultMaxPacket
+	}
+	if cfg.MaxPacket > wire.MaxFrameSize {
+		cfg.MaxPacket = wire.MaxFrameSize
+	}
+	if cfg.GraceFrames <= 0 {
+		cfg.GraceFrames = DefaultGraceFrames
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = DefaultReadBuffer
+	}
+	s := &Server{w: cfg.Watchdog, cfg: cfg}
+	empty := make(map[uint32]*nodeState)
+	s.nodes.Store(&empty)
+	return s, nil
+}
+
+// LinkHypothesis derives the aliveness hypothesis of a node's link
+// runnable from its declared frame interval: one required beat (one
+// accepted frame) per grace*interval window, expressed in watchdog
+// cycles of the given period. Exported so operators can inspect what a
+// registration will install.
+func LinkHypothesis(interval, cyclePeriod time.Duration, graceFrames int) core.Hypothesis {
+	if graceFrames <= 0 {
+		graceFrames = DefaultGraceFrames
+	}
+	window := time.Duration(graceFrames) * interval
+	cycles := int((window + cyclePeriod - 1) / cyclePeriod)
+	if cycles < 2 {
+		cycles = 2 // never race a frame against the very next sweep
+	}
+	return core.Hypothesis{AlivenessCycles: cycles, MinHeartbeats: 1}
+}
+
+// RegisterNode registers one remote node: resolves Monitor handles for
+// its runnable table, installs the derived link hypothesis and activates
+// the link runnable. Frames from unregistered nodes are counted and
+// dropped, so registration must precede the node's first frame.
+func (s *Server) RegisterNode(spec NodeSpec) error {
+	if spec.Interval <= 0 {
+		return fmt.Errorf("ingest: node %d: interval must be positive", spec.Node)
+	}
+	ns := &nodeState{spec: spec, mons: make([]*core.Monitor, len(spec.Runnables))}
+	for i, rid := range spec.Runnables {
+		m, err := s.w.Register(rid)
+		if err != nil {
+			return fmt.Errorf("ingest: node %d runnable %d: %w", spec.Node, i, err)
+		}
+		ns.mons[i] = m
+	}
+	link, err := s.w.Register(spec.Link)
+	if err != nil {
+		return fmt.Errorf("ingest: node %d link: %w", spec.Node, err)
+	}
+	ns.link = link
+	hyp := LinkHypothesis(spec.Interval, s.w.CyclePeriod(), s.cfg.GraceFrames)
+	if err := s.w.SetHypothesis(spec.Link, hyp); err != nil {
+		return fmt.Errorf("ingest: node %d link hypothesis: %w", spec.Node, err)
+	}
+	if err := s.w.Activate(spec.Link); err != nil {
+		return fmt.Errorf("ingest: node %d link activate: %w", spec.Node, err)
+	}
+
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	old := *s.nodes.Load()
+	if _, dup := old[spec.Node]; dup {
+		return fmt.Errorf("%w: %d", ErrNodeExists, spec.Node)
+	}
+	next := make(map[uint32]*nodeState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[spec.Node] = ns
+	s.nodes.Store(&next)
+	return nil
+}
+
+// Listen binds the UDP socket and starts the reader and the shard
+// workers. addr is a host:port as for net.ListenUDP (":0" picks an
+// ephemeral port); the bound address is returned for clients to dial.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.started {
+		return nil, errors.New("ingest: server already listening")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	_ = conn.SetReadBuffer(s.cfg.ReadBuffer) // best effort; kernel may clamp
+	s.conn = conn
+	s.started = true
+
+	total := s.cfg.Shards * s.cfg.QueueLen
+	s.free = make(chan *packet, total)
+	for i := 0; i < total; i++ {
+		s.free <- &packet{buf: make([]byte, s.cfg.MaxPacket)}
+	}
+	s.shards = make([]chan *packet, s.cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = make(chan *packet, s.cfg.QueueLen)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	s.wg.Add(1)
+	go s.readLoop()
+	return conn.LocalAddr(), nil
+}
+
+// Addr reports the bound address, nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
+
+// Close stops the reader and the workers and releases the socket. The
+// watchdog is left running — link runnables of silent nodes will keep
+// accumulating aliveness faults until the caller deactivates them.
+func (s *Server) Close() error {
+	s.regMu.Lock()
+	if s.closed {
+		s.regMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conn := s.conn
+	s.regMu.Unlock()
+	if conn != nil {
+		_ = conn.Close() // unblocks the read loop
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// readLoop pulls datagrams off the socket and dispatches them to the
+// owning shard worker, recycling buffers through the free list.
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	defer func() {
+		for _, sh := range s.shards {
+			close(sh)
+		}
+	}()
+	scratch := make([]byte, s.cfg.MaxPacket)
+	for {
+		var p *packet
+		select {
+		case p = <-s.free:
+		default:
+			p = nil // free list dry: read into scratch and drop
+		}
+		buf := scratch
+		if p != nil {
+			buf = p.buf
+		}
+		n, _, err := s.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if p != nil {
+				s.free <- p
+			}
+			if isClosed(err) {
+				return
+			}
+			s.readErrs.Add(1)
+			continue
+		}
+		if p == nil {
+			s.dropped.Add(1)
+			continue
+		}
+		p.n = n
+		node, err := wire.PeekNode(p.buf[:n])
+		if err != nil {
+			s.frames.Add(1)
+			s.bytes.Add(uint64(n))
+			s.decodeErrs.Add(1)
+			s.free <- p
+			continue
+		}
+		sh := s.shards[node%uint32(len(s.shards))]
+		select {
+		case sh <- p:
+		default:
+			s.dropped.Add(1)
+			s.free <- p
+		}
+	}
+}
+
+// worker decodes and replays the frames of the nodes pinned to one
+// shard. The wire.Frame is per-worker and reused, so the steady state
+// allocates nothing per frame.
+func (s *Server) worker(in <-chan *packet) {
+	defer s.wg.Done()
+	var frame wire.Frame
+	for p := range in {
+		s.ingestFrame(p.buf[:p.n], &frame)
+		s.free <- p
+	}
+}
+
+// ingestFrame is the per-frame ingest path: decode, validate against the
+// node's registered runnable table, enforce the sequence discipline and
+// replay. Frames of one node are processed by exactly one goroutine at a
+// time (shard pinning), which makes the nodeState sequence fields safe
+// without locks.
+func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
+	s.frames.Add(1)
+	s.bytes.Add(uint64(len(buf)))
+	if err := wire.DecodeFrame(buf, f); err != nil {
+		s.decodeErrs.Add(1)
+		return
+	}
+	ns := (*s.nodes.Load())[f.Node]
+	if ns == nil {
+		s.unknown.Add(1)
+		return
+	}
+	// Validate every index before replaying anything: a frame naming an
+	// unknown runnable is counted as a decode error and dropped whole,
+	// never partially applied and never a panic.
+	for i := range f.Beats {
+		if int(f.Beats[i].Runnable) >= len(ns.mons) {
+			s.decodeErrs.Add(1)
+			return
+		}
+	}
+	for _, idx := range f.Flow {
+		if int(idx) >= len(ns.mons) {
+			s.decodeErrs.Add(1)
+			return
+		}
+	}
+	// Sequence discipline: duplicates and re-ordered frames are dropped
+	// without replay (a beat must never count twice); gaps are counted
+	// but the frame itself is sound and replays.
+	if ns.haveSeq {
+		if f.Seq <= ns.lastSeq {
+			s.dupDrops.Add(1)
+			return
+		}
+		if gap := f.Seq - ns.lastSeq - 1; gap > 0 {
+			s.seqGaps.Add(gap)
+			s.gapEvents.Add(1)
+		}
+	}
+	ns.lastSeq = f.Seq
+	ns.haveSeq = true
+
+	for i := range f.Beats {
+		ns.mons[f.Beats[i].Runnable].BeatN(int(f.Beats[i].Beats))
+	}
+	for _, idx := range f.Flow {
+		s.w.FlowEvent(ns.spec.Runnables[idx])
+	}
+	// The accepted frame is the link runnable's heartbeat: aliveness of
+	// the *reporting channel*, supervised like any other runnable.
+	ns.link.Beat()
+	s.accepted.Add(1)
+}
+
+// Stats returns a copy of the ingestion counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Frames:         s.frames.Load(),
+		Bytes:          s.bytes.Load(),
+		Accepted:       s.accepted.Load(),
+		DecodeErrors:   s.decodeErrs.Load(),
+		UnknownNode:    s.unknown.Load(),
+		SeqGaps:        s.seqGaps.Load(),
+		SeqGapEvents:   s.gapEvents.Load(),
+		DuplicateDrops: s.dupDrops.Load(),
+		DroppedPackets: s.dropped.Load(),
+		ReadErrors:     s.readErrs.Load(),
+		Nodes:          len(*s.nodes.Load()),
+	}
+}
+
+// isClosed reports whether err marks the socket shut by Close.
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

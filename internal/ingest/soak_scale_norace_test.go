@@ -1,0 +1,13 @@
+//go:build !race
+
+package ingest_test
+
+import "time"
+
+// Full-scale soak parameters: a thousand reporter nodes of ten
+// runnables each, beating over loopback UDP for ten seconds.
+const (
+	soakNodes     = 1000
+	soakRunnables = 10
+	soakDuration  = 10 * time.Second
+)

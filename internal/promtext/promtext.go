@@ -1,0 +1,141 @@
+// Package promtext renders watchdog telemetry as Prometheus text
+// exposition format 0.0.4 with no client library — the shared backend of
+// the cmd/swwdmon and cmd/swwdd /metrics endpoints. Writers append to a
+// caller-owned bytes.Buffer, so an exporter that retains its buffer and
+// snapshot allocates only HTTP plumbing per scrape.
+package promtext
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"swwd/internal/core"
+	"swwd/internal/ingest"
+)
+
+// WriteSnapshot renders s: watchdog counters and state, per-runnable
+// series labelled via names (falling back to the numeric ID), journal
+// accounting, driver tick drift and the sweep-duration histogram. Label
+// values go through %q: Go string quoting matches the Prometheus
+// escaping rules for backslash, double-quote and newline.
+func WriteSnapshot(b *bytes.Buffer, s *core.Snapshot, names []string) {
+	// Watchdog-level counters and state.
+	Header(b, "swwd_cycles_total", "counter", "Monitoring cycles swept.")
+	fmt.Fprintf(b, "swwd_cycles_total %d\n", s.Cycle)
+	Header(b, "swwd_detections_total", "counter", "Cumulative detections by error kind (AM/AR/PFC Result).")
+	fmt.Fprintf(b, "swwd_detections_total{kind=\"aliveness\"} %d\n", s.Results.Aliveness)
+	fmt.Fprintf(b, "swwd_detections_total{kind=\"arrival_rate\"} %d\n", s.Results.ArrivalRate)
+	fmt.Fprintf(b, "swwd_detections_total{kind=\"program_flow\"} %d\n", s.Results.ProgramFlow)
+	Header(b, "swwd_ecu_state", "gauge", "TSI-derived ECU state (1=OK 2=faulty).")
+	fmt.Fprintf(b, "swwd_ecu_state %d\n", int(s.ECUState))
+
+	// Per-runnable series.
+	Header(b, "swwd_runnable_active", "gauge", "Activation Status (AS) of the runnable.")
+	for i := range s.Runnables {
+		fmt.Fprintf(b, "swwd_runnable_active{runnable=%q} %d\n", label(names, i), b2i(s.Runnables[i].Active))
+	}
+	Header(b, "swwd_runnable_beats_total", "counter", "Heartbeats recorded while the runnable was active.")
+	for i := range s.Runnables {
+		fmt.Fprintf(b, "swwd_runnable_beats_total{runnable=%q} %d\n", label(names, i), s.Runnables[i].Beats)
+	}
+	Header(b, "swwd_runnable_faults_total", "counter", "Detections attributed to the runnable, by error kind.")
+	for i := range s.Runnables {
+		r := &s.Runnables[i]
+		n := label(names, i)
+		fmt.Fprintf(b, "swwd_runnable_faults_total{runnable=%q,kind=\"aliveness\"} %d\n", n, r.ErrAliveness)
+		fmt.Fprintf(b, "swwd_runnable_faults_total{runnable=%q,kind=\"arrival_rate\"} %d\n", n, r.ErrArrivalRate)
+		fmt.Fprintf(b, "swwd_runnable_faults_total{runnable=%q,kind=\"program_flow\"} %d\n", n, r.ErrProgramFlow)
+	}
+
+	// Fault-event journal accounting.
+	Header(b, "swwd_journal_entries", "gauge", "Fault-event journal entries currently retained.")
+	fmt.Fprintf(b, "swwd_journal_entries %d\n", s.Journal.Len)
+	Header(b, "swwd_journal_capacity", "gauge", "Fault-event journal ring capacity.")
+	fmt.Fprintf(b, "swwd_journal_capacity %d\n", s.Journal.Cap)
+	Header(b, "swwd_journal_written_total", "counter", "Detections journaled over the watchdog's lifetime.")
+	fmt.Fprintf(b, "swwd_journal_written_total %d\n", s.Journal.Written)
+	Header(b, "swwd_journal_dropped_total", "counter", "Journal entries overwritten by the ring wrapping.")
+	fmt.Fprintf(b, "swwd_journal_dropped_total %d\n", s.Journal.Dropped)
+
+	// Service tick drift.
+	Header(b, "swwd_ticks_total", "counter", "Monitoring cycles driven by the service ticker.")
+	fmt.Fprintf(b, "swwd_ticks_total %d\n", s.Driver.Ticks)
+	Header(b, "swwd_missed_cycles_total", "counter", "Cycles lost to tick overruns.")
+	fmt.Fprintf(b, "swwd_missed_cycles_total %d\n", s.Driver.MissedCycles)
+	Header(b, "swwd_tick_overruns_total", "counter", "Tick overrun events.")
+	fmt.Fprintf(b, "swwd_tick_overruns_total %d\n", s.Driver.Overruns)
+	Header(b, "swwd_tick_max_late_seconds", "gauge", "Worst observed tick lateness.")
+	fmt.Fprintf(b, "swwd_tick_max_late_seconds %g\n", time.Duration(s.Driver.MaxLateNs).Seconds())
+
+	// Sweep-duration histogram, cumulative per Prometheus convention.
+	// Buckets below the first observation and the saturated tail above
+	// the last one are elided; the +Inf bucket completes the series, so
+	// the exposition stays a handful of lines around the observed range.
+	Header(b, "swwd_sweep_duration_seconds", "histogram", "Duration of one monitoring-cycle sweep.")
+	var cum uint64
+	for i := 0; i < core.HistBuckets; i++ {
+		cum += s.Sweep.Buckets[i]
+		if cum == 0 {
+			continue
+		}
+		bound := float64(core.HistBucketBound(i)) / 1e9
+		fmt.Fprintf(b, "swwd_sweep_duration_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+		if cum == s.Sweep.Count {
+			break
+		}
+	}
+	fmt.Fprintf(b, "swwd_sweep_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.Sweep.Count)
+	fmt.Fprintf(b, "swwd_sweep_duration_seconds_sum %g\n", float64(s.Sweep.SumNs)/1e9)
+	fmt.Fprintf(b, "swwd_sweep_duration_seconds_count %d\n", s.Sweep.Count)
+	Header(b, "swwd_sweep_duration_max_seconds", "gauge", "Longest sweep observed.")
+	fmt.Fprintf(b, "swwd_sweep_duration_max_seconds %g\n", float64(s.Sweep.MaxNs)/1e9)
+}
+
+// WriteIngest renders the ingestion server's wire counters: frames,
+// bytes, decode errors, sequence gaps, duplicate and queue drops.
+func WriteIngest(b *bytes.Buffer, st ingest.Stats) {
+	Header(b, "swwd_ingest_nodes", "gauge", "Remote nodes registered with the ingestion server.")
+	fmt.Fprintf(b, "swwd_ingest_nodes %d\n", st.Nodes)
+	Header(b, "swwd_ingest_frames_total", "counter", "Heartbeat frames handed to ingest workers.")
+	fmt.Fprintf(b, "swwd_ingest_frames_total %d\n", st.Frames)
+	Header(b, "swwd_ingest_bytes_total", "counter", "Frame payload bytes received.")
+	fmt.Fprintf(b, "swwd_ingest_bytes_total %d\n", st.Bytes)
+	Header(b, "swwd_ingest_accepted_total", "counter", "Frames decoded, sequence-checked and replayed into the watchdog.")
+	fmt.Fprintf(b, "swwd_ingest_accepted_total %d\n", st.Accepted)
+	Header(b, "swwd_ingest_decode_errors_total", "counter", "Malformed frames, including unknown runnable indices.")
+	fmt.Fprintf(b, "swwd_ingest_decode_errors_total %d\n", st.DecodeErrors)
+	Header(b, "swwd_ingest_unknown_node_total", "counter", "Frames from unregistered node IDs.")
+	fmt.Fprintf(b, "swwd_ingest_unknown_node_total %d\n", st.UnknownNode)
+	Header(b, "swwd_ingest_sequence_gaps_total", "counter", "Missing sequence numbers observed across all nodes (frames lost in flight).")
+	fmt.Fprintf(b, "swwd_ingest_sequence_gaps_total %d\n", st.SeqGaps)
+	Header(b, "swwd_ingest_sequence_gap_events_total", "counter", "Accepted frames whose sequence number jumped.")
+	fmt.Fprintf(b, "swwd_ingest_sequence_gap_events_total %d\n", st.SeqGapEvents)
+	Header(b, "swwd_ingest_duplicate_drops_total", "counter", "Duplicate or re-ordered frames dropped without replay.")
+	fmt.Fprintf(b, "swwd_ingest_duplicate_drops_total %d\n", st.DuplicateDrops)
+	Header(b, "swwd_ingest_dropped_packets_total", "counter", "Datagrams discarded because buffers or worker queues were full.")
+	fmt.Fprintf(b, "swwd_ingest_dropped_packets_total %d\n", st.DroppedPackets)
+	Header(b, "swwd_ingest_read_errors_total", "counter", "Transient socket read errors.")
+	fmt.Fprintf(b, "swwd_ingest_read_errors_total %d\n", st.ReadErrors)
+}
+
+// Header emits the HELP/TYPE preamble for one metric family.
+func Header(b *bytes.Buffer, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// label returns the label value for runnable i, falling back to the
+// numeric ID when the name table is short.
+func label(names []string, i int) string {
+	if i < len(names) && names[i] != "" {
+		return names[i]
+	}
+	return fmt.Sprintf("runnable-%d", i)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

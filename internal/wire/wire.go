@@ -1,0 +1,253 @@
+// Package wire defines the batched heartbeat wire protocol of the
+// networked Software Watchdog: the compact binary frame a remote node
+// flushes to the ingestion server (internal/ingest) every client tick.
+//
+// A frame coalesces everything a node observed since its previous flush:
+//
+//   - per-runnable heartbeat *counts* (not individual beats — a runnable
+//     that beat 47 times since the last frame travels as one varint pair),
+//     replayed on the server through Monitor.BeatN;
+//   - the ordered list of executed flow-monitored runnables ("successor
+//     IDs"), replayed through Watchdog.FlowEvent so the server-side PFC
+//     look-up-table check sees the same predecessor/successor pairs it
+//     would have seen locally;
+//   - a monotonic per-node sequence number, so the server can detect
+//     lost, duplicated and re-ordered datagrams;
+//   - the node's declared flush interval, from which the server derives
+//     the aliveness hypothesis of the node's synthetic link runnable.
+//
+// One UDP datagram carries exactly one frame. The layout is fixed-header
+// + varint payload, all multi-byte header fields little-endian:
+//
+//	offset size field
+//	0      2    magic 0x5357 ("SW")
+//	2      1    version (currently 1)
+//	3      1    flags (must be zero in version 1)
+//	4      4    node ID
+//	8      8    sequence number (first frame of a session is 1)
+//	16     4    declared flush interval in milliseconds (> 0)
+//	20     2    beat record count
+//	22     2    flow record count
+//	24     ...  beat records: { runnable uvarint, beats uvarint } ...
+//	     	...  flow records: { runnable uvarint } ...
+//
+// Decoding is strict (unknown magic/version/flags, truncated payloads,
+// out-of-range values and trailing bytes are all errors) and allocation
+// free in the steady state: DecodeFrame reuses the destination Frame's
+// slices, so a per-source decode loop settles into zero allocations per
+// frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	// Magic identifies a Software Watchdog heartbeat frame ("SW").
+	Magic uint16 = 0x5357
+	// Version is the wire version this package encodes and decodes.
+	Version uint8 = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 24
+	// MaxFrameSize is the largest encoded frame this package produces or
+	// accepts — comfortably under the 65507-byte UDP payload ceiling.
+	MaxFrameSize = 60000
+	// MaxRunnableIndex bounds the per-node runnable index of beat and
+	// flow records.
+	MaxRunnableIndex = 1 << 20
+	// MaxBeatsPerRecord bounds the coalesced beat count of one record,
+	// mirroring core.MaxBatchBeats so a decoded record always replays in
+	// a single Monitor.BeatN call.
+	MaxBeatsPerRecord = 1 << 24
+)
+
+// Decode/encode errors. Match with errors.Is; returned errors may wrap
+// these with offset context.
+var (
+	// ErrMagic marks a datagram that is not a heartbeat frame.
+	ErrMagic = errors.New("wire: bad magic")
+	// ErrVersion marks an unsupported wire version.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrFlags marks non-zero reserved flags.
+	ErrFlags = errors.New("wire: reserved flags set")
+	// ErrTruncated marks a frame shorter than its header and counts
+	// promise.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrRange marks a header or payload value outside protocol limits.
+	ErrRange = errors.New("wire: value out of range")
+	// ErrTrailing marks bytes after the last declared record — one
+	// datagram carries exactly one frame.
+	ErrTrailing = errors.New("wire: trailing bytes after frame")
+	// ErrTooLarge marks an encode whose result would exceed MaxFrameSize.
+	ErrTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+)
+
+// BeatRec is one coalesced heartbeat record: the node-local runnable
+// index and how many times it beat since the previous frame.
+type BeatRec struct {
+	Runnable uint32
+	Beats    uint32
+}
+
+// Frame is the decoded form of one wire frame. Beats and Flow are reused
+// across DecodeFrame calls on the same Frame value.
+type Frame struct {
+	// Node is the reporting node's ID, assigned at registration.
+	Node uint32
+	// Seq is the node's monotonic frame sequence number, starting at 1.
+	Seq uint64
+	// IntervalMs is the node's declared flush cadence in milliseconds.
+	IntervalMs uint32
+	// Beats are the coalesced per-runnable heartbeat counts.
+	Beats []BeatRec
+	// Flow is the ordered list of executed flow-monitored runnable
+	// indices since the previous frame.
+	Flow []uint32
+}
+
+// AppendFrame appends the encoded form of f to dst and returns the
+// extended slice. It validates f against the protocol limits and returns
+// dst unmodified on error.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if f.IntervalMs == 0 {
+		return dst, fmt.Errorf("%w: interval must be positive", ErrRange)
+	}
+	if len(f.Beats) > 0xFFFF || len(f.Flow) > 0xFFFF {
+		return dst, fmt.Errorf("%w: %d beat / %d flow records", ErrRange, len(f.Beats), len(f.Flow))
+	}
+	start := len(dst)
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = 0
+	binary.LittleEndian.PutUint32(hdr[4:8], f.Node)
+	binary.LittleEndian.PutUint64(hdr[8:16], f.Seq)
+	binary.LittleEndian.PutUint32(hdr[16:20], f.IntervalMs)
+	binary.LittleEndian.PutUint16(hdr[20:22], uint16(len(f.Beats)))
+	binary.LittleEndian.PutUint16(hdr[22:24], uint16(len(f.Flow)))
+	dst = append(dst, hdr[:]...)
+	for i := range f.Beats {
+		r := &f.Beats[i]
+		if r.Runnable > MaxRunnableIndex {
+			return dst[:start], fmt.Errorf("%w: beat record %d runnable %d", ErrRange, i, r.Runnable)
+		}
+		if r.Beats == 0 || r.Beats > MaxBeatsPerRecord {
+			return dst[:start], fmt.Errorf("%w: beat record %d count %d", ErrRange, i, r.Beats)
+		}
+		dst = binary.AppendUvarint(dst, uint64(r.Runnable))
+		dst = binary.AppendUvarint(dst, uint64(r.Beats))
+	}
+	for i, rid := range f.Flow {
+		if rid > MaxRunnableIndex {
+			return dst[:start], fmt.Errorf("%w: flow record %d runnable %d", ErrRange, i, rid)
+		}
+		dst = binary.AppendUvarint(dst, uint64(rid))
+	}
+	if len(dst)-start > MaxFrameSize {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrTooLarge, len(dst)-start)
+	}
+	return dst, nil
+}
+
+// PeekNode extracts the node ID from an encoded frame after validating
+// only the fixed header prefix — the cheap dispatch step the ingestion
+// reader uses to route a datagram to its per-source shard worker before
+// the worker runs the full decode.
+func PeekNode(buf []byte) (uint32, error) {
+	if len(buf) < HeaderSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[0:2]) != Magic {
+		return 0, ErrMagic
+	}
+	if buf[2] != Version {
+		return 0, fmt.Errorf("%w: %d", ErrVersion, buf[2])
+	}
+	return binary.LittleEndian.Uint32(buf[4:8]), nil
+}
+
+// DecodeFrame decodes one frame from buf into f, reusing f's Beats and
+// Flow slices. On error f's contents are unspecified but the call never
+// panics, whatever buf holds; a per-source decode loop with a retained
+// Frame performs zero allocations per frame in the steady state.
+func DecodeFrame(buf []byte, f *Frame) error {
+	if len(buf) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
+	}
+	if len(buf) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[0:2]) != Magic {
+		return ErrMagic
+	}
+	if buf[2] != Version {
+		return fmt.Errorf("%w: %d", ErrVersion, buf[2])
+	}
+	if buf[3] != 0 {
+		return fmt.Errorf("%w: 0x%02x", ErrFlags, buf[3])
+	}
+	f.Node = binary.LittleEndian.Uint32(buf[4:8])
+	f.Seq = binary.LittleEndian.Uint64(buf[8:16])
+	f.IntervalMs = binary.LittleEndian.Uint32(buf[16:20])
+	if f.Seq == 0 {
+		return fmt.Errorf("%w: zero sequence number", ErrRange)
+	}
+	if f.IntervalMs == 0 {
+		return fmt.Errorf("%w: zero interval", ErrRange)
+	}
+	nBeats := int(binary.LittleEndian.Uint16(buf[20:22]))
+	nFlow := int(binary.LittleEndian.Uint16(buf[22:24]))
+	f.Beats = f.Beats[:0]
+	f.Flow = f.Flow[:0]
+	p := buf[HeaderSize:]
+	for i := 0; i < nBeats; i++ {
+		rid, n, err := uvarint(p, "beat runnable")
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+		beats, n, err := uvarint(p, "beat count")
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+		if rid > MaxRunnableIndex {
+			return fmt.Errorf("%w: beat record %d runnable %d", ErrRange, i, rid)
+		}
+		if beats == 0 || beats > MaxBeatsPerRecord {
+			return fmt.Errorf("%w: beat record %d count %d", ErrRange, i, beats)
+		}
+		f.Beats = append(f.Beats, BeatRec{Runnable: uint32(rid), Beats: uint32(beats)})
+	}
+	for i := 0; i < nFlow; i++ {
+		rid, n, err := uvarint(p, "flow runnable")
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+		if rid > MaxRunnableIndex {
+			return fmt.Errorf("%w: flow record %d runnable %d", ErrRange, i, rid)
+		}
+		f.Flow = append(f.Flow, uint32(rid))
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(p))
+	}
+	return nil
+}
+
+// uvarint decodes one varint from p, classifying both failure modes
+// (empty/short buffer and >64-bit overlong encodings) as protocol errors.
+func uvarint(p []byte, what string) (uint64, int, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		if n == 0 {
+			return 0, 0, fmt.Errorf("%w: %s", ErrTruncated, what)
+		}
+		return 0, 0, fmt.Errorf("%w: %s varint overflow", ErrRange, what)
+	}
+	return v, n, nil
+}

@@ -1,0 +1,370 @@
+// Package swwdclient is the reporter-side library of the networked
+// Software Watchdog: applications on a remote node keep their in-process
+// heartbeat call sites, and the client coalesces them locally and
+// flushes one compact binary frame (internal/wire) per interval to the
+// ingestion server (internal/ingest, cmd/swwdd).
+//
+// The hot path mirrors the in-process Monitor.Beat discipline: Beat is
+// one uncontended atomic add on a per-runnable counter — no lock, no
+// allocation, no syscall. The background flusher swaps the counters out
+// every Interval, encodes them into a reused buffer and sends a single
+// UDP datagram stamped with a monotonic sequence number.
+//
+// Delivery is deliberately fire-and-forget per frame — heartbeats are a
+// rate signal, and the server's hypothesis windows absorb an isolated
+// lost datagram — but the *channel* is supervised end to end: every
+// frame the server accepts beats the node's link runnable, so a client
+// that dies (or a network that eats its frames) raises an aliveness
+// fault on the monitoring side within one window. On send errors the
+// client folds the unsent counts back into the accumulators (beats are
+// delayed, never silently dropped by the client itself) and re-dials
+// with capped exponential backoff.
+package swwdclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swwd/internal/wire"
+)
+
+// Limits and defaults.
+const (
+	// MaxRunnables bounds the per-node runnable table so one frame
+	// always fits a UDP datagram.
+	MaxRunnables = 4096
+	// DefaultInterval is the flush cadence when Config.Interval is zero.
+	DefaultInterval = 100 * time.Millisecond
+	// DefaultMaxFlowBacklog bounds buffered flow events between flushes.
+	DefaultMaxFlowBacklog = 1024
+	// DefaultMinBackoff / DefaultMaxBackoff bound the reconnect backoff.
+	DefaultMinBackoff = 50 * time.Millisecond
+	DefaultMaxBackoff = 5 * time.Second
+)
+
+// ErrClosed is reported by methods called after Close.
+var ErrClosed = errors.New("swwdclient: closed")
+
+// Config assembles a Client.
+type Config struct {
+	// Addr is the ingestion server's host:port (UDP).
+	Addr string
+	// Node is this node's wire ID, as registered on the server.
+	Node uint32
+	// Runnables is the node-local runnable count; Beat/Exec indices are
+	// 0..Runnables-1 and map to the server-side registration table.
+	Runnables int
+	// Interval is the flush cadence, also declared in every frame so the
+	// server derives the link hypothesis from it. Zero means
+	// DefaultInterval.
+	Interval time.Duration
+	// MaxFlowBacklog caps buffered flow events between flushes; beyond
+	// it new events are dropped and counted. Zero means
+	// DefaultMaxFlowBacklog.
+	MaxFlowBacklog int
+	// MinBackoff/MaxBackoff bound the reconnect backoff after send
+	// failures. Zeros mean the defaults.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+}
+
+// Stats is a point-in-time copy of the client's counters.
+type Stats struct {
+	// FramesSent counts successfully written datagrams; Seq is the
+	// sequence number of the last one.
+	FramesSent uint64
+	Seq        uint64
+	// SendErrors counts failed writes (the frame's beats were folded
+	// back and travel with a later frame).
+	SendErrors uint64
+	// Reconnects counts successful re-dials after a send failure.
+	Reconnects uint64
+	// FlowDropped counts flow events discarded at the backlog cap.
+	FlowDropped uint64
+	// EncodeErrors counts frames the encoder refused (config error:
+	// runnable table or flow backlog beyond wire limits).
+	EncodeErrors uint64
+}
+
+// Client coalesces heartbeats for one node and flushes them on a ticker.
+// Beat/Exec/FlowEvent are safe for unrestricted concurrent use.
+type Client struct {
+	cfg    Config
+	counts []atomic.Uint32
+
+	flowMu  sync.Mutex
+	flow    []uint32
+	flowCap int
+
+	// flushMu serializes the flusher goroutine, manual Flush and Close.
+	flushMu  sync.Mutex
+	closed   bool
+	conn     net.Conn
+	seq      uint64
+	frame    wire.Frame
+	buf      []byte
+	backoff  time.Duration
+	nextDial time.Time
+
+	framesSent  atomic.Uint64
+	sendErrs    atomic.Uint64
+	reconnects  atomic.Uint64
+	flowDropped atomic.Uint64
+	encodeErrs  atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Dial validates the configuration, opens the (connected) UDP socket and
+// starts the background flusher. A node whose server is temporarily
+// unreachable still constructs successfully — UDP has no handshake — and
+// simply keeps coalescing until frames get through.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("swwdclient: Config.Addr is required")
+	}
+	if cfg.Runnables <= 0 || cfg.Runnables > MaxRunnables {
+		return nil, fmt.Errorf("swwdclient: Runnables must be in 1..%d", MaxRunnables)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Interval < time.Millisecond {
+		cfg.Interval = time.Millisecond // IntervalMs must encode as >= 1
+	}
+	if cfg.MaxFlowBacklog <= 0 {
+		cfg.MaxFlowBacklog = DefaultMaxFlowBacklog
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = DefaultMinBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	conn, err := net.Dial("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("swwdclient: %w", err)
+	}
+	c := &Client{
+		cfg:     cfg,
+		counts:  make([]atomic.Uint32, cfg.Runnables),
+		flowCap: cfg.MaxFlowBacklog,
+		conn:    conn,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.run()
+	return c, nil
+}
+
+// Beat records one heartbeat of node-local runnable i: one atomic add.
+// Out-of-range indices are ignored, matching Watchdog.Heartbeat's
+// tolerance of glue code.
+func (c *Client) Beat(i int) {
+	if uint(i) < uint(len(c.counts)) {
+		c.counts[i].Add(1)
+	}
+}
+
+// BeatN records n coalesced heartbeats of runnable i.
+func (c *Client) BeatN(i, n int) {
+	if n > 0 && uint(i) < uint(len(c.counts)) {
+		c.counts[i].Add(uint32(n))
+	}
+}
+
+// FlowEvent records the ordered execution of flow-monitored runnable i
+// for the server-side program-flow check. Order is preserved within and
+// across frames; events beyond the backlog cap are dropped and counted.
+func (c *Client) FlowEvent(i int) {
+	if uint(i) >= uint(len(c.counts)) {
+		return
+	}
+	c.flowMu.Lock()
+	if len(c.flow) >= c.flowCap {
+		c.flowMu.Unlock()
+		c.flowDropped.Add(1)
+		return
+	}
+	c.flow = append(c.flow, uint32(i))
+	c.flowMu.Unlock()
+}
+
+// Exec records one execution of a flow-monitored runnable: a heartbeat
+// plus a flow event, the remote equivalent of Heartbeat on a
+// PFC-enrolled runnable.
+func (c *Client) Exec(i int) {
+	c.Beat(i)
+	c.FlowEvent(i)
+}
+
+// Flush synchronously assembles and sends one frame now, in addition to
+// the ticker cadence. Useful in tests and before orderly shutdown.
+func (c *Client) Flush() {
+	c.flushMu.Lock()
+	c.flushLocked()
+	c.flushMu.Unlock()
+}
+
+// Close stops the flusher, sends a final frame and closes the socket.
+// A second Close reports ErrClosed without touching the network.
+func (c *Client) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.flushLocked()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Stats returns a copy of the client's counters.
+func (c *Client) Stats() Stats {
+	c.flushMu.Lock()
+	seq := c.seq
+	c.flushMu.Unlock()
+	return Stats{
+		FramesSent:   c.framesSent.Load(),
+		Seq:          seq,
+		SendErrors:   c.sendErrs.Load(),
+		Reconnects:   c.reconnects.Load(),
+		FlowDropped:  c.flowDropped.Load(),
+		EncodeErrors: c.encodeErrs.Load(),
+	}
+}
+
+// run is the background flusher loop.
+func (c *Client) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.Flush()
+		}
+	}
+}
+
+// flushLocked assembles one frame from the swapped-out counters and the
+// drained flow backlog and writes it. An idle node still sends the empty
+// frame — it is the link runnable's heartbeat. Callers hold flushMu.
+func (c *Client) flushLocked() {
+	if c.closed {
+		return
+	}
+	if c.conn == nil && !c.redialLocked() {
+		return // still backing off; counters keep accumulating
+	}
+	c.frame.Node = c.cfg.Node
+	c.frame.Seq = c.seq + 1
+	c.frame.IntervalMs = uint32(c.cfg.Interval / time.Millisecond)
+	if c.frame.IntervalMs == 0 {
+		c.frame.IntervalMs = 1
+	}
+	c.frame.Beats = c.frame.Beats[:0]
+	for i := range c.counts {
+		if n := c.counts[i].Swap(0); n > 0 {
+			c.frame.Beats = append(c.frame.Beats, wire.BeatRec{Runnable: uint32(i), Beats: n})
+		}
+	}
+	c.flowMu.Lock()
+	c.frame.Flow = append(c.frame.Flow[:0], c.flow...)
+	c.flow = c.flow[:0]
+	c.flowMu.Unlock()
+
+	buf, err := wire.AppendFrame(c.buf[:0], &c.frame)
+	if err != nil {
+		// Misconfiguration (frame beyond wire limits): count it, fold
+		// the beats back, drop the flow events (they cannot shrink).
+		c.encodeErrs.Add(1)
+		c.restoreBeatsLocked()
+		return
+	}
+	c.buf = buf
+	if _, err := c.conn.Write(buf); err != nil {
+		c.sendErrs.Add(1)
+		c.restoreBeatsLocked()
+		c.restoreFlowLocked()
+		_ = c.conn.Close()
+		c.conn = nil
+		c.bumpBackoffLocked()
+		return
+	}
+	c.seq++
+	c.framesSent.Add(1)
+	c.backoff = 0 // healthy again: next failure starts from MinBackoff
+}
+
+// restoreBeatsLocked folds an unsent frame's beat counts back into the
+// accumulators so they travel with a later frame.
+func (c *Client) restoreBeatsLocked() {
+	for i := range c.frame.Beats {
+		r := &c.frame.Beats[i]
+		c.counts[r.Runnable].Add(r.Beats)
+	}
+}
+
+// restoreFlowLocked re-queues an unsent frame's flow events ahead of any
+// recorded since, preserving global order up to the backlog cap.
+func (c *Client) restoreFlowLocked() {
+	if len(c.frame.Flow) == 0 {
+		return
+	}
+	c.flowMu.Lock()
+	merged := make([]uint32, 0, len(c.frame.Flow)+len(c.flow))
+	merged = append(merged, c.frame.Flow...)
+	merged = append(merged, c.flow...)
+	if len(merged) > c.flowCap {
+		c.flowDropped.Add(uint64(len(merged) - c.flowCap))
+		merged = merged[:c.flowCap]
+	}
+	c.flow = merged
+	c.flowMu.Unlock()
+}
+
+// bumpBackoffLocked doubles the reconnect backoff (capped) and schedules
+// the next dial attempt.
+func (c *Client) bumpBackoffLocked() {
+	if c.backoff <= 0 {
+		c.backoff = c.cfg.MinBackoff
+	} else {
+		c.backoff *= 2
+		if c.backoff > c.cfg.MaxBackoff {
+			c.backoff = c.cfg.MaxBackoff
+		}
+	}
+	c.nextDial = time.Now().Add(c.backoff)
+}
+
+// redialLocked attempts to reopen the socket once the backoff window has
+// passed. Reports whether a usable connection exists afterwards.
+func (c *Client) redialLocked() bool {
+	if time.Now().Before(c.nextDial) {
+		return false
+	}
+	conn, err := net.Dial("udp", c.cfg.Addr)
+	if err != nil {
+		c.bumpBackoffLocked()
+		return false
+	}
+	c.conn = conn
+	c.reconnects.Add(1)
+	return true
+}
