@@ -142,8 +142,9 @@ func run() error {
 
 	st := fleet.Server.Stats()
 	res := fleet.Watchdog.Results()
-	fmt.Printf("swwdd: frames=%d accepted=%d bytes=%d decode_errors=%d seq_gaps=%d dup_drops=%d dropped=%d\n",
-		st.Frames, st.Accepted, st.Bytes, st.DecodeErrors, st.SeqGaps, st.DuplicateDrops, st.DroppedPackets)
+	fmt.Printf("swwdd: frames=%d accepted=%d bytes=%d decode_errors=%d seq_gaps=%d dup_drops=%d restarts=%d stale_epochs=%d interval_mismatch=%d dropped=%d\n",
+		st.Frames, st.Accepted, st.Bytes, st.DecodeErrors, st.SeqGaps, st.DuplicateDrops,
+		st.NodeRestarts, st.StaleEpochDrops, st.IntervalMismatch, st.DroppedPackets)
 	fmt.Printf("swwdd: detections aliveness=%d arrival_rate=%d program_flow=%d\n",
 		res.Aliveness, res.ArrivalRate, res.ProgramFlow)
 	return nil

@@ -27,7 +27,7 @@ func BenchmarkIngestFrame(b *testing.B) {
 		b.Fatalf("BuildFleet: %v", err)
 	}
 
-	frame := wire.Frame{Node: 0, IntervalMs: 100}
+	frame := wire.Frame{Node: 0, Epoch: 1, IntervalMs: 100}
 	for i := 0; i < rpn; i++ {
 		frame.Beats = append(frame.Beats, wire.BeatRec{Runnable: uint32(i), Beats: 5})
 	}

@@ -38,6 +38,20 @@
 // Duplicated or re-ordered datagrams are dropped without replay (a beat
 // must never count twice); lost datagrams surface as sequence gaps in
 // the server stats and, if the loss persists, as link aliveness faults.
+//
+// # Reporter restarts
+//
+// Sequence numbers are scoped to a reporter *session*: every frame
+// carries a session epoch chosen at client start (larger epoch = newer
+// session). When a node's epoch advances, the server resets its
+// sequence tracking and counts a restart, so the restarted reporter's
+// frames — whose sequence numbers begin again at 1 — replay immediately
+// instead of being misread as duplicates of the old session. Stale
+// frames still in flight from the previous session (smaller epoch) are
+// dropped and counted separately. The registration-time Interval is
+// authoritative for the link hypothesis; a frame declaring a different
+// interval is still replayed but counted in Stats.IntervalMismatch as a
+// configuration diagnostic.
 package ingest
 
 import (
@@ -130,9 +144,24 @@ type Stats struct {
 	// SeqGapEvents counts accepted frames whose Seq jumped.
 	SeqGapEvents uint64
 	// DuplicateDrops counts frames dropped because their Seq was not
-	// beyond the node's last accepted frame (duplicate or re-ordered
-	// delivery) — dropped without replay so no beat counts twice.
+	// beyond the node's last accepted frame within the same session
+	// epoch (duplicate or re-ordered delivery) — dropped without replay
+	// so no beat counts twice.
 	DuplicateDrops uint64
+	// NodeRestarts counts accepted frames whose session epoch advanced:
+	// the reporter restarted, and the server reset its sequence tracking
+	// for the node.
+	NodeRestarts uint64
+	// StaleEpochDrops counts frames dropped because their session epoch
+	// was older than the node's current one (late datagrams from a
+	// superseded reporter session).
+	StaleEpochDrops uint64
+	// IntervalMismatch counts accepted frames whose declared flush
+	// interval differed from the node's registration-time interval. The
+	// registered interval is authoritative for the link hypothesis; this
+	// counter is the diagnostic for a client flushing on a different
+	// cadence than the server expects.
+	IntervalMismatch uint64
 	// DroppedPackets counts datagrams discarded because the buffer free
 	// list or a worker queue was full.
 	DroppedPackets uint64
@@ -149,15 +178,22 @@ type packet struct {
 }
 
 // nodeState is the server-side state of one registered node. Everything
-// except the sequence fields is immutable after registration; lastSeq
-// and haveSeq are touched only by the node's owning shard worker.
+// except the sequence fields is immutable after registration; epoch,
+// lastSeq and haveSeq are touched only by the node's owning shard
+// worker.
 type nodeState struct {
 	spec NodeSpec
 	// mons[i] is the Monitor handle of wire runnable index i.
 	mons []*core.Monitor
 	// link is the handle of the synthetic link runnable.
 	link *core.Monitor
+	// intervalMs is the registration-time interval in wire units, the
+	// authoritative value frames' declared IntervalMs is checked against.
+	intervalMs uint32
 
+	// epoch is the session epoch of the node's current reporter session;
+	// lastSeq the last accepted sequence number within it.
+	epoch   uint64
 	lastSeq uint64
 	haveSeq bool
 }
@@ -179,16 +215,19 @@ type Server struct {
 	started bool
 	closed  bool
 
-	frames     atomic.Uint64
-	bytes      atomic.Uint64
-	accepted   atomic.Uint64
-	decodeErrs atomic.Uint64
-	unknown    atomic.Uint64
-	seqGaps    atomic.Uint64
-	gapEvents  atomic.Uint64
-	dupDrops   atomic.Uint64
-	dropped    atomic.Uint64
-	readErrs   atomic.Uint64
+	frames       atomic.Uint64
+	bytes        atomic.Uint64
+	accepted     atomic.Uint64
+	decodeErrs   atomic.Uint64
+	unknown      atomic.Uint64
+	seqGaps      atomic.Uint64
+	gapEvents    atomic.Uint64
+	dupDrops     atomic.Uint64
+	restarts     atomic.Uint64
+	staleEpochs  atomic.Uint64
+	intervalMism atomic.Uint64
+	dropped      atomic.Uint64
+	readErrs     atomic.Uint64
 }
 
 // NewServer validates the configuration and builds an idle server;
@@ -249,7 +288,15 @@ func (s *Server) RegisterNode(spec NodeSpec) error {
 	if spec.Interval <= 0 {
 		return fmt.Errorf("ingest: node %d: interval must be positive", spec.Node)
 	}
-	ns := &nodeState{spec: spec, mons: make([]*core.Monitor, len(spec.Runnables))}
+	intervalMs := uint32(spec.Interval / time.Millisecond)
+	if intervalMs == 0 {
+		intervalMs = 1 // mirrors the client's floor: IntervalMs encodes as >= 1
+	}
+	ns := &nodeState{
+		spec:       spec,
+		mons:       make([]*core.Monitor, len(spec.Runnables)),
+		intervalMs: intervalMs,
+	}
 	for i, rid := range spec.Runnables {
 		m, err := s.w.Register(rid)
 		if err != nil {
@@ -453,19 +500,43 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
 			return
 		}
 	}
-	// Sequence discipline: duplicates and re-ordered frames are dropped
-	// without replay (a beat must never count twice); gaps are counted
-	// but the frame itself is sound and replays.
+	// The registered interval is authoritative; a differing declared
+	// interval is a configuration diagnostic, not a reason to drop.
+	if f.IntervalMs != ns.intervalMs {
+		s.intervalMism.Add(1)
+	}
+	// Sequence discipline, scoped to the session epoch. Within one
+	// session, duplicates and re-ordered frames are dropped without
+	// replay (a beat must never count twice) and gaps are counted while
+	// the frame itself replays. An advanced epoch is a reporter restart:
+	// sequence tracking resets so the new session's frames — starting
+	// again at Seq 1 — replay immediately instead of being misread as
+	// duplicates. A regressed epoch is a stale datagram from the
+	// superseded session and is dropped.
 	if ns.haveSeq {
-		if f.Seq <= ns.lastSeq {
-			s.dupDrops.Add(1)
+		switch {
+		case f.Epoch < ns.epoch:
+			s.staleEpochs.Add(1)
 			return
-		}
-		if gap := f.Seq - ns.lastSeq - 1; gap > 0 {
-			s.seqGaps.Add(gap)
-			s.gapEvents.Add(1)
+		case f.Epoch == ns.epoch:
+			if f.Seq <= ns.lastSeq {
+				s.dupDrops.Add(1)
+				return
+			}
+			if gap := f.Seq - ns.lastSeq - 1; gap > 0 {
+				s.seqGaps.Add(gap)
+				s.gapEvents.Add(1)
+			}
+		default: // f.Epoch > ns.epoch: the reporter restarted
+			s.restarts.Add(1)
+			if f.Seq > 1 {
+				// The new session's first frames were lost in flight.
+				s.seqGaps.Add(f.Seq - 1)
+				s.gapEvents.Add(1)
+			}
 		}
 	}
+	ns.epoch = f.Epoch
 	ns.lastSeq = f.Seq
 	ns.haveSeq = true
 
@@ -484,17 +555,20 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
 // Stats returns a copy of the ingestion counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Frames:         s.frames.Load(),
-		Bytes:          s.bytes.Load(),
-		Accepted:       s.accepted.Load(),
-		DecodeErrors:   s.decodeErrs.Load(),
-		UnknownNode:    s.unknown.Load(),
-		SeqGaps:        s.seqGaps.Load(),
-		SeqGapEvents:   s.gapEvents.Load(),
-		DuplicateDrops: s.dupDrops.Load(),
-		DroppedPackets: s.dropped.Load(),
-		ReadErrors:     s.readErrs.Load(),
-		Nodes:          len(*s.nodes.Load()),
+		Frames:           s.frames.Load(),
+		Bytes:            s.bytes.Load(),
+		Accepted:         s.accepted.Load(),
+		DecodeErrors:     s.decodeErrs.Load(),
+		UnknownNode:      s.unknown.Load(),
+		SeqGaps:          s.seqGaps.Load(),
+		SeqGapEvents:     s.gapEvents.Load(),
+		DuplicateDrops:   s.dupDrops.Load(),
+		NodeRestarts:     s.restarts.Load(),
+		StaleEpochDrops:  s.staleEpochs.Load(),
+		IntervalMismatch: s.intervalMism.Load(),
+		DroppedPackets:   s.dropped.Load(),
+		ReadErrors:       s.readErrs.Load(),
+		Nodes:            len(*s.nodes.Load()),
 	}
 }
 

@@ -32,6 +32,9 @@ func testFleet(t *testing.T, nodes, rpn int) *Fleet {
 // encode builds one frame's bytes.
 func encode(t *testing.T, f *wire.Frame) []byte {
 	t.Helper()
+	if f.Epoch == 0 {
+		f.Epoch = 1
+	}
 	if f.IntervalMs == 0 {
 		f.IntervalMs = 100
 	}
@@ -138,6 +141,104 @@ func TestIngestSequenceDiscipline(t *testing.T) {
 	c, _ := f.Watchdog.CounterSnapshot(spec.Link)
 	if c.AC != 3 || st.Accepted != 3 {
 		t.Fatalf("link AC = %d, accepted = %d; want 3, 3", c.AC, st.Accepted)
+	}
+}
+
+// TestIngestReporterRestart is the session-epoch discipline: a restarted
+// reporter (fresh epoch, sequence numbers starting again at 1) must have
+// its frames replayed immediately — not discarded as duplicates of the
+// old session — while stale datagrams from the superseded session are
+// dropped without replay.
+func TestIngestReporterRestart(t *testing.T) {
+	f := testFleet(t, 1, 1)
+	spec := f.Specs[0]
+	send := func(epoch, seq uint64) {
+		inject(f.Server, encode(t, &wire.Frame{Node: 0, Epoch: epoch, Seq: seq,
+			Beats: []wire.BeatRec{{Runnable: 0, Beats: 1}}}))
+	}
+	ac := func() int {
+		c, _ := f.Watchdog.CounterSnapshot(spec.Runnables[0])
+		return c.AC
+	}
+
+	// First session: epoch 10, frames 1..3.
+	for s := uint64(1); s <= 3; s++ {
+		send(10, s)
+	}
+	if got := ac(); got != 3 {
+		t.Fatalf("AC after first session = %d, want 3", got)
+	}
+
+	// The reporter restarts: epoch 20, Seq back at 1 — far below the old
+	// session's lastSeq. Without epoch handling this frame (and every one
+	// after it, for 3 frames' worth of sequence numbers) would be dropped
+	// as a duplicate and the healthy node declared link-dead.
+	send(20, 1)
+	if got := ac(); got != 4 {
+		t.Fatalf("AC after restart frame = %d, want 4 (frame must replay)", got)
+	}
+	st := f.Server.Stats()
+	if st.NodeRestarts != 1 {
+		t.Fatalf("NodeRestarts = %d, want 1", st.NodeRestarts)
+	}
+	if st.DuplicateDrops != 0 {
+		t.Fatalf("DuplicateDrops = %d, want 0 — restart misread as duplicate", st.DuplicateDrops)
+	}
+	if st.SeqGaps != 0 {
+		t.Fatalf("SeqGaps = %d, want 0 (restart at Seq 1 lost nothing)", st.SeqGaps)
+	}
+	// The restarted session's link heartbeat flows like any other.
+	c, _ := f.Watchdog.CounterSnapshot(spec.Link)
+	if c.AC != 4 {
+		t.Fatalf("link AC = %d, want 4", c.AC)
+	}
+
+	// A late datagram from the dead session (old epoch, any seq) must be
+	// dropped: its beats may already have been counted.
+	send(10, 4)
+	if got := ac(); got != 4 {
+		t.Fatalf("AC after stale-epoch frame = %d, want 4 (no replay)", got)
+	}
+	if st := f.Server.Stats(); st.StaleEpochDrops != 1 {
+		t.Fatalf("StaleEpochDrops = %d, want 1", st.StaleEpochDrops)
+	}
+
+	// Ordinary sequence discipline continues within the new session.
+	send(20, 2)
+	send(20, 2) // duplicate
+	st = f.Server.Stats()
+	if got := ac(); got != 5 || st.DuplicateDrops != 1 {
+		t.Fatalf("AC = %d, DuplicateDrops = %d; want 5, 1", got, st.DuplicateDrops)
+	}
+
+	// A restart whose first frames were lost in flight (epoch 30 arriving
+	// at Seq 3) counts the new session's missing prefix as a gap.
+	send(30, 3)
+	st = f.Server.Stats()
+	if st.NodeRestarts != 2 || st.SeqGaps != 2 || st.SeqGapEvents != 1 {
+		t.Fatalf("restart with loss: restarts=%d gaps=%d events=%d, want 2/2/1",
+			st.NodeRestarts, st.SeqGaps, st.SeqGapEvents)
+	}
+}
+
+// TestIngestIntervalMismatch: the registration interval is authoritative
+// for the link hypothesis; a frame declaring a different flush cadence
+// still replays but is counted as a configuration diagnostic.
+func TestIngestIntervalMismatch(t *testing.T) {
+	f := testFleet(t, 1, 1) // registered at 100ms
+	inject(f.Server, encode(t, &wire.Frame{Node: 0, Seq: 1, IntervalMs: 100,
+		Beats: []wire.BeatRec{{Runnable: 0, Beats: 1}}}))
+	if st := f.Server.Stats(); st.IntervalMismatch != 0 {
+		t.Fatalf("matching interval counted as mismatch: %+v", st)
+	}
+	inject(f.Server, encode(t, &wire.Frame{Node: 0, Seq: 2, IntervalMs: 250,
+		Beats: []wire.BeatRec{{Runnable: 0, Beats: 1}}}))
+	st := f.Server.Stats()
+	if st.IntervalMismatch != 1 {
+		t.Fatalf("IntervalMismatch = %d, want 1", st.IntervalMismatch)
+	}
+	if st.Accepted != 2 {
+		t.Fatalf("Accepted = %d, want 2 (mismatch must not drop the frame)", st.Accepted)
 	}
 }
 
@@ -307,7 +408,7 @@ func TestRegisterNodeValidation(t *testing.T) {
 // nothing per frame.
 func TestIngestFrameZeroAlloc(t *testing.T) {
 	f := testFleet(t, 1, 10)
-	frame := &wire.Frame{Node: 0, Seq: 0, IntervalMs: 100}
+	frame := &wire.Frame{Node: 0, Epoch: 1, Seq: 0, IntervalMs: 100}
 	for i := uint32(0); i < 10; i++ {
 		frame.Beats = append(frame.Beats, wire.BeatRec{Runnable: i, Beats: 3})
 	}

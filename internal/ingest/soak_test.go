@@ -180,7 +180,8 @@ func TestIngestSoak(t *testing.T) {
 	// The wire stayed clean end to end.
 	st := fleet.Server.Stats()
 	if st.DecodeErrors != 0 || st.UnknownNode != 0 || st.SeqGaps != 0 ||
-		st.DuplicateDrops != 0 || st.DroppedPackets != 0 {
+		st.DuplicateDrops != 0 || st.DroppedPackets != 0 ||
+		st.NodeRestarts != 0 || st.StaleEpochDrops != 0 || st.IntervalMismatch != 0 {
 		t.Fatalf("wire errors during soak: %+v", st)
 	}
 	minFrames := uint64(soakNodes) * uint64(soakDuration/interval) / 2

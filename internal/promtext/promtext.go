@@ -113,6 +113,12 @@ func WriteIngest(b *bytes.Buffer, st ingest.Stats) {
 	fmt.Fprintf(b, "swwd_ingest_sequence_gap_events_total %d\n", st.SeqGapEvents)
 	Header(b, "swwd_ingest_duplicate_drops_total", "counter", "Duplicate or re-ordered frames dropped without replay.")
 	fmt.Fprintf(b, "swwd_ingest_duplicate_drops_total %d\n", st.DuplicateDrops)
+	Header(b, "swwd_ingest_node_restarts_total", "counter", "Reporter restarts detected via an advanced session epoch.")
+	fmt.Fprintf(b, "swwd_ingest_node_restarts_total %d\n", st.NodeRestarts)
+	Header(b, "swwd_ingest_stale_epoch_drops_total", "counter", "Frames dropped because their session epoch was superseded.")
+	fmt.Fprintf(b, "swwd_ingest_stale_epoch_drops_total %d\n", st.StaleEpochDrops)
+	Header(b, "swwd_ingest_interval_mismatch_total", "counter", "Accepted frames declaring a flush interval different from the node's registration.")
+	fmt.Fprintf(b, "swwd_ingest_interval_mismatch_total %d\n", st.IntervalMismatch)
 	Header(b, "swwd_ingest_dropped_packets_total", "counter", "Datagrams discarded because buffers or worker queues were full.")
 	fmt.Fprintf(b, "swwd_ingest_dropped_packets_total %d\n", st.DroppedPackets)
 	Header(b, "swwd_ingest_read_errors_total", "counter", "Transient socket read errors.")

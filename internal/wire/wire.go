@@ -11,25 +11,38 @@
 //     IDs"), replayed through Watchdog.FlowEvent so the server-side PFC
 //     look-up-table check sees the same predecessor/successor pairs it
 //     would have seen locally;
-//   - a monotonic per-node sequence number, so the server can detect
+//   - a session epoch, chosen once per reporter process (swwdclient uses
+//     its start time in nanoseconds), so the server can tell a restarted
+//     reporter — whose sequence numbers begin again at 1 — from a
+//     duplicated or re-ordered datagram and reset its sequence tracking
+//     instead of discarding the new session's frames;
+//   - a monotonic per-session sequence number, so the server can detect
 //     lost, duplicated and re-ordered datagrams;
-//   - the node's declared flush interval, from which the server derives
-//     the aliveness hypothesis of the node's synthetic link runnable.
+//   - the node's declared flush interval. The *registration-time*
+//     interval is authoritative for the link-runnable aliveness
+//     hypothesis (internal/ingest derives it when the node is
+//     registered); the declared field is cross-checked against it on
+//     every frame and mismatches are counted as a diagnostic
+//     (Stats.IntervalMismatch), never silently ignored.
 //
 // One UDP datagram carries exactly one frame. The layout is fixed-header
 // + varint payload, all multi-byte header fields little-endian:
 //
 //	offset size field
 //	0      2    magic 0x5357 ("SW")
-//	2      1    version (currently 1)
-//	3      1    flags (must be zero in version 1)
+//	2      1    version (currently 2)
+//	3      1    flags (must be zero in version 2)
 //	4      4    node ID
-//	8      8    sequence number (first frame of a session is 1)
-//	16     4    declared flush interval in milliseconds (> 0)
-//	20     2    beat record count
-//	22     2    flow record count
-//	24     ...  beat records: { runnable uvarint, beats uvarint } ...
+//	8      8    session epoch (> 0; larger epoch = newer session)
+//	16     8    sequence number (first frame of a session is 1)
+//	24     4    declared flush interval in milliseconds (> 0)
+//	28     2    beat record count
+//	30     2    flow record count
+//	32     ...  beat records: { runnable uvarint, beats uvarint } ...
 //	     	...  flow records: { runnable uvarint } ...
+//
+// Version 2 added the session epoch; version-1 frames (24-byte header,
+// no epoch) are rejected with ErrVersion.
 //
 // Decoding is strict (unknown magic/version/flags, truncated payloads,
 // out-of-range values and trailing bytes are all errors) and allocation
@@ -49,9 +62,10 @@ const (
 	// Magic identifies a Software Watchdog heartbeat frame ("SW").
 	Magic uint16 = 0x5357
 	// Version is the wire version this package encodes and decodes.
-	Version uint8 = 1
+	// Version 2 added the session epoch header field.
+	Version uint8 = 2
 	// HeaderSize is the fixed frame header length in bytes.
-	HeaderSize = 24
+	HeaderSize = 32
 	// MaxFrameSize is the largest encoded frame this package produces or
 	// accepts — comfortably under the 65507-byte UDP payload ceiling.
 	MaxFrameSize = 60000
@@ -97,7 +111,15 @@ type BeatRec struct {
 type Frame struct {
 	// Node is the reporting node's ID, assigned at registration.
 	Node uint32
-	// Seq is the node's monotonic frame sequence number, starting at 1.
+	// Epoch identifies the reporter session (process lifetime) the frame
+	// belongs to. It is chosen once at client start, must be non-zero,
+	// and a larger epoch marks a newer session: the server resets its
+	// per-node sequence tracking when the epoch advances, so a restarted
+	// reporter (whose Seq begins again at 1) is never mistaken for a
+	// storm of duplicates.
+	Epoch uint64
+	// Seq is the session's monotonic frame sequence number, starting
+	// at 1.
 	Seq uint64
 	// IntervalMs is the node's declared flush cadence in milliseconds.
 	IntervalMs uint32
@@ -112,6 +134,9 @@ type Frame struct {
 // extended slice. It validates f against the protocol limits and returns
 // dst unmodified on error.
 func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if f.Epoch == 0 {
+		return dst, fmt.Errorf("%w: epoch must be positive", ErrRange)
+	}
 	if f.IntervalMs == 0 {
 		return dst, fmt.Errorf("%w: interval must be positive", ErrRange)
 	}
@@ -124,10 +149,11 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	hdr[2] = Version
 	hdr[3] = 0
 	binary.LittleEndian.PutUint32(hdr[4:8], f.Node)
-	binary.LittleEndian.PutUint64(hdr[8:16], f.Seq)
-	binary.LittleEndian.PutUint32(hdr[16:20], f.IntervalMs)
-	binary.LittleEndian.PutUint16(hdr[20:22], uint16(len(f.Beats)))
-	binary.LittleEndian.PutUint16(hdr[22:24], uint16(len(f.Flow)))
+	binary.LittleEndian.PutUint64(hdr[8:16], f.Epoch)
+	binary.LittleEndian.PutUint64(hdr[16:24], f.Seq)
+	binary.LittleEndian.PutUint32(hdr[24:28], f.IntervalMs)
+	binary.LittleEndian.PutUint16(hdr[28:30], uint16(len(f.Beats)))
+	binary.LittleEndian.PutUint16(hdr[30:32], uint16(len(f.Flow)))
 	dst = append(dst, hdr[:]...)
 	for i := range f.Beats {
 		r := &f.Beats[i]
@@ -190,16 +216,20 @@ func DecodeFrame(buf []byte, f *Frame) error {
 		return fmt.Errorf("%w: 0x%02x", ErrFlags, buf[3])
 	}
 	f.Node = binary.LittleEndian.Uint32(buf[4:8])
-	f.Seq = binary.LittleEndian.Uint64(buf[8:16])
-	f.IntervalMs = binary.LittleEndian.Uint32(buf[16:20])
+	f.Epoch = binary.LittleEndian.Uint64(buf[8:16])
+	f.Seq = binary.LittleEndian.Uint64(buf[16:24])
+	f.IntervalMs = binary.LittleEndian.Uint32(buf[24:28])
+	if f.Epoch == 0 {
+		return fmt.Errorf("%w: zero session epoch", ErrRange)
+	}
 	if f.Seq == 0 {
 		return fmt.Errorf("%w: zero sequence number", ErrRange)
 	}
 	if f.IntervalMs == 0 {
 		return fmt.Errorf("%w: zero interval", ErrRange)
 	}
-	nBeats := int(binary.LittleEndian.Uint16(buf[20:22]))
-	nFlow := int(binary.LittleEndian.Uint16(buf[22:24]))
+	nBeats := int(binary.LittleEndian.Uint16(buf[28:30]))
+	nFlow := int(binary.LittleEndian.Uint16(buf[30:32]))
 	f.Beats = f.Beats[:0]
 	f.Flow = f.Flow[:0]
 	p := buf[HeaderSize:]

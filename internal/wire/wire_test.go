@@ -10,7 +10,7 @@ import (
 // sampleFrame builds a representative frame: a 10-runnable node with a
 // few flow events, the shape one swwdclient flush produces.
 func sampleFrame() *Frame {
-	f := &Frame{Node: 42, Seq: 7, IntervalMs: 100}
+	f := &Frame{Node: 42, Epoch: 1700000000, Seq: 7, IntervalMs: 100}
 	for i := uint32(0); i < 10; i++ {
 		f.Beats = append(f.Beats, BeatRec{Runnable: i, Beats: 3 + i})
 	}
@@ -40,7 +40,7 @@ func TestRoundTrip(t *testing.T) {
 func TestRoundTripEmptySections(t *testing.T) {
 	// A frame with no beats and no flow is the link-only heartbeat an
 	// idle node still flushes every interval.
-	in := &Frame{Node: 1, Seq: 99, IntervalMs: 250}
+	in := &Frame{Node: 1, Epoch: 1, Seq: 99, IntervalMs: 250}
 	buf := mustEncode(t, in)
 	if len(buf) != HeaderSize {
 		t.Fatalf("empty frame = %d bytes, want %d", len(buf), HeaderSize)
@@ -97,14 +97,17 @@ func TestDecodeHeaderErrors(t *testing.T) {
 	}{
 		{"magic", mut(func(b []byte) { b[0] = 0 }), ErrMagic},
 		{"version", mut(func(b []byte) { b[2] = 9 }), ErrVersion},
+		// A version-1 frame (pre-epoch layout) must be rejected cleanly.
+		{"version-1", mut(func(b []byte) { b[2] = 1 }), ErrVersion},
 		{"flags", mut(func(b []byte) { b[3] = 1 }), ErrFlags},
-		{"zero-seq", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[8:16], 0) }), ErrRange},
-		{"zero-interval", mut(func(b []byte) { binary.LittleEndian.PutUint32(b[16:20], 0) }), ErrRange},
+		{"zero-epoch", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[8:16], 0) }), ErrRange},
+		{"zero-seq", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[16:24], 0) }), ErrRange},
+		{"zero-interval", mut(func(b []byte) { binary.LittleEndian.PutUint32(b[24:28], 0) }), ErrRange},
 		{"trailing", append(append([]byte(nil), base...), 0x00), ErrTrailing},
 		// An inflated count walks the parser off the real records into
 		// (or past) the remaining payload; any clean protocol error is
 		// acceptable (nil want), panicking or succeeding is not.
-		{"count-beyond-payload", mut(func(b []byte) { binary.LittleEndian.PutUint16(b[20:22], 0xFFFF) }), nil},
+		{"count-beyond-payload", mut(func(b []byte) { binary.LittleEndian.PutUint16(b[28:30], 0xFFFF) }), nil},
 		{"oversize", make([]byte, MaxFrameSize+1), ErrTooLarge},
 	}
 	var f Frame
@@ -128,10 +131,11 @@ func TestDecodeRangeErrors(t *testing.T) {
 		binary.LittleEndian.PutUint16(b[0:2], Magic)
 		b[2] = Version
 		binary.LittleEndian.PutUint32(b[4:8], 1)
-		binary.LittleEndian.PutUint64(b[8:16], 1)
-		binary.LittleEndian.PutUint32(b[16:20], 100)
-		binary.LittleEndian.PutUint16(b[20:22], uint16(nBeats))
-		binary.LittleEndian.PutUint16(b[22:24], uint16(nFlow))
+		binary.LittleEndian.PutUint64(b[8:16], 1)  // epoch
+		binary.LittleEndian.PutUint64(b[16:24], 1) // seq
+		binary.LittleEndian.PutUint32(b[24:28], 100)
+		binary.LittleEndian.PutUint16(b[28:30], uint16(nBeats))
+		binary.LittleEndian.PutUint16(b[30:32], uint16(nFlow))
 		return b
 	}
 	var f Frame
@@ -178,10 +182,11 @@ func TestDecodeRangeErrors(t *testing.T) {
 func TestEncodeValidation(t *testing.T) {
 	var errs []error
 	for _, f := range []*Frame{
-		{Node: 1, Seq: 1, IntervalMs: 0},
-		{Node: 1, Seq: 1, IntervalMs: 100, Beats: []BeatRec{{Runnable: MaxRunnableIndex + 1, Beats: 1}}},
-		{Node: 1, Seq: 1, IntervalMs: 100, Beats: []BeatRec{{Runnable: 1, Beats: 0}}},
-		{Node: 1, Seq: 1, IntervalMs: 100, Flow: []uint32{MaxRunnableIndex + 1}},
+		{Node: 1, Epoch: 0, Seq: 1, IntervalMs: 100},
+		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 0},
+		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, Beats: []BeatRec{{Runnable: MaxRunnableIndex + 1, Beats: 1}}},
+		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, Beats: []BeatRec{{Runnable: 1, Beats: 0}}},
+		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, Flow: []uint32{MaxRunnableIndex + 1}},
 	} {
 		out, err := AppendFrame(nil, f)
 		errs = append(errs, err)
@@ -199,7 +204,7 @@ func TestEncodeValidation(t *testing.T) {
 // TestMaxSizeFrameRoundTrip drives the encoder to its size ceiling: the
 // largest frame AppendFrame accepts must decode back bit-identically.
 func TestMaxSizeFrameRoundTrip(t *testing.T) {
-	in := &Frame{Node: 9, Seq: 1, IntervalMs: 1000}
+	in := &Frame{Node: 9, Epoch: 1, Seq: 1, IntervalMs: 1000}
 	// ~5000 worst-case beat records (≤10 bytes each) stay under the cap.
 	for i := 0; i < 5000; i++ {
 		in.Beats = append(in.Beats, BeatRec{
@@ -250,9 +255,9 @@ func TestDecodeReuseZeroAlloc(t *testing.T) {
 
 func assertFramesEqual(t *testing.T, want, got *Frame) {
 	t.Helper()
-	if got.Node != want.Node || got.Seq != want.Seq || got.IntervalMs != want.IntervalMs {
-		t.Fatalf("header mismatch: got %d/%d/%d want %d/%d/%d",
-			got.Node, got.Seq, got.IntervalMs, want.Node, want.Seq, want.IntervalMs)
+	if got.Node != want.Node || got.Epoch != want.Epoch || got.Seq != want.Seq || got.IntervalMs != want.IntervalMs {
+		t.Fatalf("header mismatch: got %d/%d/%d/%d want %d/%d/%d/%d",
+			got.Node, got.Epoch, got.Seq, got.IntervalMs, want.Node, want.Epoch, want.Seq, want.IntervalMs)
 	}
 	if len(got.Beats) != len(want.Beats) {
 		t.Fatalf("beat count %d, want %d", len(got.Beats), len(want.Beats))
@@ -278,7 +283,7 @@ func assertFramesEqual(t *testing.T, want, got *Frame) {
 // valid frames; mutation explores the hostile space).
 func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(mustEncode(f, sampleFrame()))
-	f.Add(mustEncode(f, &Frame{Node: 1, Seq: 1, IntervalMs: 1}))
+	f.Add(mustEncode(f, &Frame{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 1}))
 	f.Add([]byte{})
 	f.Add(make([]byte, HeaderSize))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -307,6 +312,7 @@ func FuzzWireRandomFrames(f *testing.F) {
 		rng := rand.New(rand.NewSource(seed))
 		in := &Frame{
 			Node:       rng.Uint32(),
+			Epoch:      rng.Uint64()>>1 + 1,
 			Seq:        rng.Uint64()>>1 + 1,
 			IntervalMs: rng.Uint32()>>1 + 1,
 		}

@@ -8,7 +8,11 @@
 // one uncontended atomic add on a per-runnable counter — no lock, no
 // allocation, no syscall. The background flusher swaps the counters out
 // every Interval, encodes them into a reused buffer and sends a single
-// UDP datagram stamped with a monotonic sequence number.
+// UDP datagram stamped with a monotonic sequence number and the
+// client's session epoch (its start time in nanoseconds), so a server
+// that already tracked an earlier incarnation of this node recognises
+// the restart and resets its sequence tracking instead of discarding
+// the new session's frames as duplicates.
 //
 // Delivery is deliberately fire-and-forget per frame — heartbeats are a
 // rate signal, and the server's hypothesis windows absorb an isolated
@@ -83,7 +87,9 @@ type Stats struct {
 	SendErrors uint64
 	// Reconnects counts successful re-dials after a send failure.
 	Reconnects uint64
-	// FlowDropped counts flow events discarded at the backlog cap.
+	// FlowDropped counts flow events the client lost: discarded at the
+	// backlog cap, trimmed when folding an unsent frame back into a full
+	// backlog, or dropped whole with an unencodable frame.
 	FlowDropped uint64
 	// EncodeErrors counts frames the encoder refused (config error:
 	// runnable table or flow backlog beyond wire limits).
@@ -99,6 +105,9 @@ type Client struct {
 	flowMu  sync.Mutex
 	flow    []uint32
 	flowCap int
+
+	// epoch is the session epoch stamped on every frame, fixed at Dial.
+	epoch uint64
 
 	// flushMu serializes the flusher goroutine, manual Flush and Close.
 	flushMu  sync.Mutex
@@ -151,10 +160,19 @@ func Dial(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("swwdclient: %w", err)
 	}
+	// The session epoch distinguishes this client incarnation from any
+	// earlier one the server may have tracked for the same node ID: the
+	// wall clock in nanoseconds is strictly larger across restarts (the
+	// property the server's epoch comparison relies on) and never zero.
+	epoch := uint64(time.Now().UnixNano())
+	if epoch == 0 {
+		epoch = 1
+	}
 	c := &Client{
 		cfg:     cfg,
 		counts:  make([]atomic.Uint32, cfg.Runnables),
 		flowCap: cfg.MaxFlowBacklog,
+		epoch:   epoch,
 		conn:    conn,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -273,6 +291,7 @@ func (c *Client) flushLocked() {
 		return // still backing off; counters keep accumulating
 	}
 	c.frame.Node = c.cfg.Node
+	c.frame.Epoch = c.epoch
 	c.frame.Seq = c.seq + 1
 	c.frame.IntervalMs = uint32(c.cfg.Interval / time.Millisecond)
 	if c.frame.IntervalMs == 0 {
@@ -280,9 +299,21 @@ func (c *Client) flushLocked() {
 	}
 	c.frame.Beats = c.frame.Beats[:0]
 	for i := range c.counts {
-		if n := c.counts[i].Swap(0); n > 0 {
-			c.frame.Beats = append(c.frame.Beats, wire.BeatRec{Runnable: uint32(i), Beats: n})
+		n := c.counts[i].Swap(0)
+		if n == 0 {
+			continue
 		}
+		if n > wire.MaxBeatsPerRecord {
+			// A count beyond the per-record wire cap (possible after a
+			// long outage on a hot runnable) is clamped to the cap and
+			// the remainder folded back to travel with later frames —
+			// one oversized counter must never make the whole frame
+			// unencodable and starve every other runnable (and the link
+			// heartbeat) forever.
+			c.counts[i].Add(n - wire.MaxBeatsPerRecord)
+			n = wire.MaxBeatsPerRecord
+		}
+		c.frame.Beats = append(c.frame.Beats, wire.BeatRec{Runnable: uint32(i), Beats: n})
 	}
 	c.flowMu.Lock()
 	c.frame.Flow = append(c.frame.Flow[:0], c.flow...)
@@ -292,9 +323,14 @@ func (c *Client) flushLocked() {
 	buf, err := wire.AppendFrame(c.buf[:0], &c.frame)
 	if err != nil {
 		// Misconfiguration (frame beyond wire limits): count it, fold
-		// the beats back, drop the flow events (they cannot shrink).
+		// the beats back, drop the flow events (they cannot shrink) and
+		// account for them — Stats.FlowDropped is the total of lost
+		// flow events, whatever dropped them.
 		c.encodeErrs.Add(1)
 		c.restoreBeatsLocked()
+		if n := len(c.frame.Flow); n > 0 {
+			c.flowDropped.Add(uint64(n))
+		}
 		return
 	}
 	c.buf = buf

@@ -201,6 +201,100 @@ func TestClientCloseSendsFinalFrameAndRefusesReuse(t *testing.T) {
 	}
 }
 
+// TestClientSessionEpoch: every frame carries the client's session
+// epoch, constant within one client and strictly newer for a restarted
+// one — the property the server uses to reset its sequence tracking
+// instead of dropping the new session's frames as duplicates.
+func TestClientSessionEpoch(t *testing.T) {
+	sink := loopback(t)
+	c1 := dialQuiet(t, sink.LocalAddr().String(), 1)
+	c1.Flush()
+	f1 := recvFrame(t, sink)
+	if f1.Epoch == 0 {
+		t.Fatal("frame carries zero epoch")
+	}
+	c1.Beat(0)
+	c1.Flush()
+	if f := recvFrame(t, sink); f.Epoch != f1.Epoch {
+		t.Fatalf("epoch changed within one session: %d then %d", f1.Epoch, f.Epoch)
+	}
+
+	// "Restart" the reporter: a second client for the same node.
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recvFrame(t, sink)           // drain the final frame
+	time.Sleep(time.Millisecond) // ensure a later wall-clock nanosecond
+	c2 := dialQuiet(t, sink.LocalAddr().String(), 1)
+	c2.Flush()
+	f2 := recvFrame(t, sink)
+	if f2.Epoch <= f1.Epoch {
+		t.Fatalf("restarted client epoch %d not newer than %d", f2.Epoch, f1.Epoch)
+	}
+	if f2.Seq != 1 {
+		t.Fatalf("restarted session Seq = %d, want 1", f2.Seq)
+	}
+}
+
+// TestClientClampsOversizedBeatCount: a coalesced count beyond the wire
+// per-record cap (a hot runnable after a long outage) is clamped to the
+// cap, the remainder travels with the next frame, and — crucially — the
+// frame still encodes and sends, so one hot runnable can never poison
+// every flush forever and starve the link heartbeat.
+func TestClientClampsOversizedBeatCount(t *testing.T) {
+	sink := loopback(t)
+	c := dialQuiet(t, sink.LocalAddr().String(), 2)
+	c.counts[0].Store(wire.MaxBeatsPerRecord + 5)
+	c.Beat(1)
+	c.Flush()
+	f := recvFrame(t, sink)
+	want := []wire.BeatRec{{Runnable: 0, Beats: wire.MaxBeatsPerRecord}, {Runnable: 1, Beats: 1}}
+	if len(f.Beats) != 2 || f.Beats[0] != want[0] || f.Beats[1] != want[1] {
+		t.Fatalf("clamped frame beats = %v, want %v", f.Beats, want)
+	}
+	if st := c.Stats(); st.EncodeErrors != 0 || st.FramesSent != 1 {
+		t.Fatalf("stats after clamped flush = %+v", st)
+	}
+	// The remainder was folded back and travels with the next frame.
+	c.Flush()
+	f = recvFrame(t, sink)
+	if len(f.Beats) != 1 || f.Beats[0] != (wire.BeatRec{Runnable: 0, Beats: 5}) {
+		t.Fatalf("remainder frame beats = %v, want [{0 5}]", f.Beats)
+	}
+}
+
+// TestClientCountsFlowDroppedOnEncodeError: flow events discarded with
+// an unencodable frame must show up in Stats.FlowDropped, and the beat
+// counts must fold back for a later frame.
+func TestClientCountsFlowDroppedOnEncodeError(t *testing.T) {
+	sink := loopback(t)
+	const overflow = 0x10000 // one past the wire's 16-bit flow record count
+	c := dialQuiet(t, sink.LocalAddr().String(), 2,
+		func(cfg *Config) { cfg.MaxFlowBacklog = overflow })
+	c.Beat(0)
+	for i := 0; i < overflow; i++ {
+		c.FlowEvent(1)
+	}
+	c.Flush()
+	st := c.Stats()
+	if st.EncodeErrors != 1 || st.FramesSent != 0 {
+		t.Fatalf("stats after unencodable flush = %+v", st)
+	}
+	if st.FlowDropped != overflow {
+		t.Fatalf("FlowDropped = %d, want %d (dropped flow must be accounted)", st.FlowDropped, overflow)
+	}
+	// The beats survived the encode failure and travel with the next
+	// (now well-formed) frame.
+	c.Flush()
+	f := recvFrame(t, sink)
+	if f.Seq != 1 || len(f.Beats) != 1 || f.Beats[0] != (wire.BeatRec{Runnable: 0, Beats: 1}) {
+		t.Fatalf("recovery frame = %+v, want seq 1 with beats [{0 1}]", f)
+	}
+	if len(f.Flow) != 0 {
+		t.Fatalf("recovery flow = %d events, want 0", len(f.Flow))
+	}
+}
+
 func TestDialValidation(t *testing.T) {
 	if _, err := Dial(Config{Runnables: 1}); err == nil {
 		t.Fatal("Dial accepted empty Addr")
