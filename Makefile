@@ -28,8 +28,9 @@ bench-hotpath:
 	$(GO) test -run xxx -bench 'Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle' -benchmem -count=3 .
 
 # Machine-readable benchmark suites under ./bench/ (gitignored): the
-# cycle-sweep + hot-path suite, the telemetry suite and the wire/ingest
-# suite. Override BENCHTIME for a quick smoke run: make bench-json BENCHTIME=1x
+# cycle-sweep + hot-path suite, the telemetry suite, the wire/ingest
+# suite (heartbeat + command codecs) and the treatment-engine suite.
+# Override BENCHTIME for a quick smoke run: make bench-json BENCHTIME=1x
 BENCHTIME ?= 1s
 bench-json:
 	mkdir -p bench
@@ -39,9 +40,12 @@ bench-json:
 	$(GO) test -run xxx -bench 'Snapshot|BeatWithStats|Journal' \
 		-benchmem -benchtime $(BENCHTIME) . | tee bench/stats.txt
 	$(GO) run ./cmd/benchjson -o bench/BENCH_stats.json bench/stats.txt
-	$(GO) test -run xxx -bench 'WireDecode|WireEncode|IngestFrame' \
+	$(GO) test -run xxx -bench 'WireDecode|WireEncode|CommandEncode|CommandDecode|IngestFrame' \
 		-benchmem -benchtime $(BENCHTIME) ./internal/wire ./internal/ingest | tee bench/wire.txt
 	$(GO) run ./cmd/benchjson -o bench/BENCH_wire.json bench/wire.txt
+	$(GO) test -run xxx -bench 'TreatDecide' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/treat | tee bench/treat.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_treat.json bench/treat.txt
 
 # Refresh the committed baselines from a fresh full-length run: the
 # per-suite documents at the repo root plus the merged gate baseline.
@@ -49,20 +53,23 @@ bench-baseline: bench-json
 	cp bench/BENCH_cycle.json BENCH_cycle.json
 	cp bench/BENCH_stats.json BENCH_stats.json
 	cp bench/BENCH_wire.json BENCH_wire.json
+	cp bench/BENCH_treat.json BENCH_treat.json
 	$(GO) run ./cmd/benchdiff -merge -o BENCH_baseline.json \
-		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json
+		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json bench/BENCH_treat.json
 
 # Benchmark-regression gate: fresh results vs the committed baseline.
 # Fails on >30% ns/op regressions or any allocation on the gated
 # zero-alloc hot paths (see cmd/benchdiff).
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
-		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json
+		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json bench/BENCH_treat.json
 
 # Full-scale loopback soak: 1000 nodes x 10 runnables over real UDP,
-# with a mid-run client kill (see internal/ingest/soak_test.go).
+# with a mid-run client kill (see internal/ingest/soak_test.go), plus
+# the treatment soak: kill + quarantine + scale-down + recovery over the
+# wire v3 command channel (see internal/ingest/treat_soak_test.go).
 soak:
-	$(GO) test -run TestIngestSoak -count=1 -v ./internal/ingest
+	$(GO) test -run 'TestIngestSoak|TestIngestTreatSoak' -count=1 -v ./internal/ingest
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

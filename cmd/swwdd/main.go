@@ -35,6 +35,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"swwd"
 	"swwd/internal/ingest"
 	"swwd/internal/promtext"
+	"swwd/internal/treat"
 )
 
 // printSink streams watchdog output to stdout.
@@ -88,7 +90,16 @@ func run() error {
 	shards := flag.Int("shards", ingest.DefaultShards, "ingest worker shards (a node is pinned to node%shards)")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
 	quiet := flag.Bool("quiet", false, "suppress per-fault output")
+	treatDeps := flag.String("treat-deps", "", "fault-treatment dependency edges as node:depends_on pairs (e.g. \"1:0,2:0\"); enables the treatment control plane")
+	treatRecovery := flag.Int("treat-recovery", 0, "heartbeat frames a quarantined node must deliver before resuming (0 = default)")
+	treatRestart := flag.Bool("treat-restart-dependents", false, "send restart-runnables commands to dependents scaled back up after recovery")
+	treatSpec := flag.String("treat-spec", "", "JSON treatment spec file (see swwd.TreatmentSpec); mutually exclusive with -treat-deps")
 	flag.Parse()
+
+	treatment, err := treatmentConfig(*treatSpec, *treatDeps, *treatRecovery, *treatRestart, *nodes)
+	if err != nil {
+		return err
+	}
 
 	sink := &printSink{quiet: *quiet}
 	fleet, err := ingest.BuildFleet(ingest.FleetConfig{
@@ -99,9 +110,13 @@ func run() error {
 		GraceFrames:      *grace,
 		Shards:           *shards,
 		Sink:             sink,
+		Treatment:        treatment,
 	})
 	if err != nil {
 		return err
+	}
+	if fleet.Treat != nil {
+		defer fleet.Treat.Close()
 	}
 	addr, err := fleet.Server.Listen(*listen)
 	if err != nil {
@@ -119,7 +134,7 @@ func run() error {
 	defer func() { _ = svc.Stop() }()
 
 	if *metrics != "" {
-		exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names}
+		exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names, treat: fleet.Treat}
 		http.HandleFunc("/metrics", exp.handle)
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
@@ -145,9 +160,54 @@ func run() error {
 	fmt.Printf("swwdd: frames=%d accepted=%d bytes=%d decode_errors=%d seq_gaps=%d dup_drops=%d restarts=%d stale_epochs=%d interval_mismatch=%d dropped=%d\n",
 		st.Frames, st.Accepted, st.Bytes, st.DecodeErrors, st.SeqGaps, st.DuplicateDrops,
 		st.NodeRestarts, st.StaleEpochDrops, st.IntervalMismatch, st.DroppedPackets)
+	fmt.Printf("swwdd: commands sent=%d acked=%d dropped=%d stale_acks=%d\n",
+		st.CommandsSent, st.CommandsAcked, st.CommandsDropped, st.CommandStaleAcks)
 	fmt.Printf("swwdd: detections aliveness=%d arrival_rate=%d program_flow=%d\n",
 		res.Aliveness, res.ArrivalRate, res.ProgramFlow)
+	if fleet.Treat != nil {
+		ts := fleet.Treat.Stats()
+		fmt.Printf("swwdd: treatment quarantines=%d resumes=%d scale_downs=%d scale_ups=%d active_quarantines=%d exec_errors=%d\n",
+			ts.Quarantines, ts.Resumes, ts.ScaleDowns, ts.ScaleUps, ts.ActiveQuarantines, ts.ExecErrors)
+	}
 	return nil
+}
+
+// treatmentConfig derives the fleet treatment configuration from the
+// -treat-* flags: a JSON spec file, or inline node:depends_on edges
+// with the policy knobs. Nil means the control plane stays off.
+func treatmentConfig(specPath, deps string, recovery int, restart bool, nodes int) (*ingest.TreatmentConfig, error) {
+	if specPath != "" && deps != "" {
+		return nil, fmt.Errorf("-treat-spec and -treat-deps are mutually exclusive")
+	}
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ts, err := swwd.LoadTreatment(f)
+		if err != nil {
+			return nil, err
+		}
+		edges, pol, err := ts.Treatment(nodes)
+		if err != nil {
+			return nil, err
+		}
+		return &ingest.TreatmentConfig{Edges: edges, Policy: pol}, nil
+	}
+	if deps == "" {
+		return nil, nil
+	}
+	var edges []swwd.TreatmentEdge
+	for _, part := range strings.Split(deps, ",") {
+		var n, d uint32
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &n, &d); err != nil {
+			return nil, fmt.Errorf("-treat-deps entry %q: want node:depends_on", part)
+		}
+		edges = append(edges, swwd.TreatmentEdge{Node: n, DependsOn: d})
+	}
+	pol := swwd.TreatmentPolicy{RecoveryFrames: recovery, RestartDependents: restart}
+	return &ingest.TreatmentConfig{Edges: edges, Policy: pol}, nil
 }
 
 // exporter renders the combined telemetry: the watchdog snapshot plus
@@ -156,6 +216,7 @@ type exporter struct {
 	svc   *swwd.Service
 	srv   *ingest.Server
 	names []string
+	treat *treat.Controller // nil when the control plane is off
 
 	mu   sync.Mutex
 	snap swwd.Snapshot
@@ -169,6 +230,9 @@ func (e *exporter) handle(w http.ResponseWriter, _ *http.Request) {
 	e.buf.Reset()
 	promtext.WriteSnapshot(&e.buf, &e.snap, e.names)
 	promtext.WriteIngest(&e.buf, e.srv.Stats())
+	if e.treat != nil {
+		promtext.WriteTreat(&e.buf, e.treat.Stats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(e.buf.Bytes())
 }

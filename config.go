@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"swwd/internal/treat"
 )
 
 // Spec is the JSON-loadable configuration of a monitored system: the
@@ -16,6 +18,9 @@ import (
 type Spec struct {
 	Apps     []AppSpec    `json:"apps"`
 	Watchdog WatchdogSpec `json:"watchdog"`
+	// Treatment, when present, declares the fleet fault-treatment
+	// policy (cmd/swwdd reads it; the in-process watchdog ignores it).
+	Treatment *TreatmentSpec `json:"treatment,omitempty"`
 }
 
 // AppSpec describes one application software component.
@@ -73,6 +78,79 @@ type WatchdogSpec struct {
 	// rounded up to a power of two (0 = default 256, negative =
 	// disabled; see WithJournalSize).
 	JournalSize int `json:"journal_size,omitempty"`
+}
+
+// TreatmentSpec is the JSON form of the fleet fault-treatment policy:
+// the dependency graph over node IDs plus the engine knobs.
+type TreatmentSpec struct {
+	// Edges declare the dependency graph: each entry means Node depends
+	// on DependsOn, so a fault on DependsOn scales Node down.
+	Edges []TreatmentEdgeSpec `json:"edges,omitempty"`
+	// RecoveryFrames is the quarantine grace: how many consecutive
+	// heartbeat frames a quarantined node must deliver before it is
+	// resumed. Zero means the engine default.
+	RecoveryFrames int `json:"recovery_frames,omitempty"`
+	// ScaleDown selects the dependent-handling policy: "dependents"
+	// (default — dependents of a quarantined node are scaled down) or
+	// "off" (quarantine only).
+	ScaleDown string `json:"scale_down,omitempty"`
+	// RestartDependents, when true, sends a restart-runnables command
+	// to each dependent as it is scaled back up after recovery.
+	RestartDependents bool `json:"restart_dependents,omitempty"`
+}
+
+// TreatmentEdgeSpec is one dependency edge in JSON form.
+type TreatmentEdgeSpec struct {
+	Node      uint32 `json:"node"`
+	DependsOn uint32 `json:"depends_on"`
+}
+
+// LoadTreatment parses a standalone TreatmentSpec document from JSON.
+// Parse and validation failures wrap ErrTreatmentSpec.
+func LoadTreatment(r io.Reader) (*TreatmentSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var ts TreatmentSpec
+	if err := dec.Decode(&ts); err != nil {
+		return nil, fmt.Errorf("%w: parse: %w", ErrTreatmentSpec, err)
+	}
+	return &ts, nil
+}
+
+// Treatment validates the spec against a fleet of nodes node IDs
+// (0..nodes-1) and returns the dependency edges and the engine policy.
+// Malformed knobs and structurally invalid edge lists (unknown node,
+// self-dependency, duplicate edge, cycle) wrap ErrTreatmentSpec; the
+// structural failures additionally match their specific sentinel
+// (ErrTreatmentCycle and friends) via errors.Is.
+func (ts *TreatmentSpec) Treatment(nodes int) ([]TreatmentEdge, TreatmentPolicy, error) {
+	var pol TreatmentPolicy
+	if ts.RecoveryFrames < 0 {
+		return nil, pol, fmt.Errorf("%w: recovery_frames must not be negative", ErrTreatmentSpec)
+	}
+	pol.RecoveryFrames = ts.RecoveryFrames
+	pol.RestartDependents = ts.RestartDependents
+	switch ts.ScaleDown {
+	case "", "dependents":
+	case "off":
+		pol.DisableScaleDown = true
+	default:
+		return nil, pol, fmt.Errorf("%w: unknown scale_down mode %q (want \"dependents\" or \"off\")", ErrTreatmentSpec, ts.ScaleDown)
+	}
+	edges := make([]TreatmentEdge, len(ts.Edges))
+	ids := make([]uint32, nodes)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	for i, e := range ts.Edges {
+		edges[i] = TreatmentEdge{Node: e.Node, DependsOn: e.DependsOn}
+	}
+	// Building the graph is the structural validation: it reports
+	// unknown nodes, self-dependencies, duplicates and cycles.
+	if _, err := treat.NewGraph(ids, edges); err != nil {
+		return nil, pol, fmt.Errorf("%w: %w", ErrTreatmentSpec, err)
+	}
+	return edges, pol, nil
 }
 
 // LoadSpec parses a Spec from JSON.

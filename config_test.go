@@ -1,6 +1,9 @@
 package swwd
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -168,5 +171,98 @@ func TestBuildMinimalDefaults(t *testing.T) {
 	}
 	if _, ok := sys.Runnable("r"); !ok {
 		t.Fatal("runnable lookup failed")
+	}
+}
+
+// TestTreatmentSpecRoundTrip: the treatment section survives a JSON
+// marshal/parse round trip and converts to the engine's edge list and
+// policy, both embedded in a full Spec and as a standalone document.
+func TestTreatmentSpecRoundTrip(t *testing.T) {
+	body := `{"apps":[{"name":"a","tasks":[
+		{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"1ms"}]}]}],
+		"treatment":{"edges":[{"node":1,"depends_on":0},{"node":2,"depends_on":0}],
+		"recovery_frames":5,"scale_down":"dependents","restart_dependents":true}}`
+	spec, err := LoadSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if spec.Treatment == nil {
+		t.Fatal("treatment section not parsed")
+	}
+
+	// Marshal and re-parse: the section must survive unchanged.
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	spec2, err := LoadSpec(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if spec2.Treatment.RecoveryFrames != 5 || !spec2.Treatment.RestartDependents ||
+		spec2.Treatment.ScaleDown != "dependents" ||
+		len(spec2.Treatment.Edges) != 2 ||
+		spec2.Treatment.Edges[0] != (TreatmentEdgeSpec{Node: 1, DependsOn: 0}) ||
+		spec2.Treatment.Edges[1] != (TreatmentEdgeSpec{Node: 2, DependsOn: 0}) {
+		t.Fatalf("round-tripped treatment = %+v, want %+v", spec2.Treatment, spec.Treatment)
+	}
+
+	edges, pol, err := spec2.Treatment.Treatment(3)
+	if err != nil {
+		t.Fatalf("Treatment: %v", err)
+	}
+	if len(edges) != 2 || edges[0] != (TreatmentEdge{Node: 1, DependsOn: 0}) {
+		t.Fatalf("edges = %+v", edges)
+	}
+	if pol.RecoveryFrames != 5 || !pol.RestartDependents || pol.DisableScaleDown {
+		t.Fatalf("policy = %+v", pol)
+	}
+
+	// The standalone loader parses just the section.
+	ts, err := LoadTreatment(strings.NewReader(
+		`{"edges":[{"node":1,"depends_on":0}],"scale_down":"off"}`))
+	if err != nil {
+		t.Fatalf("LoadTreatment: %v", err)
+	}
+	if _, pol, err := ts.Treatment(2); err != nil || !pol.DisableScaleDown {
+		t.Fatalf("standalone treatment = %+v, %v", pol, err)
+	}
+}
+
+// TestTreatmentSpecErrors: malformed treatment sections fail with
+// errors.Is-able sentinels.
+func TestTreatmentSpecErrors(t *testing.T) {
+	if _, err := LoadTreatment(strings.NewReader(`{"edges":1}`)); !errors.Is(err, ErrTreatmentSpec) {
+		t.Fatalf("parse error = %v, want ErrTreatmentSpec", err)
+	}
+	if _, err := LoadTreatment(strings.NewReader(`{"bogus":true}`)); !errors.Is(err, ErrTreatmentSpec) {
+		t.Fatalf("unknown field error = %v, want ErrTreatmentSpec", err)
+	}
+	cases := map[string]struct {
+		spec  TreatmentSpec
+		nodes int
+		also  error
+	}{
+		"negative recovery": {TreatmentSpec{RecoveryFrames: -1}, 2, nil},
+		"bad scale_down":    {TreatmentSpec{ScaleDown: "sideways"}, 2, nil},
+		"unknown node": {TreatmentSpec{
+			Edges: []TreatmentEdgeSpec{{Node: 9, DependsOn: 0}}}, 2, ErrTreatmentUnknownNode},
+		"self dependency": {TreatmentSpec{
+			Edges: []TreatmentEdgeSpec{{Node: 1, DependsOn: 1}}}, 2, ErrTreatmentSelfDependency},
+		"duplicate edge": {TreatmentSpec{
+			Edges: []TreatmentEdgeSpec{{Node: 1, DependsOn: 0}, {Node: 1, DependsOn: 0}}}, 2, ErrTreatmentDuplicateEdge},
+		"cycle": {TreatmentSpec{
+			Edges: []TreatmentEdgeSpec{{Node: 1, DependsOn: 0}, {Node: 0, DependsOn: 1}}}, 2, ErrTreatmentCycle},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := tc.spec.Treatment(tc.nodes)
+			if !errors.Is(err, ErrTreatmentSpec) {
+				t.Fatalf("err = %v, want ErrTreatmentSpec", err)
+			}
+			if tc.also != nil && !errors.Is(err, tc.also) {
+				t.Fatalf("err = %v, want it to also match %v", err, tc.also)
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"swwd/internal/core"
+	"swwd/internal/treat"
 )
 
 // Sentinel errors of the facade. Match with errors.Is; returned errors
@@ -22,4 +23,18 @@ var (
 	// ErrNotRunning is reported by Service.Stop when no monitoring loop
 	// is active. Callers treating Stop as idempotent may ignore it.
 	ErrNotRunning = errors.New("swwd: service not running")
+
+	// ErrTreatmentSpec is reported by LoadTreatment and
+	// TreatmentSpec.Treatment for a malformed treatment section: an
+	// unknown scale_down mode, a negative recovery grace, or an edge
+	// list that fails structural validation.
+	ErrTreatmentSpec = errors.New("swwd: invalid treatment spec")
+
+	// Treatment-graph sentinels, re-exported so spec loaders can match
+	// the structural failure precisely (all of them also match
+	// ErrTreatmentSpec when surfaced by the spec path).
+	ErrTreatmentUnknownNode    = treat.ErrUnknownNode
+	ErrTreatmentSelfDependency = treat.ErrSelfDependency
+	ErrTreatmentDuplicateEdge  = treat.ErrDuplicateEdge
+	ErrTreatmentCycle          = treat.ErrCycle
 )

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -43,12 +44,23 @@ func run() error {
 	hangAfter := flag.Duration("hang-after", 3*time.Second, "when to freeze the -hang runnable")
 	flag.Parse()
 
-	c, err := swwdclient.Dial(swwdclient.Config{
-		Addr:      *addr,
-		Node:      uint32(*node),
-		Runnables: *runnables,
-		Interval:  *interval,
-	})
+	// Treatment commands from the server pause and resume the node's
+	// workload: a quarantined or scaled-down node parks its runnables
+	// until the control plane resumes it.
+	var paused atomic.Bool
+	c, err := swwdclient.Dial(*addr,
+		swwdclient.WithNode(uint32(*node)),
+		swwdclient.WithRunnables(*runnables),
+		swwdclient.WithInterval(*interval),
+		swwdclient.WithOnCommand(func(cmd swwdclient.Command) {
+			fmt.Printf("remotenode: command %s (runnable %d)\n", cmd.Op, cmd.Runnable)
+			switch cmd.Op {
+			case swwdclient.OpQuarantine:
+				paused.Store(true)
+			case swwdclient.OpResume:
+				paused.Store(false)
+			}
+		}))
 	if err != nil {
 		return err
 	}
@@ -76,6 +88,9 @@ func run() error {
 						fmt.Printf("remotenode: runnable %d hangs now\n", i)
 						<-ctx.Done() // frozen: no more beats from this runnable
 						return
+					}
+					if paused.Load() {
+						continue // quarantined: workload parked
 					}
 					c.Beat(i)
 				}

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"net/netip"
 	"testing"
 	"time"
 
@@ -48,7 +49,7 @@ func BenchmarkIngestFrame(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.Server.ingestFrame(bufs[i], &scratch)
+		f.Server.ingestFrame(bufs[i], &scratch, netip.AddrPort{})
 	}
 	b.StopTimer()
 	if st := f.Server.Stats(); st.Accepted != uint64(b.N) {

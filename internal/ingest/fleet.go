@@ -8,11 +8,13 @@ package ingest
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"swwd/internal/core"
 	"swwd/internal/runnable"
 	"swwd/internal/sim"
+	"swwd/internal/treat"
 )
 
 // FleetConfig describes a uniform fleet: Nodes remote nodes, each
@@ -48,6 +50,14 @@ type FleetConfig struct {
 	Sink core.Sink
 	// Clock defaults to a wall clock.
 	Clock sim.Clock
+	// Treatment, when non-nil, enables the fault-treatment control
+	// plane: link aliveness faults quarantine the node and scale down
+	// its dependents per the declared edges, and resumed heartbeats
+	// expedite recovery. Fleet.Treat exposes the controller.
+	Treatment *TreatmentConfig
+	// CommandEpoch forwards to Config.CommandEpoch (zero derives it
+	// from the wall clock).
+	CommandEpoch uint64
 }
 
 // Fleet is an assembled fleet system: the frozen model, the configured
@@ -61,6 +71,9 @@ type Fleet struct {
 	Specs []NodeSpec
 	// Names[rid] is the runnable name for metric labels.
 	Names []string
+	// Treat is the fault-treatment controller; nil unless
+	// FleetConfig.Treatment was set. Callers own its Close.
+	Treat *treat.Controller
 }
 
 // BuildFleet assembles the model (one application, one task per node,
@@ -84,6 +97,23 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = sim.NewWallClock()
+	}
+
+	// The treatment sink and frame hook must exist before the watchdog
+	// and server that invoke them, but the controller they forward to
+	// can only be built after both: bind it late through atomics.
+	var tsink *treatSink
+	var hookCtrl atomic.Pointer[treat.Controller]
+	sink := cfg.Sink
+	var frameHook func(node uint32, restarted bool)
+	if cfg.Treatment != nil {
+		tsink = &treatSink{inner: cfg.Sink, linkToNode: make(map[runnable.ID]uint32, cfg.Nodes)}
+		sink = tsink
+		frameHook = func(node uint32, restarted bool) {
+			if c := hookCtrl.Load(); c != nil {
+				c.OnFrame(node, restarted)
+			}
+		}
 	}
 
 	model := runnable.NewModel()
@@ -111,6 +141,9 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		spec.Link = link
 		specs[n] = spec
+		if tsink != nil {
+			tsink.linkToNode[link] = uint32(n)
+		}
 	}
 	if err := model.Freeze(); err != nil {
 		return nil, err
@@ -119,7 +152,7 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 	w, err := core.New(core.Config{
 		Model:       model,
 		Clock:       cfg.Clock,
-		Sink:        cfg.Sink,
+		Sink:        sink,
 		CyclePeriod: cfg.CyclePeriod,
 		JournalSize: cfg.JournalSize,
 		SweepShards: cfg.SweepShards,
@@ -145,13 +178,15 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 	}
 
-	srv, err := NewServer(Config{
-		Watchdog:    w,
-		Shards:      cfg.Shards,
-		QueueLen:    cfg.QueueLen,
-		MaxPacket:   cfg.MaxPacket,
-		GraceFrames: cfg.GraceFrames,
-		ReadBuffer:  cfg.ReadBuffer,
+	srv, err := newServer(Config{
+		Watchdog:     w,
+		Shards:       cfg.Shards,
+		QueueLen:     cfg.QueueLen,
+		MaxPacket:    cfg.MaxPacket,
+		GraceFrames:  cfg.GraceFrames,
+		ReadBuffer:   cfg.ReadBuffer,
+		CommandEpoch: cfg.CommandEpoch,
+		FrameHook:    frameHook,
 	})
 	if err != nil {
 		return nil, err
@@ -168,5 +203,11 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 			names[i] = r.Name
 		}
 	}
-	return &Fleet{Model: model, Watchdog: w, Server: srv, Specs: specs, Names: names}, nil
+	f := &Fleet{Model: model, Watchdog: w, Server: srv, Specs: specs, Names: names}
+	if cfg.Treatment != nil {
+		if err := buildTreatment(f, cfg.Treatment, cfg.Clock, tsink, &hookCtrl); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
 }

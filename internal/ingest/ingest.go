@@ -58,6 +58,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,16 @@ var ErrNodeExists = errors.New("ingest: node already registered")
 
 // ErrClosed is reported by Listen after Close.
 var ErrClosed = errors.New("ingest: server closed")
+
+// ErrUnknownNode is reported by SendCommand for an unregistered node ID.
+var ErrUnknownNode = errors.New("ingest: unknown node")
+
+// ErrNoAddress is reported by SendCommand when the node has not yet
+// delivered a frame, so the server has no return address to command.
+var ErrNoAddress = errors.New("ingest: node has no known address")
+
+// ErrNotListening is reported by SendCommand before Listen.
+var ErrNotListening = errors.New("ingest: server not listening")
 
 // NodeSpec describes one remote reporter node at registration time.
 type NodeSpec struct {
@@ -122,6 +133,18 @@ type Config struct {
 	// ReadBuffer is the requested SO_RCVBUF of the UDP socket. Zero
 	// means DefaultReadBuffer.
 	ReadBuffer int
+	// CommandEpoch is the server's command epoch, stamped on every
+	// command frame (wire v3): larger epoch = newer server incarnation,
+	// and reporters drop commands from superseded epochs. Zero means the
+	// construction wall time in nanoseconds, which is strictly larger
+	// across restarts. Tests pin it for determinism.
+	CommandEpoch uint64
+	// FrameHook, when set, observes every accepted frame after replay:
+	// the node ID and whether the frame advanced the node's session
+	// epoch (reporter restart). The treatment controller subscribes
+	// here. Called on the shard worker goroutine — implementations must
+	// be non-blocking.
+	FrameHook func(node uint32, restarted bool)
 }
 
 // Stats is a point-in-time copy of the server's ingestion counters.
@@ -167,6 +190,17 @@ type Stats struct {
 	DroppedPackets uint64
 	// ReadErrors counts transient socket read errors.
 	ReadErrors uint64
+	// CommandsSent counts command frames written to reporters;
+	// CommandsAcked the commands confirmed by a heartbeat ack pair in
+	// the current command epoch; CommandsDropped the commands that could
+	// not be sent (unknown return address, socket error).
+	CommandsSent    uint64
+	CommandsAcked   uint64
+	CommandsDropped uint64
+	// CommandStaleAcks counts heartbeat ack pairs ignored because their
+	// command epoch was not the server's current one (a reporter still
+	// acking a superseded server incarnation).
+	CommandStaleAcks uint64
 	// Nodes is the number of registered nodes.
 	Nodes int
 }
@@ -175,6 +209,7 @@ type Stats struct {
 type packet struct {
 	buf []byte
 	n   int
+	src netip.AddrPort
 }
 
 // nodeState is the server-side state of one registered node. Everything
@@ -196,6 +231,21 @@ type nodeState struct {
 	epoch   uint64
 	lastSeq uint64
 	haveSeq bool
+
+	// cmdAcked is the highest command sequence number the reporter has
+	// confirmed in the current command epoch. Like the fields above it
+	// is touched only by the owning shard worker.
+	cmdAcked uint64
+
+	// addr is the source address of the node's most recent accepted
+	// frame — the return path for command frames. Updated by the shard
+	// worker (allocating only when the address actually changes), read
+	// by SendCommand.
+	addr atomic.Pointer[netip.AddrPort]
+	// cmdSeq is the per-node command sequence counter, advanced under
+	// the server's cmdMu and read atomically by the shard worker to
+	// clamp runaway acks.
+	cmdSeq atomic.Uint64
 }
 
 // Server ingests heartbeat frames into a watchdog.
@@ -215,6 +265,12 @@ type Server struct {
 	started bool
 	closed  bool
 
+	// cmdEpoch is fixed at construction; cmdMu serializes command
+	// sequence allocation and the reused encode buffer.
+	cmdEpoch uint64
+	cmdMu    sync.Mutex
+	cmdBuf   []byte
+
 	frames       atomic.Uint64
 	bytes        atomic.Uint64
 	accepted     atomic.Uint64
@@ -228,11 +284,23 @@ type Server struct {
 	intervalMism atomic.Uint64
 	dropped      atomic.Uint64
 	readErrs     atomic.Uint64
+	cmdSent      atomic.Uint64
+	cmdAcked     atomic.Uint64
+	cmdDropped   atomic.Uint64
+	cmdStale     atomic.Uint64
 }
 
 // NewServer validates the configuration and builds an idle server;
 // register nodes with RegisterNode, then bind it with Listen.
+//
+// Deprecated: use New with functional options; NewServer remains as a
+// thin wrapper over the same construction path.
 func NewServer(cfg Config) (*Server, error) {
+	return newServer(cfg)
+}
+
+// newServer is the shared construction path of New and NewServer.
+func newServer(cfg Config) (*Server, error) {
 	if cfg.Watchdog == nil {
 		return nil, errors.New("ingest: Config.Watchdog is required")
 	}
@@ -257,7 +325,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.ReadBuffer <= 0 {
 		cfg.ReadBuffer = DefaultReadBuffer
 	}
-	s := &Server{w: cfg.Watchdog, cfg: cfg}
+	if cfg.CommandEpoch == 0 {
+		// The wall clock in nanoseconds is strictly larger across server
+		// restarts — the property the reporter's epoch comparison relies
+		// on — and never zero.
+		cfg.CommandEpoch = uint64(time.Now().UnixNano())
+		if cfg.CommandEpoch == 0 {
+			cfg.CommandEpoch = 1
+		}
+	}
+	s := &Server{w: cfg.Watchdog, cfg: cfg, cmdEpoch: cfg.CommandEpoch}
 	empty := make(map[uint32]*nodeState)
 	s.nodes.Store(&empty)
 	return s, nil
@@ -422,7 +499,7 @@ func (s *Server) readLoop() {
 		if p != nil {
 			buf = p.buf
 		}
-		n, _, err := s.conn.ReadFromUDPAddrPort(buf)
+		n, src, err := s.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			if p != nil {
 				s.free <- p
@@ -438,6 +515,7 @@ func (s *Server) readLoop() {
 			continue
 		}
 		p.n = n
+		p.src = src
 		node, err := wire.PeekNode(p.buf[:n])
 		if err != nil {
 			s.frames.Add(1)
@@ -463,7 +541,7 @@ func (s *Server) worker(in <-chan *packet) {
 	defer s.wg.Done()
 	var frame wire.Frame
 	for p := range in {
-		s.ingestFrame(p.buf[:p.n], &frame)
+		s.ingestFrame(p.buf[:p.n], &frame, p.src)
 		s.free <- p
 	}
 }
@@ -473,7 +551,7 @@ func (s *Server) worker(in <-chan *packet) {
 // replay. Frames of one node are processed by exactly one goroutine at a
 // time (shard pinning), which makes the nodeState sequence fields safe
 // without locks.
-func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
+func (s *Server) ingestFrame(buf []byte, f *wire.Frame, src netip.AddrPort) {
 	s.frames.Add(1)
 	s.bytes.Add(uint64(len(buf)))
 	if err := wire.DecodeFrame(buf, f); err != nil {
@@ -513,9 +591,13 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
 	// again at Seq 1 — replay immediately instead of being misread as
 	// duplicates. A regressed epoch is a stale datagram from the
 	// superseded session and is dropped.
+	restarted := false
 	if ns.haveSeq {
 		switch {
 		case f.Epoch < ns.epoch:
+			// Dropping the whole stale frame also discards its command
+			// ack pair: a superseded reporter session can never confirm
+			// commands sent to its successor.
 			s.staleEpochs.Add(1)
 			return
 		case f.Epoch == ns.epoch:
@@ -528,6 +610,7 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
 				s.gapEvents.Add(1)
 			}
 		default: // f.Epoch > ns.epoch: the reporter restarted
+			restarted = true
 			s.restarts.Add(1)
 			if f.Seq > 1 {
 				// The new session's first frames were lost in flight.
@@ -540,6 +623,36 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
 	ns.lastSeq = f.Seq
 	ns.haveSeq = true
 
+	// Remember the frame's source as the node's command return address.
+	// The pointer swap allocates only when the address actually changes
+	// (reporter re-dial from a new port), keeping the steady state
+	// allocation free.
+	if src.IsValid() {
+		if cur := ns.addr.Load(); cur == nil || *cur != src {
+			a := src
+			ns.addr.Store(&a)
+		}
+	}
+	// Command ack accounting: the ack pair confirms delivery only in the
+	// server's current command epoch; acks for a superseded epoch are
+	// counted as stale and otherwise ignored. The ack is clamped to the
+	// highest sequence number actually issued, so a corrupt or lying
+	// reporter can never inflate the acked counter.
+	if f.CmdAckSeq != 0 {
+		if f.CmdAckEpoch != s.cmdEpoch {
+			s.cmdStale.Add(1)
+		} else if f.CmdAckSeq > ns.cmdAcked {
+			acked := f.CmdAckSeq
+			if issued := ns.cmdSeq.Load(); acked > issued {
+				acked = issued
+			}
+			if acked > ns.cmdAcked {
+				s.cmdAcked.Add(acked - ns.cmdAcked)
+				ns.cmdAcked = acked
+			}
+		}
+	}
+
 	for i := range f.Beats {
 		ns.mons[f.Beats[i].Runnable].BeatN(int(f.Beats[i].Beats))
 	}
@@ -550,7 +663,56 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame) {
 	// the *reporting channel*, supervised like any other runnable.
 	ns.link.Beat()
 	s.accepted.Add(1)
+	if s.cfg.FrameHook != nil {
+		s.cfg.FrameHook(f.Node, restarted)
+	}
 }
+
+// SendCommand encodes one command frame for node and sends it to the
+// address the node's heartbeats last arrived from, returning the
+// assigned per-node command sequence number. The frame carries the
+// server's command epoch; delivery is confirmed when a later heartbeat
+// acks (epoch, seq). Safe for concurrent use; commands to one node are
+// sequence-ordered by the internal lock. A node that has never
+// delivered a frame has no return address — ErrNoAddress — and an
+// unsendable command counts as dropped.
+func (s *Server) SendCommand(node uint32, recs ...wire.CmdRec) (uint64, error) {
+	ns := (*s.nodes.Load())[node]
+	if ns == nil {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+	}
+	s.regMu.Lock()
+	conn := s.conn
+	s.regMu.Unlock()
+	if conn == nil {
+		s.cmdDropped.Add(1)
+		return 0, ErrNotListening
+	}
+	addr := ns.addr.Load()
+	if addr == nil {
+		s.cmdDropped.Add(1)
+		return 0, fmt.Errorf("%w: %d", ErrNoAddress, node)
+	}
+	s.cmdMu.Lock()
+	defer s.cmdMu.Unlock()
+	seq := ns.cmdSeq.Add(1)
+	cmd := wire.Command{Node: node, Epoch: s.cmdEpoch, Seq: seq, Recs: recs}
+	buf, err := wire.AppendCommand(s.cmdBuf[:0], &cmd)
+	if err != nil {
+		s.cmdDropped.Add(1)
+		return 0, err
+	}
+	s.cmdBuf = buf
+	if _, err := conn.WriteToUDPAddrPort(buf, *addr); err != nil {
+		s.cmdDropped.Add(1)
+		return 0, fmt.Errorf("ingest: command send: %w", err)
+	}
+	s.cmdSent.Add(1)
+	return seq, nil
+}
+
+// CommandEpoch reports the server's command epoch.
+func (s *Server) CommandEpoch() uint64 { return s.cmdEpoch }
 
 // Stats returns a copy of the ingestion counters.
 func (s *Server) Stats() Stats {
@@ -568,6 +730,10 @@ func (s *Server) Stats() Stats {
 		IntervalMismatch: s.intervalMism.Load(),
 		DroppedPackets:   s.dropped.Load(),
 		ReadErrors:       s.readErrs.Load(),
+		CommandsSent:     s.cmdSent.Load(),
+		CommandsAcked:    s.cmdAcked.Load(),
+		CommandsDropped:  s.cmdDropped.Load(),
+		CommandStaleAcks: s.cmdStale.Load(),
 		Nodes:            len(*s.nodes.Load()),
 	}
 }

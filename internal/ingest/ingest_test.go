@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"errors"
+	"net/netip"
 	"testing"
 	"time"
 
@@ -48,7 +49,7 @@ func encode(t *testing.T, f *wire.Frame) []byte {
 // inject pushes raw bytes through the worker ingest path.
 func inject(s *Server, buf []byte) {
 	var frame wire.Frame
-	s.ingestFrame(buf, &frame)
+	s.ingestFrame(buf, &frame, netip.AddrPort{})
 }
 
 func TestLinkHypothesis(t *testing.T) {
@@ -425,10 +426,10 @@ func TestIngestFrameZeroAlloc(t *testing.T) {
 		bufs[i] = b
 	}
 	i := 0
-	f.Server.ingestFrame(bufs[i], &dec) // warm the decoder slices
+	f.Server.ingestFrame(bufs[i], &dec, netip.AddrPort{}) // warm the decoder slices
 	i++
 	allocs := testing.AllocsPerRun(100, func() {
-		f.Server.ingestFrame(bufs[i], &dec)
+		f.Server.ingestFrame(bufs[i], &dec, netip.AddrPort{})
 		i++
 	})
 	if allocs != 0 {

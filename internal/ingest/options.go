@@ -1,0 +1,74 @@
+package ingest
+
+// Functional options: the constructor idiom of the root swwd package
+// (swwd.New, validator.New), extended to the ingestion server. New is
+// the preferred constructor; the Config-struct NewServer remains as a
+// deprecated thin wrapper for existing callers.
+
+import "swwd/internal/core"
+
+// Option configures a Server built with New. Options are applied in
+// order over the zero Config, so later options win; anything expressible
+// with an Option can equally be set on a Config passed to NewServer.
+type Option func(*Config)
+
+// WithShards sets the worker count frames are decoded on; a node is
+// pinned to the worker node%Shards, so frames of one node always replay
+// in order. Zero or negative keeps DefaultShards.
+func WithShards(n int) Option {
+	return func(cfg *Config) { cfg.Shards = n }
+}
+
+// WithQueueLen sets the per-worker packet queue depth. Zero or negative
+// keeps DefaultQueueLen.
+func WithQueueLen(n int) Option {
+	return func(cfg *Config) { cfg.QueueLen = n }
+}
+
+// WithMaxPacket sets the largest accepted datagram (and pooled buffer
+// size). Zero or negative keeps DefaultMaxPacket.
+func WithMaxPacket(n int) Option {
+	return func(cfg *Config) { cfg.MaxPacket = n }
+}
+
+// WithGraceFrames sets how many declared flush intervals a node may
+// stay silent before its link runnable accumulates an aliveness error.
+// Zero or negative keeps DefaultGraceFrames.
+func WithGraceFrames(n int) Option {
+	return func(cfg *Config) { cfg.GraceFrames = n }
+}
+
+// WithReadBuffer sets the requested SO_RCVBUF of the UDP socket. Zero
+// or negative keeps DefaultReadBuffer.
+func WithReadBuffer(n int) Option {
+	return func(cfg *Config) { cfg.ReadBuffer = n }
+}
+
+// WithCommandEpoch pins the server's command epoch instead of deriving
+// it from the construction wall time. Tests use it to make the command
+// channel deterministic; live servers should let the default stand so a
+// restarted server always supersedes its predecessor.
+func WithCommandEpoch(epoch uint64) Option {
+	return func(cfg *Config) { cfg.CommandEpoch = epoch }
+}
+
+// WithFrameHook subscribes hook to every accepted frame: the node ID
+// and whether the frame advanced the node's session epoch (reporter
+// restart). The treatment controller's OnFrame is the intended
+// subscriber. The hook runs on the shard worker goroutine and must be
+// non-blocking.
+func WithFrameHook(hook func(node uint32, restarted bool)) Option {
+	return func(cfg *Config) { cfg.FrameHook = hook }
+}
+
+// New validates the options and builds an idle server ingesting into w;
+// register nodes with RegisterNode, then bind it with Listen. It is the
+// options-form equivalent of NewServer.
+func New(w *core.Watchdog, opts ...Option) (*Server, error) {
+	cfg := Config{Watchdog: w}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Watchdog = w // the watchdog is New's contract, not an option
+	return newServer(cfg)
+}

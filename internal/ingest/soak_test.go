@@ -68,12 +68,10 @@ func TestIngestSoak(t *testing.T) {
 	var wg sync.WaitGroup
 	clients := make([]*swwdclient.Client, soakNodes)
 	for n := 0; n < soakNodes; n++ {
-		c, err := swwdclient.Dial(swwdclient.Config{
-			Addr:      addr.String(),
-			Node:      uint32(n),
-			Runnables: soakRunnables,
-			Interval:  interval,
-		})
+		c, err := swwdclient.Dial(addr.String(),
+			swwdclient.WithNode(uint32(n)),
+			swwdclient.WithRunnables(soakRunnables),
+			swwdclient.WithInterval(interval))
 		if err != nil {
 			t.Fatalf("Dial node %d: %v", n, err)
 		}

@@ -12,6 +12,7 @@ import (
 
 	"swwd/internal/core"
 	"swwd/internal/ingest"
+	"swwd/internal/treat"
 )
 
 // WriteSnapshot renders s: watchdog counters and state, per-runnable
@@ -123,6 +124,36 @@ func WriteIngest(b *bytes.Buffer, st ingest.Stats) {
 	fmt.Fprintf(b, "swwd_ingest_dropped_packets_total %d\n", st.DroppedPackets)
 	Header(b, "swwd_ingest_read_errors_total", "counter", "Transient socket read errors.")
 	fmt.Fprintf(b, "swwd_ingest_read_errors_total %d\n", st.ReadErrors)
+	Header(b, "swwd_ingest_commands_sent_total", "counter", "Treatment command frames written to reporters.")
+	fmt.Fprintf(b, "swwd_ingest_commands_sent_total %d\n", st.CommandsSent)
+	Header(b, "swwd_ingest_commands_acked_total", "counter", "Treatment commands acknowledged on heartbeat frames.")
+	fmt.Fprintf(b, "swwd_ingest_commands_acked_total %d\n", st.CommandsAcked)
+	Header(b, "swwd_ingest_commands_dropped_total", "counter", "Treatment commands that could not be sent (no address, socket down, write error).")
+	fmt.Fprintf(b, "swwd_ingest_commands_dropped_total %d\n", st.CommandsDropped)
+	Header(b, "swwd_ingest_command_stale_acks_total", "counter", "Command acknowledgements carrying a superseded command epoch.")
+	fmt.Fprintf(b, "swwd_ingest_command_stale_acks_total %d\n", st.CommandStaleAcks)
+}
+
+// WriteTreat renders the fault-treatment controller's counters and
+// gauges.
+func WriteTreat(b *bytes.Buffer, st treat.Stats) {
+	Header(b, "swwd_treat_events_total", "counter", "Fault events accepted by the treatment controller.")
+	fmt.Fprintf(b, "swwd_treat_events_total %d\n", st.Events)
+	Header(b, "swwd_treat_events_dropped_total", "counter", "Fault events dropped at the controller queue cap.")
+	fmt.Fprintf(b, "swwd_treat_events_dropped_total %d\n", st.EventsDropped)
+	Header(b, "swwd_treat_actions_total", "counter", "Treatment actions executed, by kind.")
+	fmt.Fprintf(b, "swwd_treat_actions_total{kind=\"quarantine\"} %d\n", st.Quarantines)
+	fmt.Fprintf(b, "swwd_treat_actions_total{kind=\"resume\"} %d\n", st.Resumes)
+	fmt.Fprintf(b, "swwd_treat_actions_total{kind=\"scale_down\"} %d\n", st.ScaleDowns)
+	fmt.Fprintf(b, "swwd_treat_actions_total{kind=\"scale_up\"} %d\n", st.ScaleUps)
+	fmt.Fprintf(b, "swwd_treat_actions_total{kind=\"notify_quarantine\"} %d\n", st.NotifyQuarantine)
+	fmt.Fprintf(b, "swwd_treat_actions_total{kind=\"restart_runnables\"} %d\n", st.RestartRunnables)
+	Header(b, "swwd_treat_quarantines_active", "gauge", "Nodes currently quarantined.")
+	fmt.Fprintf(b, "swwd_treat_quarantines_active %d\n", st.ActiveQuarantines)
+	Header(b, "swwd_treat_scaled_down_active", "gauge", "Nodes currently scaled down on account of a quarantined dependency.")
+	fmt.Fprintf(b, "swwd_treat_scaled_down_active %d\n", st.ActiveScaledDown)
+	Header(b, "swwd_treat_exec_errors_total", "counter", "Treatment actions whose execution reported an error.")
+	fmt.Fprintf(b, "swwd_treat_exec_errors_total %d\n", st.ExecErrors)
 }
 
 // Header emits the HELP/TYPE preamble for one metric family.

@@ -1,0 +1,65 @@
+package treat
+
+import (
+	"testing"
+
+	"swwd/internal/sim"
+)
+
+// BenchmarkTreatDecide measures one full treatment cycle through the
+// policy engine — link fault (quarantine + fan-out scale-down) followed
+// by the recovery streak (resume + fan-in scale-up) — on a hub node
+// with 32 dependents. The benchdiff CI gate watches the ns/op; the
+// steady state reuses the action scratch and the per-node scaledBy
+// slices, so it settles to zero allocations per cycle.
+func BenchmarkTreatDecide(b *testing.B) {
+	const dependents = 32
+	nodes := []uint32{1}
+	var edges []Edge
+	for i := uint32(0); i < dependents; i++ {
+		n := 100 + i
+		nodes = append(nodes, n)
+		edges = append(edges, Edge{Node: n, DependsOn: 1})
+	}
+	g, err := NewGraph(nodes, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(g, Policy{RecoveryFrames: 3})
+	var scratch []Action
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(i) * 4
+		scratch = e.Decide(Event{Kind: EvLinkFault, Node: 1, Time: at}, scratch[:0])
+		if len(scratch) != 1+dependents {
+			b.Fatalf("fault cycle emitted %d actions", len(scratch))
+		}
+		for f := sim.Time(1); f <= 3; f++ {
+			scratch = e.Decide(Event{Kind: EvFrame, Node: 1, Time: at + f}, scratch[:0])
+		}
+		if len(scratch) != 2+dependents { // resume + self scale-up + dependents
+			b.Fatalf("recovery cycle emitted %d actions", len(scratch))
+		}
+	}
+}
+
+// BenchmarkTreatDecideHealthy measures the no-op path: a frame event on
+// a non-quarantined node, the engine's equivalent of the ingest
+// steady state.
+func BenchmarkTreatDecideHealthy(b *testing.B) {
+	g, err := NewGraph([]uint32{1, 2}, []Edge{{Node: 2, DependsOn: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(g, Policy{})
+	var scratch []Action
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = e.Decide(Event{Kind: EvFrame, Node: 1, Time: sim.Time(i)}, scratch[:0])
+		if len(scratch) != 0 {
+			b.Fatal("healthy frame emitted actions")
+		}
+	}
+}

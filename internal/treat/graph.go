@@ -1,0 +1,173 @@
+// Package treat is the fault-treatment control plane of the networked
+// Software Watchdog: the distributed analogue of the paper's Fault
+// Management Framework, modeled on the prober/weeder split. The
+// ingestion side (internal/ingest) *detects* — link loss, missed
+// heartbeats, program-flow violations; this package decides what to do
+// about it and drives the treatment: quarantine the faulty node, scale
+// down its dependents so the fault does not cascade into a storm of
+// secondary detections, and expedite recovery the moment heartbeats
+// resume.
+//
+// The package is built from three pieces:
+//
+//   - Graph (this file): the declarative dependency graph over
+//     supervised nodes — who consumes whose service, validated once at
+//     construction (unknown nodes, self-dependencies, duplicates and
+//     cycles are errors, not runtime surprises).
+//   - Engine (engine.go): a pure, deterministic policy function. It
+//     consumes fault Events (link faults from the watchdog sink, frame
+//     arrivals from ingest) and produces ordered Actions. No clocks are
+//     read, no goroutines run, no map iteration order leaks into the
+//     output: the same event trace always yields the same action
+//     sequence, which is what makes treatment replay-testable.
+//   - Controller (controller.go): the asynchronous shell that feeds the
+//     engine from live callbacks and hands its actions to an Executor.
+//
+// Determinism discipline: every decision is a function of (graph,
+// policy, event history) only. Time enters exclusively as data carried
+// on events (stamped by the caller from an injected sim.Clock), never
+// by reading a clock inside the engine, so a recorded trace replayed
+// through Replay reproduces the live action sequence bit-for-bit.
+package treat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph validation errors. Match with errors.Is; returned errors wrap
+// these with the offending node IDs.
+var (
+	// ErrUnknownNode marks an edge endpoint that is not a declared node.
+	ErrUnknownNode = errors.New("treat: edge references unknown node")
+	// ErrSelfDependency marks a node depending on itself.
+	ErrSelfDependency = errors.New("treat: node depends on itself")
+	// ErrDuplicateEdge marks the same dependency declared twice.
+	ErrDuplicateEdge = errors.New("treat: duplicate dependency edge")
+	// ErrCycle marks a dependency cycle — treatment needs a DAG, or a
+	// quarantine could scale a node down on account of itself.
+	ErrCycle = errors.New("treat: dependency cycle")
+)
+
+// Edge declares one dependency: Node consumes a service of DependsOn,
+// so when DependsOn is quarantined, Node is scaled down.
+type Edge struct {
+	Node      uint32
+	DependsOn uint32
+}
+
+// Graph is a validated, immutable dependency DAG over supervised nodes.
+type Graph struct {
+	// dependents[n] lists the nodes that depend on n, sorted ascending —
+	// the fan-out a quarantine of n scales down. Sorted once here so the
+	// engine never iterates a map and action order is deterministic.
+	dependents map[uint32][]uint32
+	nodes      []uint32 // sorted
+	nodeSet    map[uint32]struct{}
+}
+
+// NewGraph validates the node set and dependency edges and builds the
+// graph. Every edge endpoint must be a declared node, self-dependencies
+// and duplicate edges are rejected, and the edge set must be acyclic.
+func NewGraph(nodes []uint32, edges []Edge) (*Graph, error) {
+	g := &Graph{
+		dependents: make(map[uint32][]uint32),
+		nodeSet:    make(map[uint32]struct{}, len(nodes)),
+	}
+	for _, n := range nodes {
+		if _, dup := g.nodeSet[n]; dup {
+			continue
+		}
+		g.nodeSet[n] = struct{}{}
+		g.nodes = append(g.nodes, n)
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+
+	type edgeKey struct{ a, b uint32 }
+	seen := make(map[edgeKey]struct{}, len(edges))
+	// deps is the forward direction (node → what it depends on), used
+	// only for the cycle check.
+	deps := make(map[uint32][]uint32)
+	for _, e := range edges {
+		if _, ok := g.nodeSet[e.Node]; !ok {
+			return nil, fmt.Errorf("%w: %d (in edge %d→%d)", ErrUnknownNode, e.Node, e.Node, e.DependsOn)
+		}
+		if _, ok := g.nodeSet[e.DependsOn]; !ok {
+			return nil, fmt.Errorf("%w: %d (in edge %d→%d)", ErrUnknownNode, e.DependsOn, e.Node, e.DependsOn)
+		}
+		if e.Node == e.DependsOn {
+			return nil, fmt.Errorf("%w: %d", ErrSelfDependency, e.Node)
+		}
+		k := edgeKey{e.Node, e.DependsOn}
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("%w: %d→%d", ErrDuplicateEdge, e.Node, e.DependsOn)
+		}
+		seen[k] = struct{}{}
+		deps[e.Node] = append(deps[e.Node], e.DependsOn)
+		g.dependents[e.DependsOn] = append(g.dependents[e.DependsOn], e.Node)
+	}
+	if cyc, ok := findCycle(g.nodes, deps); ok {
+		return nil, fmt.Errorf("%w: through node %d", ErrCycle, cyc)
+	}
+	for _, l := range g.dependents {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	return g, nil
+}
+
+// findCycle runs an iterative three-color DFS over the dependency
+// relation and returns a node on a cycle, with ok reporting whether one
+// was found (node ID 0 is valid, so the ID alone cannot signal absence).
+func findCycle(nodes []uint32, deps map[uint32][]uint32) (uint32, bool) {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[uint32]int, len(nodes))
+	for _, start := range nodes {
+		if color[start] != white {
+			continue
+		}
+		type frame struct {
+			node uint32
+			next int
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			ds := deps[top.node]
+			if top.next < len(ds) {
+				d := ds[top.next]
+				top.next++
+				switch color[d] {
+				case gray:
+					return d, true
+				case white:
+					color[d] = gray
+					stack = append(stack, frame{node: d})
+				}
+				continue
+			}
+			color[top.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return 0, false
+}
+
+// Nodes returns the declared node IDs, sorted ascending. The returned
+// slice is shared; callers must not modify it.
+func (g *Graph) Nodes() []uint32 { return g.nodes }
+
+// HasNode reports whether n is a declared node.
+func (g *Graph) HasNode(n uint32) bool {
+	_, ok := g.nodeSet[n]
+	return ok
+}
+
+// Dependents returns the nodes that depend on n, sorted ascending. The
+// returned slice is shared; callers must not modify it.
+func (g *Graph) Dependents(n uint32) []uint32 { return g.dependents[n] }

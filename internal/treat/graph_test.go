@@ -1,0 +1,75 @@
+package treat
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGraphDependentsSorted(t *testing.T) {
+	g, err := NewGraph([]uint32{1, 2, 3, 4}, []Edge{
+		{Node: 4, DependsOn: 1},
+		{Node: 2, DependsOn: 1},
+		{Node: 3, DependsOn: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	deps := g.Dependents(1)
+	want := []uint32{2, 3, 4}
+	if len(deps) != len(want) {
+		t.Fatalf("dependents = %v, want %v", deps, want)
+	}
+	for i := range want {
+		if deps[i] != want[i] {
+			t.Fatalf("dependents = %v, want %v", deps, want)
+		}
+	}
+	if len(g.Dependents(2)) != 0 {
+		t.Fatalf("leaf node has dependents: %v", g.Dependents(2))
+	}
+	if !g.HasNode(3) || g.HasNode(99) {
+		t.Fatal("HasNode misreports membership")
+	}
+}
+
+func TestGraphDuplicateNodesDeduped(t *testing.T) {
+	g, err := NewGraph([]uint32{5, 5, 7, 5}, nil)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	if n := g.Nodes(); len(n) != 2 || n[0] != 5 || n[1] != 7 {
+		t.Fatalf("Nodes = %v, want [5 7]", n)
+	}
+}
+
+func TestGraphValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []uint32
+		edges []Edge
+		want  error
+	}{
+		{"unknown-node", []uint32{1}, []Edge{{Node: 2, DependsOn: 1}}, ErrUnknownNode},
+		{"unknown-dependency", []uint32{1}, []Edge{{Node: 1, DependsOn: 2}}, ErrUnknownNode},
+		{"self-dependency", []uint32{1}, []Edge{{Node: 1, DependsOn: 1}}, ErrSelfDependency},
+		{"duplicate-edge", []uint32{1, 2}, []Edge{{Node: 1, DependsOn: 2}, {Node: 1, DependsOn: 2}}, ErrDuplicateEdge},
+		{"two-cycle", []uint32{1, 2}, []Edge{{Node: 1, DependsOn: 2}, {Node: 2, DependsOn: 1}}, ErrCycle},
+		// Node 0 is a valid ID; a cycle through it must still be caught.
+		{"cycle-through-node-zero", []uint32{0, 1}, []Edge{{Node: 1, DependsOn: 0}, {Node: 0, DependsOn: 1}}, ErrCycle},
+		{"three-cycle", []uint32{1, 2, 3}, []Edge{
+			{Node: 1, DependsOn: 2}, {Node: 2, DependsOn: 3}, {Node: 3, DependsOn: 1},
+		}, ErrCycle},
+	}
+	for _, tc := range cases {
+		if _, err := NewGraph(tc.nodes, tc.edges); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// The mirrored pair A→B plus B←A is a 2-cycle, but A and B sharing a
+	// dependency (a diamond) is legal.
+	if _, err := NewGraph([]uint32{1, 2, 3}, []Edge{
+		{Node: 2, DependsOn: 1}, {Node: 3, DependsOn: 1}, {Node: 3, DependsOn: 2},
+	}); err != nil {
+		t.Fatalf("diamond rejected: %v", err)
+	}
+}

@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// sampleCommand builds a representative command frame: a quarantine of
+// the whole node plus a per-runnable restart and a hypothesis update —
+// every opcode shape the treatment controller emits.
+func sampleCommand() *Command {
+	return &Command{
+		Node:  42,
+		Epoch: 1700000099,
+		Seq:   3,
+		Recs: []CmdRec{
+			{Op: CmdQuarantine, Runnable: CmdNodeTarget},
+			{Op: CmdRestart, Runnable: 4},
+			{Op: CmdResume, Runnable: CmdNodeTarget},
+			{Op: CmdSetHypothesis, Runnable: 2, Hyp: HypothesisParams{
+				AlivenessCycles: 10, MinHeartbeats: 1, ArrivalCycles: 5, MaxArrivals: 3,
+			}},
+		},
+	}
+}
+
+func mustEncodeCommand(t testing.TB, c *Command) []byte {
+	t.Helper()
+	buf, err := AppendCommand(nil, c)
+	if err != nil {
+		t.Fatalf("AppendCommand: %v", err)
+	}
+	return buf
+}
+
+func assertCommandsEqual(t *testing.T, want, got *Command) {
+	t.Helper()
+	if got.Node != want.Node || got.Epoch != want.Epoch || got.Seq != want.Seq {
+		t.Fatalf("header mismatch: got %d/%d/%d want %d/%d/%d",
+			got.Node, got.Epoch, got.Seq, want.Node, want.Epoch, want.Seq)
+	}
+	if len(got.Recs) != len(want.Recs) {
+		t.Fatalf("rec count %d, want %d", len(got.Recs), len(want.Recs))
+	}
+	for i := range want.Recs {
+		if got.Recs[i] != want.Recs[i] {
+			t.Fatalf("rec %d = %+v, want %+v", i, got.Recs[i], want.Recs[i])
+		}
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	in := sampleCommand()
+	buf := mustEncodeCommand(t, in)
+	var out Command
+	if err := DecodeCommand(buf, &out); err != nil {
+		t.Fatalf("DecodeCommand: %v", err)
+	}
+	assertCommandsEqual(t, in, &out)
+}
+
+func TestCommandRoundTripEmpty(t *testing.T) {
+	// A record-less command is legal on the wire (a pure sequence-number
+	// placeholder); the controller never sends one but the codec must
+	// not treat it specially.
+	in := &Command{Node: 1, Epoch: 1, Seq: 1}
+	buf := mustEncodeCommand(t, in)
+	if len(buf) != CommandHeaderSize {
+		t.Fatalf("empty command = %d bytes, want %d", len(buf), CommandHeaderSize)
+	}
+	var out Command
+	out.Recs = append(out.Recs, CmdRec{Op: CmdRestart}) // prove reuse truncates
+	if err := DecodeCommand(buf, &out); err != nil {
+		t.Fatalf("DecodeCommand: %v", err)
+	}
+	assertCommandsEqual(t, in, &out)
+}
+
+// TestCommandDecodeTruncated chops the encoded command at every length;
+// each prefix must fail cleanly.
+func TestCommandDecodeTruncated(t *testing.T) {
+	buf := mustEncodeCommand(t, sampleCommand())
+	var c Command
+	for cut := 0; cut < len(buf); cut++ {
+		if err := DecodeCommand(buf[:cut], &c); err == nil {
+			t.Fatalf("decode of %d-byte prefix (of %d) succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestCommandDecodeHeaderErrors(t *testing.T) {
+	base := mustEncodeCommand(t, sampleCommand())
+	mut := func(mutate func([]byte)) []byte {
+		b := append([]byte(nil), base...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"magic", mut(func(b []byte) { b[0] = 0 }), ErrMagic},
+		{"version", mut(func(b []byte) { b[2] = 2 }), ErrVersion},
+		// A heartbeat frame handed to the command decoder is a kind
+		// error, and vice versa (see TestDecodeHeaderErrors).
+		{"kind-heartbeat", mut(func(b []byte) { b[3] = KindHeartbeat }), ErrKind},
+		{"kind-unknown", mut(func(b []byte) { b[3] = 9 }), ErrKind},
+		{"zero-epoch", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[8:16], 0) }), ErrRange},
+		{"zero-seq", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[16:24], 0) }), ErrRange},
+		{"trailing", append(append([]byte(nil), base...), 0x00), ErrTrailing},
+		{"count-beyond-payload", mut(func(b []byte) { binary.LittleEndian.PutUint16(b[24:26], 0xFFFF) }), nil},
+		{"oversize", make([]byte, MaxFrameSize+1), ErrTooLarge},
+	}
+	var c Command
+	for _, tc := range cases {
+		err := DecodeCommand(tc.buf, &c)
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCommandDecodeRangeErrors(t *testing.T) {
+	header := func(nRecs int) []byte {
+		b := make([]byte, CommandHeaderSize)
+		binary.LittleEndian.PutUint16(b[0:2], Magic)
+		b[2] = Version
+		b[3] = KindCommand
+		binary.LittleEndian.PutUint32(b[4:8], 1)
+		binary.LittleEndian.PutUint64(b[8:16], 1)
+		binary.LittleEndian.PutUint64(b[16:24], 1)
+		binary.LittleEndian.PutUint16(b[24:26], uint16(nRecs))
+		return b
+	}
+	var c Command
+
+	// Opcode zero and beyond the defined range.
+	for _, op := range []uint64{0, cmdOpMax + 1} {
+		b := header(1)
+		b = binary.AppendUvarint(b, op)
+		b = binary.AppendUvarint(b, 1)
+		if err := DecodeCommand(b, &c); !errors.Is(err, ErrRange) {
+			t.Errorf("op %d: err = %v, want ErrRange", op, err)
+		}
+	}
+
+	// Runnable beyond the node-target sentinel.
+	b := header(1)
+	b = binary.AppendUvarint(b, uint64(CmdQuarantine))
+	b = binary.AppendUvarint(b, uint64(CmdNodeTarget)+1)
+	if err := DecodeCommand(b, &c); !errors.Is(err, ErrRange) {
+		t.Errorf("oversized runnable: err = %v, want ErrRange", err)
+	}
+
+	// Hypothesis parameter beyond uint32.
+	b = header(1)
+	b = binary.AppendUvarint(b, uint64(CmdSetHypothesis))
+	b = binary.AppendUvarint(b, 1)
+	b = binary.AppendUvarint(b, 1<<33)
+	b = binary.AppendUvarint(b, 1)
+	b = binary.AppendUvarint(b, 0)
+	b = binary.AppendUvarint(b, 0)
+	if err := DecodeCommand(b, &c); !errors.Is(err, ErrRange) {
+		t.Errorf("oversized hypothesis param: err = %v, want ErrRange", err)
+	}
+
+	// SetHypothesis with its parameters missing is truncated.
+	b = header(1)
+	b = binary.AppendUvarint(b, uint64(CmdSetHypothesis))
+	b = binary.AppendUvarint(b, 1)
+	if err := DecodeCommand(b, &c); !errors.Is(err, ErrTruncated) {
+		t.Errorf("hypothesis params missing: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestCommandEncodeValidation(t *testing.T) {
+	for i, cmd := range []*Command{
+		{Node: 1, Epoch: 0, Seq: 1},
+		{Node: 1, Epoch: 1, Seq: 0},
+		{Node: 1, Epoch: 1, Seq: 1, Recs: []CmdRec{{Op: 0, Runnable: 1}}},
+		{Node: 1, Epoch: 1, Seq: 1, Recs: []CmdRec{{Op: CmdOp(cmdOpMax + 1), Runnable: 1}}},
+		{Node: 1, Epoch: 1, Seq: 1, Recs: []CmdRec{{Op: CmdQuarantine, Runnable: CmdNodeTarget + 1}}},
+	} {
+		out, err := AppendCommand(nil, cmd)
+		if !errors.Is(err, ErrRange) {
+			t.Errorf("case %d: err = %v, want ErrRange", i, err)
+		}
+		if len(out) != 0 {
+			t.Errorf("case %d: AppendCommand returned %d bytes alongside error", i, len(out))
+		}
+	}
+}
+
+// TestCommandDecodeReuseZeroAlloc pins the reporter-side cost contract:
+// decoding into a retained Command allocates nothing, same as the
+// server's heartbeat decode.
+func TestCommandDecodeReuseZeroAlloc(t *testing.T) {
+	buf := mustEncodeCommand(t, sampleCommand())
+	var c Command
+	if err := DecodeCommand(buf, &c); err != nil { // warm the slice
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeCommand(buf, &c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeCommand allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzCommandRoundTrip mirrors FuzzWireRoundTrip for the command kind:
+// DecodeCommand never panics, and whatever it accepts re-encodes to the
+// same value.
+func FuzzCommandRoundTrip(f *testing.F) {
+	f.Add(mustEncodeCommand(f, sampleCommand()))
+	f.Add(mustEncodeCommand(f, &Command{Node: 1, Epoch: 1, Seq: 1}))
+	f.Add([]byte{})
+	f.Add(make([]byte, CommandHeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Command
+		if err := DecodeCommand(data, &c); err != nil {
+			return
+		}
+		out, err := AppendCommand(nil, &c)
+		if err != nil {
+			t.Fatalf("re-encode of decoded command failed: %v", err)
+		}
+		var c2 Command
+		if err := DecodeCommand(out, &c2); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		assertCommandsEqual(t, &c, &c2)
+	})
+}
+
+// FuzzCommandRandomFrames drives the generator side with pseudo-random
+// valid commands.
+func FuzzCommandRandomFrames(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, nRecs uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		in := &Command{
+			Node:  rng.Uint32(),
+			Epoch: rng.Uint64()>>1 + 1,
+			Seq:   rng.Uint64()>>1 + 1,
+		}
+		for i := 0; i < int(nRecs); i++ {
+			rec := CmdRec{
+				Op:       CmdOp(rng.Intn(int(cmdOpMax)) + 1),
+				Runnable: uint32(rng.Intn(int(CmdNodeTarget) + 1)),
+			}
+			if rec.Op == CmdSetHypothesis {
+				rec.Hyp = HypothesisParams{
+					AlivenessCycles: rng.Uint32(),
+					MinHeartbeats:   rng.Uint32(),
+					ArrivalCycles:   rng.Uint32(),
+					MaxArrivals:     rng.Uint32(),
+				}
+			}
+			in.Recs = append(in.Recs, rec)
+		}
+		buf, err := AppendCommand(nil, in)
+		if err != nil {
+			t.Fatalf("AppendCommand: %v", err)
+		}
+		var out Command
+		if err := DecodeCommand(buf, &out); err != nil {
+			t.Fatalf("DecodeCommand: %v", err)
+		}
+		assertCommandsEqual(t, in, &out)
+	})
+}
+
+// BenchmarkCommandDecode measures the reporter-side per-command decode
+// cost (retained Command, reused slice). The benchdiff CI gate holds
+// this to 0 allocs/op, same as the heartbeat decode.
+func BenchmarkCommandDecode(b *testing.B) {
+	buf := mustEncodeCommand(b, sampleCommand())
+	var c Command
+	if err := DecodeCommand(buf, &c); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeCommand(buf, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommandEncode measures AppendCommand into a reused buffer.
+func BenchmarkCommandEncode(b *testing.B) {
+	c := sampleCommand()
+	buf, err := AppendCommand(nil, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if buf, err = AppendCommand(buf, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

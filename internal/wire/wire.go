@@ -1,8 +1,12 @@
-// Package wire defines the batched heartbeat wire protocol of the
-// networked Software Watchdog: the compact binary frame a remote node
-// flushes to the ingestion server (internal/ingest) every client tick.
+// Package wire defines the binary wire protocol of the networked
+// Software Watchdog: the batched heartbeat frames a remote node flushes
+// to the ingestion server (internal/ingest) every client tick, and —
+// since version 3 — the command frames the server sends back on the
+// same UDP flow to treat faults (internal/treat): quarantine, resume,
+// restart-runnable and set-hypothesis.
 //
-// A frame coalesces everything a node observed since its previous flush:
+// A heartbeat frame coalesces everything a node observed since its
+// previous flush:
 //
 //   - per-runnable heartbeat *counts* (not individual beats — a runnable
 //     that beat 47 times since the last frame travels as one varint pair),
@@ -18,6 +22,11 @@
 //     instead of discarding the new session's frames;
 //   - a monotonic per-session sequence number, so the server can detect
 //     lost, duplicated and re-ordered datagrams;
+//   - the command acknowledgement pair (CmdAckEpoch, CmdAckSeq): the
+//     highest command the reporter has applied, in the server's command
+//     epoch. Zeros mean "no command applied yet". Acks piggyback on the
+//     heartbeat cadence — the command channel needs no extra datagrams
+//     in the steady state;
 //   - the node's declared flush interval. The *registration-time*
 //     interval is authoritative for the link-runnable aliveness
 //     hypothesis (internal/ingest derives it when the node is
@@ -25,30 +34,38 @@
 //     every frame and mismatches are counted as a diagnostic
 //     (Stats.IntervalMismatch), never silently ignored.
 //
-// One UDP datagram carries exactly one frame. The layout is fixed-header
-// + varint payload, all multi-byte header fields little-endian:
+// One UDP datagram carries exactly one frame. Byte 3 of every frame is
+// the frame kind: KindHeartbeat (reporter → server) or KindCommand
+// (server → reporter). The layout is fixed-header + varint payload, all
+// multi-byte header fields little-endian.
+//
+// Heartbeat frame (KindHeartbeat):
 //
 //	offset size field
 //	0      2    magic 0x5357 ("SW")
-//	2      1    version (currently 2)
-//	3      1    flags (must be zero in version 2)
+//	2      1    version (currently 3)
+//	3      1    kind (0 = heartbeat)
 //	4      4    node ID
 //	8      8    session epoch (> 0; larger epoch = newer session)
 //	16     8    sequence number (first frame of a session is 1)
-//	24     4    declared flush interval in milliseconds (> 0)
-//	28     2    beat record count
-//	30     2    flow record count
-//	32     ...  beat records: { runnable uvarint, beats uvarint } ...
+//	24     8    command-ack epoch (0 = no command applied yet)
+//	32     8    command-ack sequence number
+//	40     4    declared flush interval in milliseconds (> 0)
+//	44     2    beat record count
+//	46     2    flow record count
+//	48     ...  beat records: { runnable uvarint, beats uvarint } ...
 //	     	...  flow records: { runnable uvarint } ...
 //
-// Version 2 added the session epoch; version-1 frames (24-byte header,
-// no epoch) are rejected with ErrVersion.
+// The command frame layout lives in command.go. Version 3 added the
+// frame kind, the command channel and the heartbeat ack pair; version-2
+// frames (32-byte header, no kind or acks) and version-1 frames are
+// rejected with ErrVersion.
 //
-// Decoding is strict (unknown magic/version/flags, truncated payloads,
+// Decoding is strict (unknown magic/version/kind, truncated payloads,
 // out-of-range values and trailing bytes are all errors) and allocation
-// free in the steady state: DecodeFrame reuses the destination Frame's
-// slices, so a per-source decode loop settles into zero allocations per
-// frame.
+// free in the steady state: DecodeFrame and DecodeCommand reuse the
+// destination's slices, so a per-source decode loop settles into zero
+// allocations per frame.
 package wire
 
 import (
@@ -59,18 +76,23 @@ import (
 
 // Protocol constants.
 const (
-	// Magic identifies a Software Watchdog heartbeat frame ("SW").
+	// Magic identifies a Software Watchdog wire frame ("SW").
 	Magic uint16 = 0x5357
 	// Version is the wire version this package encodes and decodes.
-	// Version 2 added the session epoch header field.
-	Version uint8 = 2
-	// HeaderSize is the fixed frame header length in bytes.
-	HeaderSize = 32
+	// Version 3 added the frame kind, the server→reporter command
+	// channel and the heartbeat command-ack pair.
+	Version uint8 = 3
+	// KindHeartbeat marks a reporter→server batched heartbeat frame.
+	KindHeartbeat uint8 = 0
+	// KindCommand marks a server→reporter treatment command frame.
+	KindCommand uint8 = 1
+	// HeaderSize is the fixed heartbeat frame header length in bytes.
+	HeaderSize = 48
 	// MaxFrameSize is the largest encoded frame this package produces or
 	// accepts — comfortably under the 65507-byte UDP payload ceiling.
 	MaxFrameSize = 60000
-	// MaxRunnableIndex bounds the per-node runnable index of beat and
-	// flow records.
+	// MaxRunnableIndex bounds the per-node runnable index of beat, flow
+	// and command records.
 	MaxRunnableIndex = 1 << 20
 	// MaxBeatsPerRecord bounds the coalesced beat count of one record,
 	// mirroring core.MaxBatchBeats so a decoded record always replays in
@@ -81,12 +103,14 @@ const (
 // Decode/encode errors. Match with errors.Is; returned errors may wrap
 // these with offset context.
 var (
-	// ErrMagic marks a datagram that is not a heartbeat frame.
+	// ErrMagic marks a datagram that is not a Software Watchdog frame.
 	ErrMagic = errors.New("wire: bad magic")
 	// ErrVersion marks an unsupported wire version.
 	ErrVersion = errors.New("wire: unsupported version")
-	// ErrFlags marks non-zero reserved flags.
-	ErrFlags = errors.New("wire: reserved flags set")
+	// ErrKind marks a frame kind the decoder was not asked to accept:
+	// an unknown kind byte, a command frame handed to DecodeFrame or a
+	// heartbeat frame handed to DecodeCommand.
+	ErrKind = errors.New("wire: unexpected frame kind")
 	// ErrTruncated marks a frame shorter than its header and counts
 	// promise.
 	ErrTruncated = errors.New("wire: truncated frame")
@@ -106,8 +130,8 @@ type BeatRec struct {
 	Beats    uint32
 }
 
-// Frame is the decoded form of one wire frame. Beats and Flow are reused
-// across DecodeFrame calls on the same Frame value.
+// Frame is the decoded form of one heartbeat frame. Beats and Flow are
+// reused across DecodeFrame calls on the same Frame value.
 type Frame struct {
 	// Node is the reporting node's ID, assigned at registration.
 	Node uint32
@@ -121,6 +145,15 @@ type Frame struct {
 	// Seq is the session's monotonic frame sequence number, starting
 	// at 1.
 	Seq uint64
+	// CmdAckEpoch and CmdAckSeq acknowledge the highest command the
+	// reporter has applied: the server's command epoch and the per-node
+	// command sequence number within it. Both zero means no command has
+	// been applied yet; CmdAckSeq must be zero when CmdAckEpoch is zero.
+	// The server ignores acks whose epoch is not its current command
+	// epoch, so a reporter acking a superseded server incarnation can
+	// never confirm commands it did not receive.
+	CmdAckEpoch uint64
+	CmdAckSeq   uint64
 	// IntervalMs is the node's declared flush cadence in milliseconds.
 	IntervalMs uint32
 	// Beats are the coalesced per-runnable heartbeat counts.
@@ -140,6 +173,9 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if f.IntervalMs == 0 {
 		return dst, fmt.Errorf("%w: interval must be positive", ErrRange)
 	}
+	if f.CmdAckEpoch == 0 && f.CmdAckSeq != 0 {
+		return dst, fmt.Errorf("%w: command ack seq without epoch", ErrRange)
+	}
 	if len(f.Beats) > 0xFFFF || len(f.Flow) > 0xFFFF {
 		return dst, fmt.Errorf("%w: %d beat / %d flow records", ErrRange, len(f.Beats), len(f.Flow))
 	}
@@ -147,13 +183,15 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint16(hdr[0:2], Magic)
 	hdr[2] = Version
-	hdr[3] = 0
+	hdr[3] = KindHeartbeat
 	binary.LittleEndian.PutUint32(hdr[4:8], f.Node)
 	binary.LittleEndian.PutUint64(hdr[8:16], f.Epoch)
 	binary.LittleEndian.PutUint64(hdr[16:24], f.Seq)
-	binary.LittleEndian.PutUint32(hdr[24:28], f.IntervalMs)
-	binary.LittleEndian.PutUint16(hdr[28:30], uint16(len(f.Beats)))
-	binary.LittleEndian.PutUint16(hdr[30:32], uint16(len(f.Flow)))
+	binary.LittleEndian.PutUint64(hdr[24:32], f.CmdAckEpoch)
+	binary.LittleEndian.PutUint64(hdr[32:40], f.CmdAckSeq)
+	binary.LittleEndian.PutUint32(hdr[40:44], f.IntervalMs)
+	binary.LittleEndian.PutUint16(hdr[44:46], uint16(len(f.Beats)))
+	binary.LittleEndian.PutUint16(hdr[46:48], uint16(len(f.Flow)))
 	dst = append(dst, hdr[:]...)
 	for i := range f.Beats {
 		r := &f.Beats[i]
@@ -181,9 +219,10 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 // PeekNode extracts the node ID from an encoded frame after validating
 // only the fixed header prefix — the cheap dispatch step the ingestion
 // reader uses to route a datagram to its per-source shard worker before
-// the worker runs the full decode.
+// the worker runs the full decode. It accepts both frame kinds; the
+// full decoders enforce the kind.
 func PeekNode(buf []byte) (uint32, error) {
-	if len(buf) < HeaderSize {
+	if len(buf) < CommandHeaderSize {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
 	}
 	if binary.LittleEndian.Uint16(buf[0:2]) != Magic {
@@ -195,10 +234,12 @@ func PeekNode(buf []byte) (uint32, error) {
 	return binary.LittleEndian.Uint32(buf[4:8]), nil
 }
 
-// DecodeFrame decodes one frame from buf into f, reusing f's Beats and
-// Flow slices. On error f's contents are unspecified but the call never
-// panics, whatever buf holds; a per-source decode loop with a retained
-// Frame performs zero allocations per frame in the steady state.
+// DecodeFrame decodes one heartbeat frame from buf into f, reusing f's
+// Beats and Flow slices. On error f's contents are unspecified but the
+// call never panics, whatever buf holds; a per-source decode loop with a
+// retained Frame performs zero allocations per frame in the steady
+// state. A command frame is rejected with ErrKind — the ingestion
+// server never accepts its own downstream frame kind.
 func DecodeFrame(buf []byte, f *Frame) error {
 	if len(buf) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
@@ -212,24 +253,29 @@ func DecodeFrame(buf []byte, f *Frame) error {
 	if buf[2] != Version {
 		return fmt.Errorf("%w: %d", ErrVersion, buf[2])
 	}
-	if buf[3] != 0 {
-		return fmt.Errorf("%w: 0x%02x", ErrFlags, buf[3])
+	if buf[3] != KindHeartbeat {
+		return fmt.Errorf("%w: 0x%02x", ErrKind, buf[3])
 	}
 	f.Node = binary.LittleEndian.Uint32(buf[4:8])
 	f.Epoch = binary.LittleEndian.Uint64(buf[8:16])
 	f.Seq = binary.LittleEndian.Uint64(buf[16:24])
-	f.IntervalMs = binary.LittleEndian.Uint32(buf[24:28])
+	f.CmdAckEpoch = binary.LittleEndian.Uint64(buf[24:32])
+	f.CmdAckSeq = binary.LittleEndian.Uint64(buf[32:40])
+	f.IntervalMs = binary.LittleEndian.Uint32(buf[40:44])
 	if f.Epoch == 0 {
 		return fmt.Errorf("%w: zero session epoch", ErrRange)
 	}
 	if f.Seq == 0 {
 		return fmt.Errorf("%w: zero sequence number", ErrRange)
 	}
+	if f.CmdAckEpoch == 0 && f.CmdAckSeq != 0 {
+		return fmt.Errorf("%w: command ack seq without epoch", ErrRange)
+	}
 	if f.IntervalMs == 0 {
 		return fmt.Errorf("%w: zero interval", ErrRange)
 	}
-	nBeats := int(binary.LittleEndian.Uint16(buf[28:30]))
-	nFlow := int(binary.LittleEndian.Uint16(buf[30:32]))
+	nBeats := int(binary.LittleEndian.Uint16(buf[44:46]))
+	nFlow := int(binary.LittleEndian.Uint16(buf[46:48]))
 	f.Beats = f.Beats[:0]
 	f.Flow = f.Flow[:0]
 	p := buf[HeaderSize:]

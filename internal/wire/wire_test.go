@@ -8,9 +8,14 @@ import (
 )
 
 // sampleFrame builds a representative frame: a 10-runnable node with a
-// few flow events, the shape one swwdclient flush produces.
+// few flow events and a command ack, the shape one swwdclient flush
+// produces.
 func sampleFrame() *Frame {
-	f := &Frame{Node: 42, Epoch: 1700000000, Seq: 7, IntervalMs: 100}
+	f := &Frame{
+		Node: 42, Epoch: 1700000000, Seq: 7,
+		CmdAckEpoch: 1700000099, CmdAckSeq: 3,
+		IntervalMs: 100,
+	}
 	for i := uint32(0); i < 10; i++ {
 		f.Beats = append(f.Beats, BeatRec{Runnable: i, Beats: 3 + i})
 	}
@@ -38,8 +43,8 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestRoundTripEmptySections(t *testing.T) {
-	// A frame with no beats and no flow is the link-only heartbeat an
-	// idle node still flushes every interval.
+	// A frame with no beats, no flow and no ack yet is the link-only
+	// heartbeat an idle node still flushes every interval.
 	in := &Frame{Node: 1, Epoch: 1, Seq: 99, IntervalMs: 250}
 	buf := mustEncode(t, in)
 	if len(buf) != HeaderSize {
@@ -61,13 +66,23 @@ func TestPeekNode(t *testing.T) {
 	if err != nil || node != 42 {
 		t.Fatalf("PeekNode = %d, %v; want 42, nil", node, err)
 	}
-	if _, err := PeekNode(buf[:HeaderSize-1]); !errors.Is(err, ErrTruncated) {
+	if _, err := PeekNode(buf[:CommandHeaderSize-1]); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("short PeekNode err = %v, want ErrTruncated", err)
 	}
 	bad := append([]byte(nil), buf...)
 	bad[0] ^= 0xFF
 	if _, err := PeekNode(bad); !errors.Is(err, ErrMagic) {
 		t.Fatalf("bad-magic PeekNode err = %v, want ErrMagic", err)
+	}
+	// PeekNode routes on the shared header prefix, so it accepts command
+	// frames too — the full decoders enforce the kind.
+	cmd, err := AppendCommand(nil, &Command{Node: 7, Epoch: 1, Seq: 1})
+	if err != nil {
+		t.Fatalf("AppendCommand: %v", err)
+	}
+	node, err = PeekNode(cmd)
+	if err != nil || node != 7 {
+		t.Fatalf("PeekNode(command) = %d, %v; want 7, nil", node, err)
 	}
 }
 
@@ -97,17 +112,23 @@ func TestDecodeHeaderErrors(t *testing.T) {
 	}{
 		{"magic", mut(func(b []byte) { b[0] = 0 }), ErrMagic},
 		{"version", mut(func(b []byte) { b[2] = 9 }), ErrVersion},
-		// A version-1 frame (pre-epoch layout) must be rejected cleanly.
+		// Version-1 and version-2 frames (pre-kind layouts) must be
+		// rejected cleanly.
 		{"version-1", mut(func(b []byte) { b[2] = 1 }), ErrVersion},
-		{"flags", mut(func(b []byte) { b[3] = 1 }), ErrFlags},
+		{"version-2", mut(func(b []byte) { b[2] = 2 }), ErrVersion},
+		// A command frame is not a heartbeat; an unknown kind is neither.
+		{"kind-command", mut(func(b []byte) { b[3] = KindCommand }), ErrKind},
+		{"kind-unknown", mut(func(b []byte) { b[3] = 7 }), ErrKind},
 		{"zero-epoch", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[8:16], 0) }), ErrRange},
 		{"zero-seq", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[16:24], 0) }), ErrRange},
-		{"zero-interval", mut(func(b []byte) { binary.LittleEndian.PutUint32(b[24:28], 0) }), ErrRange},
+		// An ack sequence number without an ack epoch is inconsistent.
+		{"ack-seq-no-epoch", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[24:32], 0) }), ErrRange},
+		{"zero-interval", mut(func(b []byte) { binary.LittleEndian.PutUint32(b[40:44], 0) }), ErrRange},
 		{"trailing", append(append([]byte(nil), base...), 0x00), ErrTrailing},
 		// An inflated count walks the parser off the real records into
 		// (or past) the remaining payload; any clean protocol error is
 		// acceptable (nil want), panicking or succeeding is not.
-		{"count-beyond-payload", mut(func(b []byte) { binary.LittleEndian.PutUint16(b[28:30], 0xFFFF) }), nil},
+		{"count-beyond-payload", mut(func(b []byte) { binary.LittleEndian.PutUint16(b[44:46], 0xFFFF) }), nil},
 		{"oversize", make([]byte, MaxFrameSize+1), ErrTooLarge},
 	}
 	var f Frame
@@ -130,12 +151,13 @@ func TestDecodeRangeErrors(t *testing.T) {
 		b := make([]byte, HeaderSize)
 		binary.LittleEndian.PutUint16(b[0:2], Magic)
 		b[2] = Version
+		b[3] = KindHeartbeat
 		binary.LittleEndian.PutUint32(b[4:8], 1)
 		binary.LittleEndian.PutUint64(b[8:16], 1)  // epoch
 		binary.LittleEndian.PutUint64(b[16:24], 1) // seq
-		binary.LittleEndian.PutUint32(b[24:28], 100)
-		binary.LittleEndian.PutUint16(b[28:30], uint16(nBeats))
-		binary.LittleEndian.PutUint16(b[30:32], uint16(nFlow))
+		binary.LittleEndian.PutUint32(b[40:44], 100)
+		binary.LittleEndian.PutUint16(b[44:46], uint16(nBeats))
+		binary.LittleEndian.PutUint16(b[46:48], uint16(nFlow))
 		return b
 	}
 	var f Frame
@@ -184,6 +206,7 @@ func TestEncodeValidation(t *testing.T) {
 	for _, f := range []*Frame{
 		{Node: 1, Epoch: 0, Seq: 1, IntervalMs: 100},
 		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 0},
+		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, CmdAckSeq: 5},
 		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, Beats: []BeatRec{{Runnable: MaxRunnableIndex + 1, Beats: 1}}},
 		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, Beats: []BeatRec{{Runnable: 1, Beats: 0}}},
 		{Node: 1, Epoch: 1, Seq: 1, IntervalMs: 100, Flow: []uint32{MaxRunnableIndex + 1}},
@@ -259,6 +282,10 @@ func assertFramesEqual(t *testing.T, want, got *Frame) {
 		t.Fatalf("header mismatch: got %d/%d/%d/%d want %d/%d/%d/%d",
 			got.Node, got.Epoch, got.Seq, got.IntervalMs, want.Node, want.Epoch, want.Seq, want.IntervalMs)
 	}
+	if got.CmdAckEpoch != want.CmdAckEpoch || got.CmdAckSeq != want.CmdAckSeq {
+		t.Fatalf("ack mismatch: got %d/%d want %d/%d",
+			got.CmdAckEpoch, got.CmdAckSeq, want.CmdAckEpoch, want.CmdAckSeq)
+	}
 	if len(got.Beats) != len(want.Beats) {
 		t.Fatalf("beat count %d, want %d", len(got.Beats), len(want.Beats))
 	}
@@ -315,6 +342,10 @@ func FuzzWireRandomFrames(f *testing.F) {
 			Epoch:      rng.Uint64()>>1 + 1,
 			Seq:        rng.Uint64()>>1 + 1,
 			IntervalMs: rng.Uint32()>>1 + 1,
+		}
+		if rng.Intn(2) == 1 {
+			in.CmdAckEpoch = rng.Uint64()>>1 + 1
+			in.CmdAckSeq = rng.Uint64() >> 1
 		}
 		for i := 0; i < int(nBeats); i++ {
 			in.Beats = append(in.Beats, BeatRec{

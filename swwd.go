@@ -29,6 +29,7 @@ import (
 	"swwd/internal/core"
 	"swwd/internal/runnable"
 	"swwd/internal/sim"
+	"swwd/internal/treat"
 )
 
 // Re-exported identifier types of the mapping model.
@@ -99,6 +100,11 @@ type (
 	Clock = sim.Clock
 	// Calibrator derives fault hypotheses from a healthy observation run.
 	Calibrator = core.Calibrator
+	// TreatmentEdge declares one dependency edge of the fault-treatment
+	// graph: Node depends on DependsOn.
+	TreatmentEdge = treat.Edge
+	// TreatmentPolicy tunes the fault-treatment policy engine.
+	TreatmentPolicy = treat.Policy
 )
 
 // Re-exported enumeration values.

@@ -23,6 +23,16 @@
 // client folds the unsent counts back into the accumulators (beats are
 // delayed, never silently dropped by the client itself) and re-dials
 // with capped exponential backoff.
+//
+// The channel is bidirectional since wire protocol v3: the server's
+// fault-treatment control plane sends command frames (quarantine,
+// resume, restart, set-hypothesis) back over the same socket. A
+// background reader decodes them, enforces the epoch+seq discipline
+// (commands of a superseded server incarnation are dropped; within an
+// incarnation each per-node sequence number is applied at most once)
+// and hands each record to the OnCommand callback. The highest applied
+// (epoch, seq) pair rides on every outgoing heartbeat frame as the
+// acknowledgement the server's delivery accounting keys on.
 package swwdclient
 
 import (
@@ -74,6 +84,11 @@ type Config struct {
 	// failures. Zeros mean the defaults.
 	MinBackoff time.Duration
 	MaxBackoff time.Duration
+	// OnCommand receives each treatment command record the server
+	// addresses to this node, in order, on the background reader
+	// goroutine. Nil still acknowledges commands (the ack is protocol
+	// bookkeeping, not an application concern) but applies nothing.
+	OnCommand func(Command)
 }
 
 // Stats is a point-in-time copy of the client's counters.
@@ -94,6 +109,15 @@ type Stats struct {
 	// EncodeErrors counts frames the encoder refused (config error:
 	// runnable table or flow backlog beyond wire limits).
 	EncodeErrors uint64
+	// CommandsApplied counts command records delivered in order to this
+	// session (and hence acknowledged on subsequent frames).
+	CommandsApplied uint64
+	// CommandsDropped counts command frames discarded by the epoch+seq
+	// discipline: stale server incarnation, duplicate or reordered
+	// sequence number, or a frame addressed to another node.
+	CommandsDropped uint64
+	// CommandErrors counts datagrams that failed command decoding.
+	CommandErrors uint64
 }
 
 // Client coalesces heartbeats for one node and flushes them on a ticker.
@@ -119,22 +143,46 @@ type Client struct {
 	backoff  time.Duration
 	nextDial time.Time
 
+	// ackMu guards the command epoch+seq pair so the reader's updates
+	// and the flusher's stamping never tear: a frame either carries the
+	// pair from before a command or from after it, never a mix.
+	ackMu    sync.Mutex
+	cmdEpoch uint64 // highest server command epoch seen
+	cmdSeq   uint64 // highest applied seq within cmdEpoch
+
 	framesSent  atomic.Uint64
 	sendErrs    atomic.Uint64
 	reconnects  atomic.Uint64
 	flowDropped atomic.Uint64
 	encodeErrs  atomic.Uint64
+	cmdApplied  atomic.Uint64
+	cmdDropped  atomic.Uint64
+	cmdErrs     atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+	readDone chan struct{}
 }
 
 // Dial validates the configuration, opens the (connected) UDP socket and
-// starts the background flusher. A node whose server is temporarily
-// unreachable still constructs successfully — UDP has no handshake — and
-// simply keeps coalescing until frames get through.
-func Dial(cfg Config) (*Client, error) {
+// starts the background flusher and command reader. A node whose server
+// is temporarily unreachable still constructs successfully — UDP has no
+// handshake — and simply keeps coalescing until frames get through.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cfg := Config{Addr: addr}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Addr = addr // the address is Dial's contract, not an option
+	return DialConfig(cfg)
+}
+
+// DialConfig is the Config-struct constructor kept for existing callers;
+// it behaves exactly like Dial with the equivalent options.
+//
+// Deprecated: use Dial(addr, ...Option).
+func DialConfig(cfg Config) (*Client, error) {
 	if cfg.Addr == "" {
 		return nil, errors.New("swwdclient: Config.Addr is required")
 	}
@@ -169,15 +217,17 @@ func Dial(cfg Config) (*Client, error) {
 		epoch = 1
 	}
 	c := &Client{
-		cfg:     cfg,
-		counts:  make([]atomic.Uint32, cfg.Runnables),
-		flowCap: cfg.MaxFlowBacklog,
-		epoch:   epoch,
-		conn:    conn,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		counts:   make([]atomic.Uint32, cfg.Runnables),
+		flowCap:  cfg.MaxFlowBacklog,
+		epoch:    epoch,
+		conn:     conn,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		readDone: make(chan struct{}),
 	}
 	go c.run()
+	go c.readLoop()
 	return c, nil
 }
 
@@ -230,24 +280,28 @@ func (c *Client) Flush() {
 	c.flushMu.Unlock()
 }
 
-// Close stops the flusher, sends a final frame and closes the socket.
-// A second Close reports ErrClosed without touching the network.
+// Close stops the flusher, sends a final frame, closes the socket (which
+// also unblocks the command reader) and waits for both goroutines. A
+// second Close reports ErrClosed without touching the network.
 func (c *Client) Close() error {
 	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
 	c.flushMu.Lock()
-	defer c.flushMu.Unlock()
 	if c.closed {
+		c.flushMu.Unlock()
+		<-c.readDone
 		return ErrClosed
 	}
 	c.flushLocked()
 	c.closed = true
+	var err error
 	if c.conn != nil {
-		err := c.conn.Close()
+		err = c.conn.Close()
 		c.conn = nil
-		return err
 	}
-	return nil
+	c.flushMu.Unlock()
+	<-c.readDone
+	return err
 }
 
 // Stats returns a copy of the client's counters.
@@ -256,12 +310,15 @@ func (c *Client) Stats() Stats {
 	seq := c.seq
 	c.flushMu.Unlock()
 	return Stats{
-		FramesSent:   c.framesSent.Load(),
-		Seq:          seq,
-		SendErrors:   c.sendErrs.Load(),
-		Reconnects:   c.reconnects.Load(),
-		FlowDropped:  c.flowDropped.Load(),
-		EncodeErrors: c.encodeErrs.Load(),
+		FramesSent:      c.framesSent.Load(),
+		Seq:             seq,
+		SendErrors:      c.sendErrs.Load(),
+		Reconnects:      c.reconnects.Load(),
+		FlowDropped:     c.flowDropped.Load(),
+		EncodeErrors:    c.encodeErrs.Load(),
+		CommandsApplied: c.cmdApplied.Load(),
+		CommandsDropped: c.cmdDropped.Load(),
+		CommandErrors:   c.cmdErrs.Load(),
 	}
 }
 
@@ -293,6 +350,13 @@ func (c *Client) flushLocked() {
 	c.frame.Node = c.cfg.Node
 	c.frame.Epoch = c.epoch
 	c.frame.Seq = c.seq + 1
+	// Acknowledge the newest applied command. The pair is read under
+	// ackMu so it is always internally consistent (a non-zero seq never
+	// rides with a zero or older epoch).
+	c.ackMu.Lock()
+	c.frame.CmdAckEpoch = c.cmdEpoch
+	c.frame.CmdAckSeq = c.cmdSeq
+	c.ackMu.Unlock()
 	c.frame.IntervalMs = uint32(c.cfg.Interval / time.Millisecond)
 	if c.frame.IntervalMs == 0 {
 		c.frame.IntervalMs = 1

@@ -22,13 +22,10 @@ func loopback(t *testing.T) *net.UDPConn {
 
 // dialQuiet connects a client whose ticker never fires inside a test, so
 // frames leave only on manual Flush.
-func dialQuiet(t *testing.T, addr string, runnables int, opts ...func(*Config)) *Client {
+func dialQuiet(t *testing.T, addr string, runnables int, opts ...Option) *Client {
 	t.Helper()
-	cfg := Config{Addr: addr, Node: 7, Runnables: runnables, Interval: time.Hour}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	c, err := Dial(cfg)
+	all := append([]Option{WithNode(7), WithRunnables(runnables), WithInterval(time.Hour)}, opts...)
+	c, err := Dial(addr, all...)
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -105,7 +102,7 @@ func TestClientIdleFlushSendsEmptyFrame(t *testing.T) {
 
 func TestClientFlowBacklogCap(t *testing.T) {
 	sink := loopback(t)
-	c := dialQuiet(t, sink.LocalAddr().String(), 2, func(cfg *Config) { cfg.MaxFlowBacklog = 4 })
+	c := dialQuiet(t, sink.LocalAddr().String(), 2, WithMaxFlowBacklog(4))
 	for i := 0; i < 6; i++ {
 		c.FlowEvent(i % 2)
 	}
@@ -166,8 +163,8 @@ func TestClientFoldsBackOnSendErrorAndReconnects(t *testing.T) {
 
 func TestClientTickerFlushes(t *testing.T) {
 	sink := loopback(t)
-	cfg := Config{Addr: sink.LocalAddr().String(), Node: 1, Runnables: 1, Interval: 5 * time.Millisecond}
-	c, err := Dial(cfg)
+	c, err := Dial(sink.LocalAddr().String(),
+		WithNode(1), WithRunnables(1), WithInterval(5*time.Millisecond))
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -269,8 +266,7 @@ func TestClientClampsOversizedBeatCount(t *testing.T) {
 func TestClientCountsFlowDroppedOnEncodeError(t *testing.T) {
 	sink := loopback(t)
 	const overflow = 0x10000 // one past the wire's 16-bit flow record count
-	c := dialQuiet(t, sink.LocalAddr().String(), 2,
-		func(cfg *Config) { cfg.MaxFlowBacklog = overflow })
+	c := dialQuiet(t, sink.LocalAddr().String(), 2, WithMaxFlowBacklog(overflow))
 	c.Beat(0)
 	for i := 0; i < overflow; i++ {
 		c.FlowEvent(1)
@@ -296,13 +292,17 @@ func TestClientCountsFlowDroppedOnEncodeError(t *testing.T) {
 }
 
 func TestDialValidation(t *testing.T) {
-	if _, err := Dial(Config{Runnables: 1}); err == nil {
+	if _, err := Dial("", WithRunnables(1)); err == nil {
 		t.Fatal("Dial accepted empty Addr")
 	}
-	if _, err := Dial(Config{Addr: "localhost:1", Runnables: 0}); err == nil {
+	if _, err := Dial("localhost:1"); err == nil {
 		t.Fatal("Dial accepted zero Runnables")
 	}
-	if _, err := Dial(Config{Addr: "localhost:1", Runnables: MaxRunnables + 1}); err == nil {
+	if _, err := Dial("localhost:1", WithRunnables(MaxRunnables+1)); err == nil {
 		t.Fatal("Dial accepted oversized Runnables")
+	}
+	// The deprecated Config path keeps working.
+	if _, err := DialConfig(Config{Runnables: 1}); err == nil {
+		t.Fatal("DialConfig accepted empty Addr")
 	}
 }

@@ -1,0 +1,170 @@
+package swwdclient
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"swwd/internal/wire"
+)
+
+// commandHarness wires a dialQuiet client to a loopback "server" and
+// records every OnCommand delivery.
+type commandHarness struct {
+	sink   *net.UDPConn
+	client *Client
+	addr   *net.UDPAddr // the client's socket, learned from its first frame
+
+	mu   sync.Mutex
+	cmds []Command
+}
+
+func newCommandHarness(t *testing.T) *commandHarness {
+	t.Helper()
+	h := &commandHarness{sink: loopback(t)}
+	h.client = dialQuiet(t, h.sink.LocalAddr().String(), 2, WithOnCommand(func(cmd Command) {
+		h.mu.Lock()
+		h.cmds = append(h.cmds, cmd)
+		h.mu.Unlock()
+	}))
+	// One frame teaches the harness the client's source address, exactly
+	// how the real server learns where to send commands.
+	h.client.Flush()
+	_ = h.sink.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, wire.MaxFrameSize)
+	_, addr, err := h.sink.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("learning client address: %v", err)
+	}
+	h.addr = addr
+	return h
+}
+
+func (h *commandHarness) send(t *testing.T, cmd *wire.Command) {
+	t.Helper()
+	buf, err := wire.AppendCommand(nil, cmd)
+	if err != nil {
+		t.Fatalf("AppendCommand: %v", err)
+	}
+	if _, err := h.sink.WriteToUDP(buf, h.addr); err != nil {
+		t.Fatalf("WriteToUDP: %v", err)
+	}
+}
+
+func (h *commandHarness) snapshot() []Command {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Command(nil), h.cmds...)
+}
+
+// waitStats polls the client's stats until cond holds.
+func waitStats(t *testing.T, c *Client, what string, cond func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := c.Stats(); cond(st) {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; stats = %+v", what, c.Stats())
+	return Stats{}
+}
+
+func TestClientReceivesAndAcksCommands(t *testing.T) {
+	h := newCommandHarness(t)
+	h.send(t, &wire.Command{Node: 7, Epoch: 50, Seq: 1, Recs: []wire.CmdRec{
+		{Op: wire.CmdQuarantine, Runnable: wire.CmdNodeTarget},
+	}})
+	waitStats(t, h.client, "command applied", func(st Stats) bool { return st.CommandsApplied == 1 })
+
+	cmds := h.snapshot()
+	if len(cmds) != 1 || cmds[0].Op != OpQuarantine || cmds[0].Runnable != NodeTarget {
+		t.Fatalf("delivered commands = %+v, want one node-target quarantine", cmds)
+	}
+
+	// The next heartbeat frame acknowledges the applied pair.
+	h.client.Flush()
+	f := recvFrame(t, h.sink)
+	if f.CmdAckEpoch != 50 || f.CmdAckSeq != 1 {
+		t.Fatalf("ack pair = %d/%d, want 50/1", f.CmdAckEpoch, f.CmdAckSeq)
+	}
+}
+
+func TestClientDropsDuplicateAndStaleCommands(t *testing.T) {
+	h := newCommandHarness(t)
+	h.send(t, &wire.Command{Node: 7, Epoch: 50, Seq: 2, Recs: []wire.CmdRec{
+		{Op: wire.CmdResume, Runnable: 1},
+	}})
+	waitStats(t, h.client, "first command applied", func(st Stats) bool { return st.CommandsApplied == 1 })
+
+	// Replayed seq within the epoch: dropped.
+	h.send(t, &wire.Command{Node: 7, Epoch: 50, Seq: 2, Recs: []wire.CmdRec{
+		{Op: wire.CmdResume, Runnable: 1},
+	}})
+	// Older server incarnation: dropped.
+	h.send(t, &wire.Command{Node: 7, Epoch: 49, Seq: 9, Recs: []wire.CmdRec{
+		{Op: wire.CmdRestart, Runnable: 0},
+	}})
+	// Wrong node: dropped.
+	h.send(t, &wire.Command{Node: 8, Epoch: 50, Seq: 3, Recs: []wire.CmdRec{
+		{Op: wire.CmdRestart, Runnable: 0},
+	}})
+	st := waitStats(t, h.client, "three drops", func(st Stats) bool { return st.CommandsDropped == 3 })
+	if st.CommandsApplied != 1 {
+		t.Fatalf("CommandsApplied = %d after drops, want 1", st.CommandsApplied)
+	}
+	if got := h.snapshot(); len(got) != 1 {
+		t.Fatalf("callback saw %d commands, want 1", len(got))
+	}
+}
+
+// TestClientAdoptsNewServerEpoch: a restarted server starts a fresh
+// epoch with seq 1; the client must reset its sequence tracking instead
+// of treating the small seq as a replay.
+func TestClientAdoptsNewServerEpoch(t *testing.T) {
+	h := newCommandHarness(t)
+	h.send(t, &wire.Command{Node: 7, Epoch: 50, Seq: 5, Recs: []wire.CmdRec{
+		{Op: wire.CmdQuarantine, Runnable: wire.CmdNodeTarget},
+	}})
+	waitStats(t, h.client, "old-epoch command", func(st Stats) bool { return st.CommandsApplied == 1 })
+
+	h.send(t, &wire.Command{Node: 7, Epoch: 51, Seq: 1, Recs: []wire.CmdRec{
+		{Op: wire.CmdResume, Runnable: wire.CmdNodeTarget},
+	}})
+	waitStats(t, h.client, "new-epoch command", func(st Stats) bool { return st.CommandsApplied == 2 })
+
+	h.client.Flush()
+	f := recvFrame(t, h.sink)
+	if f.CmdAckEpoch != 51 || f.CmdAckSeq != 1 {
+		t.Fatalf("ack pair = %d/%d, want 51/1", f.CmdAckEpoch, f.CmdAckSeq)
+	}
+}
+
+func TestClientCountsUndecodableCommands(t *testing.T) {
+	h := newCommandHarness(t)
+	if _, err := h.sink.WriteToUDP([]byte{0x00, 0x01, 0x02}, h.addr); err != nil {
+		t.Fatalf("WriteToUDP: %v", err)
+	}
+	waitStats(t, h.client, "decode error counted", func(st Stats) bool { return st.CommandErrors == 1 })
+}
+
+// TestClientDeliversHypothesisParams: a set-hypothesis command carries
+// its four parameters through to the callback.
+func TestClientDeliversHypothesisParams(t *testing.T) {
+	h := newCommandHarness(t)
+	h.send(t, &wire.Command{Node: 7, Epoch: 60, Seq: 1, Recs: []wire.CmdRec{
+		{Op: wire.CmdSetHypothesis, Runnable: 1, Hyp: wire.HypothesisParams{
+			AlivenessCycles: 10, MinHeartbeats: 2, ArrivalCycles: 5, MaxArrivals: 9,
+		}},
+	}})
+	waitStats(t, h.client, "hypothesis command", func(st Stats) bool { return st.CommandsApplied == 1 })
+	cmds := h.snapshot()
+	want := Command{Op: OpSetHypothesis, Runnable: 1, Hypothesis: Hypothesis{
+		AlivenessCycles: 10, MinHeartbeats: 2, ArrivalCycles: 5, MaxArrivals: 9,
+	}}
+	if len(cmds) != 1 || cmds[0] != want {
+		t.Fatalf("delivered = %+v, want %+v", cmds, want)
+	}
+}
