@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-baseline bench-gate soak cover experiments examples clean
+.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-baseline bench-gate soak soak-scale cover experiments examples clean
 
 all: build vet test
 
@@ -46,6 +46,9 @@ bench-json:
 	$(GO) test -run xxx -bench 'TreatDecide' \
 		-benchmem -benchtime $(BENCHTIME) ./internal/treat | tee bench/treat.txt
 	$(GO) run ./cmd/benchjson -o bench/BENCH_treat.json bench/treat.txt
+	$(GO) test -run xxx -bench 'IngestMT' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/ingest | tee bench/ingest_mt.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_ingest_mt.json bench/ingest_mt.txt
 
 # Refresh the committed baselines from a fresh full-length run: the
 # per-suite documents at the repo root plus the merged gate baseline.
@@ -54,22 +57,31 @@ bench-baseline: bench-json
 	cp bench/BENCH_stats.json BENCH_stats.json
 	cp bench/BENCH_wire.json BENCH_wire.json
 	cp bench/BENCH_treat.json BENCH_treat.json
+	cp bench/BENCH_ingest_mt.json BENCH_ingest_mt.json
 	$(GO) run ./cmd/benchdiff -merge -o BENCH_baseline.json \
-		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json bench/BENCH_treat.json
+		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json \
+		bench/BENCH_treat.json bench/BENCH_ingest_mt.json
 
 # Benchmark-regression gate: fresh results vs the committed baseline.
 # Fails on >30% ns/op regressions or any allocation on the gated
 # zero-alloc hot paths (see cmd/benchdiff).
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
-		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json bench/BENCH_treat.json
+		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json \
+		bench/BENCH_treat.json bench/BENCH_ingest_mt.json
 
-# Full-scale loopback soak: 1000 nodes x 10 runnables over real UDP,
-# with a mid-run client kill (see internal/ingest/soak_test.go), plus
-# the treatment soak: kill + quarantine + scale-down + recovery over the
-# wire v3 command channel (see internal/ingest/treat_soak_test.go).
+# Smoke-tier loopback soak: 1000 swwdclient nodes x 10 runnables over
+# real UDP, with a mid-run client kill (see internal/ingest/soak_test.go),
+# plus the treatment soak: kill + quarantine + scale-down + recovery over
+# the wire v3 command channel (see internal/ingest/treat_soak_test.go).
 soak:
 	$(GO) test -run 'TestIngestSoak|TestIngestTreatSoak' -count=1 -v ./internal/ingest
+
+# Scaled soak: 100k synthetic nodes through the SO_REUSEPORT +
+# recvmmsg read path (see internal/ingest/soak_mt_test.go). Un-raced by
+# design — the fleet does not fit the race runtime.
+soak-scale:
+	SWWD_SOAK_SCALE=1 $(GO) test -run TestIngestScaledSoak -count=1 -v -timeout 15m ./internal/ingest
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -35,6 +35,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -88,6 +89,8 @@ func run() error {
 	cycle := flag.Duration("cycle", 10*time.Millisecond, "watchdog monitoring cycle period")
 	grace := flag.Int("grace", ingest.DefaultGraceFrames, "flush intervals a node may stay silent before a link aliveness fault")
 	shards := flag.Int("shards", ingest.DefaultShards, "ingest worker shards (a node is pinned to node%shards)")
+	listeners := flag.Int("listeners", 0, "UDP sockets bound to -listen via SO_REUSEPORT (0 = one per CPU up to 8; platforms without SO_REUSEPORT fall back to 1)")
+	readBatch := flag.Int("read-batch", ingest.DefaultBatchSize, "datagrams one socket receive may return (recvmmsg batching; 1 disables)")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until SIGINT/SIGTERM)")
 	quiet := flag.Bool("quiet", false, "suppress per-fault output")
 	treatDeps := flag.String("treat-deps", "", "fault-treatment dependency edges as node:depends_on pairs (e.g. \"1:0,2:0\"); enables the treatment control plane")
@@ -101,6 +104,12 @@ func run() error {
 		return err
 	}
 
+	if *listeners <= 0 {
+		*listeners = runtime.NumCPU()
+		if *listeners > 8 {
+			*listeners = 8
+		}
+	}
 	sink := &printSink{quiet: *quiet}
 	fleet, err := ingest.BuildFleet(ingest.FleetConfig{
 		Nodes:            *nodes,
@@ -109,6 +118,8 @@ func run() error {
 		CyclePeriod:      *cycle,
 		GraceFrames:      *grace,
 		Shards:           *shards,
+		Listeners:        *listeners,
+		BatchSize:        *readBatch,
 		Sink:             sink,
 		Treatment:        treatment,
 	})
@@ -157,9 +168,14 @@ func run() error {
 
 	st := fleet.Server.Stats()
 	res := fleet.Watchdog.Results()
-	fmt.Printf("swwdd: frames=%d accepted=%d bytes=%d decode_errors=%d seq_gaps=%d dup_drops=%d restarts=%d stale_epochs=%d interval_mismatch=%d dropped=%d\n",
+	fmt.Printf("swwdd: frames=%d accepted=%d bytes=%d decode_errors=%d seq_gaps=%d dup_drops=%d restarts=%d stale_epochs=%d interval_mismatch=%d dropped=%d buffers_exhausted=%d\n",
 		st.Frames, st.Accepted, st.Bytes, st.DecodeErrors, st.SeqGaps, st.DuplicateDrops,
-		st.NodeRestarts, st.StaleEpochDrops, st.IntervalMismatch, st.DroppedPackets)
+		st.NodeRestarts, st.StaleEpochDrops, st.IntervalMismatch, st.DroppedPackets, st.BuffersExhausted)
+	fmt.Printf("swwdd: listeners=%d", st.Listeners)
+	for i, ls := range fleet.Server.ListenerStats() {
+		fmt.Printf(" [%d packets=%d batches=%d max_batch=%d]", i, ls.Packets, ls.Batches, ls.MaxBatch)
+	}
+	fmt.Println()
 	fmt.Printf("swwdd: commands sent=%d acked=%d dropped=%d stale_acks=%d\n",
 		st.CommandsSent, st.CommandsAcked, st.CommandsDropped, st.CommandStaleAcks)
 	fmt.Printf("swwdd: detections aliveness=%d arrival_rate=%d program_flow=%d\n",
@@ -230,6 +246,7 @@ func (e *exporter) handle(w http.ResponseWriter, _ *http.Request) {
 	e.buf.Reset()
 	promtext.WriteSnapshot(&e.buf, &e.snap, e.names)
 	promtext.WriteIngest(&e.buf, e.srv.Stats())
+	promtext.WriteIngestDetail(&e.buf, e.srv.ListenerStats(), e.srv.ShardStats())
 	if e.treat != nil {
 		promtext.WriteTreat(&e.buf, e.treat.Stats())
 	}

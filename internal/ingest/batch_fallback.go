@@ -1,0 +1,13 @@
+//go:build !(linux && (amd64 || arm64))
+
+package ingest
+
+import "net"
+
+// newMmsgReader has no batched implementation off linux/amd64 and
+// linux/arm64 (the syscall struct layouts are per-target and this
+// module takes no golang.org/x/sys dependency); newBatchReader falls
+// back to the portable single-datagram reader.
+func newMmsgReader(conn *net.UDPConn, batch int) datagramReader {
+	return nil
+}

@@ -1,0 +1,22 @@
+//go:build linux && (amd64 || arm64)
+
+package ingest
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestMmsghdrLayout pins the hand-mirrored struct mmsghdr to the kernel
+// ABI for the 64-bit targets this file builds on: a 56-byte msghdr, the
+// 4-byte received length, and 4 bytes of tail padding for an 8-byte
+// array stride. recvmmsg(2) walks the vector with exactly this stride;
+// a drifting layout would corrupt every entry past the first.
+func TestMmsghdrLayout(t *testing.T) {
+	if got := unsafe.Sizeof(mmsghdr{}); got != 64 {
+		t.Fatalf("sizeof(mmsghdr) = %d, want 64", got)
+	}
+	if got := unsafe.Offsetof(mmsghdr{}.len); got != 56 {
+		t.Fatalf("offsetof(mmsghdr.len) = %d, want 56", got)
+	}
+}

@@ -35,13 +35,15 @@ type FleetConfig struct {
 	// deliver per aliveness window (the window spans GraceFrames flush
 	// intervals, like the link hypothesis). Zero means 1.
 	BeatsPerWindow int
-	// GraceFrames, Shards, QueueLen, MaxPacket, ReadBuffer configure the
-	// Server (see Config).
+	// GraceFrames, Shards, QueueLen, MaxPacket, ReadBuffer, Listeners
+	// and BatchSize configure the Server (see Config).
 	GraceFrames int
 	Shards      int
 	QueueLen    int
 	MaxPacket   int
 	ReadBuffer  int
+	Listeners   int
+	BatchSize   int
 	// JournalSize forwards to core.Config.JournalSize.
 	JournalSize int
 	// SweepShards forwards to core.Config.SweepShards.
@@ -185,16 +187,16 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 		MaxPacket:    cfg.MaxPacket,
 		GraceFrames:  cfg.GraceFrames,
 		ReadBuffer:   cfg.ReadBuffer,
+		Listeners:    cfg.Listeners,
+		BatchSize:    cfg.BatchSize,
 		CommandEpoch: cfg.CommandEpoch,
 		FrameHook:    frameHook,
 	})
 	if err != nil {
 		return nil, err
 	}
-	for n := range specs {
-		if err := srv.RegisterNode(specs[n]); err != nil {
-			return nil, err
-		}
+	if err := srv.RegisterNodes(specs); err != nil {
+		return nil, err
 	}
 
 	names := make([]string, model.NumRunnables())

@@ -11,18 +11,23 @@
 //
 // # Architecture
 //
-//	UDP socket ──► read loop ──► per-source shard workers ──► Monitor.BeatN
-//	              (PeekNode)     (decode + seq + replay)      Watchdog.FlowEvent
-//	                                                          link Monitor.Beat
+//	UDP sockets ──► read loops ──► per-source shard workers ──► Monitor.BeatN
+//	(SO_REUSEPORT)  (batched recv,  (decode + seq + replay)     Watchdog.FlowEvent
+//	                 PeekNode)                                  link Monitor.Beat
 //
-// One reader goroutine pulls datagrams into buffers drawn from a fixed
-// free list, peeks the node ID from the frame header and hands the
-// packet to the worker that owns the node (node ID modulo shard count).
-// Pinning a node to one worker serializes its frames, so the per-node
-// sequence bookkeeping needs no locks, and decode buffers are per-worker,
-// so the steady-state ingest path — decode, validate, sequence-check,
-// replay — performs zero allocations per frame (see
-// BenchmarkIngestFrame).
+// The front end is N listener sockets bound to the same address via
+// SO_REUSEPORT (Config.Listeners; one socket where the platform lacks
+// it), each drained by its own read loop. A loop receives datagrams in
+// batches (recvmmsg on linux/amd64 and linux/arm64, see batch.go)
+// directly into buffers drawn from a fixed free list, peeks the node ID
+// from the frame header and hands the same buffer — never a copy — to
+// the worker that owns the node (node ID modulo shard count). Pinning a
+// node to one worker serializes its frames no matter which socket they
+// arrived on, so the per-node sequence bookkeeping needs no locks, and
+// decode buffers are per-worker, so the steady-state ingest path —
+// decode, validate, sequence-check, replay — performs zero allocations
+// per frame (see BenchmarkIngestFrame; BenchmarkIngestMT measures the
+// socket-to-replay aggregate).
 //
 // # Link supervision
 //
@@ -75,6 +80,15 @@ const (
 	DefaultMaxPacket   = 9000
 	DefaultGraceFrames = 3
 	DefaultReadBuffer  = 4 << 20
+	// DefaultListeners keeps the single-socket front end: multi-socket
+	// ingestion is opt-in via Config.Listeners / WithListeners.
+	DefaultListeners = 1
+	// DefaultBatchSize is the per-receive datagram budget of one read
+	// loop (the recvmmsg vector length on platforms that batch).
+	DefaultBatchSize = 32
+	// MaxListeners and MaxBatchSize cap the corresponding Config fields.
+	MaxListeners = 32
+	MaxBatchSize = 256
 )
 
 // ErrNodeExists is reported by RegisterNode for a duplicate node ID.
@@ -130,9 +144,21 @@ type Config struct {
 	// window. Zero means DefaultGraceFrames (tolerates GraceFrames-1
 	// consecutive lost datagrams without a false positive).
 	GraceFrames int
-	// ReadBuffer is the requested SO_RCVBUF of the UDP socket. Zero
+	// ReadBuffer is the requested SO_RCVBUF of each UDP socket. Zero
 	// means DefaultReadBuffer.
 	ReadBuffer int
+	// Listeners is the number of UDP sockets bound to the listen
+	// address via SO_REUSEPORT, each drained by its own read loop (the
+	// kernel spreads sources across them by flow hash). On platforms or
+	// kernels without SO_REUSEPORT the server degrades to one socket
+	// and Stats.Listeners reports the active count. Zero means
+	// DefaultListeners; capped at MaxListeners.
+	Listeners int
+	// BatchSize is how many datagrams one receive call may return
+	// (recvmmsg on linux/amd64 and linux/arm64; other platforms read
+	// one datagram per call regardless). 1 disables batching. Zero
+	// means DefaultBatchSize; capped at MaxBatchSize.
+	BatchSize int
 	// CommandEpoch is the server's command epoch, stamped on every
 	// command frame (wire v3): larger epoch = newer server incarnation,
 	// and reporters drop commands from superseded epochs. Zero means the
@@ -188,6 +214,12 @@ type Stats struct {
 	// DroppedPackets counts datagrams discarded because the buffer free
 	// list or a worker queue was full.
 	DroppedPackets uint64
+	// BuffersExhausted counts the free-list-dry subset of
+	// DroppedPackets: datagrams read into scratch and discarded because
+	// no pooled buffer was available. A non-zero value means the pool
+	// (Shards*QueueLen plus listener batch headroom) is undersized for
+	// the offered load.
+	BuffersExhausted uint64
 	// ReadErrors counts transient socket read errors.
 	ReadErrors uint64
 	// CommandsSent counts command frames written to reporters;
@@ -203,6 +235,36 @@ type Stats struct {
 	CommandStaleAcks uint64
 	// Nodes is the number of registered nodes.
 	Nodes int
+	// Listeners is the number of active listener sockets: the
+	// configured count when SO_REUSEPORT took, 1 on the single-socket
+	// fallback, 0 before Listen.
+	Listeners int
+}
+
+// ListenerStat is the per-listener slice of the ingestion counters,
+// reported by Server.ListenerStats in listener order.
+type ListenerStat struct {
+	// Packets is the number of datagrams the listener's read loop
+	// received (including scratch reads that were dropped); Batches the
+	// number of receive calls that returned at least one datagram.
+	// Packets/Batches is the achieved amortization of the batched read
+	// path — 1 means the socket never had more than one datagram queued.
+	Packets uint64
+	Batches uint64
+	// MaxBatch is the largest single receive observed.
+	MaxBatch uint64
+}
+
+// ShardStat is the per-shard queue occupancy, reported by
+// Server.ShardStats in shard order. DepthHWM is the high-water mark of
+// the queue depth observed at enqueue time (approximate under
+// concurrent listeners): a high mark with an idle queue now means a
+// past burst; a mark pinned at Capacity means the shard worker is the
+// bottleneck, not the listeners.
+type ShardStat struct {
+	Depth    int
+	DepthHWM int
+	Capacity int
 }
 
 // packet is one pooled datagram buffer.
@@ -258,12 +320,20 @@ type Server struct {
 	nodes atomic.Pointer[map[uint32]*nodeState]
 	regMu sync.Mutex
 
-	conn    *net.UDPConn
-	shards  []chan *packet
-	free    chan *packet
-	wg      sync.WaitGroup
-	started bool
-	closed  bool
+	// conn is the first listener's socket: the bound-address handle and
+	// the write side of the command channel. listeners holds every
+	// socket (len 1 on the single-socket fallback).
+	conn      *net.UDPConn
+	listeners []*listenerState
+	shards    []*shardState
+	free      chan *packet
+	// readerWG tracks the per-listener read loops; wg tracks the shard
+	// workers and the closer goroutine that shuts the shard queues once
+	// every read loop has drained out.
+	readerWG sync.WaitGroup
+	wg       sync.WaitGroup
+	started  bool
+	closed   bool
 
 	// cmdEpoch is fixed at construction; cmdMu serializes command
 	// sequence allocation and the reused encode buffer.
@@ -283,6 +353,7 @@ type Server struct {
 	staleEpochs  atomic.Uint64
 	intervalMism atomic.Uint64
 	dropped      atomic.Uint64
+	exhausted    atomic.Uint64
 	readErrs     atomic.Uint64
 	cmdSent      atomic.Uint64
 	cmdAcked     atomic.Uint64
@@ -325,6 +396,18 @@ func newServer(cfg Config) (*Server, error) {
 	if cfg.ReadBuffer <= 0 {
 		cfg.ReadBuffer = DefaultReadBuffer
 	}
+	if cfg.Listeners <= 0 {
+		cfg.Listeners = DefaultListeners
+	}
+	if cfg.Listeners > MaxListeners {
+		cfg.Listeners = MaxListeners
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.BatchSize > MaxBatchSize {
+		cfg.BatchSize = MaxBatchSize
+	}
 	if cfg.CommandEpoch == 0 {
 		// The wall clock in nanoseconds is strictly larger across server
 		// restarts — the property the reporter's epoch comparison relies
@@ -362,56 +445,87 @@ func LinkHypothesis(interval, cyclePeriod time.Duration, graceFrames int) core.H
 // the link runnable. Frames from unregistered nodes are counted and
 // dropped, so registration must precede the node's first frame.
 func (s *Server) RegisterNode(spec NodeSpec) error {
+	return s.RegisterNodes([]NodeSpec{spec})
+}
+
+// RegisterNodes registers a batch of nodes with one copy-on-write step.
+// Per-node RegisterNode clones the whole lock-free node table for every
+// insert — O(fleet) per call, quadratic across a fleet build and the
+// dominant cost of assembling 100k+ nodes. The batch form resolves
+// every spec first and publishes them with a single clone, so building
+// an N-node fleet is O(N) total. On any error nothing is published.
+func (s *Server) RegisterNodes(specs []NodeSpec) error {
+	states := make([]*nodeState, len(specs))
+	for i := range specs {
+		ns, err := s.resolveNode(&specs[i])
+		if err != nil {
+			return err
+		}
+		states[i] = ns
+	}
+
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	old := *s.nodes.Load()
+	next := make(map[uint32]*nodeState, len(old)+len(specs))
+	for k, v := range old {
+		next[k] = v
+	}
+	for i := range specs {
+		if _, dup := next[specs[i].Node]; dup {
+			return fmt.Errorf("%w: %d", ErrNodeExists, specs[i].Node)
+		}
+		next[specs[i].Node] = states[i]
+	}
+	s.nodes.Store(&next)
+	return nil
+}
+
+// resolveNode turns a NodeSpec into runtime state: Monitor handles for
+// the runnable table, the derived link hypothesis installed and the
+// link runnable activated. It touches only the watchdog, never the
+// node table.
+func (s *Server) resolveNode(spec *NodeSpec) (*nodeState, error) {
 	if spec.Interval <= 0 {
-		return fmt.Errorf("ingest: node %d: interval must be positive", spec.Node)
+		return nil, fmt.Errorf("ingest: node %d: interval must be positive", spec.Node)
 	}
 	intervalMs := uint32(spec.Interval / time.Millisecond)
 	if intervalMs == 0 {
 		intervalMs = 1 // mirrors the client's floor: IntervalMs encodes as >= 1
 	}
 	ns := &nodeState{
-		spec:       spec,
+		spec:       *spec,
 		mons:       make([]*core.Monitor, len(spec.Runnables)),
 		intervalMs: intervalMs,
 	}
 	for i, rid := range spec.Runnables {
 		m, err := s.w.Register(rid)
 		if err != nil {
-			return fmt.Errorf("ingest: node %d runnable %d: %w", spec.Node, i, err)
+			return nil, fmt.Errorf("ingest: node %d runnable %d: %w", spec.Node, i, err)
 		}
 		ns.mons[i] = m
 	}
 	link, err := s.w.Register(spec.Link)
 	if err != nil {
-		return fmt.Errorf("ingest: node %d link: %w", spec.Node, err)
+		return nil, fmt.Errorf("ingest: node %d link: %w", spec.Node, err)
 	}
 	ns.link = link
 	hyp := LinkHypothesis(spec.Interval, s.w.CyclePeriod(), s.cfg.GraceFrames)
 	if err := s.w.SetHypothesis(spec.Link, hyp); err != nil {
-		return fmt.Errorf("ingest: node %d link hypothesis: %w", spec.Node, err)
+		return nil, fmt.Errorf("ingest: node %d link hypothesis: %w", spec.Node, err)
 	}
 	if err := s.w.Activate(spec.Link); err != nil {
-		return fmt.Errorf("ingest: node %d link activate: %w", spec.Node, err)
+		return nil, fmt.Errorf("ingest: node %d link activate: %w", spec.Node, err)
 	}
-
-	s.regMu.Lock()
-	defer s.regMu.Unlock()
-	old := *s.nodes.Load()
-	if _, dup := old[spec.Node]; dup {
-		return fmt.Errorf("%w: %d", ErrNodeExists, spec.Node)
-	}
-	next := make(map[uint32]*nodeState, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[spec.Node] = ns
-	s.nodes.Store(&next)
-	return nil
+	return ns, nil
 }
 
-// Listen binds the UDP socket and starts the reader and the shard
-// workers. addr is a host:port as for net.ListenUDP (":0" picks an
-// ephemeral port); the bound address is returned for clients to dial.
+// Listen binds the UDP socket(s) and starts the read loops and the
+// shard workers. addr is a host:port as for net.ListenUDP (":0" picks
+// an ephemeral port); the bound address is returned for clients to
+// dial. With Config.Listeners > 1 the address is bound that many times
+// via SO_REUSEPORT, falling back to a single socket where the platform
+// or kernel lacks it.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
@@ -421,32 +535,49 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if s.started {
 		return nil, errors.New("ingest: server already listening")
 	}
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	conns, err := listenConns(addr, s.cfg.Listeners)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: %w", err)
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("ingest: %w", err)
+	for _, c := range conns {
+		_ = c.SetReadBuffer(s.cfg.ReadBuffer) // best effort; kernel may clamp
 	}
-	_ = conn.SetReadBuffer(s.cfg.ReadBuffer) // best effort; kernel may clamp
-	s.conn = conn
+	s.conn = conns[0]
 	s.started = true
 
-	total := s.cfg.Shards * s.cfg.QueueLen
+	// The free list covers the worker queues at full depth plus the
+	// buffers the batch readers keep armed in their receive slots, so a
+	// full set of in-flight batches cannot by itself starve the pool.
+	total := s.cfg.Shards*s.cfg.QueueLen + len(conns)*s.cfg.BatchSize
 	s.free = make(chan *packet, total)
 	for i := 0; i < total; i++ {
 		s.free <- &packet{buf: make([]byte, s.cfg.MaxPacket)}
 	}
-	s.shards = make([]chan *packet, s.cfg.Shards)
+	s.shards = make([]*shardState, s.cfg.Shards)
 	for i := range s.shards {
-		s.shards[i] = make(chan *packet, s.cfg.QueueLen)
+		s.shards[i] = &shardState{ch: make(chan *packet, s.cfg.QueueLen)}
 		s.wg.Add(1)
-		go s.worker(s.shards[i])
+		go s.worker(s.shards[i].ch)
 	}
+	s.listeners = make([]*listenerState, len(conns))
+	for i, c := range conns {
+		ls := &listenerState{conn: c}
+		s.listeners[i] = ls
+		s.readerWG.Add(1)
+		go s.readLoop(ls)
+	}
+	// The shard queues close only after every read loop has exited, so
+	// one listener erroring out (or being closed externally) can never
+	// strand packets of the surviving loops on a closed channel.
 	s.wg.Add(1)
-	go s.readLoop()
-	return conn.LocalAddr(), nil
+	go func() {
+		defer s.wg.Done()
+		s.readerWG.Wait()
+		for _, sh := range s.shards {
+			close(sh.ch)
+		}
+	}()
+	return s.conn.LocalAddr(), nil
 }
 
 // Addr reports the bound address, nil before Listen.
@@ -459,9 +590,10 @@ func (s *Server) Addr() net.Addr {
 	return s.conn.LocalAddr()
 }
 
-// Close stops the reader and the workers and releases the socket. The
-// watchdog is left running — link runnables of silent nodes will keep
-// accumulating aliveness faults until the caller deactivates them.
+// Close stops the read loops and the workers and releases every
+// socket. The watchdog is left running — link runnables of silent nodes
+// will keep accumulating aliveness faults until the caller deactivates
+// them.
 func (s *Server) Close() error {
 	s.regMu.Lock()
 	if s.closed {
@@ -469,69 +601,13 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	conn := s.conn
+	listeners := s.listeners
 	s.regMu.Unlock()
-	if conn != nil {
-		_ = conn.Close() // unblocks the read loop
+	for _, ls := range listeners {
+		_ = ls.conn.Close() // unblocks the read loop
 	}
 	s.wg.Wait()
 	return nil
-}
-
-// readLoop pulls datagrams off the socket and dispatches them to the
-// owning shard worker, recycling buffers through the free list.
-func (s *Server) readLoop() {
-	defer s.wg.Done()
-	defer func() {
-		for _, sh := range s.shards {
-			close(sh)
-		}
-	}()
-	scratch := make([]byte, s.cfg.MaxPacket)
-	for {
-		var p *packet
-		select {
-		case p = <-s.free:
-		default:
-			p = nil // free list dry: read into scratch and drop
-		}
-		buf := scratch
-		if p != nil {
-			buf = p.buf
-		}
-		n, src, err := s.conn.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			if p != nil {
-				s.free <- p
-			}
-			if isClosed(err) {
-				return
-			}
-			s.readErrs.Add(1)
-			continue
-		}
-		if p == nil {
-			s.dropped.Add(1)
-			continue
-		}
-		p.n = n
-		p.src = src
-		node, err := wire.PeekNode(p.buf[:n])
-		if err != nil {
-			s.frames.Add(1)
-			s.bytes.Add(uint64(n))
-			s.decodeErrs.Add(1)
-			s.free <- p
-			continue
-		}
-		sh := s.shards[node%uint32(len(s.shards))]
-		select {
-		case sh <- p:
-		default:
-			s.dropped.Add(1)
-			s.free <- p
-		}
-	}
 }
 
 // worker decodes and replays the frames of the nodes pinned to one
@@ -729,13 +805,55 @@ func (s *Server) Stats() Stats {
 		StaleEpochDrops:  s.staleEpochs.Load(),
 		IntervalMismatch: s.intervalMism.Load(),
 		DroppedPackets:   s.dropped.Load(),
+		BuffersExhausted: s.exhausted.Load(),
 		ReadErrors:       s.readErrs.Load(),
 		CommandsSent:     s.cmdSent.Load(),
 		CommandsAcked:    s.cmdAcked.Load(),
 		CommandsDropped:  s.cmdDropped.Load(),
 		CommandStaleAcks: s.cmdStale.Load(),
 		Nodes:            len(*s.nodes.Load()),
+		Listeners:        len(s.snapshotListeners()),
 	}
+}
+
+// ListenerStats returns the per-listener receive counters in listener
+// order; empty before Listen.
+func (s *Server) ListenerStats() []ListenerStat {
+	listeners := s.snapshotListeners()
+	out := make([]ListenerStat, len(listeners))
+	for i, ls := range listeners {
+		out[i] = ListenerStat{
+			Packets:  ls.packets.Load(),
+			Batches:  ls.batches.Load(),
+			MaxBatch: ls.maxBatch.Load(),
+		}
+	}
+	return out
+}
+
+// ShardStats returns the per-shard queue occupancy in shard order;
+// empty before Listen.
+func (s *Server) ShardStats() []ShardStat {
+	s.regMu.Lock()
+	shards := s.shards
+	s.regMu.Unlock()
+	out := make([]ShardStat, len(shards))
+	for i, sh := range shards {
+		out[i] = ShardStat{
+			Depth:    len(sh.ch),
+			DepthHWM: int(sh.hwm.Load()),
+			Capacity: cap(sh.ch),
+		}
+	}
+	return out
+}
+
+// snapshotListeners reads the listener slice under the registration
+// lock (it is assigned once, by Listen).
+func (s *Server) snapshotListeners() []*listenerState {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	return s.listeners
 }
 
 // isClosed reports whether err marks the socket shut by Close.

@@ -1,0 +1,199 @@
+// Multi-socket listener front end: N UDP sockets bound to one address
+// via SO_REUSEPORT, each drained by its own batched read loop feeding
+// the shard workers through the shared free list.
+//
+// The kernel spreads inbound flows across the sockets of a reuseport
+// group by a hash of the 4-tuple, so one reporter's datagrams land on
+// one socket in the steady state and each read loop touches a disjoint
+// slice of the fleet. Correctness never depends on that affinity: the
+// node-to-shard pinning (node % Shards) serializes every node's frames
+// behind a single worker regardless of the receiving socket, and any
+// cross-socket reordering — a reporter redialing onto a new flow hash
+// mid-session — surfaces through the existing sequence discipline as
+// duplicate drops or gaps, exactly like network-level reordering.
+package ingest
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync/atomic"
+
+	"swwd/internal/wire"
+)
+
+// listenerState is one listener socket and its receive counters. The
+// counters have a single writer (the listener's read loop) and are read
+// by ListenerStats.
+type listenerState struct {
+	conn     *net.UDPConn
+	packets  atomic.Uint64
+	batches  atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+// shardState is one shard worker's queue plus its depth high-water
+// mark, maintained at enqueue time by the read loops.
+type shardState struct {
+	ch  chan *packet
+	hwm atomic.Uint64
+}
+
+// reusePortEnabled gates the SO_REUSEPORT bind path; it starts at the
+// platform capability (reuseport_*.go) and exists as a variable so
+// tests can force the single-socket fallback.
+var reusePortEnabled = reusePortSupported
+
+// listenConns binds addr n times via SO_REUSEPORT, or once without it.
+// The boolean result reports whether the reuseport group was used. The
+// fallback triggers when n <= 1, when the platform lacks SO_REUSEPORT,
+// or when the kernel refuses it on the first socket; a bind failure
+// after the first socket accepted SO_REUSEPORT is a real error.
+func listenConns(addr string, n int) ([]*net.UDPConn, error) {
+	if n <= 1 || !reusePortEnabled {
+		c, err := listenPlain(addr)
+		if err != nil {
+			return nil, err
+		}
+		return []*net.UDPConn{c}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	ctx := context.Background()
+	pc, err := lc.ListenPacket(ctx, "udp", addr)
+	if err != nil {
+		// The kernel (or the Control hook) refused SO_REUSEPORT:
+		// degrade to the single-socket path rather than fail startup.
+		c, perr := listenPlain(addr)
+		if perr != nil {
+			return nil, perr
+		}
+		return []*net.UDPConn{c}, nil
+	}
+	conns := []*net.UDPConn{pc.(*net.UDPConn)}
+	// Re-bind the *resolved* address so ":0" ephemeral-port listens
+	// join the first socket's group instead of picking fresh ports.
+	bound := conns[0].LocalAddr().String()
+	for i := 1; i < n; i++ {
+		pc, err := lc.ListenPacket(ctx, "udp", bound)
+		if err != nil {
+			for _, c := range conns {
+				_ = c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+	}
+	return conns, nil
+}
+
+// listenPlain is the single-socket bind shared by the n<=1 and the
+// no-SO_REUSEPORT paths.
+func listenPlain(addr string) (*net.UDPConn, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp", udpAddr)
+}
+
+// readLoop drains one listener socket: it arms up to BatchSize receive
+// slots with free-list buffers, receives a batch of datagrams directly
+// into them (zero-copy — the kernel writes into the same buffer the
+// shard worker will decode) and dispatches each to its owning shard.
+// Slots the free list could not fill receive into a shared scratch
+// buffer; those datagrams are dropped and accounted as BuffersExhausted
+// so pool pressure is visible instead of silent.
+func (s *Server) readLoop(ls *listenerState) {
+	defer s.readerWG.Done()
+	r := newBatchReader(ls.conn, s.cfg.BatchSize)
+	batch := r.Batch()
+	pkts := make([]*packet, batch)
+	bufs := make([][]byte, batch)
+	sizes := make([]int, batch)
+	srcs := make([]netip.AddrPort, batch)
+	var scratch []byte // shared by every dry slot: those datagrams are dropped anyway
+	for {
+		for i := 0; i < batch; i++ {
+			if pkts[i] != nil {
+				continue // still armed from the previous receive
+			}
+			select {
+			case p := <-s.free:
+				pkts[i] = p
+				bufs[i] = p.buf
+			default:
+				if scratch == nil {
+					scratch = make([]byte, s.cfg.MaxPacket)
+				}
+				bufs[i] = scratch
+			}
+		}
+		m, err := r.ReadBatch(bufs, sizes, srcs)
+		if err != nil {
+			if isClosed(err) {
+				// Hand the armed buffers back before exiting so a
+				// closed socket never leaks pool capacity.
+				for i, p := range pkts {
+					if p != nil {
+						pkts[i] = nil
+						s.free <- p
+					}
+				}
+				return
+			}
+			s.readErrs.Add(1)
+			continue
+		}
+		ls.batches.Add(1)
+		ls.packets.Add(uint64(m))
+		if um := uint64(m); um > ls.maxBatch.Load() {
+			ls.maxBatch.Store(um) // single writer per listener
+		}
+		for i := 0; i < m; i++ {
+			p := pkts[i]
+			if p == nil {
+				// The free list was dry when the slot was armed: the
+				// datagram landed in scratch and is gone.
+				s.exhausted.Add(1)
+				s.dropped.Add(1)
+				continue
+			}
+			pkts[i] = nil
+			p.n = sizes[i]
+			p.src = srcs[i]
+			s.dispatch(p)
+		}
+	}
+}
+
+// dispatch peeks the node ID and hands the packet — the same free-list
+// buffer the kernel filled, never a copy — to the owning shard worker.
+func (s *Server) dispatch(p *packet) {
+	node, err := wire.PeekNode(p.buf[:p.n])
+	if err != nil {
+		s.frames.Add(1)
+		s.bytes.Add(uint64(p.n))
+		s.decodeErrs.Add(1)
+		s.free <- p
+		return
+	}
+	sh := s.shards[node%uint32(len(s.shards))]
+	select {
+	case sh.ch <- p:
+		// Track the enqueue-time depth high-water mark. len(ch) is
+		// approximate under concurrent listeners; the gauge separates
+		// listener starvation (low HWM, drops at the free list) from
+		// shard overload (HWM pinned at capacity).
+		if d := uint64(len(sh.ch)); d > sh.hwm.Load() {
+			for {
+				cur := sh.hwm.Load()
+				if d <= cur || sh.hwm.CompareAndSwap(cur, d) {
+					break
+				}
+			}
+		}
+	default:
+		s.dropped.Add(1)
+		s.free <- p
+	}
+}

@@ -1,0 +1,427 @@
+package ingest
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swwd/internal/sim"
+	"swwd/internal/wire"
+)
+
+// mtFleet builds a fleet wired for the multi-listener front end on a
+// manual clock (no sweeps run, so no faults can fire mid-test).
+func mtFleet(t *testing.T, nodes, listeners, batch, shards, queueLen int) *Fleet {
+	t.Helper()
+	f, err := BuildFleet(FleetConfig{
+		Nodes:            nodes,
+		RunnablesPerNode: 2,
+		Interval:         100 * time.Millisecond,
+		CyclePeriod:      10 * time.Millisecond,
+		GraceFrames:      3,
+		Listeners:        listeners,
+		BatchSize:        batch,
+		Shards:           shards,
+		QueueLen:         queueLen,
+		Clock:            sim.NewManualClock(),
+	})
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	return f
+}
+
+// sendFrames sends seq 1..count frames for node over conn, beating both
+// runnables once per frame.
+func sendFrames(t *testing.T, conn net.Conn, node uint32, count int) {
+	t.Helper()
+	frame := wire.Frame{Node: node, Epoch: 1, IntervalMs: 100,
+		Beats: []wire.BeatRec{{Runnable: 0, Beats: 1}, {Runnable: 1, Beats: 1}}}
+	buf := make([]byte, 0, 128)
+	for seq := 1; seq <= count; seq++ {
+		frame.Seq = uint64(seq)
+		var err error
+		buf, err = wire.AppendFrame(buf[:0], &frame)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+}
+
+// waitStat polls fn until it returns true or the deadline passes.
+func waitStat(t *testing.T, srv *Server, what string, fn func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !fn() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats %+v", what, srv.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestIngestMultiListener is the happy path of the reuseport front end:
+// N sockets bound to one address, frames from several flows accepted in
+// full, listener counters accounting for every received packet.
+func TestIngestMultiListener(t *testing.T) {
+	// Queues must absorb the whole burst even if the workers never get
+	// scheduled while the senders run (single-core CI): each shard owns
+	// nodes/shards nodes and can face perNode frames for each at once.
+	const nodes, perNode, senders = 32, 50, 4
+	f := mtFleet(t, nodes, 4, 8, 4, 1024)
+	addr, err := f.Server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer f.Server.Close()
+
+	wantListeners := 4
+	if !reusePortSupported {
+		wantListeners = 1
+	}
+	if got := f.Server.Stats().Listeners; got != wantListeners {
+		t.Fatalf("active listeners = %d, want %d", got, wantListeners)
+	}
+
+	var wg sync.WaitGroup
+	for sdr := 0; sdr < senders; sdr++ {
+		wg.Add(1)
+		go func(sdr int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", addr.String())
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			for n := sdr; n < nodes; n += senders {
+				sendFrames(t, conn, uint32(n), perNode)
+			}
+		}(sdr)
+	}
+	wg.Wait()
+
+	const want = uint64(nodes * perNode)
+	waitStat(t, f.Server, "all frames accepted", func() bool {
+		return f.Server.Stats().Accepted == want
+	})
+	st := f.Server.Stats()
+	if st.DecodeErrors != 0 || st.DuplicateDrops != 0 || st.DroppedPackets != 0 ||
+		st.BuffersExhausted != 0 || st.SeqGaps != 0 {
+		t.Fatalf("wire errors on a clean run: %+v", st)
+	}
+	var packets, batches uint64
+	for _, ls := range f.Server.ListenerStats() {
+		packets += ls.Packets
+		batches += ls.Batches
+		if ls.MaxBatch > 8 {
+			t.Fatalf("listener MaxBatch %d exceeds configured batch size 8", ls.MaxBatch)
+		}
+	}
+	if packets != st.Frames {
+		t.Fatalf("listener packets %d != frames %d", packets, st.Frames)
+	}
+	if batches == 0 || batches > packets {
+		t.Fatalf("listener batches %d out of range (packets %d)", batches, packets)
+	}
+	sh := f.Server.ShardStats()
+	if len(sh) != 4 {
+		t.Fatalf("shard stats len %d, want 4", len(sh))
+	}
+	var hwm int
+	for _, s := range sh {
+		if s.Capacity != 1024 {
+			t.Fatalf("shard capacity %d, want 1024", s.Capacity)
+		}
+		hwm += s.DepthHWM
+	}
+	if hwm == 0 {
+		t.Fatal("no shard recorded a queue-depth high-water mark")
+	}
+}
+
+// TestIngestListenerSocketCloseDoesNotWedgeClose kills one socket of
+// the group out from under the server: the surviving loops keep
+// serving, and Close still completes.
+func TestIngestListenerSocketCloseDoesNotWedgeClose(t *testing.T) {
+	f := mtFleet(t, 8, 4, 8, 2, 128)
+	addr, err := f.Server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if n := len(f.Server.snapshotListeners()); n > 1 {
+		// Close a victim socket directly — not via Server.Close.
+		_ = f.Server.snapshotListeners()[n-1].conn.Close()
+	}
+	// The remaining sockets still accept traffic (the kernel rebalances
+	// the reuseport group away from the closed socket).
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	sendFrames(t, conn, 3, 20)
+	waitStat(t, f.Server, "frames accepted after socket loss", func() bool {
+		return f.Server.Stats().Accepted >= 20
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- f.Server.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged after one listener socket died")
+	}
+}
+
+// TestIngestReusePortFallback forces the no-SO_REUSEPORT path: a
+// Listeners=4 server degrades to one socket and serves identically.
+func TestIngestReusePortFallback(t *testing.T) {
+	old := reusePortEnabled
+	reusePortEnabled = false
+	defer func() { reusePortEnabled = old }()
+
+	f := mtFleet(t, 8, 4, 8, 2, 128)
+	addr, err := f.Server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer f.Server.Close()
+	if got := f.Server.Stats().Listeners; got != 1 {
+		t.Fatalf("fallback bound %d listeners, want 1", got)
+	}
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	sendFrames(t, conn, 5, 40)
+	waitStat(t, f.Server, "frames accepted on fallback", func() bool {
+		return f.Server.Stats().Accepted == 40
+	})
+	st := f.Server.Stats()
+	if st.DecodeErrors != 0 || st.DuplicateDrops != 0 || st.SeqGaps != 0 {
+		t.Fatalf("wire errors on fallback path: %+v", st)
+	}
+}
+
+// TestIngestExplicitSingleListener pins Listeners=1: the plain bind
+// path, no reuseport group, behaviour unchanged from the PR 4 server.
+func TestIngestExplicitSingleListener(t *testing.T) {
+	f := mtFleet(t, 4, 1, 1, 2, 128)
+	addr, err := f.Server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer f.Server.Close()
+	if got := f.Server.Stats().Listeners; got != 1 {
+		t.Fatalf("listeners = %d, want 1", got)
+	}
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	sendFrames(t, conn, 2, 25)
+	waitStat(t, f.Server, "frames accepted", func() bool {
+		return f.Server.Stats().Accepted == 25
+	})
+}
+
+// TestIngestBuffersExhausted starves the free list (a thief goroutine
+// keeps draining it) and asserts the scratch path is accounted in
+// BuffersExhausted and DroppedPackets instead of silently discarded.
+func TestIngestBuffersExhausted(t *testing.T) {
+	f := mtFleet(t, 4, 1, 1, 1, 4)
+	addr, err := f.Server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer f.Server.Close()
+
+	stop := make(chan struct{})
+	var stolen []*packet
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case p := <-f.Server.free:
+				mu.Lock()
+				stolen = append(stolen, p)
+				mu.Unlock()
+			}
+		}
+	}()
+
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Server.Stats().BuffersExhausted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no BuffersExhausted despite a starved free list: %+v", f.Server.Stats())
+		}
+		sendFrames(t, conn, 1, 4)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	// Give the pool its buffers back so Close can drain cleanly.
+	mu.Lock()
+	for _, p := range stolen {
+		f.Server.free <- p
+	}
+	mu.Unlock()
+
+	st := f.Server.Stats()
+	if st.BuffersExhausted == 0 {
+		t.Fatal("BuffersExhausted stayed 0")
+	}
+	if st.DroppedPackets < st.BuffersExhausted {
+		t.Fatalf("DroppedPackets %d < BuffersExhausted %d: exhausted reads must also count as drops",
+			st.DroppedPackets, st.BuffersExhausted)
+	}
+}
+
+// TestIngestMultiListenerShardAffinity race-stresses the single-writer
+// discipline across concurrent listeners: frames for overlapping node
+// sets arrive over many flows, and a FrameHook guard asserts no node is
+// ever inside the replay path on two workers at once. Run under -race
+// in CI (the ingest race-stress step matches TestIngest*).
+func TestIngestMultiListenerShardAffinity(t *testing.T) {
+	const nodes, perSender, senders = 64, 200, 8
+	inFlight := make([]atomic.Int32, nodes)
+	var violations atomic.Uint64
+	f, err := BuildFleet(FleetConfig{
+		Nodes:            nodes,
+		RunnablesPerNode: 2,
+		Interval:         100 * time.Millisecond,
+		CyclePeriod:      10 * time.Millisecond,
+		GraceFrames:      3,
+		Listeners:        4,
+		BatchSize:        16,
+		Shards:           4,
+		QueueLen:         512,
+		Clock:            sim.NewManualClock(),
+	})
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	// The hook runs on the shard worker inside the frame path; a node
+	// observed concurrently on two goroutines is a pinning violation.
+	f.Server.cfg.FrameHook = func(node uint32, restarted bool) {
+		if inFlight[node].Add(1) != 1 {
+			violations.Add(1)
+		}
+		inFlight[node].Add(-1)
+	}
+	addr, err := f.Server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer f.Server.Close()
+
+	var wg sync.WaitGroup
+	for sdr := 0; sdr < senders; sdr++ {
+		wg.Add(1)
+		go func(sdr int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", addr.String())
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			frame := wire.Frame{Epoch: uint64(sdr + 1), IntervalMs: 100,
+				Beats: []wire.BeatRec{{Runnable: 0, Beats: 1}}}
+			buf := make([]byte, 0, 64)
+			seqs := make([]uint64, nodes)
+			for i := 0; i < perSender; i++ {
+				// Every sender walks every node: two senders share each
+				// node, so frames of one node arrive over several flows
+				// (and thus sockets) concurrently.
+				n := uint32((i + sdr) % nodes)
+				seqs[n]++
+				frame.Node = n
+				frame.Seq = seqs[n]
+				var err error
+				buf, err = wire.AppendFrame(buf[:0], &frame)
+				if err != nil {
+					t.Errorf("AppendFrame: %v", err)
+					return
+				}
+				if _, err := conn.Write(buf); err != nil {
+					t.Errorf("Write: %v", err)
+					return
+				}
+			}
+		}(sdr)
+	}
+	wg.Wait()
+
+	// Quiesce: every sent datagram is either counted or dropped by the
+	// kernel; wait for the frame counter to go stable.
+	var last uint64
+	stable := 0
+	for stable < 25 {
+		cur := f.Server.Stats().Frames
+		if cur == last {
+			stable++
+		} else {
+			stable, last = 0, cur
+		}
+		time.Sleep(4 * time.Millisecond)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent replays of one node across workers", v)
+	}
+	st := f.Server.Stats()
+	if st.Accepted == 0 {
+		t.Fatal("no frames accepted")
+	}
+	if st.DecodeErrors != 0 || st.UnknownNode != 0 {
+		t.Fatalf("decode/unknown errors under stress: %+v", st)
+	}
+	t.Logf("affinity stress: %+v", st)
+}
+
+// TestListenConnsEphemeralGroup asserts that a ":0" multi-listen binds
+// every socket to the same resolved port, not N fresh ephemeral ports.
+func TestListenConnsEphemeralGroup(t *testing.T) {
+	if !reusePortSupported {
+		t.Skip("no SO_REUSEPORT on this platform")
+	}
+	conns, err := listenConns("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatalf("listenConns: %v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	if len(conns) != 3 {
+		t.Fatalf("bound %d sockets, want 3", len(conns))
+	}
+	want := conns[0].LocalAddr().String()
+	for i, c := range conns[1:] {
+		if got := c.LocalAddr().String(); got != want {
+			t.Fatalf("socket %d bound %s, want %s", i+1, got, want)
+		}
+	}
+}

@@ -38,10 +38,27 @@ func WithGraceFrames(n int) Option {
 	return func(cfg *Config) { cfg.GraceFrames = n }
 }
 
-// WithReadBuffer sets the requested SO_RCVBUF of the UDP socket. Zero
+// WithReadBuffer sets the requested SO_RCVBUF of each UDP socket. Zero
 // or negative keeps DefaultReadBuffer.
 func WithReadBuffer(n int) Option {
 	return func(cfg *Config) { cfg.ReadBuffer = n }
+}
+
+// WithListeners sets how many UDP sockets Listen binds to the address
+// via SO_REUSEPORT, each with its own batched read loop. Platforms and
+// kernels without SO_REUSEPORT fall back to one socket. Zero or
+// negative keeps DefaultListeners; values beyond MaxListeners are
+// capped.
+func WithListeners(n int) Option {
+	return func(cfg *Config) { cfg.Listeners = n }
+}
+
+// WithBatchSize sets how many datagrams one read-loop receive may
+// return (recvmmsg on linux/amd64 and linux/arm64). 1 disables
+// batching; zero or negative keeps DefaultBatchSize; values beyond
+// MaxBatchSize are capped.
+func WithBatchSize(n int) Option {
+	return func(cfg *Config) { cfg.BatchSize = n }
 }
 
 // WithCommandEpoch pins the server's command epoch instead of deriving

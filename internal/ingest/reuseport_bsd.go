@@ -1,0 +1,23 @@
+//go:build darwin || dragonfly || freebsd || netbsd || openbsd
+
+package ingest
+
+import "syscall"
+
+// reusePortSupported: the BSDs (and darwin) define SO_REUSEPORT in the
+// stdlib syscall package directly. Note the BSD semantics differ from
+// linux — all-or-nothing delivery instead of flow-hash spreading on
+// some of them — but the fan-out read loops are correct either way.
+const reusePortSupported = true
+
+// reusePortControl is the net.ListenConfig.Control hook that marks the
+// socket for shared binding before bind(2) runs.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEPORT, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

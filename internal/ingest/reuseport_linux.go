@@ -1,0 +1,29 @@
+//go:build linux
+
+package ingest
+
+import "syscall"
+
+// reusePortSupported reports platform capability; the kernel-level
+// check (SO_REUSEPORT needs linux >= 3.9) happens at bind time, where a
+// refusal degrades to the single-socket path.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT on linux. The stdlib syscall package
+// predates the option and never picked the constant up (it lives in
+// golang.org/x/sys/unix, which this module deliberately does not
+// depend on), so it is spelled here; the value is uapi-stable across
+// architectures (asm-generic/socket.h).
+const soReusePort = 0xf
+
+// reusePortControl is the net.ListenConfig.Control hook that marks the
+// socket for shared binding before bind(2) runs.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,19 @@
+//go:build !linux && !darwin && !dragonfly && !freebsd && !netbsd && !openbsd
+
+package ingest
+
+import (
+	"errors"
+	"syscall"
+)
+
+// reusePortSupported: platforms without SO_REUSEPORT (windows, plan9,
+// js, ...) always take the single-socket fallback; Config.Listeners is
+// effectively 1 and Stats.Listeners reports it.
+const reusePortSupported = false
+
+// reusePortControl exists so the package compiles; the fallback in
+// listenConns means it is never reached on these platforms.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return errors.ErrUnsupported
+}

@@ -1,7 +1,10 @@
-// Loopback soak: a full simulated fleet — soakNodes swwdclient
-// reporters of soakRunnables runnables each — beats through real UDP
-// sockets into one ingestion server for soakDuration, with the watchdog
-// sweeping on its real-time Service driver. Halfway through, one client
+// Loopback soak, smoke tier: a full simulated fleet — soakNodes
+// swwdclient reporters of soakRunnables runnables each — beats through
+// real UDP sockets into one ingestion server for soakDuration, with the
+// watchdog sweeping on its real-time Service driver. (The scaled tier
+// lives in soak_mt_test.go: 100k synthetic nodes through the
+// multi-socket read path; this tier keeps per-node swwdclient reporters
+// so the client library is exercised too.) Halfway through, one client
 // is killed; the test asserts the paper's distributed aliveness story
 // end to end:
 //

@@ -122,6 +122,10 @@ func WriteIngest(b *bytes.Buffer, st ingest.Stats) {
 	fmt.Fprintf(b, "swwd_ingest_interval_mismatch_total %d\n", st.IntervalMismatch)
 	Header(b, "swwd_ingest_dropped_packets_total", "counter", "Datagrams discarded because buffers or worker queues were full.")
 	fmt.Fprintf(b, "swwd_ingest_dropped_packets_total %d\n", st.DroppedPackets)
+	Header(b, "swwd_ingest_buffers_exhausted_total", "counter", "Datagrams received into scratch because the packet free list was dry (subset of dropped packets).")
+	fmt.Fprintf(b, "swwd_ingest_buffers_exhausted_total %d\n", st.BuffersExhausted)
+	Header(b, "swwd_ingest_listeners", "gauge", "UDP sockets serving the ingest address (SO_REUSEPORT group size).")
+	fmt.Fprintf(b, "swwd_ingest_listeners %d\n", st.Listeners)
 	Header(b, "swwd_ingest_read_errors_total", "counter", "Transient socket read errors.")
 	fmt.Fprintf(b, "swwd_ingest_read_errors_total %d\n", st.ReadErrors)
 	Header(b, "swwd_ingest_commands_sent_total", "counter", "Treatment command frames written to reporters.")
@@ -132,6 +136,37 @@ func WriteIngest(b *bytes.Buffer, st ingest.Stats) {
 	fmt.Fprintf(b, "swwd_ingest_commands_dropped_total %d\n", st.CommandsDropped)
 	Header(b, "swwd_ingest_command_stale_acks_total", "counter", "Command acknowledgements carrying a superseded command epoch.")
 	fmt.Fprintf(b, "swwd_ingest_command_stale_acks_total %d\n", st.CommandStaleAcks)
+}
+
+// WriteIngestDetail renders the per-listener and per-shard series of
+// the multi-socket read path: packet/batch counters per listener socket
+// (batch-size efficiency shows as packets/batches) and queue depth,
+// high-water mark and capacity per shard worker.
+func WriteIngestDetail(b *bytes.Buffer, listeners []ingest.ListenerStat, shards []ingest.ShardStat) {
+	Header(b, "swwd_ingest_listener_packets_total", "counter", "Datagrams received per listener socket.")
+	for i := range listeners {
+		fmt.Fprintf(b, "swwd_ingest_listener_packets_total{listener=\"%d\"} %d\n", i, listeners[i].Packets)
+	}
+	Header(b, "swwd_ingest_listener_batches_total", "counter", "Receive wakeups per listener socket (recvmmsg batches; 1 packet each without batching).")
+	for i := range listeners {
+		fmt.Fprintf(b, "swwd_ingest_listener_batches_total{listener=\"%d\"} %d\n", i, listeners[i].Batches)
+	}
+	Header(b, "swwd_ingest_listener_max_batch", "gauge", "Largest datagram batch one receive returned per listener socket.")
+	for i := range listeners {
+		fmt.Fprintf(b, "swwd_ingest_listener_max_batch{listener=\"%d\"} %d\n", i, listeners[i].MaxBatch)
+	}
+	Header(b, "swwd_ingest_shard_queue_depth", "gauge", "Packets waiting in the shard worker's queue.")
+	for i := range shards {
+		fmt.Fprintf(b, "swwd_ingest_shard_queue_depth{shard=\"%d\"} %d\n", i, shards[i].Depth)
+	}
+	Header(b, "swwd_ingest_shard_queue_hwm", "gauge", "High-water mark of the shard worker's queue depth.")
+	for i := range shards {
+		fmt.Fprintf(b, "swwd_ingest_shard_queue_hwm{shard=\"%d\"} %d\n", i, shards[i].DepthHWM)
+	}
+	Header(b, "swwd_ingest_shard_queue_capacity", "gauge", "Capacity of the shard worker's queue.")
+	for i := range shards {
+		fmt.Fprintf(b, "swwd_ingest_shard_queue_capacity{shard=\"%d\"} %d\n", i, shards[i].Capacity)
+	}
 }
 
 // WriteTreat renders the fault-treatment controller's counters and
