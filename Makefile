@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-baseline bench-gate soak soak-scale cover experiments examples clean
+.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-baseline bench-gate soak soak-scale wal-soak cover experiments examples clean
 
 all: build vet test
 
@@ -29,7 +29,8 @@ bench-hotpath:
 
 # Machine-readable benchmark suites under ./bench/ (gitignored): the
 # cycle-sweep + hot-path suite, the telemetry suite, the wire/ingest
-# suite (heartbeat + command codecs) and the treatment-engine suite.
+# suite (heartbeat + command codecs), the treatment-engine suite and
+# the WAL suite (append hand-off + replay throughput).
 # Override BENCHTIME for a quick smoke run: make bench-json BENCHTIME=1x
 BENCHTIME ?= 1s
 bench-json:
@@ -49,6 +50,9 @@ bench-json:
 	$(GO) test -run xxx -bench 'IngestMT' \
 		-benchmem -benchtime $(BENCHTIME) ./internal/ingest | tee bench/ingest_mt.txt
 	$(GO) run ./cmd/benchjson -o bench/BENCH_ingest_mt.json bench/ingest_mt.txt
+	$(GO) test -run xxx -bench 'WALHandoff|WALAppend|WALEncodeRecord|WALReplay' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/wal | tee bench/wal.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_wal.json bench/wal.txt
 
 # Refresh the committed baselines from a fresh full-length run: the
 # per-suite documents at the repo root plus the merged gate baseline.
@@ -58,9 +62,10 @@ bench-baseline: bench-json
 	cp bench/BENCH_wire.json BENCH_wire.json
 	cp bench/BENCH_treat.json BENCH_treat.json
 	cp bench/BENCH_ingest_mt.json BENCH_ingest_mt.json
+	cp bench/BENCH_wal.json BENCH_wal.json
 	$(GO) run ./cmd/benchdiff -merge -o BENCH_baseline.json \
 		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json \
-		bench/BENCH_treat.json bench/BENCH_ingest_mt.json
+		bench/BENCH_treat.json bench/BENCH_ingest_mt.json bench/BENCH_wal.json
 
 # Benchmark-regression gate: fresh results vs the committed baseline.
 # Fails on >30% ns/op regressions or any allocation on the gated
@@ -68,7 +73,7 @@ bench-baseline: bench-json
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
 		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json \
-		bench/BENCH_treat.json bench/BENCH_ingest_mt.json
+		bench/BENCH_treat.json bench/BENCH_ingest_mt.json bench/BENCH_wal.json
 
 # Smoke-tier loopback soak: 1000 swwdclient nodes x 10 runnables over
 # real UDP, with a mid-run client kill (see internal/ingest/soak_test.go),
@@ -76,6 +81,12 @@ bench-gate: bench-json
 # the wire v3 command channel (see internal/ingest/treat_soak_test.go).
 soak:
 	$(GO) test -run 'TestIngestSoak|TestIngestTreatSoak' -count=1 -v ./internal/ingest
+
+# WAL crash soak: repeated kill -9 mid-group-commit + recovery rounds
+# verifying every acknowledged record survives bit-identically (see
+# internal/wal/crash_test.go).
+wal-soak:
+	SWWD_WAL_SOAK=1 $(GO) test -run TestWALCrashSoak -count=1 -v -timeout 10m ./internal/wal
 
 # Scaled soak: 100k synthetic nodes through the SO_REUSEPORT +
 # recvmmsg read path (see internal/ingest/soak_mt_test.go). Un-raced by

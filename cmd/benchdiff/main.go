@@ -63,9 +63,11 @@ type Doc struct {
 // DefaultZeroAlloc names the benchmarks whose allocs/op must be zero:
 // the heartbeat hot path, the reused-buffer snapshot path (reuse=false
 // legitimately allocates the caller's buffer once), the wire/ingest
-// frame paths and the reporter-side command decode (runs on every
-// received command with a reused record buffer).
-const DefaultZeroAlloc = `MonitorBeat|Snapshot/.*reuse=true|WireDecode|IngestFrame|CommandDecode`
+// frame paths, the reporter-side command decode (runs on every
+// received command with a reused record buffer) and the WAL producer
+// paths (ring hand-off and append, which run inside the journal and
+// treatment sinks).
+const DefaultZeroAlloc = `MonitorBeat|Snapshot/.*reuse=true|WireDecode|IngestFrame|CommandDecode|WALHandoff|WALAppend`
 
 // cpuSuffix is testing.B's GOMAXPROCS name suffix (`BenchmarkFoo-8`).
 var cpuSuffix = regexp.MustCompile(`-\d+$`)

@@ -23,11 +23,23 @@
 //	go run ./cmd/swwdd -listen :9400 -metrics :9401 &
 //	go run ./examples/remotenode -addr localhost:9400 -node 0
 //	curl -s localhost:9401/metrics | grep swwd_ingest_
+//
+// Durable history: -wal-dir streams every journaled detection,
+// treatment action and ingest counter delta to a crash-safe segmented
+// write-ahead log (internal/wal). The retained window is queryable
+// three ways: the /history HTTP endpoint (?since=10m&until=5m), the
+// offline query mode (-wal-dir d -since 1h prints the window and
+// exits without serving), and wal.Replay in code. -push-url adds a
+// push export sink delivering the /metrics payload to a collector
+// endpoint on an interval, with retry, backoff and drop accounting.
+// /healthz reports readiness: WAL writer liveness and fsync age, push
+// backlog, ingest listeners.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -42,9 +54,10 @@ import (
 	"time"
 
 	"swwd"
+	"swwd/internal/export"
 	"swwd/internal/ingest"
-	"swwd/internal/promtext"
 	"swwd/internal/treat"
+	"swwd/internal/wal"
 )
 
 // printSink streams watchdog output to stdout.
@@ -97,11 +110,51 @@ func run() error {
 	treatRecovery := flag.Int("treat-recovery", 0, "heartbeat frames a quarantined node must deliver before resuming (0 = default)")
 	treatRestart := flag.Bool("treat-restart-dependents", false, "send restart-runnables commands to dependents scaled back up after recovery")
 	treatSpec := flag.String("treat-spec", "", "JSON treatment spec file (see swwd.TreatmentSpec); mutually exclusive with -treat-deps")
+	walDir := flag.String("wal-dir", "", "directory for the durable fault-history write-ahead log (empty = WAL off)")
+	walSegBytes := flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation size in bytes")
+	walFsync := flag.Duration("wal-fsync", wal.DefaultSyncInterval, "WAL group-commit fsync cadence (<=0 fsyncs every batch)")
+	walRetain := flag.Int("wal-retain", wal.DefaultRetainSegments, "sealed WAL segments kept before retention deletes the oldest")
+	walRetainAge := flag.Duration("wal-retain-age", 0, "delete sealed WAL segments older than this (0 = no age limit)")
+	walDelta := flag.Duration("wal-delta-interval", time.Second, "cadence of ingest counter-delta records written to the WAL")
+	since := flag.Duration("since", 0, "query mode: replay the WAL window starting this long ago and exit (requires -wal-dir)")
+	until := flag.Duration("until", 0, "query mode: upper window bound, this long ago (0 = now; only with -since)")
+	pushURL := flag.String("push-url", "", "POST the /metrics payload to this URL on an interval (push export sink)")
+	pushInterval := flag.Duration("push-interval", export.DefaultPushInterval, "push sink delivery cadence")
 	flag.Parse()
+
+	if *since > 0 || *until > 0 {
+		return queryHistory(*walDir, *since, *until)
+	}
 
 	treatment, err := treatmentConfig(*treatSpec, *treatDeps, *treatRecovery, *treatRestart, *nodes)
 	if err != nil {
 		return err
+	}
+
+	// Open the WAL before the fleet: the treatment controller's action
+	// sink must exist at fleet build time.
+	var hist *wal.WAL
+	if *walDir != "" {
+		hist, err = wal.Open(*walDir,
+			wal.WithSegmentBytes(*walSegBytes),
+			wal.WithSyncInterval(*walFsync),
+			wal.WithRetainSegments(*walRetain),
+			wal.WithRetainAge(*walRetainAge))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		defer hist.Close()
+		rs := hist.Recovery()
+		fmt.Printf("swwdd: wal %s recovered segments=%d records=%d last_seq=%d torn_bytes=%d dropped_segments=%d\n",
+			*walDir, rs.Segments, rs.Records, rs.LastSeq, rs.TornBytes, rs.SegmentsDropped)
+		if treatment != nil {
+			treatment.ActionSink = func(a treat.Action, execErr bool) {
+				hist.AppendAction(wal.Action{
+					Kind: uint8(a.Kind), Node: a.Node, Cause: a.Cause,
+					SimTimeNs: int64(a.Time), ExecErr: execErr,
+				})
+			}
+		}
 	}
 
 	if *listeners <= 0 {
@@ -135,6 +188,15 @@ func run() error {
 	}
 	defer fleet.Server.Close()
 
+	if hist != nil {
+		// Stream every journaled detection into the WAL. The sink runs
+		// under the watchdog mutex; AppendDetection is one lock-free
+		// ring push (a full ring drops and counts, never blocks).
+		fleet.Watchdog.SetJournalSink(func(e swwd.JournalEntry) {
+			hist.AppendDetection(wal.FromJournal(e))
+		})
+	}
+
 	svc, err := swwd.NewService(fleet.Watchdog, *cycle)
 	if err != nil {
 		return err
@@ -144,9 +206,56 @@ func run() error {
 	}
 	defer func() { _ = svc.Stop() }()
 
+	// Ship ingest counter deltas to the WAL on a fixed cadence so
+	// replay can integrate the wire counters over any time window.
+	shipperDone := make(chan struct{})
+	shipperStop := make(chan struct{})
+	if hist != nil && *walDelta > 0 {
+		go func() {
+			defer close(shipperDone)
+			tick := time.NewTicker(*walDelta)
+			defer tick.Stop()
+			prev := fleet.Server.Stats()
+			for {
+				select {
+				case <-shipperStop:
+					return
+				case <-tick.C:
+				}
+				cur := fleet.Server.Stats()
+				if d := statsToDelta(cur.Delta(prev)); !d.IsZero() {
+					hist.AppendDelta(d)
+				}
+				prev = cur
+			}
+		}()
+	} else {
+		close(shipperDone)
+	}
+	defer func() { close(shipperStop); <-shipperDone }()
+
+	exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names, treat: fleet.Treat, wal: hist}
+	if *pushURL != "" {
+		pusher, err := export.NewPusher(export.PushConfig{
+			URL:      *pushURL,
+			Interval: *pushInterval,
+			Collect:  exp.render,
+		})
+		if err != nil {
+			return err
+		}
+		exp.push = pusher
+		pusher.Start()
+		defer pusher.Stop()
+		fmt.Printf("swwdd: pushing metrics to %s every %v\n", *pushURL, *pushInterval)
+	}
+
 	if *metrics != "" {
-		exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names, treat: fleet.Treat}
 		http.HandleFunc("/metrics", exp.handle)
+		http.Handle("/healthz", healthFor(fleet, hist, exp.push, *walFsync, *pushInterval))
+		if hist != nil {
+			http.HandleFunc("/history", historyHandler(*walDir))
+		}
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
 			return err
@@ -185,7 +294,171 @@ func run() error {
 		fmt.Printf("swwdd: treatment quarantines=%d resumes=%d scale_downs=%d scale_ups=%d active_quarantines=%d exec_errors=%d\n",
 			ts.Quarantines, ts.Resumes, ts.ScaleDowns, ts.ScaleUps, ts.ActiveQuarantines, ts.ExecErrors)
 	}
+	if hist != nil {
+		ws := hist.Stats()
+		fmt.Printf("swwdd: wal appended=%d dropped=%d synced=%d synced_seq=%d syncs=%d bytes=%d rotations=%d segments=%d write_errors=%d\n",
+			ws.Appended, ws.Dropped, ws.Synced, ws.SyncedSeq, ws.Syncs, ws.BytesWritten, ws.Rotations, ws.Segments, ws.WriteErrors)
+	}
+	if exp.push != nil {
+		ps := exp.push.Stats()
+		fmt.Printf("swwdd: push collected=%d delivered=%d retries=%d errors=%d dropped=%d\n",
+			ps.Collected, ps.Delivered, ps.Retries, ps.Errors, ps.Dropped)
+	}
 	return nil
+}
+
+// statsToDelta maps an ingest counter difference onto the WAL's
+// fixed-size delta record.
+func statsToDelta(d ingest.Stats) wal.Delta {
+	return wal.Delta{
+		Frames:           d.Frames,
+		Bytes:            d.Bytes,
+		Accepted:         d.Accepted,
+		DecodeErrors:     d.DecodeErrors,
+		UnknownNode:      d.UnknownNode,
+		SeqGaps:          d.SeqGaps,
+		SeqGapEvents:     d.SeqGapEvents,
+		DuplicateDrops:   d.DuplicateDrops,
+		NodeRestarts:     d.NodeRestarts,
+		StaleEpochDrops:  d.StaleEpochDrops,
+		IntervalMismatch: d.IntervalMismatch,
+		DroppedPackets:   d.DroppedPackets,
+		BuffersExhausted: d.BuffersExhausted,
+		ReadErrors:       d.ReadErrors,
+		CommandsSent:     d.CommandsSent,
+		CommandsAcked:    d.CommandsAcked,
+		CommandsDropped:  d.CommandsDropped,
+		CommandStaleAcks: d.CommandStaleAcks,
+	}
+}
+
+// queryHistory is the offline query mode: replay the WAL, fold the
+// [since, until] window ("this long ago" durations) into the
+// Snapshot-equivalent view and print both as JSON, then exit.
+func queryHistory(dir string, since, until time.Duration) error {
+	if dir == "" {
+		return fmt.Errorf("-since/-until require -wal-dir")
+	}
+	if until > 0 && until > since {
+		return fmt.Errorf("-until (%v ago) must not be earlier than -since (%v ago)", until, since)
+	}
+	h, err := wal.Replay(dir)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	sinceNs := int64(0)
+	if since > 0 {
+		sinceNs = now.Add(-since).UnixNano()
+	}
+	untilNs := int64(0)
+	if until > 0 {
+		untilNs = now.Add(-until).UnixNano()
+	}
+	win := h.Window(sinceNs, untilNs)
+	view := (&wal.History{Records: win}).View()
+	out := struct {
+		Dir          string `json:"dir"`
+		Segments     int    `json:"segments"`
+		TornBytes    int64  `json:"torn_bytes"`
+		TotalRecords int    `json:"total_records"`
+		Window       struct {
+			SinceNs int64 `json:"since_ns"`
+			UntilNs int64 `json:"until_ns"`
+			Records int   `json:"records"`
+		} `json:"window"`
+		View wal.View `json:"view"`
+	}{Dir: dir, Segments: h.Segments, TornBytes: h.TornBytes, TotalRecords: len(h.Records), View: view}
+	out.Window.SinceNs = sinceNs
+	out.Window.UntilNs = untilNs
+	out.Window.Records = len(win)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// historyHandler serves the /history endpoint: a read-only WAL replay
+// folded over an optional ?since=10m&until=5m window (durations ago).
+func historyHandler(dir string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var since, until time.Duration
+		var err error
+		if v := r.URL.Query().Get("since"); v != "" {
+			if since, err = time.ParseDuration(v); err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := r.URL.Query().Get("until"); v != "" {
+			if until, err = time.ParseDuration(v); err != nil {
+				http.Error(w, "bad until: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		h, err := wal.Replay(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		now := time.Now()
+		sinceNs := int64(0)
+		if since > 0 {
+			sinceNs = now.Add(-since).UnixNano()
+		}
+		untilNs := int64(0)
+		if until > 0 {
+			untilNs = now.Add(-until).UnixNano()
+		}
+		win := h.Window(sinceNs, untilNs)
+		view := (&wal.History{Records: win}).View()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Records int      `json:"records"`
+			View    wal.View `json:"view"`
+		}{Records: len(win), View: view})
+	}
+}
+
+// healthFor assembles the /healthz probe set: WAL writer liveness and
+// fsync age, push-sink delivery and backlog, ingest listeners.
+func healthFor(fleet *ingest.Fleet, hist *wal.WAL, push *export.Pusher, fsync, pushEvery time.Duration) *export.Health {
+	h := &export.Health{}
+	h.Register(func() export.Check {
+		st := fleet.Server.Stats()
+		return export.Check{
+			Name:    "ingest",
+			Healthy: st.Listeners > 0,
+			Detail:  fmt.Sprintf("listeners=%d nodes=%d", st.Listeners, st.Nodes),
+		}
+	})
+	if hist != nil {
+		stale := 4 * fsync
+		if stale < 2*time.Second {
+			stale = 2 * time.Second
+		}
+		h.Register(func() export.Check {
+			st := hist.Stats()
+			detail := fmt.Sprintf("synced_seq=%d ring_depth=%d write_errors=%d", st.SyncedSeq, st.RingDepth, st.WriteErrors)
+			if st.LastSyncNs > 0 {
+				detail += fmt.Sprintf(" fsync_age=%v", time.Duration(time.Now().UnixNano()-st.LastSyncNs).Round(time.Millisecond))
+			}
+			return export.Check{Name: "wal", Healthy: hist.Healthy(stale), Detail: detail}
+		})
+	}
+	if push != nil {
+		stale := 4 * pushEvery
+		h.Register(func() export.Check {
+			st := push.Stats()
+			return export.Check{
+				Name:    "push",
+				Healthy: push.Healthy(stale),
+				Detail:  fmt.Sprintf("delivered=%d dropped=%d backlog=%d", st.Delivered, st.Dropped, st.Backlog),
+			}
+		})
+	}
+	return h
 }
 
 // treatmentConfig derives the fleet treatment configuration from the
@@ -226,30 +499,54 @@ func treatmentConfig(specPath, deps string, recovery int, restart bool, nodes in
 	return &ingest.TreatmentConfig{Edges: edges, Policy: pol}, nil
 }
 
-// exporter renders the combined telemetry: the watchdog snapshot plus
-// the ingestion server's wire counters, with one reused buffer.
+// exporter renders the combined telemetry — the watchdog snapshot, the
+// ingestion server's wire counters, treatment, WAL and push-sink
+// accounting — with one reused buffer. The same rendering backs the
+// /metrics pull endpoint and the push sink's Collect.
 type exporter struct {
 	svc   *swwd.Service
 	srv   *ingest.Server
 	names []string
 	treat *treat.Controller // nil when the control plane is off
+	wal   *wal.WAL          // nil when -wal-dir is off
+	push  *export.Pusher    // nil when -push-url is off
 
 	mu   sync.Mutex
 	snap swwd.Snapshot
 	buf  bytes.Buffer
 }
 
+// render writes the full exposition into out (used by the push sink).
+func (e *exporter) render(out *bytes.Buffer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.renderLocked()
+	out.Write(e.buf.Bytes())
+}
+
+// renderLocked fills e.buf; callers hold e.mu.
+func (e *exporter) renderLocked() {
+	e.svc.SnapshotInto(&e.snap)
+	e.buf.Reset()
+	export.WriteSnapshot(&e.buf, &e.snap, e.names)
+	export.WriteJournalSeq(&e.buf, e.snap.Journal)
+	export.WriteIngest(&e.buf, e.srv.Stats())
+	export.WriteIngestDetail(&e.buf, e.srv.ListenerStats(), e.srv.ShardStats())
+	if e.treat != nil {
+		export.WriteTreat(&e.buf, e.treat.Stats())
+	}
+	if e.wal != nil {
+		export.WriteWAL(&e.buf, e.wal.Stats())
+	}
+	if e.push != nil {
+		export.WritePush(&e.buf, e.push.Stats())
+	}
+}
+
 func (e *exporter) handle(w http.ResponseWriter, _ *http.Request) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.svc.SnapshotInto(&e.snap)
-	e.buf.Reset()
-	promtext.WriteSnapshot(&e.buf, &e.snap, e.names)
-	promtext.WriteIngest(&e.buf, e.srv.Stats())
-	promtext.WriteIngestDetail(&e.buf, e.srv.ListenerStats(), e.srv.ShardStats())
-	if e.treat != nil {
-		promtext.WriteTreat(&e.buf, e.treat.Stats())
-	}
+	e.renderLocked()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(e.buf.Bytes())
 }

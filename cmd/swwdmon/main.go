@@ -68,7 +68,9 @@ func run() error {
 	specPath := flag.String("spec", "", "path to the system spec (JSON)")
 	duration := flag.Duration("duration", 0, "stop after this long (0 = until stdin closes)")
 	quiet := flag.Bool("quiet", false, "suppress per-fault output, print state changes and the final summary only")
-	metrics := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	metrics := flag.String("metrics", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	pushURL := flag.String("push-url", "", "POST the /metrics payload to this URL on an interval (push export sink)")
+	pushInterval := flag.Duration("push-interval", 0, "push sink delivery cadence (0 = export default)")
 	flag.Parse()
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
@@ -101,14 +103,23 @@ func run() error {
 	defer svc.Stop()
 	fmt.Printf("monitoring %d runnables, cycle %v\n", sys.Model.NumRunnables(), sys.Watchdog.CyclePeriod())
 
-	if *metrics != "" {
+	if *metrics != "" || *pushURL != "" {
 		ms := newMetricsServer(svc, sys)
-		go func() {
-			if err := ms.serve(*metrics); err != nil {
-				fmt.Fprintf(os.Stderr, "swwdmon: metrics server: %v\n", err)
+		if *pushURL != "" {
+			if err := ms.startPush(*pushURL, *pushInterval); err != nil {
+				return err
 			}
-		}()
-		fmt.Printf("metrics on %s (/metrics, /debug/vars, /debug/pprof)\n", *metrics)
+			defer ms.push.Stop()
+			fmt.Printf("pushing metrics to %s\n", *pushURL)
+		}
+		if *metrics != "" {
+			go func() {
+				if err := ms.serve(*metrics); err != nil {
+					fmt.Fprintf(os.Stderr, "swwdmon: metrics server: %v\n", err)
+				}
+			}()
+			fmt.Printf("metrics on %s (/metrics, /healthz, /debug/vars, /debug/pprof)\n", *metrics)
+		}
 	}
 
 	done := make(chan error, 1)

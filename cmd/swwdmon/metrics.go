@@ -1,18 +1,22 @@
 // Metrics endpoint for swwdmon: -metrics addr serves the watchdog's
-// telemetry Snapshot in three stdlib-only forms on one listener:
+// telemetry Snapshot in stdlib-only forms on one listener:
 //
-//	/metrics     Prometheus text exposition (internal/promtext; no
+//	/metrics     Prometheus text exposition (internal/export; no
 //	             client library): per-runnable beat and fault counters,
-//	             the cumulative detection results, journal occupancy and
-//	             drop accounting, the sweep-duration histogram and the
-//	             Service tick/overrun drift counters.
+//	             the cumulative detection results, journal occupancy,
+//	             drop accounting and sequence head, the sweep-duration
+//	             histogram and the Service tick/overrun drift counters.
+//	/healthz     JSON readiness: monitoring-cycle liveness and, when
+//	             -push-url is set, the push sink's delivery health.
 //	/debug/vars  expvar JSON; the full Snapshot is published under the
 //	             "swwd" key next to the usual memstats.
 //	/debug/pprof net/http/pprof profiles.
 //
 // The exporter scrapes through Service.SnapshotInto with one reused
 // buffer behind a mutex, so a scrape allocates only the HTTP response
-// plumbing and never touches the heartbeat hot path.
+// plumbing and never touches the heartbeat hot path. The same rendering
+// backs the optional push sink (-push-url): export.Pusher delivers the
+// payload on an interval with retry, backoff and drop accounting.
 package main
 
 import (
@@ -22,16 +26,19 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"sync"
+	"time"
 
 	"swwd"
-	"swwd/internal/promtext"
+	"swwd/internal/export"
 )
 
-// metricsServer renders a Service's telemetry for scraping.
+// metricsServer renders a Service's telemetry for scraping and pushing.
 type metricsServer struct {
 	svc *swwd.Service
 	// names[i] is the spec name of runnable i, for metric labels.
 	names []string
+	// push is the optional push sink (nil without -push-url).
+	push *export.Pusher
 
 	// mu guards snap (the reused snapshot buffer) and buf (the reused
 	// exposition buffer) across concurrent scrapes.
@@ -54,23 +61,97 @@ func newMetricsServer(svc *swwd.Service, sys *swwd.System) *metricsServer {
 	return &metricsServer{svc: svc, names: names}
 }
 
+// startPush attaches a push sink delivering the /metrics payload to url
+// on the given interval.
+func (m *metricsServer) startPush(url string, interval time.Duration) error {
+	p, err := export.NewPusher(export.PushConfig{
+		URL: url, Interval: interval, Collect: m.render,
+	})
+	if err != nil {
+		return err
+	}
+	m.push = p
+	p.Start()
+	return nil
+}
+
 // serve mounts the handlers and blocks on the listener. The default mux
 // already carries expvar's /debug/vars and pprof's /debug/pprof.
 func (m *metricsServer) serve(addr string) error {
 	http.HandleFunc("/metrics", m.handleMetrics)
+	http.Handle("/healthz", m.health())
 	expvar.Publish("swwd", expvar.Func(func() any {
 		return m.svc.Snapshot()
 	}))
 	return http.ListenAndServe(addr, nil)
 }
 
+// health assembles the /healthz probe set: the monitoring cycle must
+// advance between requests, and a configured push sink must deliver.
+func (m *metricsServer) health() *export.Health {
+	h := &export.Health{}
+	var lastMu sync.Mutex
+	var lastCycle uint64
+	var lastSeen time.Time
+	h.Register(func() export.Check {
+		s := m.svc.Snapshot()
+		lastMu.Lock()
+		defer lastMu.Unlock()
+		now := time.Now()
+		// Healthy unless the cycle counter sat still across two probes
+		// spaced at least two cycle periods apart.
+		healthy := true
+		if !lastSeen.IsZero() && s.Cycle == lastCycle &&
+			now.Sub(lastSeen) >= 2*m.svc.Watchdog().CyclePeriod() {
+			healthy = false
+		}
+		if s.Cycle != lastCycle || healthy {
+			lastCycle, lastSeen = s.Cycle, now
+		}
+		return export.Check{
+			Name:    "cycle",
+			Healthy: healthy,
+			Detail:  fmt.Sprintf("cycle=%d ticks=%d overruns=%d", s.Cycle, s.Driver.Ticks, s.Driver.Overruns),
+		}
+	})
+	if m.push != nil {
+		h.Register(func() export.Check {
+			st := m.push.Stats()
+			return export.Check{
+				Name:    "push",
+				Healthy: m.push.Healthy(4 * export.DefaultPushInterval),
+				Detail:  fmt.Sprintf("delivered=%d dropped=%d backlog=%d", st.Delivered, st.Dropped, st.Backlog),
+			}
+		})
+	}
+	return h
+}
+
+// render writes the full exposition into out (shared by the pull
+// endpoint and the push sink).
+func (m *metricsServer) render(out *bytes.Buffer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.renderLocked()
+	out.Write(m.buf.Bytes())
+}
+
+// renderLocked fills m.buf; callers hold m.mu.
+func (m *metricsServer) renderLocked() {
+	m.svc.SnapshotInto(&m.snap)
+	m.buf.Reset()
+	export.WriteSnapshot(&m.buf, &m.snap, m.names)
+	export.WriteJournalSeq(&m.buf, m.snap.Journal)
+	if m.push != nil {
+		export.WritePush(&m.buf, m.push.Stats())
+	}
+}
+
 // handleMetrics renders the Prometheus text exposition.
 func (m *metricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.svc.SnapshotInto(&m.snap)
-	m.buf.Reset()
-	promtext.WriteSnapshot(&m.buf, &m.snap, m.names)
+	m.renderLocked()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(m.buf.Bytes())
 }

@@ -145,6 +145,15 @@ type Config struct {
 	// disables the journal entirely. Journal writes happen only on the
 	// detection cold path, never on the healthy beat path.
 	JournalSize int
+	// JournalSink, when set, receives a copy of every journaled
+	// detection immediately after it lands in the ring, with its Seq
+	// stamped. Invoked on the detection cold path while the watchdog
+	// mutex is held, so implementations MUST be non-blocking and must
+	// not call back into the watchdog — hand the entry to a lock-free
+	// ring or drop it (the WAL shipper does exactly that). Ignored when
+	// the journal is disabled (JournalSize < 0). Replaceable at runtime
+	// via SetJournalSink.
+	JournalSink func(JournalEntry)
 	// MetricsSink, when set, receives a telemetry snapshot every
 	// MetricsEveryCycles monitoring cycles, invoked on the goroutine that
 	// called Cycle after the sweep finished. The *Snapshot points at a
@@ -241,6 +250,9 @@ type Watchdog struct {
 	ecuState HealthState
 	results  Results
 	journal  *journal // nil when Config.JournalSize < 0
+	// journalSink mirrors Config.JournalSink; guarded by mu (its only
+	// call site, journalLocked, already holds it).
+	journalSink func(JournalEntry)
 
 	// Telemetry: the Cycle-duration histogram (atomic, written once per
 	// cycle) and the reused MetricsSink snapshot buffer.
@@ -313,6 +325,7 @@ func New(cfg Config) (*Watchdog, error) {
 	w.metricsEvery = uint64(cfg.MetricsEveryCycles)
 	if cfg.JournalSize >= 0 {
 		w.journal = newJournal(cfg.JournalSize)
+		w.journalSink = cfg.JournalSink
 	}
 	disabled := &Hypothesis{}
 	for i := range w.hot {

@@ -84,15 +84,17 @@ func newJournal(size int) *journal {
 	return &journal{entries: make([]JournalEntry, cap), mask: uint64(cap) - 1}
 }
 
-// appendLocked records one entry, overwriting the oldest when full.
+// appendLocked records one entry, overwriting the oldest when full, and
+// returns the entry with its Seq stamped (for the journal sink).
 // Callers hold w.mu.
-func (j *journal) appendLocked(e JournalEntry) {
+func (j *journal) appendLocked(e JournalEntry) JournalEntry {
 	e.Seq = j.next
 	if j.next >= uint64(len(j.entries)) {
 		j.dropped++
 	}
 	j.entries[j.next&j.mask] = e
 	j.next++
+	return e
 }
 
 // lenLocked reports how many entries are currently held.
@@ -177,7 +179,7 @@ func (w *Watchdog) journalLocked(kind ErrorKind, rid runnable.ID, tid runnable.T
 		return
 	}
 	e := w.errv[rid]
-	j.appendLocked(JournalEntry{
+	stamped := j.appendLocked(JournalEntry{
 		Time:           w.clock.Now(),
 		Cycle:          cycle,
 		Kind:           kind,
@@ -194,4 +196,19 @@ func (w *Watchdog) journalLocked(kind ErrorKind, rid runnable.ID, tid runnable.T
 		ErrArrivalRate: e[1],
 		ErrProgramFlow: e[2],
 	})
+	if w.journalSink != nil {
+		w.journalSink(stamped)
+	}
+}
+
+// SetJournalSink installs (or, with nil, removes) the journal sink at
+// runtime; see Config.JournalSink for the contract. No-op when the
+// journal is disabled.
+func (w *Watchdog) SetJournalSink(fn func(JournalEntry)) {
+	if w.journal == nil {
+		return
+	}
+	w.mu.Lock()
+	w.journalSink = fn
+	w.mu.Unlock()
 }

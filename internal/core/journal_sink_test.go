@@ -1,0 +1,73 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestJournalSinkReceivesStampedEntries(t *testing.T) {
+	var sunk []JournalEntry
+	f := newFixture(t, func(cfg *Config) {
+		cfg.JournalSink = func(e JournalEntry) { sunk = append(sunk, e) }
+	})
+	f.monitorAll()
+	f.w.Heartbeat(f.a) // a beats once, b and c starve
+	cycleN(f.w, 5)     // aliveness window expires: b and c trip
+
+	entries := f.w.Journal()
+	if len(entries) != 2 {
+		t.Fatalf("journal has %d entries, want 2", len(entries))
+	}
+	if !reflect.DeepEqual(sunk, entries) {
+		t.Fatalf("sink saw %+v, journal holds %+v", sunk, entries)
+	}
+	for i, e := range sunk {
+		if e.Seq != uint64(i) {
+			t.Fatalf("sink entry %d carries seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestSetJournalSinkAtRuntime(t *testing.T) {
+	var sunk []JournalEntry
+	f := newFixture(t, nil)
+	f.monitorAll()
+	cycleN(f.w, 5) // detections before the sink exists are not replayed to it
+
+	f.w.SetJournalSink(func(e JournalEntry) { sunk = append(sunk, e) })
+	before := f.w.JournalStats().Written
+	cycleN(f.w, 5) // all three starve: another round of detections
+	after := f.w.JournalStats().Written
+
+	if got, want := uint64(len(sunk)), after-before; got != want {
+		t.Fatalf("sink saw %d entries, want the %d journaled after installation", got, want)
+	}
+	if len(sunk) == 0 {
+		t.Fatal("no detections reached the late-installed sink")
+	}
+	if sunk[0].Seq != before {
+		t.Fatalf("first sunk entry has seq %d, want %d", sunk[0].Seq, before)
+	}
+
+	f.w.SetJournalSink(nil) // removal must stick
+	n := len(sunk)
+	cycleN(f.w, 5)
+	if len(sunk) != n {
+		t.Fatalf("removed sink still invoked (%d -> %d entries)", n, len(sunk))
+	}
+}
+
+func TestJournalSinkIgnoredWhenJournalDisabled(t *testing.T) {
+	called := false
+	f := newFixture(t, func(cfg *Config) {
+		cfg.JournalSize = -1
+		cfg.JournalSink = func(JournalEntry) { called = true }
+	})
+	f.monitorAll()
+	cycleN(f.w, 10)
+	f.w.SetJournalSink(func(JournalEntry) { called = true }) // no-op too
+	cycleN(f.w, 10)
+	if called {
+		t.Fatal("journal sink invoked with the journal disabled")
+	}
+}

@@ -1,0 +1,69 @@
+package export
+
+import (
+	"bytes"
+	"fmt"
+
+	"swwd/internal/core"
+	"swwd/internal/wal"
+)
+
+// This file holds the writers added on top of the original promtext
+// set. They are separate functions — never folded into WriteSnapshot —
+// so the pre-existing families stay byte-identical (golden_test.go
+// pins them) while exporters opt into the new series by appending.
+
+// WriteJournalSeq renders the fault-journal sequence head: the Seq the
+// next journaled detection will carry. Monotonic over the watchdog's
+// lifetime, it lets a collector detect missed detections between
+// scrapes even after the ring wrapped.
+func WriteJournalSeq(b *bytes.Buffer, js core.JournalStats) {
+	Header(b, "swwd_journal_seq", "counter", "Fault-journal sequence head (Seq assigned to the next detection).")
+	fmt.Fprintf(b, "swwd_journal_seq %d\n", js.Written)
+}
+
+// WriteWAL renders the write-ahead log's counters: hand-off and drop
+// accounting on the producer side, write/fsync progress and the
+// durability horizon on the writer side, and segment lifecycle.
+func WriteWAL(b *bytes.Buffer, st wal.Stats) {
+	Header(b, "swwd_wal_appended_total", "counter", "Records accepted into the WAL hand-off ring.")
+	fmt.Fprintf(b, "swwd_wal_appended_total %d\n", st.Appended)
+	Header(b, "swwd_wal_dropped_total", "counter", "Records refused because the hand-off ring was full (producers never block).")
+	fmt.Fprintf(b, "swwd_wal_dropped_total %d\n", st.Dropped)
+	Header(b, "swwd_wal_written_total", "counter", "Records handed to the OS.")
+	fmt.Fprintf(b, "swwd_wal_written_total %d\n", st.Written)
+	Header(b, "swwd_wal_synced_total", "counter", "Records covered by a completed fsync (the durability horizon).")
+	fmt.Fprintf(b, "swwd_wal_synced_total %d\n", st.Synced)
+	Header(b, "swwd_wal_synced_seq", "counter", "Last acknowledged WAL sequence number (records at or below survive kill -9).")
+	fmt.Fprintf(b, "swwd_wal_synced_seq %d\n", st.SyncedSeq)
+	Header(b, "swwd_wal_syncs_total", "counter", "Group-commit fsync calls.")
+	fmt.Fprintf(b, "swwd_wal_syncs_total %d\n", st.Syncs)
+	Header(b, "swwd_wal_bytes_written_total", "counter", "Record bytes written to segment files.")
+	fmt.Fprintf(b, "swwd_wal_bytes_written_total %d\n", st.BytesWritten)
+	Header(b, "swwd_wal_write_errors_total", "counter", "Failed writes or fsyncs (records in a failed batch are lost).")
+	fmt.Fprintf(b, "swwd_wal_write_errors_total %d\n", st.WriteErrors)
+	Header(b, "swwd_wal_rotations_total", "counter", "Segment rotations.")
+	fmt.Fprintf(b, "swwd_wal_rotations_total %d\n", st.Rotations)
+	Header(b, "swwd_wal_segments_removed_total", "counter", "Segments deleted by retention.")
+	fmt.Fprintf(b, "swwd_wal_segments_removed_total %d\n", st.SegmentsRemoved)
+	Header(b, "swwd_wal_segments", "gauge", "Segment files currently on disk.")
+	fmt.Fprintf(b, "swwd_wal_segments %d\n", st.Segments)
+	Header(b, "swwd_wal_ring_depth", "gauge", "Records waiting in the hand-off ring.")
+	fmt.Fprintf(b, "swwd_wal_ring_depth %d\n", st.RingDepth)
+}
+
+// WritePush renders the push sink's delivery and drop accounting.
+func WritePush(b *bytes.Buffer, st PushStats) {
+	Header(b, "swwd_push_collected_total", "counter", "Payloads rendered by the push collector.")
+	fmt.Fprintf(b, "swwd_push_collected_total %d\n", st.Collected)
+	Header(b, "swwd_push_delivered_total", "counter", "Payloads accepted by the push endpoint (2xx).")
+	fmt.Fprintf(b, "swwd_push_delivered_total %d\n", st.Delivered)
+	Header(b, "swwd_push_retries_total", "counter", "Delivery re-attempts after a failure.")
+	fmt.Fprintf(b, "swwd_push_retries_total %d\n", st.Retries)
+	Header(b, "swwd_push_errors_total", "counter", "Failed delivery attempts (network error or non-2xx).")
+	fmt.Fprintf(b, "swwd_push_errors_total %d\n", st.Errors)
+	Header(b, "swwd_push_dropped_total", "counter", "Payloads lost to a full backlog or an exhausted retry budget.")
+	fmt.Fprintf(b, "swwd_push_dropped_total %d\n", st.Dropped)
+	Header(b, "swwd_push_backlog", "gauge", "Payloads queued for delivery.")
+	fmt.Fprintf(b, "swwd_push_backlog %d\n", st.Backlog)
+}

@@ -1,0 +1,54 @@
+package export
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func getHealth(t *testing.T, h *Health) (int, healthReport) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var rep healthReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad /healthz body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, rep
+}
+
+func TestHealthAllPassing(t *testing.T) {
+	var h Health
+	h.Register(func() Check { return Check{Name: "wal", Healthy: true, Detail: "fsync 12ms ago"} })
+	h.Register(func() Check { return Check{Name: "push", Healthy: true} })
+	code, rep := getHealth(t, &h)
+	if code != 200 || rep.Status != "ok" {
+		t.Fatalf("code %d status %q, want 200 ok", code, rep.Status)
+	}
+	if len(rep.Checks) != 2 || rep.Checks[0].Name != "push" || rep.Checks[1].Name != "wal" {
+		t.Fatalf("checks not sorted by name: %+v", rep.Checks)
+	}
+}
+
+func TestHealthDegraded(t *testing.T) {
+	var h Health
+	h.Register(func() Check { return Check{Name: "wal", Healthy: true} })
+	h.Register(func() Check { return Check{Name: "push", Healthy: false, Detail: "backlog full"} })
+	code, rep := getHealth(t, &h)
+	if code != 503 || rep.Status != "degraded" {
+		t.Fatalf("code %d status %q, want 503 degraded", code, rep.Status)
+	}
+	for _, c := range rep.Checks {
+		if c.Name == "push" && c.Detail != "backlog full" {
+			t.Fatalf("failure detail lost: %+v", c)
+		}
+	}
+}
+
+func TestHealthEmpty(t *testing.T) {
+	var h Health
+	code, rep := getHealth(t, &h)
+	if code != 200 || rep.Status != "ok" {
+		t.Fatalf("empty registry: code %d status %q", code, rep.Status)
+	}
+}

@@ -1,9 +1,18 @@
-// Package promtext renders watchdog telemetry as Prometheus text
-// exposition format 0.0.4 with no client library — the shared backend of
-// the cmd/swwdmon and cmd/swwdd /metrics endpoints. Writers append to a
-// caller-owned bytes.Buffer, so an exporter that retains its buffer and
-// snapshot allocates only HTTP plumbing per scrape.
-package promtext
+// Package export is the unified telemetry-export layer: one set of
+// writers renders watchdog telemetry as Prometheus text exposition
+// format 0.0.4 with no client library, and pluggable sinks move the
+// rendered payload out — the pull path behind the cmd/swwdmon and
+// cmd/swwdd /metrics endpoints, and a batched push client (Pusher) with
+// retry, backoff and drop accounting for deployments where the
+// collector cannot scrape. Writers append to a caller-owned
+// bytes.Buffer, so an exporter that retains its buffer and snapshot
+// allocates only HTTP plumbing per scrape.
+//
+// This file holds the text writers (formerly package promtext); their
+// output is pinned byte-for-byte by the golden-file tests in
+// golden_test.go, so dashboards keyed on the existing series never see
+// a format change.
+package export
 
 import (
 	"bytes"

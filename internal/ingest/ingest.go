@@ -241,6 +241,37 @@ type Stats struct {
 	Listeners int
 }
 
+// Delta returns the field-wise counter difference s - prev: what
+// happened between two Stats() reads. The WAL shipper persists these
+// increments so replay can integrate the counter series back over any
+// time window. The Nodes and Listeners gauges are copied from s, not
+// differenced. Counters are monotonic, so with prev taken earlier every
+// delta field is non-negative.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Frames:           s.Frames - prev.Frames,
+		Bytes:            s.Bytes - prev.Bytes,
+		Accepted:         s.Accepted - prev.Accepted,
+		DecodeErrors:     s.DecodeErrors - prev.DecodeErrors,
+		UnknownNode:      s.UnknownNode - prev.UnknownNode,
+		SeqGaps:          s.SeqGaps - prev.SeqGaps,
+		SeqGapEvents:     s.SeqGapEvents - prev.SeqGapEvents,
+		DuplicateDrops:   s.DuplicateDrops - prev.DuplicateDrops,
+		NodeRestarts:     s.NodeRestarts - prev.NodeRestarts,
+		StaleEpochDrops:  s.StaleEpochDrops - prev.StaleEpochDrops,
+		IntervalMismatch: s.IntervalMismatch - prev.IntervalMismatch,
+		DroppedPackets:   s.DroppedPackets - prev.DroppedPackets,
+		BuffersExhausted: s.BuffersExhausted - prev.BuffersExhausted,
+		ReadErrors:       s.ReadErrors - prev.ReadErrors,
+		CommandsSent:     s.CommandsSent - prev.CommandsSent,
+		CommandsAcked:    s.CommandsAcked - prev.CommandsAcked,
+		CommandsDropped:  s.CommandsDropped - prev.CommandsDropped,
+		CommandStaleAcks: s.CommandStaleAcks - prev.CommandStaleAcks,
+		Nodes:            s.Nodes,
+		Listeners:        s.Listeners,
+	}
+}
+
 // ListenerStat is the per-listener slice of the ingestion counters,
 // reported by Server.ListenerStats in listener order.
 type ListenerStat struct {

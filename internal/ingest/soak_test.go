@@ -32,8 +32,8 @@ import (
 
 	"swwd"
 	"swwd/internal/core"
+	"swwd/internal/export"
 	"swwd/internal/ingest"
-	"swwd/internal/promtext"
 	"swwd/swwdclient"
 )
 
@@ -220,8 +220,8 @@ func TestIngestSoak(t *testing.T) {
 	// ...and visible in the rendered /metrics exposition.
 	var buf bytes.Buffer
 	snap := svc.Snapshot()
-	promtext.WriteSnapshot(&buf, &snap, fleet.Names)
-	promtext.WriteIngest(&buf, st)
+	export.WriteSnapshot(&buf, &snap, fleet.Names)
+	export.WriteIngest(&buf, st)
 	needle := fmt.Sprintf("swwd_runnable_faults_total{runnable=%q,kind=\"aliveness\"}", fleet.Names[int(victimLink)])
 	if !strings.Contains(buf.String(), needle+" ") {
 		t.Fatalf("metrics exposition lacks %s", needle)

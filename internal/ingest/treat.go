@@ -26,6 +26,11 @@ type TreatmentConfig struct {
 	// EventQueue is the controller queue depth; zero means
 	// treat.DefaultEventQueue.
 	EventQueue int
+	// ActionSink is passed through to treat.Options.ActionSink: it
+	// receives every executed action on the controller's policy
+	// goroutine and must be non-blocking (the swwdd WAL shipper streams
+	// actions to the write-ahead log through it).
+	ActionSink func(a treat.Action, execErr bool)
 }
 
 // treatExecutor applies treatment actions to a fleet: watchdog
@@ -153,7 +158,8 @@ func buildTreatment(f *Fleet, cfg *TreatmentConfig, clock sim.Clock, sink *treat
 	if err != nil {
 		return err
 	}
-	ctrl := treat.NewController(g, cfg.Policy, treatExecutor{f: f}, clock, treat.Options{EventQueue: cfg.EventQueue})
+	ctrl := treat.NewController(g, cfg.Policy, treatExecutor{f: f}, clock,
+		treat.Options{EventQueue: cfg.EventQueue, ActionSink: cfg.ActionSink})
 	f.Treat = ctrl
 	sink.ctrl.Store(ctrl)
 	hookCtrl.Store(ctrl)

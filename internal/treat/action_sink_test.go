@@ -1,0 +1,63 @@
+package treat
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"swwd/internal/sim"
+)
+
+// TestActionSinkStreamsExecutedActions verifies Options.ActionSink sees
+// every action in execution order, after the executor ran, with the
+// executor's error flagged.
+func TestActionSinkStreamsExecutedActions(t *testing.T) {
+	g, err := NewGraph([]uint32{1, 2}, []Edge{{Node: 2, DependsOn: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := &recordingExec{fail: true} // every execution errors
+	var mu sync.Mutex
+	var sunk []Action
+	var errs []bool
+	c := NewController(g, Policy{RecoveryFrames: 2}, exec, sim.NewManualClock(), Options{
+		ActionSink: func(a Action, execErr bool) {
+			mu.Lock()
+			sunk = append(sunk, a)
+			errs = append(errs, execErr)
+			mu.Unlock()
+		},
+	})
+	defer c.Close()
+
+	c.OnLinkFault(1) // quarantine 1, scale down / notify its dependent
+	waitFor(t, "sink to catch the action log", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(sunk) >= 2 && len(sunk) == len(c.Actions())
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got, want := sunk, c.Actions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sink stream %+v diverges from action log %+v", got, want)
+	}
+	for i, e := range errs {
+		if !e {
+			t.Fatalf("action %d: executor failed but sink saw execErr=false", i)
+		}
+	}
+}
+
+// TestActionSinkAbsent pins that a nil sink costs nothing and changes
+// nothing.
+func TestActionSinkAbsent(t *testing.T) {
+	g, err := NewGraph([]uint32{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := &recordingExec{}
+	c := NewController(g, Policy{}, exec, sim.NewManualClock(), Options{})
+	defer c.Close()
+	c.OnLinkFault(1)
+	waitFor(t, "quarantine", func() bool { return len(exec.snapshot()) >= 1 })
+}

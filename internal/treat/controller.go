@@ -55,6 +55,12 @@ type Options struct {
 	// EventQueue is the event channel depth. Zero means
 	// DefaultEventQueue.
 	EventQueue int
+	// ActionSink, when set, receives every emitted action from the
+	// single policy goroutine, after the executor ran; execErr reports
+	// whether execution returned an error. Implementations must be
+	// non-blocking — the WAL shipper hands the action to a lock-free
+	// ring — and must not call back into the controller.
+	ActionSink func(a Action, execErr bool)
 }
 
 // Controller runs the treatment engine against live events. Detection
@@ -67,6 +73,7 @@ type Controller struct {
 	eng   *Engine
 	exec  Executor
 	clock sim.Clock
+	sink  func(Action, bool)
 
 	events chan Event
 	stop   chan struct{}
@@ -112,6 +119,7 @@ func NewController(g *Graph, pol Policy, exec Executor, clock sim.Clock, opts Op
 		eng:    NewEngine(g, pol),
 		exec:   exec,
 		clock:  clock,
+		sink:   opts.ActionSink,
 		events: make(chan Event, opts.EventQueue),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -191,10 +199,15 @@ func (c *Controller) run() {
 				case ActRestartRunnables:
 					c.restarts.Add(1)
 				}
+				execErr := false
 				if c.exec != nil {
 					if err := c.exec.Execute(a); err != nil {
 						c.execErrs.Add(1)
+						execErr = true
 					}
+				}
+				if c.sink != nil {
+					c.sink(a, execErr)
 				}
 			}
 			if refresh {

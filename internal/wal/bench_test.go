@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWALHandoff measures the pure lock-free ring hand-off — the
+// cost a producer (the journal sink, inside the watchdog's cold-path
+// mutex) pays to get a record off its goroutine. Gated zero-alloc in
+// cmd/benchdiff: the detection path must never allocate for history.
+func BenchmarkWALHandoff(b *testing.B) {
+	r := newRing(1024)
+	rec := Record{Kind: KindDetection, Det: det(1)}
+	var out Record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.push(&rec)
+		r.pop(&out)
+	}
+}
+
+// BenchmarkWALAppend measures the full producer-side append: stamp,
+// ring push, writer wake. The writer goroutine drains concurrently into
+// a real segment file; a saturated ring degrades to a counted drop, so
+// the figure bounds what a detection burst can ever cost the hot side.
+// Gated zero-alloc in cmd/benchdiff.
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := Open(b.TempDir(),
+		WithSegmentBytes(1<<30), WithRingSize(1<<16), WithSyncInterval(time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	d := det(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.AppendDetection(d)
+	}
+	b.StopTimer()
+	st := w.Stats()
+	b.ReportMetric(float64(st.Dropped)/float64(b.N), "dropfrac")
+}
+
+// BenchmarkWALEncodeRecord measures the writer-side encode of one
+// detection frame.
+func BenchmarkWALEncodeRecord(b *testing.B) {
+	rec := Record{Seq: 1, TimeNs: 1, Kind: KindDetection, Det: det(1)}
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendRecord(buf[:0], &rec)
+	}
+}
+
+// BenchmarkWALReplay measures full-log replay throughput (MB/s) over a
+// multi-segment directory of detection records.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Open(dir, WithSegmentBytes(1<<20), WithRetainSegments(1_000_000),
+		WithSyncInterval(time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 50_000
+	for i := uint64(1); i <= n; i++ {
+		for !w.AppendDetection(det(i)) {
+		}
+	}
+	if err := w.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	bytes := int64(w.Stats().BytesWritten)
+	w.Close()
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := Replay(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(h.Records) != n {
+			b.Fatalf("replayed %d records", len(h.Records))
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package wal
+
+// Crash-recovery harness: the parent test re-execs this test binary as
+// a writer child (TestWALCrashWriterHelper), lets it append and
+// group-commit against a shared directory while reporting every
+// acknowledged (fsync-covered) sequence number on stdout, then SIGKILLs
+// it at an arbitrary moment — mid-append, mid-group-commit, mid-
+// rotation, wherever the clock lands. The invariant under test is the
+// WAL's durability contract:
+//
+//   - every record acknowledged before the kill replays intact and in
+//     order (bit-identical to the reference the generator rebuilds),
+//   - the unsynced tail is truncated by recovery and accounted, never
+//     silently mangled into the history,
+//   - a reopened writer continues the sequence without gaps.
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	crashHelperEnv = "SWWD_WAL_CRASH_HELPER"
+	crashDirEnv    = "SWWD_WAL_CRASH_DIR"
+	walSoakEnv     = "SWWD_WAL_SOAK"
+)
+
+// TestWALCrashWriterHelper is the re-exec'd child, not a test: it
+// appends deterministic detections as fast as it can, explicitly
+// group-commits every few records and prints "SYNCED <seq>" after each
+// completed fsync until it is killed.
+func TestWALCrashWriterHelper(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("crash-harness child; run via TestWALCrashRecovery")
+	}
+	dir := os.Getenv(crashDirEnv)
+	w, err := Open(dir,
+		WithSegmentBytes(4096),        // rotate often: crashes land near boundaries too
+		WithRetainSegments(1_000_000), // the parent replays from seq 1
+		WithSyncInterval(time.Millisecond))
+	if err != nil {
+		fmt.Printf("OPENFAIL %v\n", err)
+		os.Exit(1)
+	}
+	for i := w.Recovery().LastSeq + 1; ; i++ {
+		if !w.AppendDetection(det(i)) {
+			// Ring full: let the writer catch up, retry the same record.
+			i--
+			continue
+		}
+		if i%7 == 0 {
+			if err := w.Sync(); err != nil {
+				fmt.Printf("SYNCFAIL %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("SYNCED %d\n", w.Stats().SyncedSeq)
+		}
+	}
+}
+
+// crashRound runs one child against dir, kills it after killAfter, and
+// returns the last sequence number the child acknowledged.
+func crashRound(t *testing.T, dir string, killAfter time.Duration) uint64 {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestWALCrashWriterHelper$")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1", crashDirEnv+"="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	acked := make(chan uint64, 4096)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if seq, ok := strings.CutPrefix(line, "SYNCED "); ok {
+				n, err := strconv.ParseUint(seq, 10, 64)
+				if err == nil {
+					acked <- n
+				}
+				continue
+			}
+			// Anything else is a child failure report.
+			panic("wal crash child: " + line)
+		}
+		close(acked)
+	}()
+
+	// Wait for the first ack so the kill always lands on a live log,
+	// then let the child run and pull the trigger mid-flight.
+	var lastAcked uint64
+	select {
+	case lastAcked = <-acked:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("child produced no ack within 10s")
+	}
+	deadline := time.After(killAfter)
+drain:
+	for {
+		select {
+		case n, ok := <-acked:
+			if !ok {
+				break drain
+			}
+			lastAcked = n
+		case <-deadline:
+			break drain
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no deferred cleanup runs
+		t.Fatalf("kill: %v", err)
+	}
+	// Collect stragglers the pipe still holds: an fsync that completed
+	// before the kill counts as acknowledged even if we read its report
+	// after pulling the trigger.
+	for n := range acked {
+		lastAcked = n
+	}
+	_ = cmd.Wait()
+	if lastAcked == 0 {
+		t.Fatal("child acknowledged nothing")
+	}
+	return lastAcked
+}
+
+// verifyAfterCrash asserts the durability contract for dir after a
+// kill: the acknowledged prefix replays bit-identically, recovery
+// truncates and accounts the tail, and the log accepts appends again.
+func verifyAfterCrash(t *testing.T, dir string, lastAcked uint64) {
+	t.Helper()
+	// Read-only replay of the crashed directory. The history must be a
+	// clean contiguous prefix from seq 1 covering at least lastAcked;
+	// anything beyond it is the unacknowledged-but-written tail, which
+	// may legitimately survive.
+	h, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FirstSeq != 1 {
+		t.Fatalf("replay starts at seq %d, want 1", h.FirstSeq)
+	}
+	if h.LastSeq < lastAcked {
+		t.Fatalf("replay ends at seq %d, but %d was acknowledged", h.LastSeq, lastAcked)
+	}
+	for i, r := range h.Records {
+		wantSeq := uint64(i) + 1
+		if r.Seq != wantSeq {
+			t.Fatalf("record %d carries seq %d", i, r.Seq)
+		}
+		if r.Kind != KindDetection || !reflect.DeepEqual(r.Det, det(wantSeq)) {
+			t.Fatalf("record %d not bit-identical to reference: %+v", i, r.Det)
+		}
+	}
+
+	// The replayed view of the acknowledged prefix must be bit-identical
+	// to the reference view built from the generator alone.
+	ackedHist := &History{Records: h.Records[:lastAcked]}
+	ref := &History{}
+	for i := uint64(1); i <= lastAcked; i++ {
+		ref.Records = append(ref.Records, Record{Seq: i, Kind: KindDetection, Det: det(i)})
+	}
+	if got, want := ackedHist.View(), ref.View(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("acknowledged view diverges from reference:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Recovery truncates whatever torn tail the kill produced; the
+	// reopened log must be append-ready and replay clean afterwards.
+	w, err := Open(dir, WithRetainSegments(1_000_000), WithSyncInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := w.Recovery()
+	if rs.LastSeq < lastAcked {
+		t.Fatalf("recovery lost acknowledged records: recovered to %d, acked %d", rs.LastSeq, lastAcked)
+	}
+	if rs.LastSeq != h.LastSeq {
+		t.Fatalf("recovery kept %d, read-only replay saw %d", rs.LastSeq, h.LastSeq)
+	}
+	probe := rs.LastSeq + 1
+	if !w.AppendDetection(det(probe)) {
+		t.Fatal("post-recovery append refused")
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TornBytes != 0 || h2.TornSegments != 0 {
+		t.Fatalf("post-recovery replay still torn: %+v", h2)
+	}
+	if h2.LastSeq != probe {
+		t.Fatalf("post-recovery replay ends at %d, want %d", h2.LastSeq, probe)
+	}
+	// Remove the probe so a following round's generator stays aligned
+	// with the sequence numbers (probe == det(probe) by construction,
+	// so nothing is actually misaligned — rounds simply continue).
+}
+
+// TestWALCrashRecovery is the tier-1 crash test: three kill -9 rounds
+// against one directory, each verifying the durability contract and
+// chaining recovery into the next round's writer.
+func TestWALCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	for round, killAfter := range []time.Duration{
+		60 * time.Millisecond, 35 * time.Millisecond, 90 * time.Millisecond,
+	} {
+		lastAcked := crashRound(t, dir, killAfter)
+		verifyAfterCrash(t, dir, lastAcked)
+		t.Logf("round %d: killed after %v, acked seq %d verified", round, killAfter, lastAcked)
+	}
+}
+
+// TestWALCrashSoak is the long randomized tier (make wal-soak): many
+// rounds with jittered kill points, exercising kills during rotation,
+// group commit and recovery itself.
+func TestWALCrashSoak(t *testing.T) {
+	if os.Getenv(walSoakEnv) == "" {
+		t.Skipf("set %s=1 (make wal-soak) to run the randomized crash soak", walSoakEnv)
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		killAfter := time.Duration(10+rng.Intn(120)) * time.Millisecond
+		lastAcked := crashRound(t, dir, killAfter)
+		verifyAfterCrash(t, dir, lastAcked)
+		t.Logf("round %d/%d: killed after %v, acked seq %d verified", round+1, rounds, killAfter, lastAcked)
+	}
+}

@@ -1,0 +1,97 @@
+package wal
+
+import "sync/atomic"
+
+// ring is a bounded lock-free MPMC queue of Records (Vyukov's array
+// queue): producers are the journal sink, the treatment action sink and
+// the delta shipper — any goroutine, possibly inside the watchdog's
+// cold-path mutex — and the consumer is the single writer goroutine.
+// push never blocks and never allocates: a full ring refuses the record
+// and the caller counts a drop, so the detection path can never stall
+// on disk. Each cell's sequence atomic carries the acquire/release
+// ordering for the plain Record copy it guards.
+type ring struct {
+	mask  uint64
+	cells []cell
+
+	_   [56]byte // keep enq and deq on separate cache lines
+	enq atomic.Uint64
+	_   [56]byte
+	deq atomic.Uint64
+}
+
+type cell struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// newRing builds a queue with capacity size rounded up to a power of
+// two (minimum 2).
+func newRing(size int) *ring {
+	n := 2
+	for n < size {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n) - 1, cells: make([]cell, n)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues a copy of rec, reporting false when the ring is full.
+func (r *ring) push(rec *Record) bool {
+	pos := r.enq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				c.rec = *rec
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			return false
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues the oldest record into rec, reporting false when the
+// ring is empty.
+func (r *ring) pop(rec *Record) bool {
+	pos := r.deq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch d := int64(seq) - int64(pos+1); {
+		case d == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				*rec = c.rec
+				c.seq.Store(pos + uint64(len(r.cells)))
+				return true
+			}
+			pos = r.deq.Load()
+		case d < 0:
+			return false
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// depth approximates the queued record count (racy, for telemetry).
+func (r *ring) depth() int {
+	d := int64(r.enq.Load()) - int64(r.deq.Load())
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(len(r.cells)) {
+		d = int64(len(r.cells))
+	}
+	return int(d)
+}

@@ -89,6 +89,17 @@ func WithoutJournal() Option {
 	return func(cfg *Config) { cfg.JournalSize = -1 }
 }
 
+// WithJournalSink installs a per-detection callback: every journaled
+// detection is handed to sink, Seq stamped, immediately after it lands
+// in the ring. The sink runs on the detection cold path while the
+// watchdog's internal mutex is held, so it MUST be non-blocking and
+// must not call back into the watchdog — hand the entry off to a
+// lock-free ring (the WAL does) or drop it. Ignored together with
+// WithoutJournal. Watchdog.SetJournalSink replaces it at runtime.
+func WithJournalSink(sink func(JournalEntry)) Option {
+	return func(cfg *Config) { cfg.JournalSink = sink }
+}
+
 // WithMetricsSink installs a telemetry callback: every everyCycles
 // monitoring cycles (zero means 100) the watchdog assembles a Snapshot
 // and hands it to sink on the goroutine that drove the Cycle. The
