@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-baseline bench-gate soak soak-scale wal-soak cover experiments examples clean
+.PHONY: all build vet test test-short race bench bench-hotpath bench-json bench-suite bench-baseline bench-gate soak soak-scale wal-soak chaos chaos-smoke cover experiments examples clean
 
 all: build vet test
 
@@ -54,6 +54,27 @@ bench-json:
 		-benchmem -benchtime $(BENCHTIME) ./internal/wal | tee bench/wal.txt
 	$(GO) run ./cmd/benchjson -o bench/BENCH_wal.json bench/wal.txt
 
+# Regenerate one benchmark suite instead of all six: pick SUITE from
+# cycle, stats, wire, treat, ingest_mt or wal. Refreshes only that
+# suite's bench/BENCH_<suite>.json; copy it over the repo-root baseline
+# by hand if the change is intentional.
+# Example: make bench-suite SUITE=wal BENCHTIME=1x
+SUITE ?= wal
+bench-suite:
+	mkdir -p bench
+	@case "$(SUITE)" in \
+	cycle)     pat='CycleSweep|Heartbeat|MonitorBeat|ConcurrentCycle|WatchdogCycle'; pkgs='.' ;; \
+	stats)     pat='Snapshot|BeatWithStats|Journal'; pkgs='.' ;; \
+	wire)      pat='WireDecode|WireEncode|CommandEncode|CommandDecode|IngestFrame'; pkgs='./internal/wire ./internal/ingest' ;; \
+	treat)     pat='TreatDecide'; pkgs='./internal/treat' ;; \
+	ingest_mt) pat='IngestMT'; pkgs='./internal/ingest' ;; \
+	wal)       pat='WALHandoff|WALAppend|WALEncodeRecord|WALReplay'; pkgs='./internal/wal' ;; \
+	*) echo "unknown SUITE '$(SUITE)' (want cycle, stats, wire, treat, ingest_mt or wal)"; exit 2 ;; \
+	esac; \
+	set -x; \
+	$(GO) test -run xxx -bench "$$pat" -benchmem -benchtime $(BENCHTIME) $$pkgs | tee bench/$(SUITE).txt && \
+	$(GO) run ./cmd/benchjson -o bench/BENCH_$(SUITE).json bench/$(SUITE).txt
+
 # Refresh the committed baselines from a fresh full-length run: the
 # per-suite documents at the repo root plus the merged gate baseline.
 bench-baseline: bench-json
@@ -93,6 +114,24 @@ wal-soak:
 # design — the fleet does not fit the race runtime.
 soak-scale:
 	SWWD_SOAK_SCALE=1 $(GO) test -run TestIngestScaledSoak -count=1 -v -timeout 15m ./internal/ingest
+
+# Deterministic chaos smoke: every named campaign under fixed seeds
+# (see internal/chaos/campaigns.go). Override the seed set with
+# SWWD_CHAOS_SEEDS (comma-separated) or a single SWWD_CHAOS_SEED; add
+# -race via GOFLAGS, e.g. make chaos-smoke GOFLAGS=-race
+SWWD_CHAOS_SEEDS ?= 1,2,3
+chaos-smoke:
+	SWWD_CHAOS_SEEDS=$(SWWD_CHAOS_SEEDS) \
+		$(GO) test -run 'TestChaosCampaigns|TestChaosBrokenOracle' -count=1 -v -timeout 20m ./internal/chaos
+
+# Randomized nightly-style chaos gate: CHAOS_RUNS generated campaigns
+# from one root seed. The run prints the root seed; re-running with
+# SWWD_CHAOS_SEED=<that seed> reproduces the identical plans and
+# verdicts. SWWD_CHAOS_OUT collects per-campaign JSON artifacts.
+CHAOS_RUNS ?= 10
+chaos:
+	SWWD_CHAOS=1 SWWD_CHAOS_RUNS=$(CHAOS_RUNS) \
+		$(GO) test -run TestChaosRandomized -count=1 -v -timeout 30m ./internal/chaos
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

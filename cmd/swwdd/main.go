@@ -34,6 +34,14 @@
 // endpoint on an interval, with retry, backoff and drop accounting.
 // /healthz reports readiness: WAL writer liveness and fsync age, push
 // backlog, ingest listeners.
+//
+// The full networked pipeline this daemon fronts — client flusher,
+// wire codec, ingest sequence/epoch discipline, link supervision and
+// treatment — is exercised adversarially by the seed-reproducible
+// chaos campaign engine (internal/chaos): `make chaos-smoke` runs the
+// named campaigns deterministically, `make chaos CHAOS_RUNS=20` the
+// randomized nightly gate. A failing run prints its root seed;
+// re-running with SWWD_CHAOS_SEED=<seed> reproduces it exactly.
 package main
 
 import (

@@ -1,0 +1,410 @@
+package chaos
+
+// The named campaign library: each entry is one adversarial condition
+// from the fault model — loss, asymmetry, duplication, reordering,
+// partitions, skew, byzantine reporters, epoch lies, restart storms,
+// treatment recovery, and process-level hangs layered under loss —
+// with an oracle pinning exactly what the stack must and must not do
+// about it. Campaign durations are sized in link grace windows (the
+// unit detection latency is specified in), not absolute time.
+//
+// Oracle-soundness invariant: every probabilistic loss rule a
+// zero-false-positive campaign uses carries a LossBurstCap strictly
+// below GraceFrames, so no window can starve by bad luck; only
+// partition campaigns — whose oracles *require* the fault — starve
+// windows on purpose.
+
+import (
+	"fmt"
+	"time"
+
+	"swwd/internal/treat"
+)
+
+// Builder constructs one named campaign for a given seed.
+type Builder struct {
+	Name  string
+	Notes string
+	Build func(seed uint64) *Scenario
+}
+
+// stdWarmup is the healthy soak before the fault phase: long enough
+// for several grace windows of clean frames, so warm-up effects never
+// bleed into the bracketed deltas.
+const stdWarmup = 400 * time.Millisecond
+
+// alwaysZero lists the counters no campaign is ever allowed to move:
+// environment failures, not injected faults.
+func alwaysZero() []string {
+	return []string{"unknown_node", "dropped_packets", "buffers_exhausted", "read_errors", "command_stale_acks"}
+}
+
+// cleanWire extends alwaysZero with every fault-induced counter except
+// the listed ones — the "nothing else moved" half of an oracle.
+func cleanWire(except ...string) []string {
+	all := []string{
+		"decode_errors", "seq_gaps", "seq_gap_events", "duplicate_drops",
+		"node_restarts", "stale_epoch_drops", "interval_mismatch",
+		"commands_sent", "commands_acked", "commands_dropped",
+	}
+	skip := make(map[string]bool, len(except))
+	for _, e := range except {
+		skip[e] = true
+	}
+	out := alwaysZero()
+	for _, name := range all {
+		if !skip[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// linkDropped returns an Extra check asserting which links the chaos
+// layer actually dropped frames on — attribution of the injection
+// itself, complementing the server-side counter assertions.
+func linkDropped(dropped []uint32, clean []uint32) func(*Result) []string {
+	return func(res *Result) []string {
+		var v []string
+		for _, n := range dropped {
+			if res.Links[n].UpDropped == 0 {
+				v = append(v, fmt.Sprintf("chaos layer dropped no frames on victim link %d", n))
+			}
+		}
+		for _, n := range clean {
+			if res.Links[n].UpDropped != 0 {
+				v = append(v, fmt.Sprintf("chaos layer dropped %d frames on non-victim link %d", res.Links[n].UpDropped, n))
+			}
+		}
+		return v
+	}
+}
+
+// Named returns the campaign library in its canonical order.
+func Named() []Builder {
+	return []Builder{
+		{
+			Name:  "baseline-quiet",
+			Notes: "no faults: the fleet soaks clean and every fault counter stays zero",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "baseline-quiet", Seed: seed,
+					Warmup: stdWarmup, Duration: 1200 * time.Millisecond,
+					Oracle: Oracle{
+						NonZero: []string{"frames", "bytes", "accepted"},
+						Zero:    cleanWire(),
+					},
+				}
+			},
+		},
+		{
+			Name:  "uniform-loss",
+			Notes: "35% loss on every link, burst-capped below the grace window: gaps counted, zero faults",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "uniform-loss", Seed: seed,
+					Topology: Topology{GraceFrames: 5},
+					Warmup:   stdWarmup, Duration: 1800 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 1500 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 1, 2, 3},
+						Rules: Rules{UpDrop: 0.35, LossBurstCap: 2},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"seq_gaps", "seq_gap_events"},
+						Zero:    cleanWire("seq_gaps", "seq_gap_events"),
+						Extra:   linkDropped([]uint32{0, 1, 2, 3}, nil),
+					},
+				}
+			},
+		},
+		{
+			Name:  "asym-loss",
+			Notes: "loss on two links only: gaps appear, and the chaos layer attributes every drop to the victims",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "asym-loss", Seed: seed,
+					Topology: Topology{GraceFrames: 5},
+					Warmup:   stdWarmup, Duration: 1800 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 1500 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 1},
+						Rules: Rules{UpDrop: 0.4, LossBurstCap: 2},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"seq_gaps", "seq_gap_events"},
+						Zero:    cleanWire("seq_gaps", "seq_gap_events"),
+						Extra:   linkDropped([]uint32{0, 1}, []uint32{2, 3}),
+					},
+				}
+			},
+		},
+		{
+			Name:  "dup-storm",
+			Notes: "heavy duplication plus byzantine replay of stale frames: every copy dropped, nothing else moves",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "dup-storm", Seed: seed,
+					Warmup: stdWarmup, Duration: 1800 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 1500 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 1, 2, 3},
+						Rules: Rules{DupProb: 0.5, ReplayProb: 0.3},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"duplicate_drops"},
+						Zero:    cleanWire("duplicate_drops"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "reorder-window",
+			Notes: "4-frame shuffled reordering on every link: gap events and duplicate drops, zero faults",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "reorder-window", Seed: seed,
+					// Reordering delays frames by up to window×interval, so
+					// the grace window must comfortably exceed the reorder
+					// window for the zero-faults assertion to be sound.
+					Topology: Topology{GraceFrames: 10},
+					Warmup:   stdWarmup, Duration: 2 * time.Second,
+					Steps: []Step{{At: 0, For: 1600 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 1, 2, 3},
+						Rules: Rules{ReorderWindow: 4},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"duplicate_drops", "seq_gap_events"},
+						Zero:    cleanWire("duplicate_drops", "seq_gaps", "seq_gap_events"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "blip-partition-all",
+			Notes: "full-fleet partition shorter than the grace window: gaps but no detection — the blip is absorbed",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "blip-partition-all", Seed: seed,
+					Topology: Topology{GraceFrames: 6},
+					Warmup:   stdWarmup, Duration: 1200 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 150 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 1, 2, 3},
+						Rules: Rules{Partition: true},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"seq_gaps", "seq_gap_events"},
+						Zero:    cleanWire("seq_gaps", "seq_gap_events"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "burst-partition-node",
+			Notes: "one node partitioned for 2.5 grace windows: its link faults, every other node stays silent",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "burst-partition-node", Seed: seed,
+					Warmup: stdWarmup, Duration: 1300 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 500 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{1},
+						Rules: Rules{Partition: true},
+					}}},
+					Oracle: Oracle{
+						Victims:       []uint32{1},
+						MustFaultLink: []uint32{1},
+						NonZero:       []string{"seq_gaps", "seq_gap_events"},
+						Zero:          cleanWire("seq_gaps", "seq_gap_events"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "clock-skew",
+			Notes: "two reporters lie about their flush cadence: interval mismatches counted, frames still replay, zero faults",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "clock-skew", Seed: seed,
+					Warmup: stdWarmup, Duration: 1600 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 1300 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 2},
+						Rules: Rules{SkewIntervalMs: 100},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"interval_mismatch"},
+						Zero:    cleanWire("interval_mismatch"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "byzantine-reporter",
+			Notes: "one reporter corrupts, replays and sends stale-epoch stragglers: each mutation lands on its own counter, zero faults anywhere",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "byzantine-reporter", Seed: seed,
+					Topology: Topology{GraceFrames: 5},
+					Warmup:   stdWarmup, Duration: 1800 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 1500 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{3},
+						Rules: Rules{CorruptProb: 0.3, LossBurstCap: 2, ReplayProb: 0.4, StaleProb: 0.3},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"decode_errors", "duplicate_drops", "stale_epoch_drops"},
+						// Corruption is also loss: a corrupted frame never
+						// reaches the sequence discipline, so the next clean
+						// frame shows a gap.
+						Zero: cleanWire("decode_errors", "duplicate_drops", "stale_epoch_drops", "seq_gaps", "seq_gap_events"),
+						Extra: func(res *Result) []string {
+							var v []string
+							l := res.Links[3]
+							if l.Corrupted == 0 || l.Replayed == 0 || l.Stale == 0 {
+								v = append(v, fmt.Sprintf("byzantine link 3 under-injected: %+v", l))
+							}
+							for n := 0; n < 3; n++ {
+								if res.Links[n] != (LinkStats{}) {
+									v = append(v, fmt.Sprintf("non-victim link %d saw chaos activity: %+v", n, res.Links[n]))
+								}
+							}
+							return v
+						},
+					},
+				}
+			},
+		},
+		{
+			Name:  "lying-epoch",
+			Notes: "one reporter claims a newer session epoch, then reverts to the truth: one spurious restart, then permanent stale drops and a link fault",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "lying-epoch", Seed: seed,
+					Warmup: stdWarmup, Duration: 1400 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 600 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{2},
+						Rules: Rules{EpochLie: 1000},
+					}}},
+					Oracle: Oracle{
+						Victims:       []uint32{2},
+						MustFaultLink: []uint32{2},
+						// The lie's onset is one epoch advance (a spurious
+						// "restart" with the session's sequence counter mid-
+						// stream, hence gaps); its revert regresses the epoch,
+						// so every truthful frame after it is stale-dropped.
+						Min:     map[string]uint64{"node_restarts": 1},
+						Max:     map[string]uint64{"node_restarts": 1},
+						NonZero: []string{"stale_epoch_drops", "seq_gaps"},
+						Zero:    cleanWire("node_restarts", "stale_epoch_drops", "seq_gaps", "seq_gap_events"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "thundering-herd",
+			Notes: "two full-fleet restart waves: exactly one restart per node per wave, no gaps, no faults",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "thundering-herd", Seed: seed,
+					Warmup: stdWarmup, Duration: 1400 * time.Millisecond,
+					Steps: []Step{
+						{At: 300 * time.Millisecond, Fault: &RestartWave{Nodes: []uint32{0, 1, 2, 3}}},
+						{At: 900 * time.Millisecond, Fault: &RestartWave{Nodes: []uint32{0, 1, 2, 3}}},
+					},
+					Oracle: Oracle{
+						Min:  map[string]uint64{"node_restarts": 8},
+						Max:  map[string]uint64{"node_restarts": 8},
+						Zero: cleanWire("node_restarts"),
+					},
+				}
+			},
+		},
+		{
+			Name:  "quarantine-recovery",
+			Notes: "partition one node under the treatment plane: quarantine plus dependent scale-down, then full recovery once frames resume, with the trace replaying exactly",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "quarantine-recovery", Seed: seed,
+					Topology: Topology{
+						Treatment: &Treatment{
+							Edges:  []treat.Edge{{Node: 2, DependsOn: 1}},
+							Policy: treat.Policy{RecoveryFrames: 3},
+						},
+					},
+					Warmup: stdWarmup, Duration: 1800 * time.Millisecond,
+					Steps: []Step{{At: 0, For: 600 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{1},
+						Rules: Rules{Partition: true},
+					}}},
+					Oracle: Oracle{
+						Victims:       []uint32{1},
+						MustFaultLink: []uint32{1},
+						NonZero:       []string{"seq_gaps", "commands_sent", "commands_acked"},
+						Zero:          alwaysZero(),
+						MustAct: []ActionMatch{
+							{Kind: treat.ActQuarantine, Node: 1},
+							{Kind: treat.ActScaleDown, Node: 2},
+							{Kind: treat.ActResume, Node: 1},
+							{Kind: treat.ActScaleUp, Node: 1},
+							{Kind: treat.ActScaleUp, Node: 2},
+						},
+						ReplayTreatment: true,
+					},
+				}
+			},
+		},
+		{
+			Name:  "hang-under-loss",
+			Notes: "a process-level runnable hang layered under link loss: the fault is attributed to the hung runnable, never the (lossy but alive) link",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "hang-under-loss", Seed: seed,
+					Topology: Topology{GraceFrames: 5},
+					Warmup:   stdWarmup, Duration: 1800 * time.Millisecond,
+					Steps: []Step{
+						{At: 0, For: 1500 * time.Millisecond, Fault: &LinkFault{
+							Nodes: []uint32{2},
+							Rules: Rules{UpDrop: 0.3, LossBurstCap: 2},
+						}},
+						// Held for several grace windows: the hang must be
+						// detected *through* the lossy link.
+						{At: 100 * time.Millisecond, For: 1200 * time.Millisecond, Fault: HangRunnable(2, 1)},
+					},
+					Oracle: Oracle{
+						Victims:           []uint32{2},
+						MustFaultRunnable: []NodeRunnable{{Node: 2, Runnable: 1}},
+						NoLinkFault:       []uint32{2},
+						NonZero:           []string{"seq_gaps"},
+						Zero:              cleanWire("seq_gaps", "seq_gap_events"),
+						Extra: func(res *Result) []string {
+							v := linkDropped([]uint32{2}, []uint32{0, 1, 3})(res)
+							// Attribution must be surgical: the victim node's
+							// *other* runnables beat on through the loss.
+							for r, fc := range res.Nodes[2].Runnables {
+								if r != 1 && fc.Any() {
+									v = append(v, fmt.Sprintf("node 2 runnable %d faulted alongside the hang: %+v", r, fc))
+								}
+							}
+							return v
+						},
+					},
+				}
+			},
+		},
+	}
+}
+
+// Build constructs the named campaign for a seed.
+func Build(name string, seed uint64) (*Scenario, error) {
+	for _, b := range Named() {
+		if b.Name == name {
+			return b.Build(seed), nil
+		}
+	}
+	return nil, fmt.Errorf("chaos: unknown campaign %q", name)
+}
+
+// All builds every named campaign, deriving each campaign's seed from
+// the root seed and its library index.
+func All(seed uint64) []*Scenario {
+	var out []*Scenario
+	for i, b := range Named() {
+		out = append(out, b.Build(Derive(seed, uint64(i))))
+	}
+	return out
+}

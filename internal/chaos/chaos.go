@@ -1,0 +1,163 @@
+// Package chaos is the campaign engine validating the networked
+// watchdog stack under adversarial conditions. The paper injects
+// errors from outside the system under test (§4.5's ControlDesk
+// sliders); internal/inject reproduces that for the simulated ECU, but
+// the networked stack of PRs 4–6 — swwdclient reporters, the wire v3
+// protocol, the ingest server, link supervision and the treatment
+// control plane — needs faults *on the wire*: loss, duplication,
+// reordering, partitions, clock skew, byzantine mutation, restart
+// storms. This package composes those into declarative, seeded
+// campaigns over the loopback soak topology and checks each against an
+// oracle that knows exactly which counters may move and which
+// link/aliveness faults may fire.
+//
+// The moving parts:
+//
+//   - Network (link.go) interposes a fault-injecting conn between each
+//     reporter and the server via swwdclient.WithDialer. Per-node Rules
+//     describe the active faults; every probabilistic decision draws
+//     from a per-node, per-direction RNG stream derived from the
+//     campaign seed.
+//   - Fault (faults.go) is one schedulable manipulation: link rules on
+//     a victim set, a restart wave, or a bridged process-level
+//     injection (internal/inject) such as hanging a runnable.
+//   - Scenario is the declarative campaign: topology, schedule of
+//     Steps, victim set and Oracle. Runtime.Run (run.go) builds the
+//     fleet, drives the schedule in real time and hands the collected
+//     Result to the oracle.
+//   - Oracle (oracle.go) asserts which ingest counters moved, which
+//     runnables faulted, that healthy nodes stayed silent, and that
+//     treat.Replay of the recorded event trace reproduces the live
+//     treatment actions.
+//
+// Reproducibility contract: the *plan* — everything the scenario will
+// do, when, to whom, with what parameters — is a pure function of
+// (scenario, seed); Scenario.Plan renders it and re-running with the
+// same seed re-derives it bit for bit. Oracles therefore assert
+// structural facts (this counter moved, that one stayed zero, this
+// runnable faulted) rather than exact counts that depend on kernel
+// scheduling.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"swwd/internal/treat"
+)
+
+// Topology sizes the loopback fleet a scenario runs against. The zero
+// value is completed by Defaults.
+type Topology struct {
+	// Nodes and RunnablesPerNode size the fleet.
+	Nodes            int
+	RunnablesPerNode int
+	// Interval is the reporters' declared flush cadence; CyclePeriod the
+	// watchdog sweep period; GraceFrames the missed-frame budget before
+	// a link aliveness fault.
+	Interval    time.Duration
+	CyclePeriod time.Duration
+	GraceFrames int
+	// BeatEvery is the beat-loop tick; several beats coalesce per frame.
+	BeatEvery time.Duration
+	// Treatment, when set, attaches the fault-treatment control plane.
+	Treatment *Treatment
+}
+
+// Treatment configures the control plane for scenarios that exercise
+// quarantine/recovery.
+type Treatment struct {
+	Edges  []treat.Edge
+	Policy treat.Policy
+}
+
+// Defaults fills unset Topology fields with the standard chaos fleet:
+// 4 nodes × 3 runnables at a 50 ms interval, 5 ms sweeps, 25 ms beats.
+func (tp Topology) Defaults() Topology {
+	if tp.Nodes == 0 {
+		tp.Nodes = 4
+	}
+	if tp.RunnablesPerNode == 0 {
+		tp.RunnablesPerNode = 3
+	}
+	if tp.Interval == 0 {
+		tp.Interval = 50 * time.Millisecond
+	}
+	if tp.CyclePeriod == 0 {
+		tp.CyclePeriod = 5 * time.Millisecond
+	}
+	if tp.GraceFrames == 0 {
+		tp.GraceFrames = 4
+	}
+	if tp.BeatEvery == 0 {
+		tp.BeatEvery = 25 * time.Millisecond
+	}
+	return tp
+}
+
+// Window is the link grace window: the silence budget before a link
+// aliveness fault.
+func (tp Topology) Window() time.Duration {
+	return time.Duration(tp.GraceFrames) * tp.Interval
+}
+
+// Fault is one schedulable manipulation. Apply activates it against
+// the running fleet, Revert removes it; Describe renders it for the
+// plan, so it must be deterministic and parameter-complete.
+type Fault interface {
+	Describe() string
+	Apply(rt *Runtime) error
+	Revert(rt *Runtime) error
+}
+
+// Step schedules one fault on the campaign timeline. At is the offset
+// from the start of the fault phase (after warm-up); For is the active
+// duration, with zero meaning one-shot (Apply only, Revert immediately
+// after — used for restart waves).
+type Step struct {
+	At    time.Duration
+	For   time.Duration
+	Fault Fault
+}
+
+// Scenario is one declarative campaign.
+type Scenario struct {
+	// Name identifies the campaign in logs, plans and artifacts.
+	Name string
+	// Seed is the campaign's root randomness; every RNG stream in the
+	// run derives from it.
+	Seed uint64
+	// Topology sizes the fleet (zero fields completed by Defaults).
+	Topology Topology
+	// Warmup is how long the healthy fleet soaks before the first step;
+	// Duration is the length of the fault phase measured from its start.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Steps is the fault schedule, offsets relative to the fault phase.
+	Steps []Step
+	// Oracle is checked against the collected Result after the run.
+	Oracle Oracle
+	// Notes documents the campaign's intent in plans and docs.
+	Notes string
+}
+
+// Plan renders everything the scenario will do — topology, schedule,
+// fault parameters — as a deterministic string. Two runs with the same
+// (scenario, seed) produce identical plans; the nightly gate records
+// the plan as the reproducibility witness.
+func (sc *Scenario) Plan() string {
+	tp := sc.Topology.Defaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %s seed=%#x\n", sc.Name, sc.Seed)
+	fmt.Fprintf(&b, "topology nodes=%d runnables=%d interval=%v cycle=%v grace=%d beat=%v treatment=%v\n",
+		tp.Nodes, tp.RunnablesPerNode, tp.Interval, tp.CyclePeriod, tp.GraceFrames, tp.BeatEvery, tp.Treatment != nil)
+	fmt.Fprintf(&b, "phase warmup=%v duration=%v\n", sc.Warmup, sc.Duration)
+	steps := append([]Step(nil), sc.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	for _, st := range steps {
+		fmt.Fprintf(&b, "step at=%v for=%v %s\n", st.At, st.For, st.Fault.Describe())
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package chaos
+
+// The schedulable fault vocabulary. LinkFault covers everything the
+// conn wrapper can do (loss, partition, duplication, reordering,
+// byzantine mutation); RestartWave restarts reporters wholesale; and
+// Injected bridges internal/inject — the process-level error-injection
+// framework of the simulated-ECU campaigns — into the networked
+// timeline, so one schedule can hang a runnable *under* network loss
+// and the oracle can check the fault is still attributed to the
+// runnable, not the link.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"swwd/internal/inject"
+)
+
+// LinkFault applies Rules to a victim set for the step's duration.
+type LinkFault struct {
+	Nodes []uint32
+	Rules Rules
+}
+
+// Describe implements Fault.
+func (f *LinkFault) Describe() string {
+	return fmt.Sprintf("link(nodes=%s rules=[%s])", nodeList(f.Nodes), f.Rules)
+}
+
+// Apply implements Fault.
+func (f *LinkFault) Apply(rt *Runtime) error {
+	for _, n := range f.Nodes {
+		rt.Network.SetRules(n, f.Rules)
+	}
+	return nil
+}
+
+// Revert implements Fault.
+func (f *LinkFault) Revert(rt *Runtime) error {
+	for _, n := range f.Nodes {
+		rt.Network.Clear(n)
+	}
+	return nil
+}
+
+// RestartWave restarts every listed reporter back to back: each victim
+// is closed and redialed, producing a fresh session epoch — the
+// thundering-herd shape when the victim set is the whole fleet.
+// One-shot: schedule it with Step.For zero.
+type RestartWave struct {
+	Nodes []uint32
+}
+
+// Describe implements Fault.
+func (f *RestartWave) Describe() string {
+	return fmt.Sprintf("restart-wave(nodes=%s)", nodeList(f.Nodes))
+}
+
+// Apply implements Fault.
+func (f *RestartWave) Apply(rt *Runtime) error {
+	for _, n := range f.Nodes {
+		if err := rt.RestartNode(n); err != nil {
+			return fmt.Errorf("restart node %d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// Revert implements Fault.
+func (f *RestartWave) Revert(*Runtime) error { return nil }
+
+// Injected wraps an inject.Injection built against the live Runtime.
+// Make runs at Apply time because the injection needs runtime state
+// (the beat loops, the fleet) that doesn't exist when the scenario is
+// declared; Describe must not depend on it.
+type Injected struct {
+	Label string
+	Make  func(rt *Runtime) inject.Injection
+
+	inj inject.Injection
+}
+
+// Describe implements Fault.
+func (f *Injected) Describe() string { return fmt.Sprintf("inject(%s)", f.Label) }
+
+// Apply implements Fault.
+func (f *Injected) Apply(rt *Runtime) error {
+	f.inj = f.Make(rt)
+	return f.inj.Apply()
+}
+
+// Revert implements Fault.
+func (f *Injected) Revert(*Runtime) error {
+	if f.inj == nil {
+		return nil
+	}
+	err := f.inj.Revert()
+	f.inj = nil
+	return err
+}
+
+// HangRunnable is the process-level hang: node's beat loop stops
+// beating runnable r while every other runnable (and the link frames
+// carrying them) flows on. Held longer than the aliveness window it
+// faults exactly that runnable.
+func HangRunnable(node uint32, r int) *Injected {
+	return &Injected{
+		Label: fmt.Sprintf("hang-runnable(node=%d r=%d)", node, r),
+		Make: func(rt *Runtime) inject.Injection {
+			return &inject.Func{
+				Label:    fmt.Sprintf("hang(node=%d r=%d)", node, r),
+				OnApply:  func() error { rt.PauseRunnable(node, r); return nil },
+				OnRevert: func() error { rt.ResumeRunnable(node, r); return nil },
+			}
+		},
+	}
+}
+
+// nodeList renders a victim set deterministically.
+func nodeList(nodes []uint32) string {
+	sorted := append([]uint32(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	parts := make([]string, len(sorted))
+	for i, n := range sorted {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,379 @@
+package chaos
+
+// The fault-injecting link layer. Network hands each reporter a dialer
+// (via swwdclient.WithDialer) whose conns route every datagram through
+// the node's active Rules: drops, duplication, reordering, partitions,
+// byzantine mutation. Interposing at the conn — rather than a proxy
+// socket — keeps per-node attribution trivial and adds no extra hop
+// whose own scheduling could perturb timing.
+//
+// Soundness note: an oracle asserting "healthy nodes raise zero
+// aliveness faults" is only deterministic if probabilistic loss can
+// never starve a whole grace window. LossBurstCap provides that bound:
+// it caps *consecutive* lost frames (drops and corruptions share the
+// counter), so a window of GraceFrames > LossBurstCap frames always
+// delivers at least one. Partitions deliberately have no such cap —
+// starving the window is their purpose.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"swwd/internal/wire"
+)
+
+// Rules is the active fault set on one node's link. The zero value is
+// a clean link. Probabilities are per-datagram in [0, 1].
+type Rules struct {
+	// Partition blackholes the reporter→server direction entirely.
+	Partition bool
+	// UpDrop / DownDrop lose heartbeat frames (up) or command frames
+	// (down) with the given probability.
+	UpDrop   float64
+	DownDrop float64
+	// LossBurstCap bounds consecutive up-direction losses (drops plus
+	// corruptions); 0 means unbounded. Campaigns whose oracles assert
+	// zero false positives must set it below GraceFrames.
+	LossBurstCap int
+	// DupProb re-sends the frame just written; ReplayProb re-sends a
+	// stashed frame from earlier in the session (a byzantine replay).
+	DupProb    float64
+	ReplayProb float64
+	// ReorderWindow > 1 buffers that many frames and releases them
+	// shuffled, delaying every frame by up to window×interval.
+	ReorderWindow int
+	// CorruptProb flips one bit in the frame's magic/version bytes — a
+	// guaranteed decode error, never a reroute to another node.
+	CorruptProb float64
+	// StaleProb sends an extra copy of the frame stamped with the
+	// previous session epoch: a stale-epoch straggler.
+	StaleProb float64
+	// EpochLie, when non-zero, is added to every frame's session epoch:
+	// the reporter claims to be a newer incarnation than it is.
+	EpochLie uint64
+	// SkewIntervalMs, when non-zero, overwrites the declared flush
+	// interval: the reporter lies about its cadence.
+	SkewIntervalMs uint32
+}
+
+// active reports whether any fault is switched on.
+func (r Rules) active() bool { return r != Rules{} }
+
+// String renders the non-zero rules for plans and logs.
+func (r Rules) String() string {
+	if !r.active() {
+		return "clean"
+	}
+	s := ""
+	add := func(format string, args ...any) {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf(format, args...)
+	}
+	if r.Partition {
+		add("partition")
+	}
+	if r.UpDrop > 0 {
+		add("updrop=%g", r.UpDrop)
+	}
+	if r.DownDrop > 0 {
+		add("downdrop=%g", r.DownDrop)
+	}
+	if r.LossBurstCap > 0 {
+		add("burstcap=%d", r.LossBurstCap)
+	}
+	if r.DupProb > 0 {
+		add("dup=%g", r.DupProb)
+	}
+	if r.ReplayProb > 0 {
+		add("replay=%g", r.ReplayProb)
+	}
+	if r.ReorderWindow > 1 {
+		add("reorder=%d", r.ReorderWindow)
+	}
+	if r.CorruptProb > 0 {
+		add("corrupt=%g", r.CorruptProb)
+	}
+	if r.StaleProb > 0 {
+		add("stale=%g", r.StaleProb)
+	}
+	if r.EpochLie != 0 {
+		add("epochlie=+%d", r.EpochLie)
+	}
+	if r.SkewIntervalMs != 0 {
+		add("skew=%dms", r.SkewIntervalMs)
+	}
+	return s
+}
+
+// LinkStats is a snapshot of one node's link-layer fault counters —
+// what the chaos layer actually did, for oracle Extra checks and run
+// artifacts.
+type LinkStats struct {
+	UpDropped   uint64
+	DownDropped uint64
+	Duplicated  uint64
+	Replayed    uint64
+	Reordered   uint64
+	Corrupted   uint64
+	Stale       uint64
+	Skewed      uint64
+	EpochLied   uint64
+}
+
+// Network owns the per-node fault state for one campaign run.
+type Network struct {
+	nodes []*nodeNet
+}
+
+// NewNetwork creates the link layer for nodes reporters, deriving each
+// node's RNG streams from the campaign seed.
+func NewNetwork(seed uint64, nodes int) *Network {
+	nw := &Network{nodes: make([]*nodeNet, nodes)}
+	for n := range nw.nodes {
+		nw.nodes[n] = &nodeNet{
+			upRNG:   NewRNG(Derive(seed, uint64(n)*2)),
+			downRNG: NewRNG(Derive(seed, uint64(n)*2+1)),
+		}
+	}
+	return nw
+}
+
+// DialerFor returns the swwdclient dialer routing node n's traffic
+// through the fault layer.
+func (nw *Network) DialerFor(n uint32) func(addr string) (net.Conn, error) {
+	nn := nw.nodes[n]
+	return func(addr string) (net.Conn, error) {
+		inner, err := net.Dial("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &linkConn{Conn: inner, nn: nn}, nil
+	}
+}
+
+// SetRules replaces node n's active rules. Dropping the reorder rule
+// flushes any buffered frames in their buffered order, so a rules
+// change never strands (and thereby loses) frames.
+func (nw *Network) SetRules(n uint32, r Rules) {
+	nn := nw.nodes[n]
+	nn.rules.Store(&r)
+	if r.ReorderWindow <= 1 {
+		nn.mu.Lock()
+		nn.flushReorderLocked(nil, nn.lastConn)
+		nn.mu.Unlock()
+	}
+}
+
+// Clear resets node n to a clean link.
+func (nw *Network) Clear(n uint32) { nw.SetRules(n, Rules{}) }
+
+// Stats snapshots node n's link-layer counters.
+func (nw *Network) Stats(n uint32) LinkStats {
+	nn := nw.nodes[n]
+	return LinkStats{
+		UpDropped:   nn.upDropped.Load(),
+		DownDropped: nn.downDropped.Load(),
+		Duplicated:  nn.duplicated.Load(),
+		Replayed:    nn.replayed.Load(),
+		Reordered:   nn.reordered.Load(),
+		Corrupted:   nn.corrupted.Load(),
+		Stale:       nn.stale.Load(),
+		Skewed:      nn.skewed.Load(),
+		EpochLied:   nn.epochLied.Load(),
+	}
+}
+
+// nodeNet is one node's fault state, shared by every conn the node
+// dials (including backoff redials).
+type nodeNet struct {
+	rules atomic.Pointer[Rules]
+
+	// mu guards the write path's mutable state. Holding it across the
+	// inner UDP write is fine — loopback sends don't block.
+	mu         sync.Mutex
+	upRNG      *RNG
+	stash      []byte   // last clean frame, for replay
+	reorder    [][]byte // buffered frames awaiting a shuffled flush
+	consecLoss int      // consecutive up-direction losses, for LossBurstCap
+	lastConn   net.Conn // most recent conn, for flushing on rules changes
+
+	// downMu guards the read path's RNG separately: Read blocks in the
+	// kernel and must not hold the write-path lock.
+	downMu  sync.Mutex
+	downRNG *RNG
+
+	upDropped   atomic.Uint64
+	downDropped atomic.Uint64
+	duplicated  atomic.Uint64
+	replayed    atomic.Uint64
+	reordered   atomic.Uint64
+	corrupted   atomic.Uint64
+	stale       atomic.Uint64
+	skewed      atomic.Uint64
+	epochLied   atomic.Uint64
+}
+
+// linkConn is the connected-UDP wrapper the dialer returns.
+type linkConn struct {
+	net.Conn
+	nn *nodeNet
+}
+
+// Write routes one outgoing heartbeat frame through the node's rules.
+// A dropped frame reports success — the reporter must not observe the
+// loss and enter its backoff path; UDP loss is silent by nature.
+func (c *linkConn) Write(b []byte) (int, error) {
+	nn := c.nn
+	rp := nn.rules.Load()
+	var r Rules
+	if rp != nil {
+		r = *rp
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.lastConn = c.Conn
+	if r.ReorderWindow <= 1 {
+		// The reorder rule was dropped since the last write: release
+		// anything still buffered ahead of this frame.
+		nn.flushReorderLocked(nil, c.Conn)
+	}
+	if !r.active() {
+		return c.Conn.Write(b)
+	}
+
+	if r.Partition {
+		nn.upDropped.Add(1)
+		return len(b), nil
+	}
+	if r.UpDrop > 0 && nn.lossAllowedLocked(r) && nn.upRNG.Chance(r.UpDrop) {
+		nn.consecLoss++
+		nn.upDropped.Add(1)
+		return len(b), nil
+	}
+
+	// Mutations work on a copy: the caller reuses its buffer, and the
+	// replay stash and reorder buffer outlive this call anyway.
+	frame := append([]byte(nil), b...)
+	corrupted := false
+	if len(frame) >= wire.HeaderSize {
+		if r.EpochLie != 0 {
+			epoch := binary.LittleEndian.Uint64(frame[8:16])
+			binary.LittleEndian.PutUint64(frame[8:16], epoch+r.EpochLie)
+			nn.epochLied.Add(1)
+		}
+		if r.SkewIntervalMs != 0 {
+			binary.LittleEndian.PutUint32(frame[40:44], r.SkewIntervalMs)
+			nn.skewed.Add(1)
+		}
+		if r.CorruptProb > 0 && nn.lossAllowedLocked(r) && nn.upRNG.Chance(r.CorruptProb) {
+			// Flip one bit inside magic/version only: always a decode
+			// error, never a frame rerouted to another registered node
+			// (which would poison that node's sequence tracking and
+			// fabricate false positives).
+			bit := nn.upRNG.Intn(24)
+			frame[bit/8] ^= 1 << (bit % 8)
+			nn.consecLoss++
+			nn.corrupted.Add(1)
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		nn.consecLoss = 0
+	}
+
+	if r.ReorderWindow > 1 {
+		nn.reorder = append(nn.reorder, frame)
+		if len(nn.reorder) >= r.ReorderWindow {
+			nn.flushReorderLocked(nn.upRNG, c.Conn)
+		}
+		return len(b), nil
+	}
+
+	if _, err := c.Conn.Write(frame); err != nil {
+		return 0, err
+	}
+	if r.DupProb > 0 && nn.upRNG.Chance(r.DupProb) {
+		_, _ = c.Conn.Write(frame)
+		nn.duplicated.Add(1)
+	}
+	// Replay rolls before the stash updates, so a replayed frame is
+	// strictly older than the one just sent.
+	if r.ReplayProb > 0 && nn.stash != nil && nn.upRNG.Chance(r.ReplayProb) {
+		_, _ = c.Conn.Write(nn.stash)
+		nn.replayed.Add(1)
+	}
+	if !corrupted {
+		nn.stash = frame
+	}
+	if r.StaleProb > 0 && !corrupted && len(frame) >= wire.HeaderSize && nn.upRNG.Chance(r.StaleProb) {
+		if epoch := binary.LittleEndian.Uint64(frame[8:16]); epoch > 1 {
+			old := append([]byte(nil), frame...)
+			binary.LittleEndian.PutUint64(old[8:16], epoch-1)
+			_, _ = c.Conn.Write(old)
+			nn.stale.Add(1)
+		}
+	}
+	return len(b), nil
+}
+
+// Read routes incoming command frames through the down-direction
+// rules, silently consuming dropped datagrams.
+func (c *linkConn) Read(b []byte) (int, error) {
+	for {
+		n, err := c.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		rp := c.nn.rules.Load()
+		if rp == nil {
+			return n, nil
+		}
+		r := *rp
+		if r.Partition {
+			c.nn.downDropped.Add(1)
+			continue
+		}
+		if r.DownDrop > 0 {
+			c.nn.downMu.Lock()
+			drop := c.nn.downRNG.Chance(r.DownDrop)
+			c.nn.downMu.Unlock()
+			if drop {
+				c.nn.downDropped.Add(1)
+				continue
+			}
+		}
+		return n, nil
+	}
+}
+
+// lossAllowedLocked reports whether LossBurstCap permits losing one
+// more consecutive frame.
+func (nn *nodeNet) lossAllowedLocked(r Rules) bool {
+	return r.LossBurstCap <= 0 || nn.consecLoss < r.LossBurstCap
+}
+
+// flushReorderLocked releases the reorder buffer, shuffled by rng when
+// one is supplied (the in-window flush) or in buffered order when nil
+// (a rules change draining stragglers).
+func (nn *nodeNet) flushReorderLocked(rng *RNG, conn net.Conn) {
+	if len(nn.reorder) == 0 || conn == nil {
+		return
+	}
+	frames := nn.reorder
+	nn.reorder = nil
+	if rng != nil {
+		for i := len(frames) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			frames[i], frames[j] = frames[j], frames[i]
+		}
+		nn.reordered.Add(uint64(len(frames)))
+	}
+	for _, f := range frames {
+		_, _ = conn.Write(f)
+	}
+}

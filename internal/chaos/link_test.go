@@ -1,0 +1,304 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"swwd/internal/wire"
+)
+
+// fakeConn is a datagram-shaped net.Conn: Write records datagrams,
+// Read serves queued ones and then EOF.
+type fakeConn struct {
+	writes [][]byte
+	reads  [][]byte
+}
+
+func (c *fakeConn) Write(b []byte) (int, error) {
+	c.writes = append(c.writes, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func (c *fakeConn) Read(b []byte) (int, error) {
+	if len(c.reads) == 0 {
+		return 0, io.EOF
+	}
+	d := c.reads[0]
+	c.reads = c.reads[1:]
+	return copy(b, d), nil
+}
+
+func (c *fakeConn) Close() error                     { return nil }
+func (c *fakeConn) LocalAddr() net.Addr              { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr             { return nil }
+func (c *fakeConn) SetDeadline(time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// testLink wires one node's fault layer to a fakeConn.
+func testLink(t *testing.T, seed uint64, r Rules) (*Network, *linkConn, *fakeConn) {
+	t.Helper()
+	nw := NewNetwork(seed, 1)
+	nw.SetRules(0, r)
+	fc := &fakeConn{}
+	return nw, &linkConn{Conn: fc, nn: nw.nodes[0]}, fc
+}
+
+// testFrame encodes a minimal valid heartbeat frame.
+func testFrame(t *testing.T, epoch, seq uint64) []byte {
+	t.Helper()
+	f := &wire.Frame{Node: 0, Epoch: epoch, Seq: seq, IntervalMs: 50}
+	buf, err := wire.AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	return buf
+}
+
+func TestLinkCleanPassthrough(t *testing.T) {
+	_, lc, fc := testLink(t, 1, Rules{})
+	frame := testFrame(t, 7, 1)
+	if n, err := lc.Write(frame); err != nil || n != len(frame) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if len(fc.writes) != 1 || !bytes.Equal(fc.writes[0], frame) {
+		t.Fatalf("clean link altered traffic: %v", fc.writes)
+	}
+}
+
+func TestLinkPartition(t *testing.T) {
+	nw, lc, fc := testLink(t, 1, Rules{Partition: true})
+	frame := testFrame(t, 7, 1)
+	for i := 0; i < 5; i++ {
+		if n, err := lc.Write(frame); err != nil || n != len(frame) {
+			t.Fatalf("partitioned Write must report silent success, got %d, %v", n, err)
+		}
+	}
+	if len(fc.writes) != 0 {
+		t.Fatalf("partition leaked %d datagrams", len(fc.writes))
+	}
+	// The down direction blackholes too: queued command datagrams are
+	// consumed, then the inner EOF surfaces.
+	fc.reads = [][]byte{{1, 2, 3}}
+	buf := make([]byte, 16)
+	if _, err := lc.Read(buf); err != io.EOF {
+		t.Fatalf("Read through partition = %v, want io.EOF after the drop", err)
+	}
+	st := nw.Stats(0)
+	if st.UpDropped != 5 || st.DownDropped != 1 {
+		t.Fatalf("stats = %+v, want 5 up / 1 down dropped", st)
+	}
+}
+
+func TestLinkDropBurstCap(t *testing.T) {
+	// Certain drop with a burst cap of 2: the clamp must force every
+	// third frame through regardless of the dice.
+	nw, lc, fc := testLink(t, 42, Rules{UpDrop: 1, LossBurstCap: 2})
+	frame := testFrame(t, 7, 1)
+	for i := 0; i < 9; i++ {
+		if _, err := lc.Write(frame); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if len(fc.writes) != 3 {
+		t.Fatalf("cap 2 over 9 certain-drop writes passed %d frames, want 3", len(fc.writes))
+	}
+	if st := nw.Stats(0); st.UpDropped != 6 {
+		t.Fatalf("UpDropped = %d, want 6", st.UpDropped)
+	}
+}
+
+func TestLinkDuplicate(t *testing.T) {
+	nw, lc, fc := testLink(t, 3, Rules{DupProb: 1})
+	frame := testFrame(t, 7, 1)
+	if _, err := lc.Write(frame); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(fc.writes) != 2 || !bytes.Equal(fc.writes[0], fc.writes[1]) {
+		t.Fatalf("DupProb=1 produced %d datagrams", len(fc.writes))
+	}
+	if st := nw.Stats(0); st.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestLinkReplayIsStrictlyOlder(t *testing.T) {
+	nw, lc, fc := testLink(t, 4, Rules{ReplayProb: 1})
+	f1 := testFrame(t, 7, 1)
+	f2 := testFrame(t, 7, 2)
+	if _, err := lc.Write(f1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// No stash yet on the first write: exactly one datagram.
+	if len(fc.writes) != 1 {
+		t.Fatalf("first write emitted %d datagrams, want 1", len(fc.writes))
+	}
+	if _, err := lc.Write(f2); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(fc.writes) != 3 || !bytes.Equal(fc.writes[2], f1) {
+		t.Fatalf("replay must re-send the *previous* frame: %v", fc.writes)
+	}
+	if st := nw.Stats(0); st.Replayed != 1 {
+		t.Fatalf("Replayed = %d, want 1", st.Replayed)
+	}
+}
+
+func TestLinkReorderWindowAndFlush(t *testing.T) {
+	nw, lc, fc := testLink(t, 5, Rules{ReorderWindow: 3})
+	var sent [][]byte
+	for seq := uint64(1); seq <= 2; seq++ {
+		f := testFrame(t, 7, seq)
+		sent = append(sent, f)
+		if _, err := lc.Write(f); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if len(fc.writes) != 0 {
+		t.Fatal("frames escaped before the window filled")
+	}
+	f3 := testFrame(t, 7, 3)
+	sent = append(sent, f3)
+	if _, err := lc.Write(f3); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(fc.writes) != 3 {
+		t.Fatalf("window flush released %d frames, want 3", len(fc.writes))
+	}
+	// Shuffled, but the multiset is intact: nothing lost, nothing forged.
+	matched := make([]bool, 3)
+	for _, w := range fc.writes {
+		found := false
+		for i, s := range sent {
+			if !matched[i] && bytes.Equal(w, s) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("flushed frame not among sent frames: %x", w)
+		}
+	}
+	if st := nw.Stats(0); st.Reordered != 3 {
+		t.Fatalf("Reordered = %d, want 3", st.Reordered)
+	}
+
+	// Dropping the rule flushes stragglers in order — never strands them.
+	nw.SetRules(0, Rules{ReorderWindow: 3})
+	f4 := testFrame(t, 7, 4)
+	if _, err := lc.Write(f4); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(fc.writes) != 3 {
+		t.Fatal("frame escaped a half-full window")
+	}
+	nw.Clear(0)
+	if len(fc.writes) != 4 || !bytes.Equal(fc.writes[3], f4) {
+		t.Fatalf("Clear did not flush the buffered frame: %d datagrams", len(fc.writes))
+	}
+}
+
+func TestLinkCorruptAlwaysDecodeError(t *testing.T) {
+	nw, lc, fc := testLink(t, 6, Rules{CorruptProb: 1})
+	frame := testFrame(t, 7, 1)
+	for i := 0; i < 20; i++ {
+		if _, err := lc.Write(frame); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if len(fc.writes) != 20 {
+		t.Fatalf("corruption dropped frames: %d", len(fc.writes))
+	}
+	for _, w := range fc.writes {
+		if _, err := wire.PeekNode(w); err == nil {
+			t.Fatalf("corrupted frame still peeks clean: %x", w[:4])
+		}
+	}
+	if st := nw.Stats(0); st.Corrupted != 20 {
+		t.Fatalf("Corrupted = %d, want 20", st.Corrupted)
+	}
+}
+
+func TestLinkEpochLieAndSkew(t *testing.T) {
+	_, lc, fc := testLink(t, 8, Rules{EpochLie: 5, SkewIntervalMs: 123})
+	frame := testFrame(t, 100, 9)
+	if _, err := lc.Write(frame); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var f wire.Frame
+	if err := wire.DecodeFrame(fc.writes[0], &f); err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if f.Epoch != 105 || f.IntervalMs != 123 || f.Seq != 9 {
+		t.Fatalf("mutated frame = epoch %d interval %d seq %d, want 105/123/9", f.Epoch, f.IntervalMs, f.Seq)
+	}
+	// The caller's buffer must be untouched: mutations work on a copy.
+	if binary.LittleEndian.Uint64(frame[8:16]) != 100 {
+		t.Fatal("mutation leaked into the caller's buffer")
+	}
+}
+
+func TestLinkStaleStraggler(t *testing.T) {
+	nw, lc, fc := testLink(t, 9, Rules{StaleProb: 1})
+	frame := testFrame(t, 100, 9)
+	if _, err := lc.Write(frame); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(fc.writes) != 2 {
+		t.Fatalf("StaleProb=1 emitted %d datagrams, want original + straggler", len(fc.writes))
+	}
+	var orig, stale wire.Frame
+	if err := wire.DecodeFrame(fc.writes[0], &orig); err != nil {
+		t.Fatalf("decode original: %v", err)
+	}
+	if err := wire.DecodeFrame(fc.writes[1], &stale); err != nil {
+		t.Fatalf("decode straggler: %v", err)
+	}
+	if orig.Epoch != 100 || stale.Epoch != 99 || stale.Seq != orig.Seq {
+		t.Fatalf("straggler = epoch %d seq %d, want epoch 99 seq %d", stale.Epoch, stale.Seq, orig.Seq)
+	}
+	if st := nw.Stats(0); st.Stale != 1 {
+		t.Fatalf("Stale = %d, want 1", st.Stale)
+	}
+}
+
+func TestLinkDownDrop(t *testing.T) {
+	nw, lc, fc := testLink(t, 10, Rules{DownDrop: 1})
+	fc.reads = [][]byte{{1}, {2}, {3}}
+	buf := make([]byte, 4)
+	if _, err := lc.Read(buf); err != io.EOF {
+		t.Fatalf("Read = %v, want io.EOF once every queued datagram is dropped", err)
+	}
+	if st := nw.Stats(0); st.DownDropped != 3 {
+		t.Fatalf("DownDropped = %d, want 3", st.DownDropped)
+	}
+}
+
+func TestRNGDeterminismAndDerive(t *testing.T) {
+	a, b := NewRNG(0xBEEF), NewRNG(0xBEEF)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if Derive(1, 2) == Derive(1, 3) || Derive(1, 2) == Derive(2, 2) {
+		t.Fatal("Derive collided on distinct salts/seeds")
+	}
+	c := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := c.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := c.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+	if c.Chance(0) || !c.Chance(1) {
+		t.Fatal("Chance edge cases broken")
+	}
+}

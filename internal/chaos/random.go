@@ -1,0 +1,297 @@
+package chaos
+
+// The randomized campaign generator behind the nightly chaos gate.
+// RandomScenario draws a template and its parameters from the seed —
+// and nothing else — so a failing nightly run reproduces from the one
+// printed seed. Templates randomize within *sound envelopes* only:
+// loss stays burst-capped under the grace window, reorder windows stay
+// well inside the grace window, and oracles that depend on a
+// probabilistic injection actually firing are conditional on the
+// chaos layer's own counters (if nothing was injected, nothing is
+// asserted) — a randomized run must never be able to fail by
+// drawing an unlucky-but-legal parameter set.
+
+import (
+	"fmt"
+	"time"
+)
+
+// genSalt separates the generator's RNG stream from the per-node link
+// streams and the command-epoch derivation.
+const genSalt = 0x9999
+
+// RandomScenario generates one campaign as a pure function of seed.
+func RandomScenario(seed uint64) *Scenario {
+	rng := NewRNG(Derive(seed, genSalt))
+	templates := []func(*RNG, uint64) *Scenario{
+		randUniformLoss,
+		randDupReplay,
+		randReorder,
+		randBlipPartition,
+		randBurstPartition,
+		randClockSkew,
+		randByzantine,
+		randHerd,
+		randEpochLie,
+	}
+	sc := templates[rng.Intn(len(templates))](rng, seed)
+	sc.Seed = seed
+	sc.Name = fmt.Sprintf("rand/%s#%x", sc.Name, seed)
+	sc.Warmup = stdWarmup
+	return sc
+}
+
+// victimSubset draws a non-empty victim set from a 4-node fleet.
+func victimSubset(rng *RNG) []uint32 {
+	var v []uint32
+	for n := uint32(0); n < 4; n++ {
+		if rng.Chance(0.5) {
+			v = append(v, n)
+		}
+	}
+	if len(v) == 0 {
+		v = []uint32{uint32(rng.Intn(4))}
+	}
+	return v
+}
+
+// others returns the 4-node complement of the victim set.
+func others(victims []uint32) []uint32 {
+	in := make(map[uint32]bool, len(victims))
+	for _, n := range victims {
+		in[n] = true
+	}
+	var out []uint32
+	for n := uint32(0); n < 4; n++ {
+		if !in[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ms draws a duration uniformly from [lo, hi] milliseconds.
+func ms(rng *RNG, lo, hi int) time.Duration {
+	return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond
+}
+
+func randUniformLoss(rng *RNG, seed uint64) *Scenario {
+	victims := victimSubset(rng)
+	drop := 0.25 + 0.2*rng.Float64()
+	dur := ms(rng, 1400, 1900)
+	return &Scenario{
+		Name:     "uniform-loss",
+		Topology: Topology{GraceFrames: 5 + rng.Intn(2)},
+		Duration: dur + 300*time.Millisecond,
+		Steps: []Step{{At: 0, For: dur, Fault: &LinkFault{
+			Nodes: victims,
+			Rules: Rules{UpDrop: drop, LossBurstCap: 2},
+		}}},
+		Oracle: Oracle{
+			Zero: cleanWire("seq_gaps", "seq_gap_events"),
+			Extra: func(res *Result) []string {
+				v := linkDropped(nil, others(victims))(res)
+				var injected uint64
+				for _, n := range victims {
+					injected += res.Links[n].UpDropped
+				}
+				if injected > 0 && res.Delta.SeqGaps == 0 {
+					v = append(v, fmt.Sprintf("chaos dropped %d frames but seq_gaps stayed 0", injected))
+				}
+				return v
+			},
+		},
+	}
+}
+
+func randDupReplay(rng *RNG, seed uint64) *Scenario {
+	victims := victimSubset(rng)
+	dur := ms(rng, 1400, 1900)
+	return &Scenario{
+		Name:     "dup-replay",
+		Duration: dur + 300*time.Millisecond,
+		Steps: []Step{{At: 0, For: dur, Fault: &LinkFault{
+			Nodes: victims,
+			Rules: Rules{DupProb: 0.3 + 0.3*rng.Float64(), ReplayProb: 0.4 * rng.Float64()},
+		}}},
+		Oracle: Oracle{
+			Zero: cleanWire("duplicate_drops"),
+			Extra: func(res *Result) []string {
+				var injected uint64
+				for _, n := range victims {
+					injected += res.Links[n].Duplicated + res.Links[n].Replayed
+				}
+				if injected > 0 && res.Delta.DuplicateDrops == 0 {
+					return []string{fmt.Sprintf("chaos injected %d duplicate/replay frames but duplicate_drops stayed 0", injected)}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func randReorder(rng *RNG, seed uint64) *Scenario {
+	victims := victimSubset(rng)
+	window := 3 + rng.Intn(3) // 3..5 frames, well inside the grace window
+	dur := ms(rng, 1500, 2000)
+	return &Scenario{
+		Name:     "reorder",
+		Topology: Topology{GraceFrames: 12},
+		Duration: dur + 400*time.Millisecond,
+		Steps: []Step{{At: 0, For: dur, Fault: &LinkFault{
+			Nodes: victims,
+			Rules: Rules{ReorderWindow: window},
+		}}},
+		Oracle: Oracle{
+			Zero: cleanWire("duplicate_drops", "seq_gaps", "seq_gap_events"),
+			Extra: func(res *Result) []string {
+				var shuffled uint64
+				for _, n := range victims {
+					shuffled += res.Links[n].Reordered
+				}
+				// Enough shuffled batches make at least one inversion a
+				// statistical certainty (p(all-identity) < (1/w!)^batches).
+				if shuffled >= uint64(4*window) && res.Delta.DuplicateDrops == 0 && res.Delta.SeqGapEvents == 0 {
+					return []string{fmt.Sprintf("chaos shuffled %d frames but the server saw perfect order", shuffled)}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func randBlipPartition(rng *RNG, seed uint64) *Scenario {
+	grace := 6
+	window := time.Duration(grace) * 50 * time.Millisecond
+	blip := time.Duration(float64(window) * (0.3 + 0.3*rng.Float64()))
+	return &Scenario{
+		Name:     "blip-partition",
+		Topology: Topology{GraceFrames: grace},
+		Duration: blip + 700*time.Millisecond,
+		Steps: []Step{{At: 0, For: blip, Fault: &LinkFault{
+			Nodes: []uint32{0, 1, 2, 3},
+			Rules: Rules{Partition: true},
+		}}},
+		Oracle: Oracle{
+			NonZero: []string{"seq_gaps", "seq_gap_events"},
+			Zero:    cleanWire("seq_gaps", "seq_gap_events"),
+		},
+	}
+}
+
+func randBurstPartition(rng *RNG, seed uint64) *Scenario {
+	victim := uint32(rng.Intn(4))
+	grace := 4
+	window := time.Duration(grace) * 50 * time.Millisecond
+	hold := time.Duration(float64(window) * (2 + rng.Float64()))
+	return &Scenario{
+		Name:     "burst-partition",
+		Duration: hold + 600*time.Millisecond,
+		Steps: []Step{{At: 0, For: hold, Fault: &LinkFault{
+			Nodes: []uint32{victim},
+			Rules: Rules{Partition: true},
+		}}},
+		Oracle: Oracle{
+			Victims:       []uint32{victim},
+			MustFaultLink: []uint32{victim},
+			NonZero:       []string{"seq_gaps", "seq_gap_events"},
+			Zero:          cleanWire("seq_gaps", "seq_gap_events"),
+		},
+	}
+}
+
+func randClockSkew(rng *RNG, seed uint64) *Scenario {
+	victims := victimSubset(rng)
+	skew := uint32(75 + rng.Intn(150)) // never the true 50ms
+	dur := ms(rng, 1200, 1700)
+	return &Scenario{
+		Name:     "clock-skew",
+		Duration: dur + 300*time.Millisecond,
+		Steps: []Step{{At: 0, For: dur, Fault: &LinkFault{
+			Nodes: victims,
+			Rules: Rules{SkewIntervalMs: skew},
+		}}},
+		Oracle: Oracle{
+			NonZero: []string{"interval_mismatch"},
+			Zero:    cleanWire("interval_mismatch"),
+		},
+	}
+}
+
+func randByzantine(rng *RNG, seed uint64) *Scenario {
+	victim := uint32(rng.Intn(4))
+	dur := ms(rng, 1400, 1900)
+	return &Scenario{
+		Name:     "byzantine",
+		Topology: Topology{GraceFrames: 5},
+		Duration: dur + 300*time.Millisecond,
+		Steps: []Step{{At: 0, For: dur, Fault: &LinkFault{
+			Nodes: []uint32{victim},
+			Rules: Rules{
+				CorruptProb: 0.2 + 0.15*rng.Float64(), LossBurstCap: 2,
+				ReplayProb: 0.2 + 0.3*rng.Float64(),
+				StaleProb:  0.2 + 0.2*rng.Float64(),
+			},
+		}}},
+		Oracle: Oracle{
+			// Corruption is also loss from the sequence discipline's view.
+			Zero: cleanWire("decode_errors", "duplicate_drops", "stale_epoch_drops", "seq_gaps", "seq_gap_events"),
+			Extra: func(res *Result) []string {
+				var v []string
+				l := res.Links[victim]
+				if l.Corrupted > 0 && res.Delta.DecodeErrors == 0 {
+					v = append(v, fmt.Sprintf("chaos corrupted %d frames but decode_errors stayed 0", l.Corrupted))
+				}
+				if l.Replayed > 0 && res.Delta.DuplicateDrops == 0 {
+					v = append(v, fmt.Sprintf("chaos replayed %d frames but duplicate_drops stayed 0", l.Replayed))
+				}
+				if l.Stale > 0 && res.Delta.StaleEpochDrops == 0 {
+					v = append(v, fmt.Sprintf("chaos sent %d stale stragglers but stale_epoch_drops stayed 0", l.Stale))
+				}
+				return v
+			},
+		},
+	}
+}
+
+func randHerd(rng *RNG, seed uint64) *Scenario {
+	waves := 1 + rng.Intn(3)
+	var steps []Step
+	for w := 0; w < waves; w++ {
+		steps = append(steps, Step{
+			At:    time.Duration(300+400*w) * time.Millisecond,
+			Fault: &RestartWave{Nodes: []uint32{0, 1, 2, 3}},
+		})
+	}
+	return &Scenario{
+		Name:     "herd",
+		Duration: time.Duration(300+400*waves) * time.Millisecond,
+		Steps:    steps,
+		Oracle: Oracle{
+			Min:  map[string]uint64{"node_restarts": uint64(4 * waves)},
+			Max:  map[string]uint64{"node_restarts": uint64(4 * waves)},
+			Zero: cleanWire("node_restarts"),
+		},
+	}
+}
+
+func randEpochLie(rng *RNG, seed uint64) *Scenario {
+	victim := uint32(rng.Intn(4))
+	lie := ms(rng, 400, 800)
+	return &Scenario{
+		Name:     "epoch-lie",
+		Duration: lie + 800*time.Millisecond,
+		Steps: []Step{{At: 0, For: lie, Fault: &LinkFault{
+			Nodes: []uint32{victim},
+			Rules: Rules{EpochLie: uint64(1 + rng.Intn(1_000_000))},
+		}}},
+		Oracle: Oracle{
+			Victims:       []uint32{victim},
+			MustFaultLink: []uint32{victim},
+			Min:           map[string]uint64{"node_restarts": 1},
+			Max:           map[string]uint64{"node_restarts": 1},
+			NonZero:       []string{"stale_epoch_drops", "seq_gaps"},
+			Zero:          cleanWire("node_restarts", "stale_epoch_drops", "seq_gaps", "seq_gap_events"),
+		},
+	}
+}

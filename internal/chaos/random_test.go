@@ -1,0 +1,58 @@
+package chaos
+
+import "testing"
+
+// TestRandomScenarioDeterministic pins the generator contract: the
+// scenario — template, parameters, schedule, the whole plan — is a
+// pure function of the seed, and distinct seeds actually explore the
+// template space.
+func TestRandomScenarioDeterministic(t *testing.T) {
+	names := make(map[string]bool)
+	for seed := uint64(1); seed <= 64; seed++ {
+		a := RandomScenario(seed)
+		b := RandomScenario(seed)
+		if a.Plan() != b.Plan() {
+			t.Fatalf("seed %d produced two different plans:\n--- a\n%s--- b\n%s", seed, a.Plan(), b.Plan())
+		}
+		if a.Seed != seed {
+			t.Fatalf("scenario seed = %#x, want %#x", a.Seed, seed)
+		}
+		names[a.Name] = true
+	}
+	if len(names) < 16 {
+		t.Fatalf("64 seeds produced only %d distinct scenarios", len(names))
+	}
+}
+
+// TestRandomScenarioOraclesSound spot-checks every generated scenario
+// for the envelope invariants that keep randomized oracles flake-free.
+func TestRandomScenarioOraclesSound(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		sc := RandomScenario(seed)
+		tp := sc.Topology.Defaults()
+		for _, st := range sc.Steps {
+			lf, ok := st.Fault.(*LinkFault)
+			if !ok {
+				continue
+			}
+			r := lf.Rules
+			// Probabilistic loss without a burst cap below the grace
+			// window could starve a window by bad luck and fabricate a
+			// false positive the oracle would flag.
+			if (r.UpDrop > 0 || r.CorruptProb > 0) && (r.LossBurstCap <= 0 || r.LossBurstCap >= tp.GraceFrames) {
+				t.Fatalf("seed %d: %s has uncapped loss (cap %d, grace %d)", seed, sc.Name, r.LossBurstCap, tp.GraceFrames)
+			}
+			// A reorder window near the grace window would delay frames
+			// long enough to fault a healthy link.
+			if r.ReorderWindow > 1 && r.ReorderWindow*2 > tp.GraceFrames {
+				t.Fatalf("seed %d: %s reorder window %d vs grace %d", seed, sc.Name, r.ReorderWindow, tp.GraceFrames)
+			}
+			// A skew rule must never accidentally declare the true
+			// interval — the campaign would assert a mismatch that
+			// cannot happen.
+			if r.SkewIntervalMs != 0 && r.SkewIntervalMs == uint32(tp.Interval.Milliseconds()) {
+				t.Fatalf("seed %d: %s skews to the true interval", seed, sc.Name)
+			}
+		}
+	}
+}

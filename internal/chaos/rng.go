@@ -1,0 +1,64 @@
+package chaos
+
+// Deterministic randomness for campaigns. Every random decision in the
+// engine — per-datagram drop rolls, reorder shuffles, scenario
+// generation — flows from a campaign seed through this splitmix64
+// generator, never from math/rand's global state or the clock, so a
+// printed seed reproduces a nightly failure exactly. Per-node and
+// per-direction streams are derived with Derive rather than shared: a
+// shared stream would make node A's roll count perturb node B's
+// decisions, destroying reproducibility the moment scheduling jitter
+// changes who sends first.
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a
+// valid generator seeded with 0; it is not safe for concurrent use —
+// give each goroutine its own Derive'd stream.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Derive returns a new seed deterministically mixed from seed and salt,
+// for carving independent sub-streams (per node, per direction, per
+// campaign index) out of one root seed.
+func Derive(seed uint64, salt uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(salt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value in [0, n); n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("chaos: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Chance reports true with probability p (clamped to [0, 1]).
+func (r *RNG) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

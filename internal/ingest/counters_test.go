@@ -1,0 +1,57 @@
+package ingest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsCounterNamesComplete pins the name table to the Stats struct:
+// every uint64 counter field resolves through Counter, every listed name
+// resolves to a distinct field, and the gauge fields stay excluded. A
+// new counter added to Stats without a name breaks the chaos oracle
+// vocabulary silently — this test makes it loud.
+func TestStatsCounterNamesComplete(t *testing.T) {
+	names := CounterNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+
+	// Each name must resolve, and must track exactly one field: bumping
+	// field i (by reflection) must change counter i and no other.
+	rt := reflect.TypeOf(Stats{})
+	var counterFields []string
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() == reflect.Uint64 {
+			counterFields = append(counterFields, rt.Field(i).Name)
+		}
+	}
+	if len(counterFields) != len(names) {
+		t.Fatalf("Stats has %d uint64 counters but CounterNames lists %d — update counters.go",
+			len(counterFields), len(names))
+	}
+	for i, field := range counterFields {
+		var st Stats
+		reflect.ValueOf(&st).Elem().FieldByName(field).SetUint(42)
+		for j, name := range names {
+			v, ok := st.Counter(name)
+			if !ok {
+				t.Fatalf("Counter(%q) unknown", name)
+			}
+			if (i == j) != (v == 42) {
+				t.Fatalf("field %s / name %q mismatch: Counter(%q)=%d with only %s set",
+					field, names[i], name, v, field)
+			}
+		}
+	}
+
+	if _, ok := (Stats{}).Counter("nodes"); ok {
+		t.Fatal("gauge field resolved as a counter")
+	}
+	if _, ok := (Stats{}).Counter("no-such-counter"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}

@@ -150,6 +150,39 @@ func (f *FlagFault) Revert() error {
 	return nil
 }
 
+// Func adapts a pair of closures into an Injection. It is the bridge
+// the chaos campaign engine (internal/chaos) uses to schedule
+// process-level manipulations — pausing a reporter's beat loop to hang
+// a runnable, say — alongside its network faults, so one campaign
+// timeline drives both layers. Nil OnApply or OnRevert is a no-op for
+// that half, mirroring FlagFault's optional Unset.
+type Func struct {
+	Label    string
+	OnApply  func() error
+	OnRevert func() error
+}
+
+var _ Injection = (*Func)(nil)
+
+// Name implements Injection.
+func (f *Func) Name() string { return fmt.Sprintf("func(%s)", f.Label) }
+
+// Apply implements Injection.
+func (f *Func) Apply() error {
+	if f.OnApply == nil {
+		return nil
+	}
+	return f.OnApply()
+}
+
+// Revert implements Injection.
+func (f *Func) Revert() error {
+	if f.OnRevert == nil {
+		return nil
+	}
+	return f.OnRevert()
+}
+
 // Event records one injection state change for the experiment log.
 type Event struct {
 	Time    sim.Time

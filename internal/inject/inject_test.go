@@ -175,3 +175,33 @@ func TestSchedulerLogsErrors(t *testing.T) {
 		t.Fatalf("log = %+v", log)
 	}
 }
+
+func TestFuncInjection(t *testing.T) {
+	var applied, reverted int
+	f := &Func{
+		Label:    "pause-beats",
+		OnApply:  func() error { applied++; return nil },
+		OnRevert: func() error { reverted++; return nil },
+	}
+	if got, want := f.Name(), "func(pause-beats)"; got != want {
+		t.Fatalf("Name = %q, want %q", got, want)
+	}
+	if err := f.Apply(); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := f.Revert(); err != nil {
+		t.Fatalf("Revert: %v", err)
+	}
+	if applied != 1 || reverted != 1 {
+		t.Fatalf("applied=%d reverted=%d, want 1/1", applied, reverted)
+	}
+
+	// Nil halves are no-ops, like FlagFault's optional Unset.
+	empty := &Func{Label: "noop"}
+	if err := empty.Apply(); err != nil {
+		t.Fatalf("Apply without OnApply should be a no-op: %v", err)
+	}
+	if err := empty.Revert(); err != nil {
+		t.Fatalf("Revert without OnRevert should be a no-op: %v", err)
+	}
+}

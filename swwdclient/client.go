@@ -89,6 +89,14 @@ type Config struct {
 	// goroutine. Nil still acknowledges commands (the ack is protocol
 	// bookkeeping, not an application concern) but applies nothing.
 	OnCommand func(Command)
+	// Dialer opens the client's socket; nil means net.Dial("udp", addr).
+	// Every (re-)dial goes through it, so a fault-injecting wrapper — the
+	// chaos campaign engine interposes one between reporter and server —
+	// sees the whole session, including sockets opened by the backoff
+	// redial path. The returned conn must behave like a connected UDP
+	// socket: datagram-oriented, Write to the server, Read for command
+	// frames.
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // Stats is a point-in-time copy of the client's counters.
@@ -204,7 +212,10 @@ func DialConfig(cfg Config) (*Client, error) {
 	if cfg.MaxBackoff < cfg.MinBackoff {
 		cfg.MaxBackoff = DefaultMaxBackoff
 	}
-	conn, err := net.Dial("udp", cfg.Addr)
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string) (net.Conn, error) { return net.Dial("udp", addr) }
+	}
+	conn, err := cfg.Dialer(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("swwdclient: %w", err)
 	}
@@ -459,7 +470,7 @@ func (c *Client) redialLocked() bool {
 	if time.Now().Before(c.nextDial) {
 		return false
 	}
-	conn, err := net.Dial("udp", c.cfg.Addr)
+	conn, err := c.cfg.Dialer(c.cfg.Addr)
 	if err != nil {
 		c.bumpBackoffLocked()
 		return false

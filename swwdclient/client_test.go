@@ -306,3 +306,44 @@ func TestDialValidation(t *testing.T) {
 		t.Fatal("DialConfig accepted empty Addr")
 	}
 }
+
+// countingConn wraps a net.Conn and counts datagrams written through it,
+// standing in for the fault-injecting wrapper internal/chaos interposes.
+type countingConn struct {
+	net.Conn
+	writes *int
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	*c.writes++
+	return c.Conn.Write(b)
+}
+
+func TestClientCustomDialer(t *testing.T) {
+	sink := loopback(t)
+
+	var dials, writes int
+	dialer := func(addr string) (net.Conn, error) {
+		dials++
+		inner, err := net.Dial("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &countingConn{Conn: inner, writes: &writes}, nil
+	}
+
+	c := dialQuiet(t, sink.LocalAddr().String(), 2, WithDialer(dialer))
+	if dials != 1 {
+		t.Fatalf("dials = %d, want 1", dials)
+	}
+
+	c.Beat(0)
+	c.Flush()
+	if writes != 1 {
+		t.Fatalf("writes through custom conn = %d, want 1", writes)
+	}
+	f := recvFrame(t, sink)
+	if f.Node != 7 {
+		t.Fatalf("frame node = %d, want 7", f.Node)
+	}
+}

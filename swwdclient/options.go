@@ -5,7 +5,10 @@ package swwdclient
 // the preferred constructor; the Config-struct DialConfig remains as a
 // deprecated thin wrapper for existing callers.
 
-import "time"
+import (
+	"net"
+	"time"
+)
 
 // Option configures a Client built with Dial. Options are applied in
 // order over the zero Config, so later options win; anything expressible
@@ -54,4 +57,12 @@ func WithBackoff(min, max time.Duration) Option {
 // queue behind it.
 func WithOnCommand(fn func(Command)) Option {
 	return func(cfg *Config) { cfg.OnCommand = fn }
+}
+
+// WithDialer replaces the socket constructor used by Dial and by every
+// backoff redial. The chaos campaign engine (internal/chaos) uses it to
+// interpose a fault-injecting conn between reporter and server; nil
+// keeps the plain net.Dial("udp", addr).
+func WithDialer(fn func(addr string) (net.Conn, error)) Option {
+	return func(cfg *Config) { cfg.Dialer = fn }
 }
