@@ -29,8 +29,9 @@ bench-hotpath:
 
 # Machine-readable benchmark suites under ./bench/ (gitignored): the
 # cycle-sweep + hot-path suite, the telemetry suite, the wire/ingest
-# suite (heartbeat + command codecs), the treatment-engine suite and
-# the WAL suite (append hand-off + replay throughput).
+# suite (heartbeat + command codecs), the treatment-engine suite, the
+# WAL suite (append hand-off + replay throughput) and the calibration
+# suite (estimator sampling, Suggest derivation, beat-path parity).
 # Override BENCHTIME for a quick smoke run: make bench-json BENCHTIME=1x
 BENCHTIME ?= 1s
 bench-json:
@@ -53,9 +54,12 @@ bench-json:
 	$(GO) test -run xxx -bench 'WALHandoff|WALAppend|WALEncodeRecord|WALReplay' \
 		-benchmem -benchtime $(BENCHTIME) ./internal/wal | tee bench/wal.txt
 	$(GO) run ./cmd/benchjson -o bench/BENCH_wal.json bench/wal.txt
+	$(GO) test -run xxx -bench 'CalibEstimatorSample|CalibSuggest|MonitorBeatCalib' \
+		-benchmem -benchtime $(BENCHTIME) . | tee bench/calib.txt
+	$(GO) run ./cmd/benchjson -o bench/BENCH_calib.json bench/calib.txt
 
-# Regenerate one benchmark suite instead of all six: pick SUITE from
-# cycle, stats, wire, treat, ingest_mt or wal. Refreshes only that
+# Regenerate one benchmark suite instead of all seven: pick SUITE from
+# cycle, stats, wire, treat, ingest_mt, wal or calib. Refreshes only that
 # suite's bench/BENCH_<suite>.json; copy it over the repo-root baseline
 # by hand if the change is intentional.
 # Example: make bench-suite SUITE=wal BENCHTIME=1x
@@ -69,7 +73,8 @@ bench-suite:
 	treat)     pat='TreatDecide'; pkgs='./internal/treat' ;; \
 	ingest_mt) pat='IngestMT'; pkgs='./internal/ingest' ;; \
 	wal)       pat='WALHandoff|WALAppend|WALEncodeRecord|WALReplay'; pkgs='./internal/wal' ;; \
-	*) echo "unknown SUITE '$(SUITE)' (want cycle, stats, wire, treat, ingest_mt or wal)"; exit 2 ;; \
+	calib)     pat='CalibEstimatorSample|CalibSuggest|MonitorBeatCalib'; pkgs='.' ;; \
+	*) echo "unknown SUITE '$(SUITE)' (want cycle, stats, wire, treat, ingest_mt, wal or calib)"; exit 2 ;; \
 	esac; \
 	set -x; \
 	$(GO) test -run xxx -bench "$$pat" -benchmem -benchtime $(BENCHTIME) $$pkgs | tee bench/$(SUITE).txt && \
@@ -84,9 +89,11 @@ bench-baseline: bench-json
 	cp bench/BENCH_treat.json BENCH_treat.json
 	cp bench/BENCH_ingest_mt.json BENCH_ingest_mt.json
 	cp bench/BENCH_wal.json BENCH_wal.json
+	cp bench/BENCH_calib.json BENCH_calib.json
 	$(GO) run ./cmd/benchdiff -merge -o BENCH_baseline.json \
 		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json \
-		bench/BENCH_treat.json bench/BENCH_ingest_mt.json bench/BENCH_wal.json
+		bench/BENCH_treat.json bench/BENCH_ingest_mt.json bench/BENCH_wal.json \
+		bench/BENCH_calib.json
 
 # Benchmark-regression gate: fresh results vs the committed baseline.
 # Fails on >30% ns/op regressions or any allocation on the gated
@@ -94,7 +101,8 @@ bench-baseline: bench-json
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
 		bench/BENCH_cycle.json bench/BENCH_stats.json bench/BENCH_wire.json \
-		bench/BENCH_treat.json bench/BENCH_ingest_mt.json bench/BENCH_wal.json
+		bench/BENCH_treat.json bench/BENCH_ingest_mt.json bench/BENCH_wal.json \
+		bench/BENCH_calib.json
 
 # Smoke-tier loopback soak: 1000 swwdclient nodes x 10 runnables over
 # real UDP, with a mid-run client kill (see internal/ingest/soak_test.go),

@@ -20,7 +20,9 @@ import (
 // perTask runnables each (the ISSUE's contention topology is 8 tasks x 8
 // runnables = 64), one flow sequence per task, hypotheses that never trip
 // during the bench, and one pre-registered Monitor handle per runnable.
-func buildParallelWatchdog(b *testing.B, nTasks, perTask int) (*swwd.Watchdog, []*swwd.Monitor) {
+// Extra options are appended after the wall clock (bench_calib_test.go
+// enables the online estimator this way).
+func buildParallelWatchdog(b *testing.B, nTasks, perTask int, opts ...swwd.Option) (*swwd.Watchdog, []*swwd.Monitor) {
 	b.Helper()
 	m := swwd.NewModel()
 	app, err := m.AddApp("bench", swwd.SafetyCritical)
@@ -48,7 +50,7 @@ func buildParallelWatchdog(b *testing.B, nTasks, perTask int) (*swwd.Watchdog, [
 	if err := m.Freeze(); err != nil {
 		b.Fatalf("Freeze: %v", err)
 	}
-	w, err := swwd.New(m, swwd.WithClock(swwd.NewWallClock()))
+	w, err := swwd.New(m, append([]swwd.Option{swwd.WithClock(swwd.NewWallClock())}, opts...)...)
 	if err != nil {
 		b.Fatalf("New: %v", err)
 	}

@@ -128,6 +128,11 @@ func run() error {
 	until := flag.Duration("until", 0, "query mode: upper window bound, this long ago (0 = now; only with -since)")
 	pushURL := flag.String("push-url", "", "POST the /metrics payload to this URL on an interval (push export sink)")
 	pushInterval := flag.Duration("push-interval", export.DefaultPushInterval, "push sink delivery cadence")
+	calibOn := flag.Bool("calib", false, "enable the online auto-calibration loop (shadow-guarded staged hypothesis rollouts)")
+	calibWindow := flag.Int("calib-window", 100, "calibration observation window in watchdog cycles")
+	calibMargin := flag.Float64("calib-margin", 0, "slack around observed beat extremes when suggesting hypotheses (0 = default)")
+	calibPromote := flag.Int("calib-promote-after", 0, "consecutive clean shadow windows before a candidate is promoted (0 = default)")
+	calibSpec := flag.String("calib-spec", "", "JSON calibration spec file (see swwd.CalibrationSpec); overrides the -calib-* knobs")
 	flag.Parse()
 
 	if *since > 0 || *until > 0 {
@@ -135,6 +140,10 @@ func run() error {
 	}
 
 	treatment, err := treatmentConfig(*treatSpec, *treatDeps, *treatRecovery, *treatRestart, *nodes)
+	if err != nil {
+		return err
+	}
+	calibration, err := calibrationConfig(*calibOn, *calibSpec, *calibWindow, *calibMargin, *calibPromote)
 	if err != nil {
 		return err
 	}
@@ -183,12 +192,16 @@ func run() error {
 		BatchSize:        *readBatch,
 		Sink:             sink,
 		Treatment:        treatment,
+		Calibration:      calibration,
 	})
 	if err != nil {
 		return err
 	}
 	if fleet.Treat != nil {
 		defer fleet.Treat.Close()
+	}
+	if fleet.Calib != nil {
+		defer fleet.Calib.Close()
 	}
 	addr, err := fleet.Server.Listen(*listen)
 	if err != nil {
@@ -242,7 +255,7 @@ func run() error {
 	}
 	defer func() { close(shipperStop); <-shipperDone }()
 
-	exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names, treat: fleet.Treat, wal: hist}
+	exp := &exporter{svc: svc, srv: fleet.Server, names: fleet.Names, treat: fleet.Treat, calib: fleet.Calib, wal: hist}
 	if *pushURL != "" {
 		pusher, err := export.NewPusher(export.PushConfig{
 			URL:      *pushURL,
@@ -263,6 +276,9 @@ func run() error {
 		http.Handle("/healthz", healthFor(fleet, hist, exp.push, *walFsync, *pushInterval))
 		if hist != nil {
 			http.HandleFunc("/history", historyHandler(*walDir))
+		}
+		if fleet.Calib != nil {
+			http.HandleFunc("/calib", calibHandler(fleet))
 		}
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
@@ -301,6 +317,11 @@ func run() error {
 		ts := fleet.Treat.Stats()
 		fmt.Printf("swwdd: treatment quarantines=%d resumes=%d scale_downs=%d scale_ups=%d active_quarantines=%d exec_errors=%d\n",
 			ts.Quarantines, ts.Resumes, ts.ScaleDowns, ts.ScaleUps, ts.ActiveQuarantines, ts.ExecErrors)
+	}
+	if fleet.Calib != nil {
+		cs := fleet.Calib.Status()
+		fmt.Printf("swwdd: calibration stage=%s rounds=%d rollbacks=%d rejected=%d pending_acks=%d\n",
+			cs.Stage, cs.Rounds, cs.Rollbacks, cs.Rejected, cs.PendingAcks)
 	}
 	if hist != nil {
 		ws := hist.Stats()
@@ -507,6 +528,107 @@ func treatmentConfig(specPath, deps string, recovery int, restart bool, nodes in
 	return &ingest.TreatmentConfig{Edges: edges, Policy: pol}, nil
 }
 
+// calibrationConfig derives the fleet calibration configuration from
+// the -calib-* flags: a JSON spec file, or the inline knobs. Nil means
+// the loop stays off.
+func calibrationConfig(on bool, specPath string, window int, margin float64, promoteAfter int) (*ingest.CalibrationConfig, error) {
+	if !on && specPath == "" {
+		return nil, nil
+	}
+	spec := &swwd.CalibrationSpec{WindowCycles: window, Margin: margin, PromoteAfter: promoteAfter}
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if spec, err = swwd.LoadCalibration(f); err != nil {
+			return nil, err
+		}
+	}
+	p, err := spec.Params()
+	if err != nil {
+		return nil, err
+	}
+	return &ingest.CalibrationConfig{Params: p}, nil
+}
+
+// calibHandler serves the /calib endpoint: the rollout stage and the
+// current round's candidates, plus the per-runnable baseline the last
+// suggestion was derived from.
+func calibHandler(fleet *ingest.Fleet) http.HandlerFunc {
+	type candidate struct {
+		Runnable  uint32            `json:"runnable"`
+		Name      string            `json:"name"`
+		Node      uint32            `json:"node"`
+		Candidate swwd.Hypothesis   `json:"candidate"`
+		Prior     *swwd.Hypothesis  `json:"prior,omitempty"`
+		Shadow    *swwd.ShadowStats `json:"shadow,omitempty"`
+		Applied   bool              `json:"applied"`
+	}
+	type runnableBaseline struct {
+		Runnable uint32  `json:"runnable"`
+		Name     string  `json:"name"`
+		Windows  uint64  `json:"windows"`
+		Min      uint64  `json:"min"`
+		Max      uint64  `json:"max"`
+		Rate     float64 `json:"rate"`
+		P50      uint64  `json:"p50"`
+		P95      uint64  `json:"p95"`
+	}
+	name := func(rid int) string {
+		if rid >= 0 && rid < len(fleet.Names) {
+			return fleet.Names[rid]
+		}
+		return ""
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		st := fleet.Calib.Status()
+		base := fleet.Calib.LastBaseline()
+		out := struct {
+			Stage       string             `json:"stage"`
+			Rounds      uint64             `json:"rounds"`
+			Rollbacks   uint64             `json:"rollbacks"`
+			Rejected    uint64             `json:"rejected"`
+			CanaryNodes int                `json:"canary_nodes"`
+			PendingAcks int                `json:"pending_acks"`
+			Candidates  []candidate        `json:"candidates"`
+			Baseline    []runnableBaseline `json:"baseline"`
+		}{
+			Stage: st.Stage.String(), Rounds: st.Rounds, Rollbacks: st.Rollbacks,
+			Rejected: st.Rejected, CanaryNodes: st.CanaryNodes, PendingAcks: st.PendingAcks,
+			Candidates: make([]candidate, 0, len(st.Candidates)),
+			Baseline:   make([]runnableBaseline, 0, len(base.Runnables)),
+		}
+		for _, c := range st.Candidates {
+			cd := candidate{
+				Runnable: uint32(c.Runnable), Name: name(int(c.Runnable)), Node: c.Node,
+				Candidate: c.Hyp, Applied: c.Applied,
+			}
+			if c.Applied {
+				prior := c.Prior
+				cd.Prior = &prior
+			}
+			if c.HasShadow {
+				shadow := c.Shadow
+				cd.Shadow = &shadow
+			}
+			out.Candidates = append(out.Candidates, cd)
+		}
+		for _, rb := range base.Runnables {
+			out.Baseline = append(out.Baseline, runnableBaseline{
+				Runnable: uint32(rb.Runnable), Name: name(rb.Runnable),
+				Windows: rb.Windows, Min: rb.Min, Max: rb.Max,
+				Rate: rb.Rate, P50: rb.P50, P95: rb.P95,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	}
+}
+
 // exporter renders the combined telemetry — the watchdog snapshot, the
 // ingestion server's wire counters, treatment, WAL and push-sink
 // accounting — with one reused buffer. The same rendering backs the
@@ -515,9 +637,10 @@ type exporter struct {
 	svc   *swwd.Service
 	srv   *ingest.Server
 	names []string
-	treat *treat.Controller // nil when the control plane is off
-	wal   *wal.WAL          // nil when -wal-dir is off
-	push  *export.Pusher    // nil when -push-url is off
+	treat *treat.Controller       // nil when the control plane is off
+	calib *ingest.CalibController // nil when -calib is off
+	wal   *wal.WAL                // nil when -wal-dir is off
+	push  *export.Pusher          // nil when -push-url is off
 
 	mu   sync.Mutex
 	snap swwd.Snapshot
@@ -542,6 +665,9 @@ func (e *exporter) renderLocked() {
 	export.WriteIngestDetail(&e.buf, e.srv.ListenerStats(), e.srv.ShardStats())
 	if e.treat != nil {
 		export.WriteTreat(&e.buf, e.treat.Stats())
+	}
+	if e.calib != nil {
+		export.WriteCalib(&e.buf, e.calib.Status(), e.names)
 	}
 	if e.wal != nil {
 		export.WriteWAL(&e.buf, e.wal.Stats())

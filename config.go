@@ -21,6 +21,9 @@ type Spec struct {
 	// Treatment, when present, declares the fleet fault-treatment
 	// policy (cmd/swwdd reads it; the in-process watchdog ignores it).
 	Treatment *TreatmentSpec `json:"treatment,omitempty"`
+	// Calibration, when present, declares the online auto-calibration
+	// policy (cmd/swwdd reads it; the in-process watchdog ignores it).
+	Calibration *CalibrationSpec `json:"calibration,omitempty"`
 }
 
 // AppSpec describes one application software component.
@@ -151,6 +154,56 @@ func (ts *TreatmentSpec) Treatment(nodes int) ([]TreatmentEdge, TreatmentPolicy,
 		return nil, pol, fmt.Errorf("%w: %w", ErrTreatmentSpec, err)
 	}
 	return edges, pol, nil
+}
+
+// CalibrationSpec is the JSON form of the online auto-calibration
+// policy: the estimator/shadow window, the suggestion margin and the
+// staged-rollout knobs.
+type CalibrationSpec struct {
+	// WindowCycles is the observation window of the online estimator and
+	// the shadow evaluation, in watchdog cycles. Required (positive):
+	// the window is deployment-specific — it must span several expected
+	// heartbeats — so there is no safe global default.
+	WindowCycles int `json:"window_cycles,omitempty"`
+	// Margin widens the suggested hypothesis around the observed
+	// min/max beat counts (0.3 = 30% slack). Zero means the default;
+	// must stay in [0, 1).
+	Margin float64 `json:"margin,omitempty"`
+	// PromoteAfter is how many consecutive clean shadow windows a
+	// candidate needs before the rollout promotes it. Zero means the
+	// default.
+	PromoteAfter int `json:"promote_after,omitempty"`
+	// CanaryFraction is the share of fleet nodes that canary a promoted
+	// candidate before fleet-wide extension (0.25 = a quarter, at least
+	// one node). Zero means the default; must stay in (0, 1].
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
+}
+
+// LoadCalibration parses a standalone CalibrationSpec document from
+// JSON. Parse failures wrap ErrCalibrationSpec.
+func LoadCalibration(r io.Reader) (*CalibrationSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cs CalibrationSpec
+	if err := dec.Decode(&cs); err != nil {
+		return nil, fmt.Errorf("%w: parse: %w", ErrCalibrationSpec, err)
+	}
+	return &cs, nil
+}
+
+// Params validates the spec and returns the defaulted calibration
+// parameters. Malformed knobs wrap ErrCalibrationSpec.
+func (cs *CalibrationSpec) Params() (CalibrationParams, error) {
+	p := CalibrationParams{
+		WindowCycles:   cs.WindowCycles,
+		Margin:         cs.Margin,
+		PromoteAfter:   cs.PromoteAfter,
+		CanaryFraction: cs.CanaryFraction,
+	}.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return CalibrationParams{}, fmt.Errorf("%w: %w", ErrCalibrationSpec, err)
+	}
+	return p, nil
 }
 
 // LoadSpec parses a Spec from JSON.

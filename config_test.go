@@ -266,3 +266,78 @@ func TestTreatmentSpecErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestCalibrationSpecRoundTrip: the calibration section survives a
+// JSON marshal/parse round trip and converts to defaulted, validated
+// calibration parameters, both embedded in a full Spec and standalone.
+func TestCalibrationSpecRoundTrip(t *testing.T) {
+	body := `{"apps":[{"name":"a","tasks":[
+		{"name":"t","priority":1,"runnables":[{"name":"r","exec_time":"1ms"}]}]}],
+		"calibration":{"window_cycles":200,"margin":0.4,"promote_after":4,"canary_fraction":0.5}}`
+	spec, err := LoadSpec(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if spec.Calibration == nil {
+		t.Fatal("calibration section not parsed")
+	}
+
+	// Marshal and re-parse: the section must survive unchanged.
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	spec2, err := LoadSpec(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	want := CalibrationSpec{WindowCycles: 200, Margin: 0.4, PromoteAfter: 4, CanaryFraction: 0.5}
+	if *spec2.Calibration != want {
+		t.Fatalf("round-tripped calibration = %+v, want %+v", *spec2.Calibration, want)
+	}
+
+	p, err := spec2.Calibration.Params()
+	if err != nil {
+		t.Fatalf("Params: %v", err)
+	}
+	if p.WindowCycles != 200 || p.Margin != 0.4 || p.PromoteAfter != 4 || p.CanaryFraction != 0.5 {
+		t.Fatalf("params = %+v", p)
+	}
+
+	// Standalone document with knobs left to their defaults.
+	cs, err := LoadCalibration(strings.NewReader(`{"window_cycles":100}`))
+	if err != nil {
+		t.Fatalf("LoadCalibration: %v", err)
+	}
+	p, err = cs.Params()
+	if err != nil {
+		t.Fatalf("Params: %v", err)
+	}
+	if p.WindowCycles != 100 || p.Margin <= 0 || p.PromoteAfter <= 0 || p.CanaryFraction <= 0 {
+		t.Fatalf("defaulted params = %+v", p)
+	}
+}
+
+// TestCalibrationSpecErrors: malformed calibration sections fail with
+// the ErrCalibrationSpec sentinel.
+func TestCalibrationSpecErrors(t *testing.T) {
+	if _, err := LoadCalibration(strings.NewReader(`{"margin":"wide"}`)); !errors.Is(err, ErrCalibrationSpec) {
+		t.Fatalf("parse error = %v, want ErrCalibrationSpec", err)
+	}
+	if _, err := LoadCalibration(strings.NewReader(`{"bogus":true}`)); !errors.Is(err, ErrCalibrationSpec) {
+		t.Fatalf("unknown field error = %v, want ErrCalibrationSpec", err)
+	}
+	for name, cs := range map[string]CalibrationSpec{
+		"missing window":  {},
+		"negative window": {WindowCycles: -5},
+		"margin too big":  {WindowCycles: 100, Margin: 1.5},
+		"bad promote":     {WindowCycles: 100, PromoteAfter: -1},
+		"canary too big":  {WindowCycles: 100, CanaryFraction: 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := cs.Params(); !errors.Is(err, ErrCalibrationSpec) {
+				t.Fatalf("err = %v, want ErrCalibrationSpec", err)
+			}
+		})
+	}
+}

@@ -30,6 +30,12 @@ var (
 	// list that fails structural validation.
 	ErrTreatmentSpec = errors.New("swwd: invalid treatment spec")
 
+	// ErrCalibrationSpec is reported by LoadCalibration and
+	// CalibrationSpec.Params for a malformed calibration section: a
+	// negative window, a margin outside [0, 1), a negative
+	// promote_after, or a canary_fraction outside (0, 1].
+	ErrCalibrationSpec = errors.New("swwd: invalid calibration spec")
+
 	// Treatment-graph sentinels, re-exported so spec loaders can match
 	// the structural failure precisely (all of them also match
 	// ErrTreatmentSpec when surfaced by the spec path).

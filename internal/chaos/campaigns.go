@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"swwd/internal/calib"
 	"swwd/internal/treat"
 )
 
@@ -344,6 +345,65 @@ func Named() []Builder {
 							{Kind: treat.ActScaleUp, Node: 2},
 						},
 						ReplayTreatment: true,
+					},
+				}
+			},
+		},
+		{
+			Name:  "calib-rollout-lossy",
+			Notes: "calibration rollout over a lossy, duplicating, reordering command channel: re-sent batches converge, every ack lands, no rollback",
+			Build: func(seed uint64) *Scenario {
+				return &Scenario{
+					Name: "calib-rollout-lossy", Seed: seed,
+					Topology: Topology{Calibration: &calib.Params{
+						WindowCycles: 20, Margin: 0.5, PromoteAfter: 2, CanaryFraction: 0.25,
+					}},
+					// The beats flow up clean; only the server→client command
+					// path is adversarial. The controller re-sends unacked
+					// hypothesis batches each tick with fresh sequence numbers,
+					// so the rollout must converge through 40% loss plus
+					// duplication and a 3-frame reorder hold, and the clean
+					// tail after the rules lift drains the reorder buffers.
+					Warmup: stdWarmup, Duration: 3 * time.Second,
+					Steps: []Step{{At: 0, For: 2500 * time.Millisecond, Fault: &LinkFault{
+						Nodes: []uint32{0, 1, 2, 3},
+						Rules: Rules{DownDrop: 0.4, DownDup: 0.4, DownReorder: 3},
+					}}},
+					Oracle: Oracle{
+						NonZero: []string{"commands_sent", "commands_acked"},
+						// Command-epoch acks are high-water clamped, so even a
+						// duplicated or reordered ack pair never reads as stale:
+						// the full cleanWire list (which pins command_stale_acks
+						// and commands_dropped to zero) stays sound here.
+						Zero: cleanWire("commands_sent", "commands_acked"),
+						Extra: func(res *Result) []string {
+							var v []string
+							c := res.Calib
+							if c == nil {
+								return []string{"no calibration status collected"}
+							}
+							if c.Rounds < 1 {
+								v = append(v, fmt.Sprintf("calibration completed %d rounds, want >= 1", c.Rounds))
+							}
+							if c.Rollbacks != 0 || c.Rejected != 0 {
+								v = append(v, fmt.Sprintf("calibration regressed under command-channel chaos: rollbacks=%d rejected=%d, want 0/0", c.Rollbacks, c.Rejected))
+							}
+							if c.PendingAcks != 0 {
+								v = append(v, fmt.Sprintf("%d hypothesis commands still unacked after the clean tail", c.PendingAcks))
+							}
+							var dropped, shuffled uint64
+							for _, l := range res.Links {
+								dropped += l.DownDropped
+								shuffled += l.DownDuplicated + l.DownReordered
+							}
+							if dropped == 0 {
+								v = append(v, "chaos layer dropped no command frames")
+							}
+							if shuffled == 0 {
+								v = append(v, "chaos layer neither duplicated nor reordered any command frame")
+							}
+							return v
+						},
 					},
 				}
 			},

@@ -45,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"swwd/internal/calib"
 	"swwd/internal/treat"
 )
 
@@ -64,6 +65,10 @@ type Topology struct {
 	BeatEvery time.Duration
 	// Treatment, when set, attaches the fault-treatment control plane.
 	Treatment *Treatment
+	// Calibration, when set, attaches the online auto-calibration loop
+	// (shadow-guarded staged hypothesis rollouts over the command
+	// channel).
+	Calibration *calib.Params
 }
 
 // Treatment configures the control plane for scenarios that exercise
@@ -151,8 +156,8 @@ func (sc *Scenario) Plan() string {
 	tp := sc.Topology.Defaults()
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign %s seed=%#x\n", sc.Name, sc.Seed)
-	fmt.Fprintf(&b, "topology nodes=%d runnables=%d interval=%v cycle=%v grace=%d beat=%v treatment=%v\n",
-		tp.Nodes, tp.RunnablesPerNode, tp.Interval, tp.CyclePeriod, tp.GraceFrames, tp.BeatEvery, tp.Treatment != nil)
+	fmt.Fprintf(&b, "topology nodes=%d runnables=%d interval=%v cycle=%v grace=%d beat=%v treatment=%v calibration=%v\n",
+		tp.Nodes, tp.RunnablesPerNode, tp.Interval, tp.CyclePeriod, tp.GraceFrames, tp.BeatEvery, tp.Treatment != nil, tp.Calibration != nil)
 	fmt.Fprintf(&b, "phase warmup=%v duration=%v\n", sc.Warmup, sc.Duration)
 	steps := append([]Step(nil), sc.Steps...)
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })

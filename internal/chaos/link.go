@@ -34,6 +34,12 @@ type Rules struct {
 	// (down) with the given probability.
 	UpDrop   float64
 	DownDrop float64
+	// DownDup re-delivers a command frame (the server→client path's
+	// duplication); DownReorder > 1 holds that many command frames back
+	// and releases them shuffled. Both exercise the command channel's
+	// idempotence and seq discipline rather than the heartbeat path.
+	DownDup     float64
+	DownReorder int
 	// LossBurstCap bounds consecutive up-direction losses (drops plus
 	// corruptions); 0 means unbounded. Campaigns whose oracles assert
 	// zero false positives must set it below GraceFrames.
@@ -83,6 +89,12 @@ func (r Rules) String() string {
 	if r.DownDrop > 0 {
 		add("downdrop=%g", r.DownDrop)
 	}
+	if r.DownDup > 0 {
+		add("downdup=%g", r.DownDup)
+	}
+	if r.DownReorder > 1 {
+		add("downreorder=%d", r.DownReorder)
+	}
 	if r.LossBurstCap > 0 {
 		add("burstcap=%d", r.LossBurstCap)
 	}
@@ -114,15 +126,17 @@ func (r Rules) String() string {
 // what the chaos layer actually did, for oracle Extra checks and run
 // artifacts.
 type LinkStats struct {
-	UpDropped   uint64
-	DownDropped uint64
-	Duplicated  uint64
-	Replayed    uint64
-	Reordered   uint64
-	Corrupted   uint64
-	Stale       uint64
-	Skewed      uint64
-	EpochLied   uint64
+	UpDropped      uint64
+	DownDropped    uint64
+	DownDuplicated uint64
+	DownReordered  uint64
+	Duplicated     uint64
+	Replayed       uint64
+	Reordered      uint64
+	Corrupted      uint64
+	Stale          uint64
+	Skewed         uint64
+	EpochLied      uint64
 }
 
 // Network owns the per-node fault state for one campaign run.
@@ -176,15 +190,17 @@ func (nw *Network) Clear(n uint32) { nw.SetRules(n, Rules{}) }
 func (nw *Network) Stats(n uint32) LinkStats {
 	nn := nw.nodes[n]
 	return LinkStats{
-		UpDropped:   nn.upDropped.Load(),
-		DownDropped: nn.downDropped.Load(),
-		Duplicated:  nn.duplicated.Load(),
-		Replayed:    nn.replayed.Load(),
-		Reordered:   nn.reordered.Load(),
-		Corrupted:   nn.corrupted.Load(),
-		Stale:       nn.stale.Load(),
-		Skewed:      nn.skewed.Load(),
-		EpochLied:   nn.epochLied.Load(),
+		UpDropped:      nn.upDropped.Load(),
+		DownDropped:    nn.downDropped.Load(),
+		DownDuplicated: nn.downDuplicated.Load(),
+		DownReordered:  nn.downReordered.Load(),
+		Duplicated:     nn.duplicated.Load(),
+		Replayed:       nn.replayed.Load(),
+		Reordered:      nn.reordered.Load(),
+		Corrupted:      nn.corrupted.Load(),
+		Stale:          nn.stale.Load(),
+		Skewed:         nn.skewed.Load(),
+		EpochLied:      nn.epochLied.Load(),
 	}
 }
 
@@ -202,20 +218,28 @@ type nodeNet struct {
 	consecLoss int      // consecutive up-direction losses, for LossBurstCap
 	lastConn   net.Conn // most recent conn, for flushing on rules changes
 
-	// downMu guards the read path's RNG separately: Read blocks in the
-	// kernel and must not hold the write-path lock.
+	// downMu guards the read path's RNG and pending buffer separately:
+	// Read blocks in the kernel and must not hold the write-path lock
+	// (the blocking inner Read itself runs with downMu released).
 	downMu  sync.Mutex
 	downRNG *RNG
+	// downPending holds command frames awaiting delivery: duplicates to
+	// re-serve and reorder-window frames held back. Served ahead of the
+	// socket; once the reorder rule is dropped, the next Reads drain it
+	// in order, so a rules change never strands a command.
+	downPending [][]byte
 
-	upDropped   atomic.Uint64
-	downDropped atomic.Uint64
-	duplicated  atomic.Uint64
-	replayed    atomic.Uint64
-	reordered   atomic.Uint64
-	corrupted   atomic.Uint64
-	stale       atomic.Uint64
-	skewed      atomic.Uint64
-	epochLied   atomic.Uint64
+	upDropped      atomic.Uint64
+	downDropped    atomic.Uint64
+	downDuplicated atomic.Uint64
+	downReordered  atomic.Uint64
+	duplicated     atomic.Uint64
+	replayed       atomic.Uint64
+	reordered      atomic.Uint64
+	corrupted      atomic.Uint64
+	stale          atomic.Uint64
+	skewed         atomic.Uint64
+	epochLied      atomic.Uint64
 }
 
 // linkConn is the connected-UDP wrapper the dialer returns.
@@ -322,31 +346,66 @@ func (c *linkConn) Write(b []byte) (int, error) {
 }
 
 // Read routes incoming command frames through the down-direction
-// rules, silently consuming dropped datagrams.
+// rules: dropped datagrams are silently consumed, duplicates are
+// re-served on the next call, and a reorder window holds frames back
+// until it fills, then releases them shuffled — one per call, since
+// each Read returns exactly one datagram.
 func (c *linkConn) Read(b []byte) (int, error) {
+	nn := c.nn
 	for {
+		// Serve held-back frames (duplicates, reorder releases) ahead of
+		// the socket. While the reorder rule is on, the buffer only opens
+		// once it reaches the window; with the rule off it drains in
+		// order immediately.
+		nn.downMu.Lock()
+		var r Rules
+		if rp := nn.rules.Load(); rp != nil {
+			r = *rp
+		}
+		if len(nn.downPending) > 0 && (r.DownReorder <= 1 || len(nn.downPending) >= r.DownReorder) {
+			f := nn.downPending[0]
+			nn.downPending = nn.downPending[1:]
+			nn.downMu.Unlock()
+			return copy(b, f), nil
+		}
+		nn.downMu.Unlock()
+
 		n, err := c.Conn.Read(b)
 		if err != nil {
 			return n, err
 		}
-		rp := c.nn.rules.Load()
-		if rp == nil {
+		rp := nn.rules.Load()
+		if rp == nil || !rp.active() {
 			return n, nil
 		}
-		r := *rp
+		r = *rp
 		if r.Partition {
-			c.nn.downDropped.Add(1)
+			nn.downDropped.Add(1)
 			continue
 		}
-		if r.DownDrop > 0 {
-			c.nn.downMu.Lock()
-			drop := c.nn.downRNG.Chance(r.DownDrop)
-			c.nn.downMu.Unlock()
-			if drop {
-				c.nn.downDropped.Add(1)
-				continue
-			}
+		nn.downMu.Lock()
+		if r.DownDrop > 0 && nn.downRNG.Chance(r.DownDrop) {
+			nn.downMu.Unlock()
+			nn.downDropped.Add(1)
+			continue
 		}
+		if r.DownReorder > 1 {
+			// Hold the frame back at a random position; the loop head
+			// releases the buffer once it reaches the window.
+			f := append([]byte(nil), b[:n]...)
+			i := nn.downRNG.Intn(len(nn.downPending) + 1)
+			nn.downPending = append(nn.downPending, nil)
+			copy(nn.downPending[i+1:], nn.downPending[i:])
+			nn.downPending[i] = f
+			nn.downReordered.Add(1)
+			nn.downMu.Unlock()
+			continue
+		}
+		if r.DownDup > 0 && nn.downRNG.Chance(r.DownDup) {
+			nn.downPending = append(nn.downPending, append([]byte(nil), b[:n]...))
+			nn.downDuplicated.Add(1)
+		}
+		nn.downMu.Unlock()
 		return n, nil
 	}
 }

@@ -279,6 +279,61 @@ func TestLinkDownDrop(t *testing.T) {
 	}
 }
 
+func TestLinkDownDuplicate(t *testing.T) {
+	// DownDup=1 re-serves every command frame once from the pending
+	// buffer before the next socket read, so the stream doubles.
+	nw, lc, fc := testLink(t, 11, Rules{DownDup: 1})
+	fc.reads = [][]byte{{1}, {2}}
+	buf := make([]byte, 4)
+	var got []byte
+	for i := 0; i < 4; i++ {
+		n, err := lc.Read(buf)
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, []byte{1, 1, 2, 2}) {
+		t.Fatalf("duplicated stream = %v, want [1 1 2 2]", got)
+	}
+	if _, err := lc.Read(buf); err != io.EOF {
+		t.Fatalf("Read after drain = %v, want io.EOF", err)
+	}
+	if st := nw.Stats(0); st.DownDuplicated != 2 {
+		t.Fatalf("DownDuplicated = %d, want 2", st.DownDuplicated)
+	}
+}
+
+func TestLinkDownReorderHoldAndDrain(t *testing.T) {
+	// DownReorder=3 holds command frames until the window fills, then
+	// releases from the shuffled buffer; dropping the rule drains the
+	// remaining held frames in order, losing nothing.
+	nw, lc, fc := testLink(t, 12, Rules{DownReorder: 3})
+	fc.reads = [][]byte{{1}, {2}, {3}}
+	buf := make([]byte, 4)
+	seen := map[byte]int{}
+	if _, err := lc.Read(buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	seen[buf[0]]++
+	nw.SetRules(0, Rules{})
+	for i := 0; i < 2; i++ {
+		if _, err := lc.Read(buf); err != nil {
+			t.Fatalf("drain Read %d: %v", i, err)
+		}
+		seen[buf[0]]++
+	}
+	if seen[1] != 1 || seen[2] != 1 || seen[3] != 1 {
+		t.Fatalf("reorder lost or duplicated frames: %v", seen)
+	}
+	if st := nw.Stats(0); st.DownReordered != 3 {
+		t.Fatalf("DownReordered = %d, want 3", st.DownReordered)
+	}
+	if _, err := lc.Read(buf); err != io.EOF {
+		t.Fatalf("Read after drain = %v, want io.EOF", err)
+	}
+}
+
 func TestRNGDeterminismAndDerive(t *testing.T) {
 	a, b := NewRNG(0xBEEF), NewRNG(0xBEEF)
 	for i := 0; i < 100; i++ {

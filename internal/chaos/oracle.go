@@ -78,6 +78,10 @@ type Result struct {
 	Client []swwdclient.Stats `json:"clients"`
 	Events []ExecutedEvent    `json:"events"`
 
+	// Calib is the calibration loop's final status; nil unless the
+	// topology attached it.
+	Calib *ingest.CalibStatus `json:"calib,omitempty"`
+
 	// Treatment evidence; empty unless the topology attached the
 	// control plane.
 	HasTreatment  bool           `json:"has_treatment"`

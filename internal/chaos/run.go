@@ -103,12 +103,18 @@ func Run(sc *Scenario) (*Result, error) {
 	if tp.Treatment != nil {
 		cfg.Treatment = &ingest.TreatmentConfig{Edges: tp.Treatment.Edges, Policy: tp.Treatment.Policy}
 	}
+	if tp.Calibration != nil {
+		cfg.Calibration = &ingest.CalibrationConfig{Params: *tp.Calibration}
+	}
 	fleet, err := ingest.BuildFleet(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: BuildFleet: %w", err)
 	}
 	if fleet.Treat != nil {
 		defer fleet.Treat.Close()
+	}
+	if fleet.Calib != nil {
+		defer fleet.Calib.Close()
 	}
 	addr, err := fleet.Server.Listen("127.0.0.1:0")
 	if err != nil {
@@ -287,6 +293,13 @@ func Run(sc *Scenario) (*Result, error) {
 		res.Nodes = append(res.Nodes, nr)
 		res.Links = append(res.Links, rt.Network.Stats(uint32(n)))
 		res.Client = append(res.Client, rt.closedStats[n])
+	}
+
+	if fleet.Calib != nil {
+		// Stop the calibration loop before snapshotting its final state.
+		fleet.Calib.Close()
+		st := fleet.Calib.Status()
+		res.Calib = &st
 	}
 
 	if fleet.Treat != nil {

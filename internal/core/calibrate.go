@@ -3,9 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 
+	"swwd/internal/calib"
 	"swwd/internal/runnable"
 )
 
@@ -16,16 +16,22 @@ import (
 // produces a Hypothesis with a configurable safety margin — the
 // design-time step of filling the fault hypothesis tables without
 // hand-estimating arrival rates.
+//
+// Calibrator is the offline compatibility wrapper over the online
+// estimator (internal/calib): the window accounting and suggestion rules
+// are calib.Estimator + calib.Suggest, driven by explicit Heartbeat and
+// Cycle calls instead of the watchdog's banked beat counts. New code
+// that already runs a Watchdog should prefer Config.EstimatorWindowCycles
+// and the shadow-guarded rollout; this type remains for one-shot
+// design-time calibration runs without a watchdog.
 type Calibrator struct {
 	mu     sync.Mutex
 	model  *runnable.Model
 	window int
 
+	est           *calib.Estimator
 	cycleInWindow int
-	windows       int
-	counts        []int
-	minArr        []int
-	maxArr        []int
+	counts        []uint64
 }
 
 // NewCalibrator creates a calibrator observing windows of the given
@@ -41,17 +47,12 @@ func NewCalibrator(model *runnable.Model, windowCycles int) (*Calibrator, error)
 		return nil, errors.New("core: window must be positive")
 	}
 	n := model.NumRunnables()
-	c := &Calibrator{
+	return &Calibrator{
 		model:  model,
 		window: windowCycles,
-		counts: make([]int, n),
-		minArr: make([]int, n),
-		maxArr: make([]int, n),
-	}
-	for i := range c.minArr {
-		c.minArr[i] = math.MaxInt
-	}
-	return c, nil
+		est:    calib.NewEstimator(n, calib.EstimatorConfig{WindowCycles: windowCycles}),
+		counts: make([]uint64, n),
+	}, nil
 }
 
 // Heartbeat records one execution of the runnable.
@@ -65,7 +66,9 @@ func (c *Calibrator) Heartbeat(rid runnable.ID) {
 }
 
 // Cycle advances the observation clock; at each window boundary the
-// per-runnable extremes are updated and the counts reset.
+// accumulated counts are sampled into the estimator and reset. Every
+// runnable is observed every window — a silent window records a zero,
+// which Suggest later rejects as unfit for aliveness monitoring.
 func (c *Calibrator) Cycle() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -74,23 +77,15 @@ func (c *Calibrator) Cycle() {
 		return
 	}
 	c.cycleInWindow = 0
-	c.windows++
-	for i, n := range c.counts {
-		if n < c.minArr[i] {
-			c.minArr[i] = n
-		}
-		if n > c.maxArr[i] {
-			c.maxArr[i] = n
-		}
+	c.est.SampleWindows(c.counts)
+	for i := range c.counts {
 		c.counts[i] = 0
 	}
 }
 
 // Windows reports how many complete observation windows have elapsed.
 func (c *Calibrator) Windows() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.windows
+	return int(c.est.Windows())
 }
 
 // Observed reports the recorded per-window extremes for a runnable.
@@ -98,12 +93,11 @@ func (c *Calibrator) Observed(rid runnable.ID) (min, max int, err error) {
 	if _, err := c.model.Runnable(rid); err != nil {
 		return 0, 0, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.windows == 0 {
+	rb, ok := c.est.RunnableBaseline(int(rid))
+	if !ok || rb.Windows == 0 {
 		return 0, 0, errors.New("core: no complete observation window yet")
 	}
-	return c.minArr[rid], c.maxArr[rid], nil
+	return int(rb.Min), int(rb.Max), nil
 }
 
 // Suggest derives a Hypothesis for the runnable: the aliveness floor is
@@ -115,31 +109,30 @@ func (c *Calibrator) Suggest(rid runnable.ID, margin float64) (Hypothesis, error
 	if margin < 0 || margin >= 1 {
 		return Hypothesis{}, fmt.Errorf("core: margin %v must be in [0,1)", margin)
 	}
-	min, max, err := c.Observed(rid)
+	min, _, err := c.Observed(rid)
 	if err != nil {
 		return Hypothesis{}, err
 	}
-	c.mu.Lock()
-	windows := c.windows
-	c.mu.Unlock()
-	if windows < 3 {
-		return Hypothesis{}, fmt.Errorf("core: only %d observation windows, need >= 3", windows)
+	rb, _ := c.est.RunnableBaseline(int(rid))
+	if rb.Windows < 3 {
+		return Hypothesis{}, fmt.Errorf("core: only %d observation windows, need >= 3", rb.Windows)
 	}
 	if min == 0 {
 		return Hypothesis{}, fmt.Errorf("core: runnable %d had silent windows in the healthy run; aliveness monitoring would false-positive", rid)
 	}
-	floor := int(math.Floor(float64(min) * (1 - margin)))
-	if floor < 1 {
-		floor = 1
+	props := calib.Suggest(
+		calib.Baseline{WindowCycles: c.window, Runnables: []calib.RunnableBaseline{rb}},
+		calib.Policy{Margin: margin},
+	)
+	if len(props) != 1 {
+		// Unreachable: the preconditions above mirror Suggest's skip rules.
+		return Hypothesis{}, fmt.Errorf("core: no suggestion for runnable %d", rid)
 	}
-	ceiling := int(math.Ceil(float64(max) * (1 + margin)))
-	if ceiling < floor {
-		ceiling = floor
-	}
+	h := props[0].Hyp
 	return Hypothesis{
-		AlivenessCycles: c.window,
-		MinHeartbeats:   floor,
-		ArrivalCycles:   c.window,
-		MaxArrivals:     ceiling,
+		AlivenessCycles: h.AlivenessCycles,
+		MinHeartbeats:   h.MinHeartbeats,
+		ArrivalCycles:   h.ArrivalCycles,
+		MaxArrivals:     h.MaxArrivals,
 	}, nil
 }

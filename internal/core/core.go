@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swwd/internal/calib"
 	"swwd/internal/runnable"
 	"swwd/internal/sim"
 )
@@ -162,6 +163,12 @@ type Config struct {
 	// MetricsEveryCycles spaces MetricsSink invocations in cycles; zero
 	// means 100 (one emission per second at the default 10 ms cycle).
 	MetricsEveryCycles int
+	// EstimatorWindowCycles enables the online calibration estimator
+	// (internal/calib): every EstimatorWindowCycles monitoring cycles the
+	// banked per-runnable beat counts are sampled into one observation
+	// window, on the goroutine that called Cycle. Zero disables the
+	// estimator; the heartbeat hot path is identical either way.
+	EstimatorWindowCycles int
 	// wheelSize overrides the timer-wheel bucket count (power of two;
 	// zero means defaultWheelSize). In-package test hook.
 	wheelSize uint64
@@ -260,6 +267,20 @@ type Watchdog struct {
 	metricsEvery uint64
 	metricsMu    sync.Mutex
 	metricsBuf   Snapshot
+
+	// shadows holds the shadow-guard candidate hypotheses, guarded by
+	// sched.mu like the wheel state it rides (see shadow.go). Nil until
+	// the first SetShadow.
+	shadows map[runnable.ID]*shadowState
+
+	// Online calibration estimator state (nil/zero unless
+	// Config.EstimatorWindowCycles > 0); see maybeSampleEstimator.
+	est       *calib.Estimator
+	estEvery  uint64
+	estMu     sync.Mutex
+	estPrimed bool
+	estLast   []uint64
+	estCounts []uint64
 }
 
 // New validates the configuration and builds a watchdog with all
@@ -308,6 +329,9 @@ func New(cfg Config) (*Watchdog, error) {
 	if cfg.MetricsEveryCycles <= 0 {
 		cfg.MetricsEveryCycles = 100
 	}
+	if cfg.EstimatorWindowCycles < 0 {
+		return nil, errors.New("core: EstimatorWindowCycles must be non-negative")
+	}
 	n := cfg.Model.NumRunnables()
 	w := &Watchdog{
 		cfg:      cfg,
@@ -323,6 +347,12 @@ func New(cfg Config) (*Watchdog, error) {
 		ecuState: StateOK,
 	}
 	w.metricsEvery = uint64(cfg.MetricsEveryCycles)
+	if cfg.EstimatorWindowCycles > 0 {
+		w.est = calib.NewEstimator(n, calib.EstimatorConfig{WindowCycles: cfg.EstimatorWindowCycles})
+		w.estEvery = uint64(cfg.EstimatorWindowCycles)
+		w.estLast = make([]uint64, n)
+		w.estCounts = make([]uint64, n)
+	}
 	if cfg.JournalSize >= 0 {
 		w.journal = newJournal(cfg.JournalSize)
 		w.journalSink = cfg.JournalSink
@@ -383,6 +413,13 @@ func (w *Watchdog) SetHypothesis(rid runnable.ID, h Hypothesis) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	hs := &w.hot[rid]
+	if old := hs.hyp.Load(); old.ArrivalCycles == 0 && h.ArrivalCycles > 0 {
+		// Arrival monitoring switches on: ARC has been accumulating since
+		// the unit was last off (beats always increment both halves) and
+		// must not count against the first monitored window. Drain it; AC
+		// is preserved, so aliveness supervision sees no gap.
+		hs.closeArrival()
+	}
 	hyp := h // private copy; the pointer is published to the hot path
 	hs.hyp.Store(&hyp)
 	hs.eagerLimit.Store(eagerLimitFor(w.cfg.EagerArrivalCheck, h))
@@ -820,6 +857,12 @@ func (w *Watchdog) ClearAll() {
 		s.resetAll()
 		for i := range w.hot {
 			w.reschedFreshLocked(runnable.ID(i))
+		}
+		// Shadow candidates survive the reset: reopen their windows at
+		// cycle zero from the (monotonic) lifetime beat counts.
+		for rid, st := range w.shadows {
+			st.startBeats = w.hot[rid].lifetimeBeats()
+			s.schedule(int(rid), kindShadow, st.window(), 0)
 		}
 		s.mu.Unlock()
 		return

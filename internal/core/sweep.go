@@ -114,6 +114,7 @@ func (w *Watchdog) Cycle() {
 	}
 	w.sweepHist.record(time.Since(start))
 	w.maybeEmitMetrics(c)
+	w.maybeSampleEstimator(c)
 }
 
 // cycleWheel is the wheel-based sweep; it returns the new cycle number.
@@ -125,24 +126,31 @@ func (w *Watchdog) cycleWheel() uint64 {
 		s.migrate(c)
 	}
 	b := &s.buckets[c&s.mask]
-	na, nr := 0, 0
+	na, nr, ns := 0, 0, 0
 	if b.alive != nil {
 		na = b.alive.len()
 	}
 	if b.arr != nil {
 		nr = b.arr.len()
 	}
-	if na == 0 && nr == 0 {
+	if b.shadow != nil {
+		ns = b.shadow.len()
+	}
+	if na == 0 && nr == 0 && ns == 0 {
 		s.mu.Unlock()
 		return c
 	}
 	s.dueAlive = s.dueAlive[:0]
 	s.dueArr = s.dueArr[:0]
+	s.dueShadow = s.dueShadow[:0]
 	if na > 0 {
 		s.dueAlive = b.alive.drainInto(s.dueAlive)
 	}
 	if nr > 0 {
 		s.dueArr = b.arr.drainInto(s.dueArr)
+	}
+	if ns > 0 {
+		s.dueShadow = b.shadow.drainInto(s.dueShadow)
 	}
 	// The drained deadlines are consumed: mark them unscheduled before
 	// processing so the per-item reschedule starts from a clean slate.
@@ -154,12 +162,21 @@ func (w *Watchdog) cycleWheel() uint64 {
 		r := &s.rs[rid]
 		r.arrDue, r.arrLoc = 0, locNone
 	}
+	for _, rid := range s.dueShadow {
+		r := &s.rs[rid]
+		r.shadowDue, r.shadowLoc = 0, locNone
+	}
 	s.items = mergeDue(s.items[:0], s.dueAlive, s.dueArr)
 	s.batch = s.batch[:0]
 	if s.pool != nil && len(s.items) >= s.parallelMin {
 		w.sweepParallel(c)
 	} else {
 		w.sweepSerial(c)
+	}
+	if len(s.dueShadow) > 0 {
+		// Shadow windows are judged after the active ones closed, still
+		// under s.mu: due-cycle work inside the same sweep, never a fault.
+		w.sweepShadows(c)
 	}
 	if len(s.batch) > 0 {
 		w.mu.Lock()

@@ -40,10 +40,13 @@ import (
 // are migrated in once per wheel revolution.
 const defaultWheelSize = 256
 
-// deadline kinds.
+// deadline kinds. kindShadow is the shadow-guard window of a candidate
+// hypothesis (see shadow.go): it rides the same buckets as the active
+// deadlines, so shadow evaluation is due-cycle work, not a second walk.
 const (
-	kindAlive = 0
-	kindArr   = 1
+	kindAlive  = 0
+	kindArr    = 1
+	kindShadow = 2
 )
 
 // runnableSched locations.
@@ -73,28 +76,58 @@ func anchorElapsed(a, c uint64) uint64 {
 // CCA/CCAR lock-free (the hot path equivalent of the retired per-cycle
 // counter increments).
 type runnableSched struct {
-	aliveDue uint64 // absolute cycle the aliveness window expires; 0 = unscheduled
-	arrDue   uint64
-	aliveLoc uint8
-	arrLoc   uint8
+	aliveDue  uint64 // absolute cycle the aliveness window expires; 0 = unscheduled
+	arrDue    uint64
+	shadowDue uint64
+	aliveLoc  uint8
+	arrLoc    uint8
+	shadowLoc uint8
 
 	aliveAnchor atomic.Uint64
 	arrAnchor   atomic.Uint64
+}
+
+// dueLoc returns the deadline state for kind.
+func (r *runnableSched) dueLoc(kind int) (uint64, uint8) {
+	switch kind {
+	case kindArr:
+		return r.arrDue, r.arrLoc
+	case kindShadow:
+		return r.shadowDue, r.shadowLoc
+	default:
+		return r.aliveDue, r.aliveLoc
+	}
+}
+
+// setDueLoc stores the deadline state for kind.
+func (r *runnableSched) setDueLoc(kind int, due uint64, loc uint8) {
+	switch kind {
+	case kindArr:
+		r.arrDue, r.arrLoc = due, loc
+	case kindShadow:
+		r.shadowDue, r.shadowLoc = due, loc
+	default:
+		r.aliveDue, r.aliveLoc = due, loc
+	}
 }
 
 // wheelBucket holds the deadlines of one wheel slot, one bitmap per kind.
 // Bitsets are allocated lazily: periodic hypotheses cluster on a few
 // slots, so most buckets of a big wheel stay nil.
 type wheelBucket struct {
-	alive *bitset
-	arr   *bitset
+	alive  *bitset
+	arr    *bitset
+	shadow *bitset
 }
 
 // get returns the bucket's bitset for kind, allocating on first use.
 func (b *wheelBucket) get(kind, n int) *bitset {
 	p := &b.alive
-	if kind == kindArr {
+	switch kind {
+	case kindArr:
 		p = &b.arr
+	case kindShadow:
+		p = &b.shadow
 	}
 	if *p == nil {
 		*p = newBitset(n)
@@ -104,10 +137,14 @@ func (b *wheelBucket) get(kind, n int) *bitset {
 
 // peek returns the bucket's bitset for kind without allocating.
 func (b *wheelBucket) peek(kind int) *bitset {
-	if kind == kindArr {
+	switch kind {
+	case kindArr:
 		return b.arr
+	case kindShadow:
+		return b.shadow
+	default:
+		return b.alive
 	}
-	return b.alive
 }
 
 // scheduler is the due-cycle index driving the wheel-based sweep.
@@ -116,11 +153,12 @@ type scheduler struct {
 	size uint64 // bucket count, power of two
 	mask uint64
 
-	buckets   []wheelBucket
-	overAlive *bitset // deadlines ≥ size cycles away
-	overArr   *bitset
-	rs        []runnableSched
-	n         int // number of runnables
+	buckets    []wheelBucket
+	overAlive  *bitset // deadlines ≥ size cycles away
+	overArr    *bitset
+	overShadow *bitset
+	rs         []runnableSched
+	n          int // number of runnables
 
 	// Parallel sweep.
 	shards      int
@@ -129,11 +167,12 @@ type scheduler struct {
 	outs        []shardOut
 
 	// Reusable sweep buffers.
-	dueAlive []uint32
-	dueArr   []uint32
-	migr     []uint32
-	items    []dueItem
-	batch    []detection
+	dueAlive  []uint32
+	dueArr    []uint32
+	dueShadow []uint32
+	migr      []uint32
+	items     []dueItem
+	batch     []detection
 }
 
 // newScheduler builds the wheel for n runnables. size must be a power of
@@ -149,6 +188,7 @@ func newScheduler(n int, size uint64, shards, parallelMin int) *scheduler {
 		buckets:     make([]wheelBucket, size),
 		overAlive:   newBitset(n),
 		overArr:     newBitset(n),
+		overShadow:  newBitset(n),
 		rs:          make([]runnableSched, n),
 		n:           n,
 		shards:      shards,
@@ -168,10 +208,14 @@ func newScheduler(n int, size uint64, shards, parallelMin int) *scheduler {
 
 // overflow returns the overflow bitset for kind.
 func (s *scheduler) overflow(kind int) *bitset {
-	if kind == kindArr {
+	switch kind {
+	case kindArr:
 		return s.overArr
+	case kindShadow:
+		return s.overShadow
+	default:
+		return s.overAlive
 	}
-	return s.overAlive
 }
 
 // schedule indexes a deadline. due must be > now. Callers hold s.mu and
@@ -185,21 +229,13 @@ func (s *scheduler) schedule(rid, kind int, due, now uint64) {
 		s.overflow(kind).set(rid)
 		loc = locOverflow
 	}
-	r := &s.rs[rid]
-	if kind == kindArr {
-		r.arrDue, r.arrLoc = due, loc
-	} else {
-		r.aliveDue, r.aliveLoc = due, loc
-	}
+	s.rs[rid].setDueLoc(kind, due, loc)
 }
 
 // unschedule removes a deadline if one is indexed. Callers hold s.mu.
 func (s *scheduler) unschedule(rid, kind int) {
 	r := &s.rs[rid]
-	due, loc := r.aliveDue, r.aliveLoc
-	if kind == kindArr {
-		due, loc = r.arrDue, r.arrLoc
-	}
+	due, loc := r.dueLoc(kind)
 	switch loc {
 	case locBucket:
 		if bs := s.buckets[due&s.mask].peek(kind); bs != nil {
@@ -208,11 +244,7 @@ func (s *scheduler) unschedule(rid, kind int) {
 	case locOverflow:
 		s.overflow(kind).clear(rid)
 	}
-	if kind == kindArr {
-		r.arrDue, r.arrLoc = 0, locNone
-	} else {
-		r.aliveDue, r.aliveLoc = 0, locNone
-	}
+	r.setDueLoc(kind, 0, locNone)
 }
 
 // migrate moves overflow deadlines that have come within the wheel
@@ -220,7 +252,7 @@ func (s *scheduler) unschedule(rid, kind int) {
 // current bucket is drained, so a deadline due this very cycle is still
 // swept on time.
 func (s *scheduler) migrate(now uint64) {
-	for kind := kindAlive; kind <= kindArr; kind++ {
+	for kind := kindAlive; kind <= kindShadow; kind++ {
 		ov := s.overflow(kind)
 		if ov.len() == 0 {
 			continue
@@ -228,20 +260,13 @@ func (s *scheduler) migrate(now uint64) {
 		s.migr = ov.appendMembers(s.migr[:0])
 		for _, rid := range s.migr {
 			r := &s.rs[rid]
-			due := r.aliveDue
-			if kind == kindArr {
-				due = r.arrDue
-			}
+			due, _ := r.dueLoc(kind)
 			if due-now >= s.size {
 				continue
 			}
 			ov.clear(int(rid))
 			s.buckets[due&s.mask].get(kind, s.n).set(int(rid))
-			if kind == kindArr {
-				r.arrLoc = locBucket
-			} else {
-				r.aliveLoc = locBucket
-			}
+			r.setDueLoc(kind, due, locBucket)
 		}
 	}
 }
@@ -258,13 +283,18 @@ func (s *scheduler) resetAll() {
 		if b := s.buckets[i].arr; b != nil {
 			scratch = b.drainInto(scratch[:0])
 		}
+		if b := s.buckets[i].shadow; b != nil {
+			scratch = b.drainInto(scratch[:0])
+		}
 	}
 	scratch = s.overAlive.drainInto(scratch[:0])
 	scratch = s.overArr.drainInto(scratch[:0])
+	scratch = s.overShadow.drainInto(scratch[:0])
 	s.migr = scratch[:0]
 	for i := range s.rs {
 		s.rs[i].aliveDue, s.rs[i].aliveLoc = 0, locNone
 		s.rs[i].arrDue, s.rs[i].arrLoc = 0, locNone
+		s.rs[i].shadowDue, s.rs[i].shadowLoc = 0, locNone
 	}
 }
 

@@ -1,0 +1,58 @@
+package export
+
+import (
+	"bytes"
+	"fmt"
+
+	"swwd/internal/ingest"
+)
+
+// WriteCalib renders the swwd_calib_* families from a calibration
+// status snapshot (ingest.CalibController.Status). A separate writer,
+// like the rest of this band: WriteSnapshot's families stay
+// byte-identical and exporters append calibration series only when the
+// loop is enabled.
+func WriteCalib(b *bytes.Buffer, st ingest.CalibStatus, names []string) {
+	Header(b, "swwd_calib_stage", "gauge", "Rollout stage of the calibration loop (0 idle, 1 shadow, 2 canary, 3 fleet, 4 rolled back).")
+	fmt.Fprintf(b, "swwd_calib_stage %d\n", int(st.Stage))
+	Header(b, "swwd_calib_rounds_total", "counter", "Completed calibration rounds (fleet-wide hypothesis adoptions).")
+	fmt.Fprintf(b, "swwd_calib_rounds_total %d\n", st.Rounds)
+	Header(b, "swwd_calib_rollbacks_total", "counter", "Canary regressions rolled back to the prior hypothesis.")
+	fmt.Fprintf(b, "swwd_calib_rollbacks_total %d\n", st.Rollbacks)
+	Header(b, "swwd_calib_rejected_total", "counter", "Candidates the shadow guard refused to promote.")
+	fmt.Fprintf(b, "swwd_calib_rejected_total %d\n", st.Rejected)
+	Header(b, "swwd_calib_proposals", "gauge", "Candidates in the current rollout round.")
+	fmt.Fprintf(b, "swwd_calib_proposals %d\n", len(st.Candidates))
+	Header(b, "swwd_calib_canary_nodes", "gauge", "Canary subset size of the current round.")
+	fmt.Fprintf(b, "swwd_calib_canary_nodes %d\n", st.CanaryNodes)
+	Header(b, "swwd_calib_pending_acks", "gauge", "Nodes still owing a command ack for the current round.")
+	fmt.Fprintf(b, "swwd_calib_pending_acks %d\n", st.PendingAcks)
+
+	if len(st.Candidates) == 0 {
+		return
+	}
+	Header(b, "swwd_calib_shadow_windows_total", "counter", "Shadow windows judged for the runnable's candidate.")
+	for _, c := range st.Candidates {
+		if c.HasShadow {
+			fmt.Fprintf(b, "swwd_calib_shadow_windows_total{runnable=%q} %d\n", label(names, int(c.Runnable)), c.Shadow.Windows)
+		}
+	}
+	Header(b, "swwd_calib_shadow_would_faults_total", "counter", "Faults the candidate would have raised, by kind (no live fault is raised).")
+	for _, c := range st.Candidates {
+		if c.HasShadow {
+			n := label(names, int(c.Runnable))
+			fmt.Fprintf(b, "swwd_calib_shadow_would_faults_total{runnable=%q,kind=\"aliveness\"} %d\n", n, c.Shadow.WouldAliveness)
+			fmt.Fprintf(b, "swwd_calib_shadow_would_faults_total{runnable=%q,kind=\"arrival_rate\"} %d\n", n, c.Shadow.WouldArrival)
+		}
+	}
+	Header(b, "swwd_calib_shadow_clean_streak", "gauge", "Consecutive clean shadow windows (promotion criterion).")
+	for _, c := range st.Candidates {
+		if c.HasShadow {
+			fmt.Fprintf(b, "swwd_calib_shadow_clean_streak{runnable=%q} %d\n", label(names, int(c.Runnable)), c.Shadow.CleanStreak)
+		}
+	}
+	Header(b, "swwd_calib_candidate_applied", "gauge", "Whether the round's candidate hypothesis is live on the runnable.")
+	for _, c := range st.Candidates {
+		fmt.Fprintf(b, "swwd_calib_candidate_applied{runnable=%q} %d\n", label(names, int(c.Runnable)), b2i(c.Applied))
+	}
+}

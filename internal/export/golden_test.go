@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"swwd/internal/calib"
 	"swwd/internal/core"
 	"swwd/internal/ingest"
 	"swwd/internal/treat"
@@ -66,6 +67,22 @@ func goldenTreat() treat.Stats {
 		Events: 60, EventsDropped: 1, Quarantines: 9, Resumes: 7,
 		ScaleDowns: 5, ScaleUps: 4, NotifyQuarantine: 9, RestartRunnables: 2,
 		ActiveQuarantines: 2, ActiveScaledDown: 1, ExecErrors: 1,
+	}
+}
+
+func goldenCalib() ingest.CalibStatus {
+	return ingest.CalibStatus{
+		Stage: calib.StageShadow, Rounds: 3, Rollbacks: 1, Rejected: 2,
+		CanaryNodes: 1, PendingAcks: 2,
+		Candidates: []ingest.CalibCandidate{
+			{Runnable: 0, Node: 0,
+				Hyp:       core.Hypothesis{AlivenessCycles: 20, MinHeartbeats: 3, ArrivalCycles: 20, MaxArrivals: 7},
+				Shadow:    core.ShadowStats{Windows: 9, WouldAliveness: 1, WouldArrival: 0, CleanStreak: 4},
+				HasShadow: true},
+			{Runnable: 2, Node: 1,
+				Hyp:     core.Hypothesis{AlivenessCycles: 20, MinHeartbeats: 2, ArrivalCycles: 20, MaxArrivals: 5},
+				Applied: true},
+		},
 	}
 }
 
@@ -141,6 +158,12 @@ func TestGoldenJournalSeq(t *testing.T) {
 	var b bytes.Buffer
 	WriteJournalSeq(&b, core.JournalStats{Len: 12, Cap: 256, Written: 268, Dropped: 12})
 	checkGolden(t, "journal_seq.prom", b.Bytes())
+}
+
+func TestGoldenCalib(t *testing.T) {
+	var b bytes.Buffer
+	WriteCalib(&b, goldenCalib(), []string{"speed-sensor", "", "brake-ctrl"})
+	checkGolden(t, "calib.prom", b.Bytes())
 }
 
 func TestGoldenWAL(t *testing.T) {

@@ -60,6 +60,11 @@ type FleetConfig struct {
 	// CommandEpoch forwards to Config.CommandEpoch (zero derives it
 	// from the wall clock).
 	CommandEpoch uint64
+	// Calibration, when non-nil, enables the online auto-calibration
+	// loop: the watchdog's estimator records per-runnable baselines and
+	// the Fleet.Calib controller drives shadow-guarded, staged
+	// hypothesis rollouts over the command channel.
+	Calibration *CalibrationConfig
 }
 
 // Fleet is an assembled fleet system: the frozen model, the configured
@@ -76,6 +81,9 @@ type Fleet struct {
 	// Treat is the fault-treatment controller; nil unless
 	// FleetConfig.Treatment was set. Callers own its Close.
 	Treat *treat.Controller
+	// Calib is the calibration controller; nil unless
+	// FleetConfig.Calibration was set. Callers own its Close.
+	Calib *CalibController
 }
 
 // BuildFleet assembles the model (one application, one task per node,
@@ -151,13 +159,22 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 		return nil, err
 	}
 
+	estWindow := 0
+	if cfg.Calibration != nil {
+		p := cfg.Calibration.Params.WithDefaults()
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		estWindow = p.WindowCycles
+	}
 	w, err := core.New(core.Config{
-		Model:       model,
-		Clock:       cfg.Clock,
-		Sink:        sink,
-		CyclePeriod: cfg.CyclePeriod,
-		JournalSize: cfg.JournalSize,
-		SweepShards: cfg.SweepShards,
+		Model:                 model,
+		Clock:                 cfg.Clock,
+		Sink:                  sink,
+		CyclePeriod:           cfg.CyclePeriod,
+		JournalSize:           cfg.JournalSize,
+		SweepShards:           cfg.SweepShards,
+		EstimatorWindowCycles: estWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -210,6 +227,13 @@ func BuildFleet(cfg FleetConfig) (*Fleet, error) {
 		if err := buildTreatment(f, cfg.Treatment, cfg.Clock, tsink, &hookCtrl); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Calibration != nil {
+		ctrl, err := buildCalibration(f, cfg.Calibration, cfg.CyclePeriod)
+		if err != nil {
+			return nil, err
+		}
+		f.Calib = ctrl
 	}
 	return f, nil
 }

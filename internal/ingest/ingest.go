@@ -326,9 +326,10 @@ type nodeState struct {
 	haveSeq bool
 
 	// cmdAcked is the highest command sequence number the reporter has
-	// confirmed in the current command epoch. Like the fields above it
-	// is touched only by the owning shard worker.
-	cmdAcked uint64
+	// confirmed in the current command epoch. Written only by the owning
+	// shard worker; read atomically by NodeCommandAcked (the calibration
+	// controller polls per-node ack progress).
+	cmdAcked atomic.Uint64
 
 	// addr is the source address of the node's most recent accepted
 	// frame — the return path for command frames. Updated by the shard
@@ -748,14 +749,14 @@ func (s *Server) ingestFrame(buf []byte, f *wire.Frame, src netip.AddrPort) {
 	if f.CmdAckSeq != 0 {
 		if f.CmdAckEpoch != s.cmdEpoch {
 			s.cmdStale.Add(1)
-		} else if f.CmdAckSeq > ns.cmdAcked {
+		} else if prev := ns.cmdAcked.Load(); f.CmdAckSeq > prev {
 			acked := f.CmdAckSeq
 			if issued := ns.cmdSeq.Load(); acked > issued {
 				acked = issued
 			}
-			if acked > ns.cmdAcked {
-				s.cmdAcked.Add(acked - ns.cmdAcked)
-				ns.cmdAcked = acked
+			if acked > prev {
+				s.cmdAcked.Add(acked - prev)
+				ns.cmdAcked.Store(acked)
 			}
 		}
 	}
@@ -820,6 +821,17 @@ func (s *Server) SendCommand(node uint32, recs ...wire.CmdRec) (uint64, error) {
 
 // CommandEpoch reports the server's command epoch.
 func (s *Server) CommandEpoch() uint64 { return s.cmdEpoch }
+
+// NodeCommandAcked reports the highest command sequence number node has
+// acknowledged in the server's command epoch (zero for an unknown node
+// or one that has acked nothing).
+func (s *Server) NodeCommandAcked(node uint32) uint64 {
+	ns := (*s.nodes.Load())[node]
+	if ns == nil {
+		return 0
+	}
+	return ns.cmdAcked.Load()
+}
 
 // Stats returns a copy of the ingestion counters.
 func (s *Server) Stats() Stats {

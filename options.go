@@ -120,3 +120,13 @@ func WithMetricsSink(sink func(*Snapshot), everyCycles int) Option {
 func WithLegacySweep() Option {
 	return func(cfg *Config) { cfg.LegacySweep = true }
 }
+
+// WithEstimatorWindow enables the online calibration estimator: every
+// cycles monitoring cycles the per-runnable banked beat counts are
+// sampled into one observation window (arrival-rate EWMA, extremes and
+// a quantile sketch), queryable via Watchdog.Estimator and feeding
+// SuggestHypotheses. Sampling happens on the goroutine that called
+// Cycle; the heartbeat hot path is unchanged.
+func WithEstimatorWindow(cycles int) Option {
+	return func(cfg *Config) { cfg.EstimatorWindowCycles = cycles }
+}

@@ -26,6 +26,7 @@ package swwd
 import (
 	"time"
 
+	"swwd/internal/calib"
 	"swwd/internal/core"
 	"swwd/internal/runnable"
 	"swwd/internal/sim"
@@ -98,8 +99,34 @@ type (
 	HistogramSnapshot = core.HistogramSnapshot
 	// Clock abstracts the time source.
 	Clock = sim.Clock
-	// Calibrator derives fault hypotheses from a healthy observation run.
+	// Calibrator derives fault hypotheses from a healthy observation run
+	// (offline one-shot wrapper over the online estimator).
 	Calibrator = core.Calibrator
+	// Estimator is the online calibration estimator: per-runnable
+	// arrival-rate EWMA, window extremes and a fixed-size quantile
+	// sketch, fed from the banked beat counts when the watchdog is
+	// configured with WithEstimatorWindow.
+	Estimator = calib.Estimator
+	// CalibrationBaseline is a recorded estimator baseline, replayable
+	// through SuggestHypotheses deterministically.
+	CalibrationBaseline = calib.Baseline
+	// CalibrationPolicy tunes hypothesis suggestion.
+	CalibrationPolicy = calib.Policy
+	// CalibrationProposal is one suggested hypothesis with its baseline
+	// evidence.
+	CalibrationProposal = calib.Proposal
+	// CalibrationParams are the operator-facing calibration knobs of the
+	// staged fleet rollout (spec file `calibration` section, swwdd
+	// -calib-* flags).
+	CalibrationParams = calib.Params
+	// CalibrationStage is the staged-rollout state (shadow → canary →
+	// fleet, with automatic rollback).
+	CalibrationStage = calib.Stage
+	// ShadowStats is the verdict of a shadow-evaluated candidate
+	// hypothesis (would-be fault counts, clean-window streak).
+	ShadowStats = core.ShadowStats
+	// ShadowReport is one runnable's shadow verdict.
+	ShadowReport = core.ShadowReport
 	// TreatmentEdge declares one dependency edge of the fault-treatment
 	// graph: Node depends on DependsOn.
 	TreatmentEdge = treat.Edge
@@ -161,6 +188,14 @@ func NewWallClock() Clock { return sim.NewWallClock() }
 // with a safety margin.
 func NewCalibrator(model *Model, windowCycles int) (*Calibrator, error) {
 	return core.NewCalibrator(model, windowCycles)
+}
+
+// SuggestHypotheses derives tightened hypothesis proposals from a
+// recorded estimator baseline. Pure and deterministic: the same
+// (baseline, policy) input always yields the bit-identical proposal
+// slice, so rollout decisions can be replayed and audited.
+func SuggestHypotheses(b CalibrationBaseline, p CalibrationPolicy) []CalibrationProposal {
+	return calib.Suggest(b, p)
 }
 
 // CyclePeriodDefault is the monitoring cycle of the paper's plots.
